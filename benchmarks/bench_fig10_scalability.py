@@ -1,0 +1,121 @@
+"""Figure 10: single-node scalability on RM_856M, RM_1B and RU_2B.
+
+Scaled to 131K-262K rows with the paper's dimensionalities, k=10.
+Claims to reproduce:
+
+* knori beats the frameworks by 7-20x, knors by 3-6x, on the random
+  100 GB+ class datasets;
+* as data grows, knors closes on knori (I/O latency masked; the SEM
+  module turns compute-bound) -- knors lands within 3-4x of knori;
+* the largest dataset (RU_2B stand-in) runs in SEM while the paper's
+  in-memory competitors fail at that scale (here: we show the memory
+  requirement exceeding the machine rather than crashing).
+"""
+
+import pytest
+
+from repro import ConvergenceCriteria, knori, knors
+from repro.baselines import framework_kmeans
+from repro.data import write_matrix
+from repro.metrics import render_table
+
+from conftest import report
+
+CRIT = ConvergenceCriteria(max_iters=12)
+K = 10
+
+
+def test_fig10_scalability(rm856, rm1b, ru2b, tmp_path_factory,
+                           benchmark):
+    td = tmp_path_factory.mktemp("fig10")
+    rows = []
+    ratios = {}
+    for name, data in (
+        ("RM_856M", rm856), ("RM_1B", rm1b), ("RU_2B", ru2b),
+    ):
+        path = write_matrix(td / f"{name}.knor", data)
+        db = data.size * 8
+        im = knori(data, K, seed=4, criteria=CRIT)
+        sem = knors(path, K, seed=4, criteria=CRIT,
+                    row_cache_bytes=db // 8, page_cache_bytes=db // 16,
+                    cache_update_interval=8)
+        ml = framework_kmeans(data, K, "mllib", seed=4, criteria=CRIT)
+        h2o = framework_kmeans(data, K, "h2o", seed=4, criteria=CRIT)
+        turi = framework_kmeans(data, K, "turi", seed=4, criteria=CRIT)
+        for res in (im, sem, ml, h2o, turi):
+            rows.append(
+                [
+                    name,
+                    res.algorithm,
+                    f"{res.sim_seconds:.4f}",
+                    f"{res.peak_memory_bytes / 1e6:.1f}",
+                ]
+            )
+        ratios[name] = dict(im=im, sem=sem, ml=ml, h2o=h2o, turi=turi)
+
+    # Paper-scale memory projection: who even fits in 1 TB?
+    from repro.metrics import table1_bytes
+
+    proj = []
+    for dsname, n, d in (
+        ("RM_856M", 856_000_000, 16),
+        ("RM_1B", 1_100_000_000, 32),
+        ("RU_2B", 2_100_000_000, 64),
+    ):
+        im_b = table1_bytes("knori", n, d, K, 48)
+        sem_b = table1_bytes(
+            "knors", n, d, K, 48, row_cache_bytes=2 << 30
+        )
+        proj.append(
+            [
+                dsname,
+                f"{im_b / 1e9:.0f} GB",
+                "yes" if im_b < 1e12 else "NO (exceeds 1 TB)",
+                f"{sem_b / 1e9:.1f} GB",
+                "yes",
+            ]
+        )
+
+    report(
+        "Figure 10: scalability on RM/RU datasets (k=10; sim s; "
+        "peak MB at repro scale) + paper-scale fit-in-1TB projection",
+        render_table(
+            ["dataset", "implementation", "sim s", "peak MB"], rows
+        )
+        + "\n\npaper-scale memory projection (1 TB machine):\n"
+        + render_table(
+            ["dataset", "in-memory bytes", "knori fits?",
+             "SEM bytes", "knors fits?"],
+            proj,
+        ),
+    )
+
+    for name, r in ratios.items():
+        # knori beats every framework by a wide margin (paper: 7-20x;
+        # uniform RU data is the stated worst case for pruning, so its
+        # floor is lower -- the gain is the ||Lloyd's dividend alone).
+        floor = 3 if name == "RU_2B" else 5
+        for fw in ("ml", "h2o", "turi"):
+            assert r[fw].sim_seconds > floor * r["im"].sim_seconds, (
+                name, fw,
+            )
+        # knors beats the in-memory frameworks (paper: 3-6x).
+        assert r["ml"].sim_seconds > 2 * r["sem"].sim_seconds, name
+        # knors is within a small factor of knori (paper: 3-4x at
+        # scale; uniform data prunes worst so allow up to 6x).
+        assert r["sem"].sim_seconds < 6 * r["im"].sim_seconds, name
+
+    # RU_2B at paper scale: in-memory needs >1 TB, SEM does not.
+    assert table1_bytes("knori", 2_100_000_000, 64, K, 48) > 1e12
+    assert (
+        table1_bytes(
+            "knors", 2_100_000_000, 64, K, 48,
+            row_cache_bytes=2 << 30,
+        )
+        < 100e9
+    )
+
+    benchmark.pedantic(
+        lambda: knori(rm856, K, seed=4, criteria=CRIT),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,83 @@
+"""Figure 11: distributed speedup vs cluster size.
+
+(a) Friendster-32 and (b) the King stand-in, knord / knord- / MPI /
+MLlib-EC2, machines = 1..16, each normalized to its own
+single-machine time (the paper normalizes to each implementation's
+serial performance).
+
+Claims to reproduce: knord scales within a constant factor of linear;
+MLlib's centralized driver scales worst.
+"""
+
+import pytest
+
+from repro import ConvergenceCriteria, knord
+from repro.baselines import framework_kmeans, mpi_lloyd
+from repro.data import king_like, load_dataset
+from repro.metrics import render_series
+
+from conftest import report
+
+MACHINES = [1, 2, 4, 8, 16]
+CRIT = ConvergenceCriteria(max_iters=3)
+K = 10
+N = 262_144  # compute-heavy enough that collectives don't dominate
+
+
+def run_all(x, p):
+    return {
+        "knord": knord(x, K, n_machines=p, seed=4, criteria=CRIT),
+        "knord-": knord(x, K, n_machines=p, pruning=None, seed=4,
+                        criteria=CRIT),
+        "MPI": mpi_lloyd(x, K, n_machines=p, seed=4, criteria=CRIT),
+        "MLlib-EC2": framework_kmeans(
+            x, K, "mllib", n_machines=max(p, 2), seed=4, criteria=CRIT
+        ),
+    }
+
+
+def test_fig11_dist_speedup(benchmark):
+    datasets = {
+        "Friendster-32": load_dataset("friendster-32", n=N),
+        "King": king_like(N, 32),
+    }
+    all_series = {}
+    for dsname, x in datasets.items():
+        times: dict[str, dict[int, float]] = {}
+        for p in MACHINES:
+            for name, res in run_all(x, p).items():
+                times.setdefault(name, {})[p] = res.sim_seconds
+        speedup = {
+            name: {p: ts[1] / ts[p] for p in MACHINES}
+            for name, ts in times.items()
+        }
+        all_series[dsname] = (times, speedup)
+        report(
+            f"Figure 11: distributed speedup on {dsname}-like "
+            f"(n={N}, k={K}; normalized to each implementation's "
+            "1-machine time)",
+            render_series("machines", speedup)
+            + "\n\nabsolute sim s:\n"
+            + render_series("machines", times),
+        )
+
+    for dsname, (times, speedup) in all_series.items():
+        # knord scales within a constant factor of linear.
+        assert speedup["knord-"][16] > 6.0, dsname
+        assert speedup["knord-"][8] > 4.0, dsname
+        # knord is the fastest absolute implementation at every size.
+        for p in MACHINES:
+            assert (
+                times["knord"][p]
+                <= min(times[n][p] for n in times)
+            ), (dsname, p)
+        # MLlib scales worse than knord- (centralized driver).
+        assert speedup["knord-"][16] > speedup["MLlib-EC2"][16], dsname
+
+    benchmark.pedantic(
+        lambda: knord(
+            datasets["Friendster-32"], K, n_machines=8, pruning=None,
+            seed=4, criteria=CRIT,
+        ),
+        rounds=1, iterations=1,
+    )

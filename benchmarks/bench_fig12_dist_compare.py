@@ -1,0 +1,82 @@
+"""Figure 12: distributed per-iteration time, knord vs MPI vs MLlib.
+
+(a) Friendster-8 / Friendster-32 at k=100, (b) RM_856M / RM_1B at
+k=10; a fixed cluster of c4.8xlarge machines.
+
+Claims to reproduce: knord(-) outperforms MLlib-EC2 by >= 5x; knord
+beats the NUMA-oblivious pure-MPI routine by 20-50%; MTI keeps paying
+in the distributed setting.
+"""
+
+import pytest
+
+from repro import ConvergenceCriteria, knord
+from repro.baselines import framework_kmeans, mpi_lloyd
+from repro.metrics import render_table
+
+from conftest import report
+
+CRIT = ConvergenceCriteria(max_iters=6)
+MACHINES = 3
+
+
+def per_iter(res):
+    return res.sim_seconds_per_iter
+
+
+def test_fig12_dist_compare(fr8, fr32, rm856, rm1b, benchmark):
+    cases = [
+        ("Friendster-8", fr8, 100),
+        ("Friendster-32", fr32, 100),
+        ("RM_856M", rm856, 10),
+        ("RM_1B", rm1b, 10),
+    ]
+    rows = []
+    checks = {}
+    for name, x, k in cases:
+        runs = {
+            "knord": knord(x, k, n_machines=MACHINES, seed=4,
+                           criteria=CRIT),
+            "knord-": knord(x, k, n_machines=MACHINES, pruning=None,
+                            seed=4, criteria=CRIT),
+            "MPI": mpi_lloyd(x, k, n_machines=MACHINES, seed=4,
+                             criteria=CRIT),
+            "MPI-": mpi_lloyd(x, k, n_machines=MACHINES, pruning=None,
+                              seed=4, criteria=CRIT),
+            "MLlib-EC2": framework_kmeans(
+                x, k, "mllib", n_machines=MACHINES, seed=4,
+                criteria=CRIT,
+            ),
+        }
+        checks[name] = runs
+        for label, res in runs.items():
+            rows.append(
+                [name, k, label, f"{per_iter(res) * 1e3:.3f}"]
+            )
+
+    report(
+        f"Figure 12: distributed per-iteration time "
+        f"({MACHINES}x c4.8xlarge; sim ms/iter)",
+        render_table(["dataset", "k", "implementation", "ms/iter"],
+                     rows),
+    )
+
+    for name, runs in checks.items():
+        # knord- (no pruning) still beats MLlib by >= 5x.
+        assert per_iter(runs["MLlib-EC2"]) > 5 * per_iter(
+            runs["knord-"]
+        ), name
+        # NUMA optimizations beat pure MPI by 20-50% (>= 15% asserted;
+        # unpruned comparison isolates the NUMA effect).
+        assert per_iter(runs["MPI-"]) > 1.15 * per_iter(
+            runs["knord-"]
+        ), name
+        # MTI still helps in the distributed setting.
+        assert per_iter(runs["knord"]) < per_iter(runs["knord-"]), name
+        assert per_iter(runs["MPI"]) <= per_iter(runs["MPI-"]), name
+
+    benchmark.pedantic(
+        lambda: knord(fr8, 100, n_machines=MACHINES, pruning=None,
+                      seed=4, criteria=CRIT),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,79 @@
+"""Figure 13: knors on ONE i3.16xlarge vs distributed packages.
+
+knors runs on a single 32-core NVMe machine with 48 threads (extra
+parallelism from SMT, as in the paper); knord, MPI and MLlib-EC2 run
+on a 3x c4.8xlarge cluster (48 physical cores total).
+
+Claims to reproduce: single-machine semi-external knors often beats
+MLlib running on a whole cluster and stays within a small factor of
+knord/MPI -- "the SEM scale-up model should be considered prior to
+moving to the distributed setting."
+"""
+
+import pytest
+
+from repro import ConvergenceCriteria, knord, knors
+from repro.baselines import framework_kmeans, mpi_lloyd
+from repro.data import write_matrix
+from repro.metrics import render_table
+from repro.simhw import EC2_I3_16XLARGE
+from repro.simhw.ssd import I3_NVME_ARRAY
+
+from conftest import report
+
+CRIT = ConvergenceCriteria(max_iters=8)
+MACHINES = 3
+
+
+def test_fig13_sem_vs_cloud(fr32, rm856, tmp_path_factory, benchmark):
+    td = tmp_path_factory.mktemp("fig13")
+    rows = []
+    checks = {}
+    for name, x, k in (
+        ("Friendster-32", fr32, 10),
+        ("RM_856M", rm856, 10),
+    ):
+        path = write_matrix(td / f"{name}.knor", x)
+        db = x.size * 8
+        runs = {
+            "knors @ 1x i3.16xlarge": knors(
+                path, k, seed=4, criteria=CRIT,
+                cost_model=EC2_I3_16XLARGE, ssd=I3_NVME_ARRAY,
+                n_threads=48,  # SMT oversubscription, as in the paper
+                row_cache_bytes=db // 8, page_cache_bytes=db // 16,
+                cache_update_interval=8,
+            ),
+            "knord @ 3x c4.8xlarge": knord(
+                x, k, n_machines=MACHINES, seed=4, criteria=CRIT
+            ),
+            "MPI @ 3x c4.8xlarge": mpi_lloyd(
+                x, k, n_machines=MACHINES, seed=4, criteria=CRIT
+            ),
+            "MLlib-EC2 @ 3x c4.8xlarge": framework_kmeans(
+                x, k, "mllib", n_machines=MACHINES, seed=4,
+                criteria=CRIT,
+            ),
+        }
+        checks[name] = runs
+        for label, res in runs.items():
+            rows.append([name, label, f"{res.sim_seconds:.4f}"])
+
+    report(
+        "Figure 13: semi-external memory on one machine vs the "
+        "distributed packages (sim s)",
+        render_table(["dataset", "configuration", "sim s"], rows),
+    )
+
+    for name, runs in checks.items():
+        sem = runs["knors @ 1x i3.16xlarge"].sim_seconds
+        # One SEM machine beats MLlib on a whole cluster.
+        assert sem < runs["MLlib-EC2 @ 3x c4.8xlarge"].sim_seconds, name
+        # And stays within a small factor of the MPI cluster runs.
+        assert sem < 4 * runs["knord @ 3x c4.8xlarge"].sim_seconds, name
+        assert sem < 4 * runs["MPI @ 3x c4.8xlarge"].sim_seconds, name
+
+    benchmark.pedantic(
+        lambda: knord(fr32, 10, n_machines=MACHINES, seed=4,
+                      criteria=CRIT),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,74 @@
+"""Figure 4: speedup of NUMA-aware knori vs a NUMA-oblivious routine.
+
+Friendster-8, k=10, T = 1..64 on the simulated 4-socket Xeon. The
+paper's claims to reproduce: near-linear speedup to 48 physical cores,
+extra gains from SMT at 64, and a ~6x gap to the oblivious routine at
+high thread counts.
+"""
+
+import pytest
+
+from repro import ConvergenceCriteria, knori
+from repro.metrics import render_series
+from repro.simhw import BindPolicy
+
+from conftest import report
+
+THREADS = [1, 2, 4, 8, 16, 32, 48, 64]
+CRIT = ConvergenceCriteria(max_iters=8)
+
+
+def run_series(x):
+    aware = {}
+    oblivious = {}
+    for t in THREADS:
+        aware[t] = knori(
+            x, 10, pruning=None, n_threads=t, seed=4, criteria=CRIT
+        ).sim_seconds_per_iter
+        oblivious[t] = knori(
+            x, 10, pruning=None, n_threads=t, seed=4, criteria=CRIT,
+            bind_policy=BindPolicy.OBLIVIOUS,
+        ).sim_seconds_per_iter
+    return aware, oblivious
+
+
+def test_fig4_numa_speedup(fr8, benchmark):
+    aware, oblivious = run_series(fr8)
+    base_a = aware[1]
+    base_o = oblivious[1]
+    series = {
+        "speedup NUMA-aware": {t: base_a / v for t, v in aware.items()},
+        "speedup oblivious": {
+            t: base_o / v for t, v in oblivious.items()
+        },
+        "aware s/iter (sim)": aware,
+        "oblivious s/iter (sim)": oblivious,
+        "gap (obl/aware)": {
+            t: oblivious[t] / aware[t] for t in THREADS
+        },
+    }
+    report(
+        "Figure 4: NUMA-aware vs NUMA-oblivious speedup "
+        "(Friendster-8-like, k=10)",
+        render_series("T", series),
+    )
+
+    speedup48 = base_a / aware[48]
+    speedup64 = base_a / aware[64]
+    # Near-linear to the physical core count.
+    assert speedup48 > 0.75 * 48
+    # SMT yields additional speedup beyond 48 cores (paper: "additional
+    # speedup beyond 48 cores comes from hyperthreading").
+    assert speedup64 > speedup48
+    # The oblivious gap approaches the paper's ~6x at 64 threads.
+    gap64 = oblivious[64] / aware[64]
+    assert 3.0 < gap64 < 9.0
+    # Oblivious still speeds up (lower linear constant, same shape).
+    assert base_o / oblivious[48] > 5.0
+
+    benchmark.pedantic(
+        lambda: knori(
+            fr8, 10, pruning=None, n_threads=48, seed=4, criteria=CRIT
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,80 @@
+"""Figure 8: MTI on/off performance and memory for knori and knors.
+
+Friendster-8 and Friendster-32, k=10 and k=100. Claims to reproduce:
+
+(a/b) MTI gives a few factors of runtime improvement over the
+      MTI-disabled counterparts, for both the in-memory and the
+      semi-external module;
+(c)   MTI increases memory by a negligible amount, while the row
+      cache accounts for knors's (bounded, user-chosen) increase.
+"""
+
+import pytest
+
+from repro import ConvergenceCriteria, knori, knors
+from repro.metrics import render_table
+
+from conftest import report
+
+CRIT = ConvergenceCriteria(max_iters=20)
+
+
+def test_fig8_mti(fr8, fr32, fr8_file, fr32_file, benchmark):
+    rows = []
+    checks = []
+    for name, data, path in (
+        ("Friendster-8", fr8, fr8_file),
+        ("Friendster-32", fr32, fr32_file),
+    ):
+        db = data.size * 8
+        for k in (10, 100):
+            im = knori(data, k, seed=4, criteria=CRIT)
+            im_minus = knori(data, k, pruning=None, seed=4,
+                             criteria=CRIT)
+            sem = knors(path, k, seed=4, criteria=CRIT,
+                        row_cache_bytes=db // 8,
+                        page_cache_bytes=db // 16,
+                        cache_update_interval=8)
+            sem_mm = knors(path, k, pruning=None, row_cache_bytes=0,
+                           page_cache_bytes=db // 16, seed=4,
+                           criteria=CRIT)
+            for res in (im, im_minus, sem, sem_mm):
+                rows.append(
+                    [
+                        name,
+                        k,
+                        res.algorithm,
+                        f"{res.sim_seconds:.4f}",
+                        f"{res.peak_memory_bytes / 1e6:.2f}",
+                    ]
+                )
+            checks.append((name, k, im, im_minus, sem, sem_mm))
+
+    report(
+        "Figure 8: MTI enabled vs disabled -- runtime (sim s) and "
+        "peak memory (MB)",
+        render_table(
+            ["dataset", "k", "routine", "sim s", "peak MB"], rows
+        ),
+    )
+
+    for name, k, im, im_minus, sem, sem_mm in checks:
+        # (a/b) MTI speeds both modules up.
+        assert im.sim_seconds < im_minus.sim_seconds, (name, k)
+        assert sem.sim_seconds < sem_mm.sim_seconds, (name, k)
+        # (c) the MTI state itself is a negligible memory increment
+        # over knori- (the paper's Fig 8c claim)...
+        mti_state = (
+            im.memory_breakdown["mti_bounds"]
+        )
+        assert mti_state / im_minus.peak_memory_bytes < 0.2, (name, k)
+        # ...and knors with all its caches still sits far below the
+        # in-memory footprint at d=32.
+        if name == "Friendster-32":
+            assert sem.peak_memory_bytes < im.peak_memory_bytes
+
+    im, im_minus = checks[0][2], checks[0][3]
+    benchmark.pedantic(
+        lambda: knori(fr8, 10, seed=4, criteria=CRIT),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,83 @@
+"""Table 1: asymptotic memory complexity of knor routines.
+
+Prints the analytic byte counts for every routine at the paper's
+Friendster-32 parameters alongside the *measured* component breakdown
+of actual runs at reproduction scale, verifying the two agree.
+"""
+
+import pytest
+
+from repro import ConvergenceCriteria, knori, knors
+from repro.metrics import render_table, table1_bytes
+from repro.metrics.memory import elkan_ti_bytes
+
+from conftest import report
+
+CRIT = ConvergenceCriteria(max_iters=5)
+
+
+def test_table1_memory(fr32, fr32_file, benchmark):
+    n, d = fr32.shape
+    k, t = 10, 48
+
+    runs = {
+        "knori": knori(fr32, k, seed=0, criteria=CRIT),
+        "knori-": knori(fr32, k, pruning=None, seed=0, criteria=CRIT),
+        "elkan_ti": knori(fr32, k, pruning="elkan", seed=0, criteria=CRIT),
+        "knors": knors(fr32_file, k, seed=0, criteria=CRIT),
+        "knors--": knors(
+            fr32_file, k, pruning=None, row_cache_bytes=0, seed=0,
+            criteria=CRIT,
+        ),
+    }
+
+    rows = []
+    for name, res in runs.items():
+        kwargs = {}
+        if name == "knors":
+            kwargs["row_cache_bytes"] = res.params["row_cache_bytes"]
+        predicted = table1_bytes(name, n, d, k, t, **kwargs)
+        measured = res.peak_memory_bytes
+        # Measured excludes the page cache (an I/O-layer budget, not
+        # algorithm state in Table 1).
+        measured -= res.memory_breakdown.get("page_cache", 0)
+        rows.append(
+            [
+                name,
+                f"{predicted / 1e6:.2f} MB",
+                f"{measured / 1e6:.2f} MB",
+                f"{measured / predicted:.2f}",
+            ]
+        )
+        assert 0.5 < measured / predicted < 2.0
+
+    # Paper-scale projection (n = 66M) for the same routines.
+    paper_rows = []
+    for name in ("knori-", "knori", "elkan_ti", "knors--", "knors"):
+        b = table1_bytes(name, 66_000_000, 32, 100, 48)
+        paper_rows.append([name, f"{b / 1e9:.1f} GB"])
+
+    report(
+        "Table 1: memory complexity (measured vs predicted at repro "
+        "scale; projection at paper scale n=66M, d=32, k=100)",
+        render_table(
+            ["routine", "predicted", "measured", "ratio"], rows
+        )
+        + "\n\n"
+        + render_table(["routine", "paper-scale bytes"], paper_rows)
+        + "\nNote: elkan_ti at n=1B, k=100 would need "
+        f"{elkan_ti_bytes(10**9, 32, 100, 48) / 1e12:.1f} TB -- the "
+        "scalability cliff MTI avoids.",
+    )
+
+    # The MTI increment must be small relative to the data (Fig 8c).
+    inc = (
+        runs["knori"].peak_memory_bytes
+        - runs["knori-"].peak_memory_bytes
+    )
+    assert inc / (n * d * 8) < 0.1
+
+    benchmark.pedantic(
+        lambda: knori(fr32, k, seed=0, criteria=CRIT),
+        rounds=1, iterations=1,
+    )

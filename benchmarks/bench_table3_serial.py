@@ -1,0 +1,75 @@
+"""Table 3: serial per-iteration performance of k-means strategies.
+
+Two real, wall-clock-timed strategies run here (iterative blocked and
+GEMM-formulated -- the axes along which MATLAB/BLAS vs R/sklearn/MLpack
+differ), plus the calibrated cost model's paper-scale projection for
+knori. Paper numbers are printed beside ours for the shape comparison.
+
+Honesty note: both of our strategies ultimately call BLAS through
+NumPy, so the iterative-vs-GEMM gap here reflects blocking and
+intermediate-materialization overheads, not language differences; the
+paper's 2.7x MATLAB-vs-knori gap includes MATLAB's own overheads.
+"""
+
+import pytest
+
+from repro.baselines import time_serial_iteration
+from repro.metrics import render_table
+from repro.simhw import FOUR_SOCKET_XEON
+
+from conftest import report
+
+PAPER = {
+    "knori (C++ iterative)": 7.49,
+    "MATLAB (GEMM)": 20.68,
+    "BLAS (GEMM)": 20.70,
+    "R (iterative)": 8.63,
+    "Scikit-learn (Cython iterative)": 12.84,
+    "MLpack (C++ iterative)": 13.09,
+}
+
+
+def test_table3_serial(fr8, benchmark):
+    n, d = fr8.shape
+    k = 10
+    t_iter = time_serial_iteration(fr8, k, "iterative", repeats=3)
+    t_gemm = time_serial_iteration(fr8, k, "gemm", repeats=3)
+
+    # Cost-model projection of knori- at paper scale (the Table 3 row).
+    cm = FOUR_SOCKET_XEON
+    paper_n = 66_000_000
+    knori_proj = (
+        cm.dist_comp_ns(d, paper_n * k) + cm.rows_overhead_ns(paper_n)
+    ) / 1e9
+
+    scale = paper_n / n
+    rows = [
+        ["our iterative (NumPy, wall-clock)", f"{t_iter:.4f}",
+         f"{t_iter * scale:.2f}"],
+        ["our GEMM (NumPy, wall-clock)", f"{t_gemm:.4f}",
+         f"{t_gemm * scale:.2f}"],
+        ["knori- (cost model, calibrated)", "-",
+         f"{knori_proj:.2f}"],
+    ]
+    paper_rows = [[name, f"{secs:.2f}"] for name, secs in PAPER.items()]
+
+    report(
+        "Table 3: serial per-iteration time, Friendster-8, k=10 "
+        "(measured at n=65536, extrapolated to n=66M)",
+        render_table(
+            ["implementation", "s/iter @65K", "s/iter @66M (extrap)"],
+            rows,
+        )
+        + "\n\npaper's Table 3 (for shape comparison):\n"
+        + render_table(["implementation", "s/iter"], paper_rows),
+    )
+
+    # Shape checks: the calibrated model lands on the paper's knori
+    # row; the iterative strategy is competitive with GEMM.
+    assert knori_proj == pytest.approx(7.49, rel=0.10)
+    assert t_iter < 3 * t_gemm
+
+    benchmark.pedantic(
+        lambda: time_serial_iteration(fr8, k, "iterative", repeats=1),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,117 @@
+"""Bring your own algorithm to the NUMA substrate (Section 9's goal).
+
+Run:  python examples/custom_algorithm.py
+
+The paper's future-work endgame is a generalized framework where users
+"implement custom algorithms and benefit from our NUMA and external
+memory optimizations". This example does exactly that twice:
+
+1. runs EM for a Gaussian mixture on the simulated NUMA machine via
+   the built-in :class:`GmmAlgorithm` adapter; and
+2. defines a brand-new algorithm -- per-cluster trimmed k-means, which
+   ignores the farthest 5% of points when updating centroids -- in
+   ~40 lines, and runs it both in memory and semi-externally without
+   writing any driver code.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.distance import nearest_centroid
+from repro.core.init import init_centroids
+from repro.data import rand_multivariate, write_matrix
+from repro.framework import GmmAlgorithm, RowWork, run_numa, run_sem
+
+
+class TrimmedKmeans:
+    """k-means that trims the farthest fraction of points per update.
+
+    Rows in the trimmed tail still pay assignment compute but are
+    excluded from the centroid means -- a simple robust-clustering
+    variant, here only to show the framework contract.
+    """
+
+    def __init__(self, k, trim=0.05, seed=0):
+        self.k = k
+        self.trim = trim
+        self.seed = seed
+        self.centroids = None
+        self._changed = -1
+        self._assign = None
+
+    def begin(self, x):
+        self.centroids = init_centroids(
+            np.asarray(x), self.k, "kmeans++", seed=self.seed
+        )
+
+    def iteration(self, x):
+        x = np.asarray(x)
+        assign, dist = nearest_centroid(x, self.centroids)
+        cutoff = np.quantile(dist, 1.0 - self.trim)
+        keep = dist <= cutoff
+        new = self.centroids.copy()
+        for c in range(self.k):
+            members = x[keep & (assign == c)]
+            if members.shape[0]:
+                new[c] = members.mean(axis=0)
+        changed = (
+            int((assign != self._assign).sum())
+            if self._assign is not None
+            else x.shape[0]
+        )
+        self._assign = assign
+        self.centroids = new
+        self._changed = changed
+        return RowWork(
+            compute_units=np.full(x.shape[0], self.k, dtype=np.int64),
+            needs_data=np.ones(x.shape[0], dtype=bool),
+            n_changed=changed,
+        )
+
+    def converged(self):
+        return self._changed == 0
+
+
+def main() -> None:
+    x = rand_multivariate(60_000, 8, n_components=5, seed=3)
+    # Inject 2% gross outliers for the trimmed variant to shrug off.
+    rng = np.random.default_rng(0)
+    out_idx = rng.choice(x.shape[0], x.shape[0] // 50, replace=False)
+    x[out_idx] += rng.normal(scale=50.0, size=(out_idx.size, 8))
+
+    print("1) EM for a 5-component GMM on the simulated NUMA machine:")
+    gmm = GmmAlgorithm(5, seed=1)
+    res = run_numa(gmm, x, reduction_k=5, max_iters=50)
+    print(
+        f"   {res.iterations} EM iterations, converged={res.converged},"
+        f" sim {res.sim_seconds:.4f}s, final mean log-likelihood "
+        f"{gmm.ll_history[-1]:.3f}"
+    )
+
+    print("\n2) custom TrimmedKmeans, in memory and semi-external:")
+    tk = TrimmedKmeans(5, trim=0.05, seed=1)
+    res_mem = run_numa(tk, x, reduction_k=5, max_iters=50)
+    print(
+        f"   in-memory: {res_mem.iterations} iters, sim "
+        f"{res_mem.sim_seconds:.4f}s"
+    )
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "x.knor"
+        write_matrix(path, x)
+        tk2 = TrimmedKmeans(5, trim=0.05, seed=1)
+        res_sem = run_sem(tk2, path, reduction_k=5, max_iters=50)
+    read_mb = sum(r.bytes_read for r in res_sem.records) / 1e6
+    print(
+        f"   semi-external: {res_sem.iterations} iters, sim "
+        f"{res_sem.sim_seconds:.4f}s, {read_mb:.0f} MB read from SSD"
+    )
+    print(
+        "\nSame algorithm object, three substrates, zero driver code -- "
+        "the Section 9 generalized-framework claim, demonstrated."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""The k-means variant zoo: exact pruners and Section 9 extensions.
+
+Run:  python examples/kmeans_variants.py
+
+One workload, every algorithm in the library:
+
+* the three *exact* accelerations -- MTI (knor's contribution), full
+  Elkan TI, and Yinyang -- all guaranteed to output the same
+  clustering as plain Lloyd's, differing only in computation pruned
+  and memory paid;
+* the approximate competitor (mini-batch);
+* the Section 9 extensions: spherical k-means on directional data and
+  semi-supervised k-means++ with a handful of labels.
+"""
+
+import numpy as np
+
+import repro
+from repro.baselines import minibatch_kmeans
+from repro.core import init_centroids
+from repro.extensions import (
+    semisupervised_kmeanspp,
+    spherical_kmeans,
+    yinyang_kmeans,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    centers = rng.normal(scale=3.0, size=(20, 12))
+    x = np.vstack(
+        [rng.normal(loc=c, scale=1.5, size=(500, 12)) for c in centers]
+    )
+    rng.shuffle(x)
+    k = 20
+    c0 = init_centroids(x, k, "kmeans++", seed=1)
+    crit = repro.ConvergenceCriteria(max_iters=100)
+
+    print("exact algorithms (identical clustering, different costs):")
+    ref = repro.lloyd(x, k, init=c0, criteria=crit)
+    full = ref.iterations * x.shape[0] * k
+    rows = [("lloyd (reference)", full, "-", ref)]
+    for label, res in [
+        ("knori + MTI", repro.knori(x, k, init=c0, criteria=crit)),
+        ("knori + Elkan TI",
+         repro.knori(x, k, pruning="elkan", init=c0, criteria=crit)),
+        ("yinyang", yinyang_kmeans(x, k, init=c0, criteria=crit)),
+    ]:
+        assert np.array_equal(res.assignment, ref.assignment), label
+        mem = res.peak_memory_bytes / 1e6
+        rows.append(
+            (label, res.total_dist_computations, f"{mem:.1f} MB", res)
+        )
+    for label, dist, mem, _ in rows:
+        print(f"  {label:<18} {dist:>12,} distance comps   "
+              f"state {mem}")
+
+    mb = minibatch_kmeans(x, k, batch_size=512, n_steps=60, seed=1)
+    print(
+        f"\nmini-batch (approximate): inertia {mb.inertia:,.0f} vs "
+        f"exact {ref.inertia:,.0f} "
+        f"({mb.inertia / ref.inertia - 1:+.1%}) for "
+        f"{mb.total_dist_computations:,} distance comps"
+    )
+
+    # Spherical: cluster directions, ignore magnitudes.
+    axes = np.eye(4)[:3]
+    dirs = np.vstack(
+        [a + rng.normal(scale=0.05, size=(300, 4)) for a in axes]
+    ) * rng.uniform(0.5, 10.0, size=(900, 1))
+    sph = spherical_kmeans(dirs, 3, seed=0)
+    print(
+        f"\nspherical k-means on 3 direction bundles: sizes "
+        f"{sorted(sph.cluster_sizes.tolist())} (magnitude-invariant)"
+    )
+
+    # Semi-supervised: 1% labels pin the clusters to known classes.
+    labels = np.full(x.shape[0], -1)
+    true = np.argmin(
+        ((x[:, None, :] - centers[None]) ** 2).sum(-1), axis=1
+    )
+    for c in range(k):
+        idx = np.nonzero(true == c)[0][:5]
+        labels[idx] = c
+    ss = semisupervised_kmeanspp(x, k, labels, seed=0)
+    agree = (ss.assignment == true).mean()
+    print(
+        f"semi-supervised k-means++ with {int((labels >= 0).sum())} "
+        f"labels: {agree:.1%} agreement with the generating classes"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Semi-external-memory clustering of a dataset that 'does not fit'.
+
+Run:  python examples/out_of_core.py
+
+The knors workflow: write the matrix to disk in knor's binary layout,
+then cluster it while holding only O(n) state in memory -- the row
+data streams from the (simulated) SSD array through SAFS and the
+partitioned row cache. The rows really are read back from the file;
+only the device timing is modeled.
+
+Shows the memory budget next to the in-memory footprint, the
+requested-vs-read I/O gap that motivates the row cache, and the cache
+warming up at the lazy refresh.
+"""
+
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.data import rand_multivariate, write_matrix
+
+
+def main() -> None:
+    n, d, k = 200_000, 16, 10
+    print(f"generating RM-style data: n={n:,}, d={d} "
+          f"({n * d * 8 / 1e6:.0f} MB)...")
+    x = rand_multivariate(n, d, seed=856)
+
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "rm.knor"
+        write_matrix(path, x)
+        print(f"wrote {path.stat().st_size / 1e6:.0f} MB to {path}")
+
+        data_bytes = n * d * 8
+        result = repro.knors(
+            path,
+            k,
+            seed=4,
+            row_cache_bytes=data_bytes // 8,
+            page_cache_bytes=data_bytes // 16,
+            cache_update_interval=8,
+            criteria=repro.ConvergenceCriteria(max_iters=25),
+        )
+
+    print(result.summary())
+    in_memory = repro.knori(
+        x, k, seed=4, criteria=repro.ConvergenceCriteria(max_iters=25)
+    )
+    print(
+        f"\nmemory: knors holds {result.peak_memory_bytes / 1e6:.1f} MB"
+        f" vs knori's {in_memory.peak_memory_bytes / 1e6:.1f} MB "
+        f"(data alone is {data_bytes / 1e6:.0f} MB)"
+    )
+
+    print("\nper-iteration I/O (requested vs actually read from SSD):")
+    for rec in result.records:
+        flag = " <- row cache warm" if rec.cache_hits else ""
+        print(
+            f"  iter {rec.iteration:2d}: requested "
+            f"{rec.bytes_requested / 1e6:7.1f} MB, read "
+            f"{rec.bytes_read / 1e6:7.1f} MB, "
+            f"{rec.cache_hits:6d} row-cache hits{flag}"
+        )
+
+    total_req = result.total_bytes_requested / 1e6
+    total_read = result.total_bytes_read / 1e6
+    print(
+        f"\ntotals: {total_req:.0f} MB requested, {total_read:.0f} MB "
+        "read -- page-granular reads plus pruning fragmentation "
+        "explain the gap; the row cache is what keeps it bounded."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Spectral community detection on a social-graph embedding.
+
+Run:  python examples/spectral_communities.py
+
+The paper's flagship workload: cluster the leading eigenvectors of a
+power-law social graph (their Friendster top-8/top-32 datasets). This
+example builds the same kind of object at laptop scale -- an R-MAT
+graph's normalized-adjacency spectral embedding -- and shows why such
+data is knor's best case: points sit in "strongly rooted" clusters, so
+MTI's clause 1 skips almost every row after a few iterations.
+
+Also demonstrates the scheduler choice from Figure 5: under pruning
+skew the NUMA-aware partitioned queue beats static assignment.
+"""
+
+import numpy as np
+
+import repro
+from repro.data import friendster_like
+
+
+def main() -> None:
+    print("building a 65,536-vertex power-law graph embedding "
+          "(top-8 eigenvectors)...")
+    x = friendster_like(65536, d=8)
+
+    k = 10
+    result = repro.knori(x, k, seed=4)
+    print(result.summary())
+
+    n = x.shape[0]
+    print("\nMTI clause-1 skip rate by iteration (the 'strongly "
+          "rooted clusters' effect):")
+    for rec in result.records:
+        bar = "#" * int(40 * rec.clause1_rows / n)
+        print(
+            f"  iter {rec.iteration:2d}: "
+            f"{rec.clause1_rows / n:6.1%} {bar}"
+        )
+
+    sizes = np.sort(result.cluster_sizes)[::-1]
+    print(f"\ncommunity sizes (desc): {sizes.tolist()}")
+    print("power-law graphs give a heavy-tailed community profile -- "
+          "a few giant communities plus a fringe.")
+
+    from repro.metrics import davies_bouldin_index, silhouette_score
+
+    sil = silhouette_score(x, result.assignment, sample=2000, seed=0)
+    db = davies_bouldin_index(x, result.assignment)
+    print(f"quality: silhouette={sil:.3f}, davies-bouldin={db:.3f}")
+
+    # Scheduler ablation under pruning skew (k=100 amplifies it).
+    print("\nscheduler comparison at k=100 (simulated seconds):")
+    for scheduler in ("numa_aware", "fifo", "static"):
+        res = repro.knori(
+            x, 100, seed=4, scheduler=scheduler,
+            criteria=repro.ConvergenceCriteria(max_iters=10),
+        )
+        busy = sum(r.busy_fraction for r in res.records) / len(
+            res.records
+        )
+        print(
+            f"  {scheduler:>10}: {res.sim_seconds:.4f} s "
+            f"(mean thread utilization {busy:.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

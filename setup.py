@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The primary metadata lives in ``pyproject.toml``. This shim exists so
+editable installs work in offline environments whose setuptools
+predates PEP 660 wheel-less editable support
+(``python setup.py develop`` or ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

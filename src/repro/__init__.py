@@ -1,0 +1,47 @@
+"""knor reproduction: NUMA-optimized k-means (HPDC 2017).
+
+A full reimplementation of the knor library -- in-memory (knori),
+semi-external-memory (knors) and distributed (knord) k-means with
+||Lloyd's merged-phase parallelization and Minimal Triangle Inequality
+(MTI) pruning -- running on a deterministic simulated NUMA/SSD/cluster
+hardware substrate (see DESIGN.md for the substitution rationale).
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import knori
+>>> rng = np.random.default_rng(0)
+>>> x = np.vstack([rng.normal(loc=m, size=(200, 4)) for m in (0.0, 8.0)])
+>>> result = knori(x, 2, seed=1)
+>>> result.converged
+True
+>>> sorted(result.cluster_sizes.tolist())
+[200, 200]
+
+Public API
+----------
+* :func:`knori` / :func:`knors` / :func:`knord` -- the three modules.
+* :func:`repro.core.lloyd` -- serial reference implementation.
+* :mod:`repro.data` -- Table 2 dataset generators and on-disk format.
+* :mod:`repro.baselines` -- serial strategies, naive parallel Lloyd's,
+  framework comparators, pure MPI, mini-batch.
+* :mod:`repro.simhw`, :mod:`repro.sem`, :mod:`repro.dist` -- the
+  simulated hardware substrates.
+"""
+
+from repro.core.convergence import ConvergenceCriteria
+from repro.core.lloyd import lloyd
+from repro.drivers import knord, knori, knors
+from repro.metrics import RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "knori",
+    "knors",
+    "knord",
+    "lloyd",
+    "ConvergenceCriteria",
+    "RunResult",
+    "__version__",
+]

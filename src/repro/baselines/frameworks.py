@@ -1,0 +1,207 @@
+"""Cost-model comparators for MLlib, H2O and Turi.
+
+The paper benchmarks knor against three commercial/OSS frameworks. We
+obviously cannot run Spark, H2O or Turi here; what the comparison needs
+is each framework's *architectural overhead profile* running the
+identical algorithm (the paper stresses that knori- / knors-- are
+"algorithmically identical to k-means within MLlib, Turi and H2O").
+
+Each :class:`FrameworkSpec` therefore runs the same exact unpruned
+||Lloyd's numerics and charges:
+
+* ``compute_mult`` -- JVM/managed-runtime + abstraction penalty on the
+  distance kernel (RDD iterators, boxing, no NUMA placement);
+* ``per_point_ns`` -- per-row serialization/deserialization and
+  record-object overhead per iteration;
+* ``fixed_iter_ns`` -- per-iteration job/stage scheduling;
+* ``dispatch_ns_per_task`` -- centralized driver dispatch per partition
+  (distributed mode); partial results are *gathered at a driver* and
+  re-broadcast, not allreduced -- the master-bottleneck design the
+  paper blames for their scaling;
+* ``memory_mult`` -- resident-set multiplier over the raw data bytes
+  (JVM object headers, caching layers, MLlib's block-manager copies).
+
+The knobs are calibrated once, against the paper's own reported gaps
+(knori- ~10x faster in memory; knord >= 5x faster than MLlib-EC2;
+Turi often 100x+ slower than knori), and then *held fixed* across every
+experiment -- the benches do not re-tune them per figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import ConvergenceCriteria
+from repro.core.centroids import cluster_sums
+from repro.core.distance import nearest_centroid, rows_to_centroids
+from repro.dist import NetworkModel, SimComm, TEN_GBE
+from repro.drivers.common import default_criteria, resolve_init
+from repro.errors import ConfigError, DatasetError
+from repro.metrics import IterationRecord, RunResult
+from repro.simhw import CostModel, EC2_C4_8XLARGE, FOUR_SOCKET_XEON
+
+_F64 = 8
+
+
+@dataclass(frozen=True)
+class FrameworkSpec:
+    """Overhead profile of one competitor framework."""
+
+    name: str
+    compute_mult: float
+    per_point_ns: float
+    fixed_iter_ns: float
+    dispatch_ns_per_task: float
+    memory_mult: float
+    #: Extra resident bytes independent of data (runtime heap floor).
+    base_memory_bytes: int = 512 * 1024 * 1024
+
+
+FRAMEWORKS: dict[str, FrameworkSpec] = {
+    "mllib": FrameworkSpec(
+        name="MLlib",
+        compute_mult=6.0,
+        per_point_ns=400.0,
+        fixed_iter_ns=1e5,
+        dispatch_ns_per_task=1.0e4,
+        memory_mult=8.0,
+    ),
+    "h2o": FrameworkSpec(
+        name="H2O",
+        compute_mult=4.5,
+        per_point_ns=250.0,
+        fixed_iter_ns=8e4,
+        dispatch_ns_per_task=0.7e4,
+        memory_mult=4.0,
+    ),
+    "turi": FrameworkSpec(
+        name="Turi",
+        compute_mult=20.0,
+        per_point_ns=1500.0,
+        fixed_iter_ns=2e5,
+        dispatch_ns_per_task=2.0e4,
+        memory_mult=6.0,
+    ),
+}
+
+
+def framework_kmeans(
+    x: np.ndarray,
+    k: int,
+    framework: str | FrameworkSpec,
+    *,
+    n_machines: int = 1,
+    cost_model: CostModel | None = None,
+    threads_per_machine: int | None = None,
+    network: NetworkModel = TEN_GBE,
+    init: str | np.ndarray = "random",
+    seed: int = 0,
+    criteria: ConvergenceCriteria | None = None,
+) -> RunResult:
+    """Run the framework comparator on (optionally distributed) data.
+
+    Numerics are the real unpruned Lloyd's; timing follows the
+    framework's overhead profile. ``n_machines > 1`` engages the
+    gather-at-driver communication pattern (MLlib-EC2 of Figures
+    11-13).
+    """
+    if isinstance(framework, str):
+        if framework not in FRAMEWORKS:
+            raise ConfigError(
+                f"unknown framework {framework!r}; choose from "
+                f"{sorted(FRAMEWORKS)}"
+            )
+        spec = FRAMEWORKS[framework]
+    else:
+        spec = framework
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+    n, d = x.shape
+    crit = default_criteria(criteria)
+    if cost_model is None:
+        cost_model = (
+            FOUR_SOCKET_XEON if n_machines == 1 else EC2_C4_8XLARGE
+        )
+    t = threads_per_machine or cost_model.topology.physical_cores
+    comm = SimComm(max(1, n_machines), network)
+
+    centroids = resolve_init(x, k, init, seed)
+    assign = np.full(n, -1, dtype=np.int32)
+    records: list[IterationRecord] = []
+    converged = False
+    shard_rows = -(-n // max(1, n_machines))
+    rows_per_thread = -(-shard_rows // t)
+    n_partitions = max(1, n_machines) * t
+    dist_col_ns = cost_model.dist_base_ns + cost_model.dist_per_dim_ns * d
+    result_bytes = (k * d + k) * _F64
+
+    for it in range(crit.max_iters):
+        new_assign, _ = nearest_centroid(x, centroids)
+        n_changed = int(np.count_nonzero(new_assign != assign))
+        assign = new_assign
+        partial = cluster_sums(x, assign, k)
+        prev = centroids
+        centroids = partial.finalize(prev)
+
+        compute_ns = rows_per_thread * (
+            k * dist_col_ns * spec.compute_mult + spec.per_point_ns
+        )
+        dispatch_ns = n_partitions * spec.dispatch_ns_per_task
+        if n_machines > 1:
+            # Partial sums from every partition funnel into the driver,
+            # then updated centroids broadcast back out.
+            comm_ns = (
+                comm.gather_ns(result_bytes * t)
+                + comm.bcast_ns(k * d * _F64)
+            )
+            network_bytes = result_bytes * n_partitions
+        else:
+            comm_ns = 0.0
+            network_bytes = 0
+        sim_ns = compute_ns + dispatch_ns + comm_ns + spec.fixed_iter_ns
+
+        records.append(
+            IterationRecord(
+                iteration=it,
+                sim_ns=sim_ns,
+                n_changed=n_changed,
+                dist_computations=n * k,
+                network_bytes=network_bytes,
+                allreduce_ns=comm_ns,
+            )
+        )
+        motion = np.sqrt(((centroids - prev) ** 2).sum(axis=1))
+        if crit.converged(n, n_changed, motion):
+            converged = True
+            break
+
+    dist = rows_to_centroids(x, centroids, assign)
+    data_bytes = n * d * _F64
+    name = spec.name + ("-EC2" if n_machines > 1 else "")
+    return RunResult(
+        algorithm=name,
+        centroids=centroids,
+        assignment=assign,
+        iterations=len(records),
+        converged=converged,
+        inertia=float((dist**2).sum()),
+        records=records,
+        memory_breakdown={
+            "framework_resident": int(
+                data_bytes * spec.memory_mult / max(1, n_machines)
+            ),
+            "runtime_floor": spec.base_memory_bytes,
+        },
+        params={
+            "n": n,
+            "d": d,
+            "k": k,
+            "n_machines": n_machines,
+            "threads_per_machine": t,
+            "framework": spec.name,
+            "memory_scope": "per_machine",
+        },
+    )

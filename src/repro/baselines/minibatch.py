@@ -1,0 +1,91 @@
+"""Mini-batch k-means (Sculley, WWW 2010 -- "Sophia-ML" in the paper).
+
+The Related Work section positions mini-batch k-means as the
+approximate competitor: it samples a batch per step and applies
+per-center learning-rate updates, trading cluster quality for speed.
+The paper deliberately avoids approximations; we implement the
+algorithm anyway so the quality-vs-speed trade-off the paper alludes to
+can be measured (see the ablation bench), and as the first entry of the
+Section 9 algorithm-suite extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import nearest_centroid, rows_to_centroids
+from repro.core.init import init_centroids
+from repro.errors import ConfigError, DatasetError
+from repro.metrics import IterationRecord, RunResult
+
+
+def minibatch_kmeans(
+    x: np.ndarray,
+    k: int,
+    *,
+    batch_size: int = 1024,
+    n_steps: int = 100,
+    init: str | np.ndarray = "random",
+    seed: int = 0,
+) -> RunResult:
+    """Cluster with mini-batch SGD updates.
+
+    Per step: sample ``batch_size`` rows, assign them to their nearest
+    centroid, and move each chosen centroid toward the batch members
+    with a per-center learning rate ``1 / count_seen`` (Sculley's
+    algorithm 1).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+    if batch_size < 1:
+        raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+    if n_steps < 1:
+        raise ConfigError(f"n_steps must be >= 1, got {n_steps}")
+    n, d = x.shape
+    rng = np.random.default_rng(seed)
+    if isinstance(init, np.ndarray):
+        centroids = np.array(init, dtype=np.float64, copy=True)
+    else:
+        centroids = init_centroids(x, k, init, seed=seed)
+    counts = np.zeros(k, dtype=np.int64)
+
+    records = []
+    for step in range(n_steps):
+        batch_idx = rng.integers(0, n, size=min(batch_size, n))
+        batch = x[batch_idx]
+        assign, _ = nearest_centroid(batch, centroids)
+        # Per-center gradient step with learning rate 1/seen.
+        for c in np.unique(assign):
+            members = batch[assign == c]
+            for row in members:
+                counts[c] += 1
+                eta = 1.0 / counts[c]
+                centroids[c] = (1.0 - eta) * centroids[c] + eta * row
+        records.append(
+            IterationRecord(
+                iteration=step,
+                sim_ns=0.0,  # approximate method; not on a timing figure
+                n_changed=int(batch.shape[0]),
+                dist_computations=int(batch.shape[0]) * k,
+            )
+        )
+
+    final_assign, _ = nearest_centroid(x, centroids)
+    dist = rows_to_centroids(x, centroids, final_assign)
+    return RunResult(
+        algorithm="minibatch-kmeans",
+        centroids=centroids,
+        assignment=final_assign,
+        iterations=n_steps,
+        converged=False,  # SGD-style: runs for the step budget
+        inertia=float((dist**2).sum()),
+        records=records,
+        params={
+            "n": n,
+            "d": d,
+            "k": k,
+            "batch_size": batch_size,
+            "n_steps": n_steps,
+        },
+    )

@@ -1,0 +1,176 @@
+"""Pure-MPI ||Lloyd's: the paper's own distributed baseline (MPI / MPI-).
+
+Section 8.9 compares knord against "a pure MPI distributed
+implementation of our ||Lloyd's algorithm" -- one single-threaded rank
+per physical core, optional MTI, and **no NUMA optimizations**: ranks
+are placed by the OS, their pages land wherever first touch put them,
+and there is no within-machine work stealing (static per-rank
+partitions). knord outperforms it by 20-50% (Figure 12), which is the
+NUMA dividend in isolation, since the numerics are identical.
+
+Here the numerics run exactly as knord's, while the cost side differs:
+
+* per-rank compute pays a NUMA penalty factor (unpinned ranks make
+  remote accesses when migrated);
+* the allreduce spans ``machines x ranks_per_machine`` participants
+  instead of knord's one-per-machine, so collective latency grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ConvergenceCriteria
+from repro.core.centroids import cluster_sums
+from repro.core.distance import nearest_centroid, rows_to_centroids
+from repro.core.mti import MtiState, mti_init, mti_iteration
+from repro.dist import NetworkModel, SimComm, TEN_GBE
+from repro.drivers.common import check_pruning, default_criteria, resolve_init
+from repro.errors import ConfigError, DatasetError
+from repro.metrics import IterationRecord, RunResult
+from repro.simhw import CostModel, EC2_C4_8XLARGE
+
+_F64 = 8
+
+#: Compute penalty of unpinned, OS-placed MPI ranks relative to knord's
+#: bound threads (calibrated to Figure 12's 20-50% knord advantage).
+MPI_NUMA_PENALTY = 1.35
+
+
+def mpi_lloyd(
+    x: np.ndarray,
+    k: int,
+    *,
+    n_machines: int = 4,
+    ranks_per_machine: int | None = None,
+    pruning: str | None = "mti",
+    cost_model: CostModel = EC2_C4_8XLARGE,
+    network: NetworkModel = TEN_GBE,
+    init: str | np.ndarray = "random",
+    seed: int = 0,
+    criteria: ConvergenceCriteria | None = None,
+) -> RunResult:
+    """Pure-MPI ||Lloyd's (``pruning=None`` gives the paper's MPI-)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+    pruning = check_pruning(pruning)
+    if pruning == "elkan":
+        raise ConfigError("mpi_lloyd supports pruning='mti' or None")
+    crit = default_criteria(criteria)
+    n, d = x.shape
+    rpm = ranks_per_machine or cost_model.topology.physical_cores
+    n_ranks = n_machines * rpm
+    if n < n_ranks:
+        raise DatasetError(f"n={n} rows cannot shard over {n_ranks} ranks")
+    comm = SimComm(n_ranks, network)
+
+    bounds = np.linspace(0, n, n_ranks + 1, dtype=np.int64)
+    shards = [x[bounds[i] : bounds[i + 1]] for i in range(n_ranks)]
+    states: list[MtiState | None] = [None] * n_ranks
+    prev_assign: list[np.ndarray | None] = [None] * n_ranks
+
+    centroids = resolve_init(x, k, init, seed)
+    prev_centroids = centroids.copy()
+    records: list[IterationRecord] = []
+    converged = False
+    dist_col_ns = cost_model.dist_base_ns + cost_model.dist_per_dim_ns * d
+
+    for it in range(crit.max_iters):
+        shard_sums = []
+        shard_counts = []
+        changed_total = 0
+        rank_ns = []
+        dist_total = 0
+        motion = None
+        for ri in range(n_ranks):
+            shard = shards[ri]
+            sn = shard.shape[0]
+            if pruning == "mti":
+                if it == 0:
+                    states[ri], res = mti_init(shard, centroids)
+                    n_dist = res.computed
+                    changed = res.n_changed
+                else:
+                    res = mti_iteration(
+                        shard, centroids, prev_centroids, states[ri]
+                    )
+                    n_dist = res.computed
+                    changed = res.n_changed
+                    motion = res.motion
+                shard_sums.append(states[ri].sums)
+                shard_counts.append(states[ri].counts.astype(np.float64))
+            else:
+                assign, _ = nearest_centroid(shard, centroids)
+                changed = (
+                    sn
+                    if prev_assign[ri] is None
+                    else int(np.count_nonzero(assign != prev_assign[ri]))
+                )
+                prev_assign[ri] = assign
+                partial = cluster_sums(shard, assign, k)
+                shard_sums.append(partial.sums)
+                shard_counts.append(partial.counts.astype(np.float64))
+                n_dist = sn * k
+            # Single-threaded rank, unpinned: NUMA penalty, no SMT.
+            rank_ns.append(
+                (
+                    n_dist * dist_col_ns
+                    + sn * cost_model.row_overhead_ns
+                )
+                * MPI_NUMA_PENALTY
+            )
+            changed_total += changed
+            dist_total += n_dist
+
+        red_sums = comm.allreduce_sum(shard_sums)
+        red_counts = comm.allreduce_sum(shard_counts)
+        allreduce_ns = comm.allreduce_ns(
+            red_sums.value.nbytes + red_counts.value.nbytes + 8
+        )
+        counts = red_counts.value
+        new_centroids = centroids.copy()
+        nonzero = counts > 0
+        new_centroids[nonzero] = (
+            red_sums.value[nonzero] / counts[nonzero, None]
+        )
+
+        records.append(
+            IterationRecord(
+                iteration=it,
+                sim_ns=max(rank_ns) + allreduce_ns,
+                n_changed=changed_total,
+                dist_computations=dist_total,
+                network_bytes=red_sums.bytes_on_wire
+                + red_counts.bytes_on_wire,
+                allreduce_ns=allreduce_ns,
+            )
+        )
+        prev_centroids = centroids
+        centroids = new_centroids
+        if crit.converged(n, changed_total, motion):
+            converged = True
+            break
+
+    if pruning == "mti":
+        assignment = np.concatenate([s.assignment for s in states])
+    else:
+        assignment = np.concatenate(prev_assign)
+    dist = rows_to_centroids(x, centroids, assignment)
+    return RunResult(
+        algorithm="MPI" if pruning == "mti" else "MPI-",
+        centroids=centroids,
+        assignment=assignment,
+        iterations=len(records),
+        converged=converged,
+        inertia=float((dist**2).sum()),
+        records=records,
+        params={
+            "n": n,
+            "d": d,
+            "k": k,
+            "n_machines": n_machines,
+            "ranks_per_machine": rpm,
+            "pruning": pruning,
+        },
+    )

@@ -1,0 +1,105 @@
+"""Naive parallel Lloyd's: the shared-phase-II baseline (Section 3).
+
+The design ||Lloyd's replaces: Phase I parallelizes cleanly, but Phase
+II accumulates into ONE shared next-iteration centroid structure, so
+every point's update takes the lock of its nearest centroid. With T
+threads hammering k locks, the expected contention per update is
+``(T - 1) / k`` other threads -- "as n gets larger with respect to k
+this interference worsens". There is also a second global barrier
+between the phases.
+
+Numerics are identical to ||Lloyd's (it is the same math, summed in a
+different order); only the simulated cost differs. This module exists
+for the ablation bench that quantifies what Algorithm 1 buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ConvergenceCriteria
+from repro.core.centroids import cluster_sums
+from repro.core.distance import nearest_centroid, rows_to_centroids
+from repro.drivers.common import default_criteria, resolve_init
+from repro.errors import DatasetError
+from repro.metrics import IterationRecord, RunResult
+from repro.simhw import BindPolicy, CostModel, FOUR_SOCKET_XEON, SimMachine
+
+
+def naive_parallel_lloyd(
+    x: np.ndarray,
+    k: int,
+    *,
+    cost_model: CostModel = FOUR_SOCKET_XEON,
+    n_threads: int | None = None,
+    init: str | np.ndarray = "random",
+    seed: int = 0,
+    criteria: ConvergenceCriteria | None = None,
+) -> RunResult:
+    """Two-phase parallel Lloyd's with a locked shared centroid update."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+    n, d = x.shape
+    crit = default_criteria(criteria)
+    machine = SimMachine.build(
+        cost_model, n_threads=n_threads, bind_policy=BindPolicy.NUMA_BIND
+    )
+    t = machine.n_threads
+    cm = machine.cost_model
+
+    centroids = resolve_init(x, k, init, seed)
+    assign = np.full(n, -1, dtype=np.int32)
+    records: list[IterationRecord] = []
+    converged = False
+    mindist = np.zeros(n)
+
+    rows_per_thread = -(-n // t)
+    smt = cm.smt_compute_mult(t)
+
+    for it in range(crit.max_iters):
+        new_assign, mindist = nearest_centroid(x, centroids)
+        n_changed = int(np.count_nonzero(new_assign != assign))
+        assign = new_assign
+        partial = cluster_sums(x, assign, k)
+        prev = centroids
+        centroids = partial.finalize(prev)
+
+        # Phase I: embarrassingly parallel distance computations.
+        phase1 = (
+            cm.dist_comp_ns(d, rows_per_thread * k)
+            + cm.rows_overhead_ns(rows_per_thread)
+        ) * smt
+        # Phase II: every row takes its centroid's lock on the shared
+        # structure, contending with ~ (T-1)/k peers, then adds d
+        # elements.
+        contenders = 1 + (t - 1) / k
+        lock = cm.lock_ns + cm.lock_contention_ns * (contenders - 1)
+        phase2 = rows_per_thread * (lock + d * cm.merge_elem_ns) * smt
+        # Two global barriers instead of ||Lloyd's one.
+        sim_ns = phase1 + phase2 + 2 * cm.barrier_ns(t)
+
+        records.append(
+            IterationRecord(
+                iteration=it,
+                sim_ns=sim_ns,
+                n_changed=n_changed,
+                dist_computations=n * k,
+            )
+        )
+        motion = np.sqrt(((centroids - prev) ** 2).sum(axis=1))
+        if crit.converged(n, n_changed, motion):
+            converged = True
+            break
+
+    dist = rows_to_centroids(x, centroids, assign)
+    return RunResult(
+        algorithm="naive-parallel-lloyd",
+        centroids=centroids,
+        assignment=assign,
+        iterations=len(records),
+        converged=converged,
+        inertia=float((dist**2).sum()),
+        records=records,
+        params={"n": n, "d": d, "k": k, "T": t},
+    )

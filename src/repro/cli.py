@@ -1,0 +1,274 @@
+"""Command-line interface: ``repro-kmeans``.
+
+Mirrors the knor binaries' usage: generate datasets in the binary
+matrix layout, inspect them, and run the three modules against them.
+
+Examples
+--------
+Generate a scaled Friendster-8 and cluster it in memory::
+
+    repro-kmeans gen --dataset friendster-8 --n 65536 -o fr8.knor
+    repro-kmeans knori fr8.knor -k 10 --threads 48
+
+Semi-external run with checkpointing::
+
+    repro-kmeans knors fr8.knor -k 10 --checkpoint-dir ckpt/
+
+Distributed run on a simulated 8-machine cluster::
+
+    repro-kmeans knord fr8.knor -k 10 --machines 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import ConvergenceCriteria, knord, knori, knors
+from repro.data import (
+    DATASETS,
+    MatrixFile,
+    load_dataset,
+    write_matrix,
+)
+from repro.errors import KnorError
+from repro.metrics import RunResult
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("matrix", help="input .knor matrix file")
+    parser.add_argument("-k", type=int, required=True,
+                        help="number of clusters")
+    parser.add_argument(
+        "--pruning", choices=["mti", "elkan", "none"], default="mti",
+        help="pruning mode (default: mti; 'none' = the paper's "
+        "minus variants)",
+    )
+    parser.add_argument("--init", default="random",
+                        help="random|forgy|kmeans++|kmeans|| "
+                        "(default: random)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-iters", type=int, default=100)
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write centroids/assignment to this .npz path",
+    )
+    parser.add_argument(
+        "--quality", action="store_true",
+        help="also report silhouette and Davies-Bouldin indices",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="write the full run record (timings, counters) as JSON",
+    )
+
+
+def _pruning(value: str) -> str | None:
+    return None if value == "none" else value
+
+
+def _finish(
+    result: RunResult,
+    out: Path | None,
+    *,
+    quality_data: np.ndarray | None = None,
+    json_path: Path | None = None,
+) -> None:
+    print(result.summary())
+    sizes = result.cluster_sizes
+    print(f"cluster sizes: min={sizes.min()} max={sizes.max()} "
+          f"nonempty={int((sizes > 0).sum())}/{sizes.shape[0]}")
+    if quality_data is not None:
+        from repro.metrics import (
+            davies_bouldin_index,
+            silhouette_score,
+        )
+
+        sil = silhouette_score(quality_data, result.assignment)
+        db = davies_bouldin_index(quality_data, result.assignment)
+        print(f"quality: silhouette={sil:.3f} davies-bouldin={db:.3f}")
+    if json_path is not None:
+        from repro.metrics import write_json
+
+        write_json(json_path, result)
+        print(f"wrote {json_path}")
+    if out is not None:
+        np.savez(
+            out,
+            centroids=result.centroids,
+            assignment=result.assignment,
+            inertia=result.inertia,
+        )
+        print(f"wrote {out}")
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    """Generate a registry dataset into a .knor file."""
+    x = load_dataset(args.dataset, n=args.n)
+    path = write_matrix(args.output, x)
+    print(
+        f"wrote {args.dataset} (n={x.shape[0]}, d={x.shape[1]}, "
+        f"{path.stat().st_size / 1e6:.1f} MB) to {path}"
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print a .knor file's header."""
+    mf = MatrixFile(args.matrix)
+    print(f"{args.matrix}: n={mf.n} d={mf.d} dtype={mf.dtype} "
+          f"row_bytes={mf.row_bytes}")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Convert a CSV/NPY matrix into the knor layout."""
+    from repro.data import convert_to_knor
+
+    path = convert_to_knor(
+        args.src, args.output, fmt=args.format,
+        delimiter=args.delimiter, skip_header=args.skip_header,
+    )
+    mf = MatrixFile(path)
+    print(f"wrote {path}: n={mf.n} d={mf.d}")
+    return 0
+
+
+def cmd_knori(args: argparse.Namespace) -> int:
+    """Run in-memory clustering on a .knor matrix."""
+    x = MatrixFile(args.matrix).read_rows(None)
+    result = knori(
+        x, args.k,
+        pruning=_pruning(args.pruning),
+        n_threads=args.threads,
+        scheduler=args.scheduler,
+        init=args.init, seed=args.seed,
+        criteria=ConvergenceCriteria(max_iters=args.max_iters),
+    )
+    _finish(result, args.out,
+            quality_data=x if args.quality else None,
+            json_path=args.json)
+    return 0
+
+
+def cmd_knors(args: argparse.Namespace) -> int:
+    """Run semi-external clustering on a .knor matrix."""
+    result = knors(
+        args.matrix, args.k,
+        pruning=_pruning(args.pruning),
+        row_cache_bytes=args.row_cache_bytes,
+        page_cache_bytes=args.page_cache_bytes,
+        cache_update_interval=args.cache_interval,
+        init=args.init, seed=args.seed,
+        criteria=ConvergenceCriteria(max_iters=args.max_iters),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        resume=args.resume,
+    )
+    qd = (
+        MatrixFile(args.matrix).read_rows(None) if args.quality else None
+    )
+    _finish(result, args.out, quality_data=qd, json_path=args.json)
+    print(
+        f"I/O: requested {result.total_bytes_requested / 1e6:.1f} MB, "
+        f"read {result.total_bytes_read / 1e6:.1f} MB from SSD"
+    )
+    return 0
+
+
+def cmd_knord(args: argparse.Namespace) -> int:
+    """Run distributed clustering on a .knor matrix."""
+    if args.pruning == "elkan":
+        raise KnorError("knord supports --pruning mti|none")
+    x = MatrixFile(args.matrix).read_rows(None)
+    result = knord(
+        x, args.k,
+        n_machines=args.machines,
+        pruning=_pruning(args.pruning),
+        init=args.init, seed=args.seed,
+        criteria=ConvergenceCriteria(max_iters=args.max_iters),
+    )
+    _finish(result, args.out,
+            quality_data=x if args.quality else None,
+            json_path=args.json)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-kmeans argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-kmeans",
+        description="knor-repro: NUMA-optimized k-means "
+        "(in-memory / semi-external / distributed, simulated hardware)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate a Table 2 dataset")
+    gen.add_argument("--dataset", choices=sorted(DATASETS),
+                     required=True)
+    gen.add_argument("--n", type=int, default=None,
+                     help="rows (default: registry's scaled default)")
+    gen.add_argument("-o", "--output", type=Path, required=True)
+    gen.set_defaults(func=cmd_gen)
+
+    info = sub.add_parser("info", help="inspect a .knor matrix header")
+    info.add_argument("matrix")
+    info.set_defaults(func=cmd_info)
+
+    conv = sub.add_parser(
+        "convert", help="convert a CSV/NPY matrix to .knor"
+    )
+    conv.add_argument("src")
+    conv.add_argument("-o", "--output", type=Path, required=True)
+    conv.add_argument("--format", choices=["csv", "npy"], default=None,
+                      help="inferred from suffix when omitted")
+    conv.add_argument("--delimiter", default=",")
+    conv.add_argument("--skip-header", type=int, default=0)
+    conv.set_defaults(func=cmd_convert)
+
+    im = sub.add_parser("knori", help="in-memory clustering")
+    _add_common(im)
+    im.add_argument("--threads", type=int, default=None)
+    im.add_argument(
+        "--scheduler", choices=["numa_aware", "fifo", "static"],
+        default="numa_aware",
+    )
+    im.set_defaults(func=cmd_knori)
+
+    sem = sub.add_parser("knors", help="semi-external-memory clustering")
+    _add_common(sem)
+    sem.add_argument("--row-cache-bytes", type=int, default=None)
+    sem.add_argument("--page-cache-bytes", type=int, default=None)
+    sem.add_argument("--cache-interval", type=int, default=5)
+    sem.add_argument("--checkpoint-dir", type=Path, default=None)
+    sem.add_argument("--checkpoint-interval", type=int, default=10)
+    sem.add_argument("--resume", action="store_true")
+    sem.set_defaults(func=cmd_knors)
+
+    dist = sub.add_parser("knord", help="distributed clustering")
+    _add_common(dist)
+    dist.add_argument("--machines", type=int, default=4)
+    dist.set_defaults(func=cmd_knord)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KnorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

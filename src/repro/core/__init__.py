@@ -1,0 +1,70 @@
+"""k-means core: the paper's algorithms with exact numerics.
+
+Everything in this package is *real* computation on NumPy arrays --
+assignments, centroids, pruning decisions and their counts are the
+genuine outputs of the genuine algorithms. The simulated-hardware layer
+consumes the per-row statistics these kernels emit; it never influences
+the math.
+
+Contents
+--------
+* :mod:`repro.core.distance` -- Euclidean distance kernels.
+* :mod:`repro.core.init` -- centroid initialization (random, Forgy,
+  k-means++, scalable k-means||).
+* :mod:`repro.core.centroids` -- per-thread accumulators and the
+  funnel-style parallel merge of Algorithm 1.
+* :mod:`repro.core.lloyd` -- serial Lloyd's (the reference).
+* :mod:`repro.core.pll` -- one super-phase of ||Lloyd's (Algorithm 1),
+  unpruned.
+* :mod:`repro.core.mti` -- Minimal Triangle Inequality pruning
+  (Section 4): O(n) upper bounds + O(k^2) centroid distances.
+* :mod:`repro.core.elkan` -- full Elkan TI with the O(nk) lower-bound
+  matrix (the baseline MTI is measured against).
+* :mod:`repro.core.convergence` -- stopping criteria.
+"""
+
+from repro.core.distance import (
+    euclidean,
+    pairwise_centroid_distances,
+    nearest_centroid,
+)
+from repro.core.init import init_centroids
+from repro.core.centroids import cluster_sums, funnel_merge, PartialCentroids
+from repro.core.lloyd import lloyd, LloydResult
+from repro.core.pll import full_iteration, FullIterationResult
+from repro.core.mti import (
+    MtiState,
+    mti_init,
+    mti_iteration,
+    MtiIterationResult,
+)
+from repro.core.elkan import (
+    ElkanState,
+    elkan_init,
+    elkan_iteration,
+    ElkanIterationResult,
+)
+from repro.core.convergence import ConvergenceCriteria
+
+__all__ = [
+    "euclidean",
+    "pairwise_centroid_distances",
+    "nearest_centroid",
+    "init_centroids",
+    "cluster_sums",
+    "funnel_merge",
+    "PartialCentroids",
+    "lloyd",
+    "LloydResult",
+    "full_iteration",
+    "FullIterationResult",
+    "MtiState",
+    "mti_init",
+    "mti_iteration",
+    "MtiIterationResult",
+    "ElkanState",
+    "elkan_init",
+    "elkan_iteration",
+    "ElkanIterationResult",
+    "ConvergenceCriteria",
+]

@@ -1,0 +1,115 @@
+"""Centroid accumulation: per-thread partials and the funnel merge.
+
+Algorithm 1 gives every thread a private copy of the next iteration's
+centroids (running sums + member counts) and merges them with a
+"parallel funnelsort-like reduction" after the single global barrier.
+:class:`PartialCentroids` is one thread's private structure;
+:func:`funnel_merge` is the pairwise reduction tree. The tree is
+deterministic (always merge neighbour pairs in index order) so results
+are bit-reproducible for a fixed thread count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass
+class PartialCentroids:
+    """One thread's private centroid accumulator (``ptC`` in Alg. 1)."""
+
+    sums: np.ndarray  # (k, d) float64 running totals
+    counts: np.ndarray  # (k,) int64 membership counts
+
+    @classmethod
+    def zeros(cls, k: int, d: int) -> "PartialCentroids":
+        return cls(
+            sums=np.zeros((k, d), dtype=np.float64),
+            counts=np.zeros(k, dtype=np.int64),
+        )
+
+    def accumulate(self, x: np.ndarray, assign: np.ndarray) -> None:
+        """Add a block of rows to this thread's partial sums.
+
+        Line 13 of Algorithm 1: ``ptC[tid][c_nearest] += v``, done
+        blockwise with bincount for speed.
+        """
+        add_block(self.sums, self.counts, x, assign)
+
+    def merge_from(self, other: "PartialCentroids") -> None:
+        """Fold another partial into this one (one funnel step)."""
+        if self.sums.shape != other.sums.shape:
+            raise DatasetError(
+                f"partial shape mismatch: {self.sums.shape} vs "
+                f"{other.sums.shape}"
+            )
+        self.sums += other.sums
+        self.counts += other.counts
+
+    def finalize(self, previous: np.ndarray) -> np.ndarray:
+        """Means of members; empty clusters keep their previous centroid.
+
+        knor (like most robust implementations) leaves a centroid in
+        place when no point chose it, rather than producing NaNs.
+        """
+        k = self.counts.shape[0]
+        out = previous.copy()
+        nonzero = self.counts > 0
+        out[nonzero] = self.sums[nonzero] / self.counts[nonzero, None]
+        if out.shape[0] != k:
+            raise DatasetError("previous centroids shape mismatch")
+        return out
+
+
+def add_block(
+    sums: np.ndarray,
+    counts: np.ndarray,
+    x: np.ndarray,
+    assign: np.ndarray,
+) -> None:
+    """Accumulate rows of ``x`` into ``sums``/``counts`` by assignment.
+
+    Implemented with one ``bincount`` per dimension: O(nd) with small
+    constants, deterministic summation order.
+    """
+    k, d = sums.shape
+    if x.shape[0] != assign.shape[0]:
+        raise DatasetError("x and assign length mismatch")
+    counts += np.bincount(assign, minlength=k).astype(np.int64)
+    for dim in range(d):
+        sums[:, dim] += np.bincount(assign, weights=x[:, dim], minlength=k)
+
+
+def cluster_sums(
+    x: np.ndarray, assign: np.ndarray, k: int
+) -> PartialCentroids:
+    """Sums and counts over the whole dataset in one shot."""
+    partial = PartialCentroids.zeros(k, x.shape[1])
+    partial.accumulate(x, assign)
+    return partial
+
+
+def funnel_merge(partials: list[PartialCentroids]) -> PartialCentroids:
+    """Pairwise reduction tree over per-thread partials.
+
+    ``MERGEPTSTRUCTS`` of Algorithm 1: while more than one structure
+    remains, merge them in parallel pairs. The simulated cost of this
+    tree is charged by :meth:`repro.simhw.CostModel.reduction_ns`; here
+    we perform the arithmetic itself.
+    """
+    if not partials:
+        raise DatasetError("funnel_merge needs at least one partial")
+    level = list(partials)
+    while len(level) > 1:
+        nxt: list[PartialCentroids] = []
+        for i in range(0, len(level) - 1, 2):
+            level[i].merge_from(level[i + 1])
+            nxt.append(level[i])
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

@@ -1,0 +1,62 @@
+"""Stopping criteria for iterative k-means runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ConvergenceCriteria:
+    """When to stop iterating.
+
+    The paper's runs stop when "the centroids no longer change from one
+    iteration to the next" (equivalently: no point changes membership),
+    bounded by a maximum iteration count for the benchmark sweeps.
+
+    Parameters
+    ----------
+    max_iters:
+        Hard iteration cap (``j`` in the paper's nomenclature).
+    tol_changed_frac:
+        Converged when the fraction of points that changed membership
+        in an iteration is <= this value (0.0 = exact convergence).
+    tol_centroid_motion:
+        Additionally converged when the largest centroid displacement
+        falls below this threshold (0.0 disables the check-by-motion).
+    """
+
+    max_iters: int = 100
+    tol_changed_frac: float = 0.0
+    tol_centroid_motion: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_iters < 1:
+            raise ConfigError(f"max_iters must be >= 1, got {self.max_iters}")
+        if not 0.0 <= self.tol_changed_frac < 1.0:
+            raise ConfigError(
+                f"tol_changed_frac must be in [0, 1), got "
+                f"{self.tol_changed_frac}"
+            )
+        if self.tol_centroid_motion < 0:
+            raise ConfigError("tol_centroid_motion must be >= 0")
+
+    def converged(
+        self,
+        n: int,
+        n_changed: int,
+        motion: np.ndarray | None = None,
+    ) -> bool:
+        """Did this iteration reach the stopping condition?"""
+        if n_changed <= self.tol_changed_frac * n:
+            return True
+        if (
+            self.tol_centroid_motion > 0
+            and motion is not None
+            and float(np.max(motion)) <= self.tol_centroid_motion
+        ):
+            return True
+        return False

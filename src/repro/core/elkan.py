@@ -1,0 +1,210 @@
+"""Full Elkan triangle-inequality k-means (ICML 2003).
+
+The baseline MTI is measured against: Elkan's algorithm keeps, in
+addition to the per-point upper bound, a dense **lower-bound matrix**
+``lb`` of shape (n, k) -- a lower bound on the distance from every
+point to every centroid. The extra bounds prune more distance
+computations than MTI, at an O(nk) memory cost that the paper's whole
+argument (Table 1, Section 4) is about avoiding: at n = 1B, k = 100
+the matrix alone is 800 GB.
+
+The centroid loop is evaluated column-by-column with the upper bound
+updating as assignments improve, matching Elkan's sequential
+formulation, so pruning counts are faithful rather than a vectorized
+over-approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distance import (
+    euclidean,
+    half_min_inter_centroid,
+    pairwise_centroid_distances,
+    rows_to_centroids,
+)
+from repro.errors import DatasetError
+
+
+@dataclass
+class ElkanState:
+    """Persistent O(nk) state across iterations."""
+
+    assignment: np.ndarray  # (n,) int32
+    ub: np.ndarray  # (n,) float64
+    lb: np.ndarray  # (n, k) float64 lower bounds
+    sums: np.ndarray  # (k, d)
+    counts: np.ndarray  # (k,)
+
+    @property
+    def n(self) -> int:
+        return self.assignment.shape[0]
+
+
+@dataclass
+class ElkanIterationResult:
+    """Outcome and pruning statistics of one Elkan iteration."""
+
+    new_centroids: np.ndarray
+    n_changed: int
+    dist_per_row: np.ndarray
+    needs_data: np.ndarray
+    motion: np.ndarray
+    clause1_rows: int = 0
+    pruned_pairs: int = 0
+    tightened_rows: int = 0
+    computed: int = 0
+
+
+def elkan_init(
+    x: np.ndarray, centroids: np.ndarray
+) -> tuple[ElkanState, ElkanIterationResult]:
+    """Iteration 0: full distance matrix seeds ub, lb and assignments."""
+    x = np.asarray(x, dtype=np.float64)
+    k, d = centroids.shape
+    n = x.shape[0]
+    dist = euclidean(x, centroids)
+    assign = np.argmin(dist, axis=1).astype(np.int32)
+    ub = dist[np.arange(n), assign].copy()
+    sums = np.zeros((k, d))
+    for dim in range(d):
+        sums[:, dim] = np.bincount(assign, weights=x[:, dim], minlength=k)
+    counts = np.bincount(assign, minlength=k).astype(np.int64)
+    state = ElkanState(
+        assignment=assign, ub=ub, lb=dist, sums=sums, counts=counts
+    )
+    new_centroids = centroids.copy()
+    nonzero = counts > 0
+    new_centroids[nonzero] = sums[nonzero] / counts[nonzero, None]
+    result = ElkanIterationResult(
+        new_centroids=new_centroids,
+        n_changed=n,
+        dist_per_row=np.full(n, k, dtype=np.int32),
+        needs_data=np.ones(n, dtype=bool),
+        motion=np.zeros(k),
+        computed=n * k,
+    )
+    return state, result
+
+
+def elkan_iteration(
+    x: np.ndarray,
+    centroids: np.ndarray,
+    prev_centroids: np.ndarray,
+    state: ElkanState,
+) -> ElkanIterationResult:
+    """One Elkan-pruned iteration; mutates ``state`` in place."""
+    x = np.asarray(x, dtype=np.float64)
+    n, d = x.shape
+    k = centroids.shape[0]
+    if state.n != n:
+        raise DatasetError(f"state tracks {state.n} rows but data has {n}")
+
+    motion = rows_to_centroids(centroids, prev_centroids, np.arange(k))
+    state.ub += motion[state.assignment]
+    np.maximum(state.lb - motion[None, :], 0.0, out=state.lb)
+
+    cc = pairwise_centroid_distances(centroids)
+    s = half_min_inter_centroid(cc)
+
+    assign = state.assignment
+    old_assign = assign.copy()
+
+    clause1 = state.ub <= s[assign]
+    active_idx = np.nonzero(~clause1)[0]
+
+    dist_per_row = np.zeros(n, dtype=np.int32)
+    needs_data = np.zeros(n, dtype=bool)
+    needs_data[active_idx] = True
+
+    pruned_pairs = 0
+    computed = 0
+    n_tightened = 0
+
+    if active_idx.size:
+        m = active_idx.size
+        xa = x[active_idx]
+        ba = assign[active_idx].copy()
+        ua = state.ub[active_idx].copy()
+        lba = state.lb[active_idx]
+        tight = np.zeros(m, dtype=bool)  # is ua the exact distance?
+
+        for c in range(k):
+            half = 0.5 * cc[ba, c]
+            cand = (
+                (ba != c)
+                & (ua > lba[:, c])
+                & (ua > half)
+            )
+            if not cand.any():
+                pruned_pairs += int((ba != c).sum())
+                continue
+            pruned_pairs += int((ba != c).sum() - cand.sum())
+            # Tighten u for candidate rows not yet tightened.
+            need_tight = cand & ~tight
+            nt = np.nonzero(need_tight)[0]
+            if nt.size:
+                ua[nt] = rows_to_centroids(xa[nt], centroids, ba[nt])
+                lba[nt, ba[nt]] = ua[nt]
+                tight[nt] = True
+                n_tightened += int(nt.size)
+                computed += int(nt.size)
+                dist_per_row[active_idx[nt]] += 1
+            # Re-test with the tightened bound.
+            cand &= (ua > lba[:, c]) & (ua > 0.5 * cc[ba, c])
+            ci = np.nonzero(cand)[0]
+            if ci.size == 0:
+                continue
+            dist_c = rows_to_centroids(
+                xa[ci], centroids, np.full(ci.size, c)
+            )
+            computed += int(ci.size)
+            dist_per_row[active_idx[ci]] += 1
+            lba[ci, c] = dist_c
+            better = dist_c < ua[ci]
+            bi = ci[better]
+            if bi.size:
+                ba[bi] = c
+                ua[bi] = dist_c[better]
+                # The new assignment's distance is exact.
+                tight[bi] = True
+
+        assign[active_idx] = ba
+        state.ub[active_idx] = ua
+        # Fancy indexing copied the rows; write the updated bounds back.
+        state.lb[active_idx] = lba
+
+    changed = np.nonzero(assign != old_assign)[0]
+    n_changed = int(changed.size)
+    if n_changed:
+        xc = x[changed]
+        frm = old_assign[changed]
+        to = assign[changed]
+        for dim in range(d):
+            state.sums[:, dim] -= np.bincount(
+                frm, weights=xc[:, dim], minlength=k
+            )
+            state.sums[:, dim] += np.bincount(
+                to, weights=xc[:, dim], minlength=k
+            )
+        state.counts -= np.bincount(frm, minlength=k)
+        state.counts += np.bincount(to, minlength=k)
+
+    new_centroids = centroids.copy()
+    nonzero = state.counts > 0
+    new_centroids[nonzero] = state.sums[nonzero] / state.counts[nonzero, None]
+
+    return ElkanIterationResult(
+        new_centroids=new_centroids,
+        n_changed=n_changed,
+        dist_per_row=dist_per_row,
+        needs_data=needs_data,
+        motion=motion,
+        clause1_rows=int(clause1.sum()),
+        pruned_pairs=pruned_pairs,
+        tightened_rows=n_tightened,
+        computed=computed,
+    )

@@ -1,0 +1,94 @@
+"""One unpruned super-phase of ||Lloyd's (Algorithm 1).
+
+The super-phase merges Lloyd's two phases: in a single pass each point
+finds its nearest centroid *and* is accumulated into the executing
+thread's private centroid copy. This module performs the exact numerics
+of that pass for the whole dataset and reports the per-row statistics
+the simulated-hardware engine needs (every row costs exactly ``k``
+distance computations when pruning is off).
+
+Per-thread accumulation is reproduced faithfully: the dataset is split
+into the same per-thread partitions the engine schedules, each
+partition accumulates into its own :class:`PartialCentroids`, and the
+partials go through the funnel merge -- so the floating-point summation
+order matches the parallel algorithm, not a single global sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.centroids import PartialCentroids, funnel_merge
+from repro.core.distance import nearest_centroid
+from repro.errors import DatasetError
+
+
+@dataclass
+class FullIterationResult:
+    """Exact outcome of one unpruned super-phase."""
+
+    assignment: np.ndarray  # (n,) int32
+    mindist: np.ndarray  # (n,) float64: distance to assigned centroid
+    new_centroids: np.ndarray  # (k, d)
+    n_changed: int
+    dist_per_row: np.ndarray  # (n,) int32 -- always k here
+    needs_data: np.ndarray  # (n,) bool -- always True here
+
+
+def full_iteration(
+    x: np.ndarray,
+    centroids: np.ndarray,
+    prev_assignment: np.ndarray | None = None,
+    *,
+    n_partitions: int = 1,
+) -> FullIterationResult:
+    """Run one super-phase with pruning disabled.
+
+    Parameters
+    ----------
+    x, centroids:
+        Data (n, d) and current centroids (k, d).
+    prev_assignment:
+        Last iteration's membership, for the changed-count; ``None``
+        treats every point as changed (iteration 0).
+    n_partitions:
+        Number of per-thread partials to accumulate before the funnel
+        merge (``T`` in Algorithm 1). Pure-numerics callers can leave
+        it at 1; drivers pass the machine's thread count.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    k, d = centroids.shape
+    n = x.shape[0]
+    if n_partitions < 1:
+        raise DatasetError(f"n_partitions must be >= 1, got {n_partitions}")
+
+    assign, mindist = nearest_centroid(x, centroids)
+
+    # Per-thread accumulation, partitioned exactly as Figure 1 carves
+    # the dataset, then the funnel merge of MERGEPTSTRUCTS.
+    bounds = np.linspace(0, n, n_partitions + 1, dtype=int)
+    partials = []
+    for t in range(n_partitions):
+        lo, hi = bounds[t], bounds[t + 1]
+        p = PartialCentroids.zeros(k, d)
+        if hi > lo:
+            p.accumulate(x[lo:hi], assign[lo:hi])
+        partials.append(p)
+    merged = funnel_merge(partials)
+    new_centroids = merged.finalize(centroids)
+
+    if prev_assignment is None:
+        n_changed = n
+    else:
+        n_changed = int(np.count_nonzero(assign != prev_assignment))
+
+    return FullIterationResult(
+        assignment=assign,
+        mindist=mindist,
+        new_centroids=new_centroids,
+        n_changed=n_changed,
+        dist_per_row=np.full(n, k, dtype=np.int32),
+        needs_data=np.ones(n, dtype=bool),
+    )

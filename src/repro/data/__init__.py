@@ -1,0 +1,39 @@
+"""Datasets: synthetic generators mirroring Table 2, scaled.
+
+The paper evaluates on (Table 2):
+
+* Friendster top-8 / top-32 eigenvectors -- spectral embeddings of a
+  power-law social graph: real-world data with natural clusters, where
+  MTI pruning and the row cache shine.
+* RM_856M / RM_1B -- random multivariate (Gaussian mixture) data.
+* RU_2B -- random univariate-per-dimension (uniform) data, the worst
+  case for pruning.
+
+We cannot ship the 66M-vertex Friendster graph, so
+:func:`repro.data.friendster.friendster_like` builds the same *kind* of
+object at reduced n: a synthetic power-law graph whose normalized
+adjacency eigenvectors form the embedding. The RM/RU generators are
+distribution-identical to the paper's, at whatever n the caller asks.
+"""
+
+from repro.data.synthetic import rand_multivariate, rand_univariate
+from repro.data.friendster import friendster_like, king_like
+from repro.data.registry import DATASETS, DatasetSpec, load_dataset
+from repro.data.matrixfile import write_matrix, read_matrix, MatrixFile
+from repro.data.loader import convert_to_knor, load_csv, load_npy
+
+__all__ = [
+    "convert_to_knor",
+    "load_csv",
+    "load_npy",
+    "rand_multivariate",
+    "rand_univariate",
+    "friendster_like",
+    "king_like",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "write_matrix",
+    "read_matrix",
+    "MatrixFile",
+]

@@ -1,0 +1,93 @@
+"""Import external data into the knor binary layout.
+
+A downstream user's data rarely starts life as a ``.knor`` file; these
+helpers take the two formats ubiquitous in practice (delimited text
+and NumPy ``.npy``) and convert them, validating shape and dtype on
+the way. Conversion goes through :func:`repro.data.write_matrix`, so
+everything downstream (knors, the CLI, SAFS geometry) sees one format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.matrixfile import write_matrix
+from repro.errors import DatasetError
+
+
+def load_csv(
+    path: str | Path,
+    *,
+    delimiter: str = ",",
+    skip_header: int = 0,
+) -> np.ndarray:
+    """Load a delimited text matrix as float64 rows.
+
+    Raises :class:`DatasetError` on ragged rows or non-numeric cells
+    rather than propagating numpy's looser behaviours.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"{path}: no such file")
+    try:
+        x = np.genfromtxt(
+            path, delimiter=delimiter, skip_header=skip_header,
+            dtype=np.float64,
+        )
+    except ValueError as exc:
+        raise DatasetError(f"{path}: malformed text matrix: {exc}") from exc
+    if x.ndim == 1:
+        x = x.reshape(-1, 1) if x.size else x.reshape(0, 0)
+    if x.ndim != 2 or x.size == 0:
+        raise DatasetError(f"{path}: expected a non-empty 2-D matrix")
+    if not np.isfinite(x).all():
+        raise DatasetError(
+            f"{path}: contains NaN/inf (ragged rows or non-numeric "
+            "cells?)"
+        )
+    return np.ascontiguousarray(x)
+
+
+def load_npy(path: str | Path) -> np.ndarray:
+    """Load a ``.npy`` matrix, coercing to float64 rows."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"{path}: no such file")
+    try:
+        x = np.load(path, allow_pickle=False)
+    except ValueError as exc:
+        raise DatasetError(f"{path}: not a loadable .npy: {exc}") from exc
+    if x.ndim != 2:
+        raise DatasetError(
+            f"{path}: expected a 2-D array, got shape {x.shape}"
+        )
+    if not np.issubdtype(x.dtype, np.number):
+        raise DatasetError(f"{path}: non-numeric dtype {x.dtype}")
+    return np.ascontiguousarray(x, dtype=np.float64)
+
+
+def convert_to_knor(
+    src: str | Path,
+    dst: str | Path,
+    *,
+    fmt: str | None = None,
+    delimiter: str = ",",
+    skip_header: int = 0,
+) -> Path:
+    """Convert a CSV/NPY matrix to the knor binary layout.
+
+    ``fmt`` is inferred from the suffix when None (``.npy`` vs
+    anything else = delimited text).
+    """
+    src = Path(src)
+    if fmt is None:
+        fmt = "npy" if src.suffix == ".npy" else "csv"
+    if fmt == "npy":
+        x = load_npy(src)
+    elif fmt == "csv":
+        x = load_csv(src, delimiter=delimiter, skip_header=skip_header)
+    else:
+        raise DatasetError(f"unknown format {fmt!r}; use 'csv' or 'npy'")
+    return write_matrix(dst, x)

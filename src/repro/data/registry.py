@@ -1,0 +1,123 @@
+"""Dataset registry mirroring Table 2 at reproduction scale.
+
+Each entry names a paper dataset, records the paper's (n, d) and our
+scaled default, and knows how to materialize the scaled version. Benches
+ask for datasets by paper name so EXPERIMENTS.md can map one-to-one.
+
+The scale factor defaults to ~1/1000 of the paper's n (Friendster) and
+smaller for the billion-point sets -- chosen so the full benchmark
+suite runs in minutes on one core while preserving cluster structure.
+Callers can override ``n`` for larger runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.friendster import friendster_like, king_like
+from repro.data.synthetic import rand_multivariate, rand_univariate
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table 2 row plus its scaled stand-in."""
+
+    name: str
+    paper_n: int
+    paper_d: int
+    paper_size: str
+    default_n: int
+    d: int
+    maker: Callable[[int, int], np.ndarray]
+    description: str
+
+    def load(self, n: int | None = None) -> np.ndarray:
+        """Materialize the dataset at ``n`` rows (default: scaled n)."""
+        rows = self.default_n if n is None else n
+        if rows < 16:
+            raise DatasetError(f"n must be >= 16, got {rows}")
+        return self.maker(rows, self.d)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            name="friendster-8",
+            paper_n=66_000_000,
+            paper_d=8,
+            paper_size="4GB",
+            default_n=65_536,
+            d=8,
+            maker=lambda n, d: friendster_like(n, d),
+            description="Friendster top-8 eigenvectors (scaled R-MAT "
+            "spectral embedding)",
+        ),
+        DatasetSpec(
+            name="friendster-32",
+            paper_n=66_000_000,
+            paper_d=32,
+            paper_size="16GB",
+            default_n=65_536,
+            d=32,
+            maker=lambda n, d: friendster_like(n, d),
+            description="Friendster top-32 eigenvectors (scaled R-MAT "
+            "spectral embedding)",
+        ),
+        DatasetSpec(
+            name="king",
+            paper_n=0,  # not documented in the paper text
+            paper_d=32,
+            paper_size="n/a",
+            default_n=65_536,
+            d=32,
+            maker=lambda n, d: king_like(n, d),
+            description="Stand-in for Figure 11b's 'King' dataset "
+            "(denser power-law embedding)",
+        ),
+        DatasetSpec(
+            name="rm-856m",
+            paper_n=856_000_000,
+            paper_d=16,
+            paper_size="103GB",
+            default_n=262_144,
+            d=16,
+            maker=lambda n, d: rand_multivariate(n, d, seed=856),
+            description="Rand-Multivariate RM_856M (Gaussian mixture)",
+        ),
+        DatasetSpec(
+            name="rm-1b",
+            paper_n=1_100_000_000,
+            paper_d=32,
+            paper_size="251GB",
+            default_n=262_144,
+            d=32,
+            maker=lambda n, d: rand_multivariate(n, d, seed=1100),
+            description="Rand-Multivariate RM_1B (Gaussian mixture)",
+        ),
+        DatasetSpec(
+            name="ru-2b",
+            paper_n=2_100_000_000,
+            paper_d=64,
+            paper_size="1.1TB",
+            default_n=262_144,
+            d=64,
+            maker=lambda n, d: rand_univariate(n, d, seed=2100),
+            description="Rand-Univariate RU_2B (uniform, worst case "
+            "for pruning)",
+        ),
+    ]
+}
+
+
+def load_dataset(name: str, n: int | None = None) -> np.ndarray:
+    """Load a Table 2 dataset by paper name at reproduction scale."""
+    if name not in DATASETS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASETS)}"
+        )
+    return DATASETS[name].load(n)

@@ -1,0 +1,63 @@
+"""Random dataset generators (Table 2's RM and RU families).
+
+``RM`` (Rand-Multivariate) draws each point from one of several
+multivariate Gaussians -- data with *some* cluster structure, used for
+the 100 GB+ scalability runs. ``RU`` (Rand-Univariate) draws every
+coordinate i.i.d. uniform -- the stated worst case for k-means
+convergence and for pruning, "because many data points tend to be near
+several centroids" (Section 8.8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def rand_multivariate(
+    n: int,
+    d: int,
+    *,
+    n_components: int = 16,
+    spread: float = 4.0,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Gaussian-mixture data like the paper's RM_856M / RM_1B.
+
+    Parameters
+    ----------
+    n, d:
+        Points and dimensions.
+    n_components:
+        Latent mixture components (the paper does not publish theirs;
+        16 gives moderate, non-degenerate structure).
+    spread:
+        Standard deviation of the component means around the origin --
+        relative to the unit within-component scale, this sets how
+        separable the latent clusters are.
+    scale:
+        Within-component standard deviation.
+    """
+    if n < 1 or d < 1:
+        raise DatasetError(f"n and d must be >= 1 (got n={n}, d={d})")
+    if n_components < 1:
+        raise DatasetError("n_components must be >= 1")
+    rng = np.random.default_rng(seed)
+    means = rng.normal(scale=spread, size=(n_components, d))
+    comp = rng.integers(0, n_components, size=n)
+    return means[comp] + rng.normal(scale=scale, size=(n, d))
+
+
+def rand_univariate(n: int, d: int, *, seed: int = 0) -> np.ndarray:
+    """Uniform data like the paper's RU_2B: every coordinate iid U[0,1).
+
+    No natural clusters at all -- pruning degrades gracefully and
+    convergence is slow, which is exactly why the paper uses it for
+    worst-case scalability runs.
+    """
+    if n < 1 or d < 1:
+        raise DatasetError(f"n and d must be >= 1 (got n={n}, d={d})")
+    rng = np.random.default_rng(seed)
+    return rng.random((n, d))

@@ -1,0 +1,16 @@
+"""Distributed substrate: simulated cluster, network, and collectives.
+
+knord (Section 7) layers a decentralized MPI driver over the knori
+in-memory engine: one driver process per machine, each spawning worker
+threads that keep every NUMA optimization. The substrate here mirrors
+that: a :class:`Cluster` of simulated NUMA machines joined by a
+:class:`NetworkModel` (10 GbE with placement-group latency, Section
+8.2), and a :class:`SimComm` whose collectives execute *real*
+reductions over in-process rank buffers while charging modeled time.
+"""
+
+from repro.dist.network import NetworkModel, TEN_GBE
+from repro.dist.mpi import SimComm
+from repro.dist.cluster import Cluster
+
+__all__ = ["NetworkModel", "TEN_GBE", "SimComm", "Cluster"]

@@ -1,0 +1,65 @@
+"""Cluster builder: N simulated machines plus a network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dist.mpi import SimComm
+from repro.dist.network import NetworkModel, TEN_GBE
+from repro.errors import ConfigError
+from repro.simhw import BindPolicy, CostModel, EC2_C4_8XLARGE, SimMachine
+
+
+@dataclass
+class Cluster:
+    """``n_machines`` identical simulated NUMA nodes on one network.
+
+    The paper's distributed runs use c4.8xlarge instances with at most
+    18 worker threads/processes per machine (one per physical core).
+    """
+
+    machines: list[SimMachine]
+    comm: SimComm
+    network: NetworkModel = TEN_GBE
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def total_threads(self) -> int:
+        return sum(m.n_threads for m in self.machines)
+
+    @classmethod
+    def build(
+        cls,
+        n_machines: int,
+        *,
+        cost_model: CostModel = EC2_C4_8XLARGE,
+        threads_per_machine: int | None = None,
+        bind_policy: BindPolicy = BindPolicy.NUMA_BIND,
+        network: NetworkModel = TEN_GBE,
+    ) -> "Cluster":
+        """Construct a homogeneous cluster.
+
+        ``threads_per_machine`` defaults to the machine's physical
+        cores (the paper's "no more than 18 independent processes per
+        machine" rule).
+        """
+        if n_machines < 1:
+            raise ConfigError(
+                f"n_machines must be >= 1, got {n_machines}"
+            )
+        machines = [
+            SimMachine.build(
+                cost_model,
+                n_threads=threads_per_machine,
+                bind_policy=bind_policy,
+            )
+            for _ in range(n_machines)
+        ]
+        return cls(
+            machines=machines,
+            comm=SimComm(n_machines, network),
+            network=network,
+        )

@@ -1,0 +1,118 @@
+"""Simulated MPI communicator.
+
+Collectives execute the *real* arithmetic over in-process per-rank
+buffers (an allreduce really sums all rank contributions, in a
+deterministic binary-tree order) while charging alpha-beta modeled
+time. Two collective algorithms are modeled, and each call charges the
+cheaper one, as a tuned MPI library would select:
+
+* binomial tree reduce + broadcast: ``2 * ceil(log2 P)`` rounds of one
+  full-buffer message;
+* ring reduce-scatter + allgather: ``2 * (P - 1)`` rounds of a
+  ``1/P``-sized message (bandwidth-optimal for large buffers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dist.network import NetworkModel, TEN_GBE
+from repro.errors import CommunicatorError
+
+
+@dataclass
+class CollectiveResult:
+    """Value plus modeled time of one collective call."""
+
+    value: np.ndarray
+    sim_ns: float
+    bytes_on_wire: int
+
+
+class SimComm:
+    """A communicator over ``n_ranks`` simulated processes."""
+
+    def __init__(
+        self, n_ranks: int, network: NetworkModel = TEN_GBE
+    ) -> None:
+        if n_ranks < 1:
+            raise CommunicatorError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.network = network
+
+    # -- timing models ------------------------------------------------
+
+    def _tree_ns(self, nbytes: int) -> float:
+        rounds = math.ceil(math.log2(self.n_ranks))
+        return 2 * rounds * self.network.message_ns(nbytes)
+
+    def _ring_ns(self, nbytes: int) -> float:
+        p = self.n_ranks
+        chunk = math.ceil(nbytes / p)
+        return 2 * (p - 1) * self.network.message_ns(chunk)
+
+    def allreduce_ns(self, nbytes: int) -> float:
+        """Modeled time of an allreduce over ``nbytes`` per rank."""
+        if self.n_ranks == 1:
+            return 0.0
+        return min(self._tree_ns(nbytes), self._ring_ns(nbytes))
+
+    def bcast_ns(self, nbytes: int) -> float:
+        """Modeled time of a broadcast from one rank."""
+        if self.n_ranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(self.n_ranks))
+        return rounds * self.network.message_ns(nbytes)
+
+    def gather_ns(self, nbytes_per_rank: int) -> float:
+        """Modeled time of gathering ``nbytes_per_rank`` to a root.
+
+        Serialized arrivals at the root link -- this is the
+        master-bottleneck pattern the MLlib comparator pays for.
+        """
+        if self.n_ranks == 1:
+            return 0.0
+        return sum(
+            self.network.message_ns(nbytes_per_rank)
+            for _ in range(self.n_ranks - 1)
+        )
+
+    # -- collectives with real arithmetic ------------------------------
+
+    def allreduce_sum(
+        self, contributions: list[np.ndarray]
+    ) -> CollectiveResult:
+        """Sum one array per rank; every rank gets the total.
+
+        The reduction tree is the deterministic binary pairing used by
+        the in-node funnel merge, so distributed results match a
+        single-machine run's summation order for P a power of two.
+        """
+        if len(contributions) != self.n_ranks:
+            raise CommunicatorError(
+                f"expected {self.n_ranks} contributions, got "
+                f"{len(contributions)}"
+            )
+        shapes = {a.shape for a in contributions}
+        if len(shapes) != 1:
+            raise CommunicatorError(
+                f"contribution shapes differ: {sorted(map(str, shapes))}"
+            )
+        level = [np.array(a, dtype=np.float64, copy=True) for a in contributions]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(level[i] + level[i + 1])
+            if len(level) % 2 == 1:
+                nxt.append(level[-1])
+            level = nxt
+        total = level[0]
+        nbytes = total.nbytes
+        return CollectiveResult(
+            value=total,
+            sim_ns=self.allreduce_ns(nbytes),
+            bytes_on_wire=nbytes * max(0, self.n_ranks - 1),
+        )

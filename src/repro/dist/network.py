@@ -1,0 +1,42 @@
+"""Cluster interconnect model.
+
+The paper's EC2 cluster sits in one availability zone, subnet and
+placement group on 10 Gigabit Ethernet (Section 8.2). The standard
+alpha-beta model covers everything the experiments need: a message of
+``b`` bytes costs ``alpha + b * beta`` where alpha is the per-message
+latency and beta the inverse bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+_NS_PER_S = 1e9
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta point-to-point cost model."""
+
+    #: Per-message latency, nanoseconds (kernel + NIC + switch).
+    latency_ns: float = 40_000.0
+    #: Link bandwidth, bytes/second.
+    bandwidth: float = 1.25e9  # 10 GbE
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0:
+            raise ConfigError("latency_ns must be >= 0")
+        if self.bandwidth <= 0:
+            raise ConfigError("bandwidth must be > 0")
+
+    def message_ns(self, nbytes: int) -> float:
+        """Cost of one point-to-point message of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigError(f"negative message size {nbytes}")
+        return self.latency_ns + nbytes / self.bandwidth * _NS_PER_S
+
+
+#: EC2 placement-group 10 GbE (Section 8.2).
+TEN_GBE = NetworkModel()

@@ -1,0 +1,25 @@
+"""Public drivers: knori (in-memory), knors (semi-external), knord
+(distributed).
+
+These are the library's main entry points, named after the paper's
+modules. Each runs the exact k-means numerics and replays the parallel
+execution on the simulated hardware substrate, returning a
+:class:`repro.metrics.RunResult` whose clustering outputs are real and
+whose timing is simulated.
+
+Naming follows the paper's evaluation section:
+
+* ``knori(x, k)`` -- in-memory, MTI pruning on (the paper's knori).
+* ``knori(x, k, pruning=None)`` -- knori-.
+* ``knors(path, k)`` -- semi-external memory with MTI + row cache.
+* ``knors(path, k, pruning=None)`` -- knors-;
+  ``knors(path, k, pruning=None, row_cache_bytes=0)`` -- knors--.
+* ``knord(x, k, n_machines=...)`` -- distributed; ``pruning=None``
+  gives knord-.
+"""
+
+from repro.drivers.knori import knori
+from repro.drivers.knors import knors
+from repro.drivers.knord import knord
+
+__all__ = ["knori", "knors", "knord"]

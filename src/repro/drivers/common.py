@@ -1,0 +1,236 @@
+"""Shared driver plumbing: scheduler lookup, pruning loops, accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core import (
+    ConvergenceCriteria,
+    elkan_init,
+    elkan_iteration,
+    full_iteration,
+    init_centroids,
+    mti_init,
+    mti_iteration,
+)
+from repro.core.distance import rows_to_centroids
+from repro.errors import ConfigError
+from repro.sched import (
+    FifoScheduler,
+    NumaAwareScheduler,
+    StaticScheduler,
+)
+
+SCHEDULERS = {
+    "numa_aware": NumaAwareScheduler,
+    "fifo": FifoScheduler,
+    "static": StaticScheduler,
+}
+
+#: Accepted values for the ``pruning`` driver parameter.
+PRUNING_MODES = ("mti", "elkan", None)
+
+
+def make_scheduler(name: str):
+    """Instantiate a scheduler by its Figure 5 name."""
+    if name not in SCHEDULERS:
+        raise ConfigError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        )
+    return SCHEDULERS[name]()
+
+
+def check_pruning(pruning: str | None) -> str | None:
+    """Validate a ``pruning`` argument and pass it through."""
+    if pruning not in PRUNING_MODES:
+        raise ConfigError(
+            f"pruning must be one of {PRUNING_MODES}, got {pruning!r}"
+        )
+    return pruning
+
+
+@dataclass
+class IterationNumerics:
+    """Uniform view over full/MTI/Elkan per-iteration outputs."""
+
+    new_centroids: np.ndarray
+    n_changed: int
+    dist_per_row: np.ndarray
+    needs_data: np.ndarray
+    clause1_rows: int
+    clause2_pruned: int
+    clause3_pruned: int
+    motion: np.ndarray | None
+
+
+class NumericsLoop:
+    """Stateful iterator over k-means iterations for one pruning mode.
+
+    Hides the init/iterate asymmetry of the pruned algorithms so the
+    drivers contain only hardware-related logic.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        centroids0: np.ndarray,
+        pruning: str | None,
+        *,
+        n_partitions: int = 1,
+    ) -> None:
+        self.x = x
+        self.pruning = check_pruning(pruning)
+        self.n_partitions = n_partitions
+        self.centroids = np.array(centroids0, dtype=np.float64, copy=True)
+        self.prev_centroids = self.centroids.copy()
+        self._state = None
+        self._assignment: np.ndarray | None = None
+        self.iteration = 0
+
+    @property
+    def assignment(self) -> np.ndarray:
+        if self.pruning is None:
+            assert self._assignment is not None
+            return self._assignment
+        assert self._state is not None
+        return self._state.assignment
+
+    def step(self) -> IterationNumerics:
+        """Advance one iteration and return its exact outputs."""
+        k = self.centroids.shape[0]
+        n = self.x.shape[0]
+        if self.pruning is None:
+            res = full_iteration(
+                self.x,
+                self.centroids,
+                self._assignment,
+                n_partitions=self.n_partitions,
+            )
+            self._assignment = res.assignment
+            out = IterationNumerics(
+                new_centroids=res.new_centroids,
+                n_changed=res.n_changed,
+                dist_per_row=res.dist_per_row,
+                needs_data=res.needs_data,
+                clause1_rows=0,
+                clause2_pruned=0,
+                clause3_pruned=0,
+                motion=None,
+            )
+        elif self.iteration == 0:
+            init_fn = mti_init if self.pruning == "mti" else elkan_init
+            self._state, res = init_fn(self.x, self.centroids)
+            out = IterationNumerics(
+                new_centroids=res.new_centroids,
+                n_changed=res.n_changed,
+                dist_per_row=res.dist_per_row,
+                needs_data=res.needs_data,
+                clause1_rows=0,
+                clause2_pruned=0,
+                clause3_pruned=0,
+                motion=None,
+            )
+        else:
+            iter_fn = (
+                mti_iteration if self.pruning == "mti" else elkan_iteration
+            )
+            res = iter_fn(
+                self.x, self.centroids, self.prev_centroids, self._state
+            )
+            out = IterationNumerics(
+                new_centroids=res.new_centroids,
+                n_changed=res.n_changed,
+                dist_per_row=res.dist_per_row,
+                needs_data=res.needs_data,
+                clause1_rows=res.clause1_rows,
+                clause2_pruned=getattr(res, "clause2_pruned", 0),
+                clause3_pruned=getattr(
+                    res, "clause3_pruned", getattr(res, "pruned_pairs", 0)
+                ),
+                motion=res.motion,
+            )
+        self.prev_centroids = self.centroids
+        self.centroids = out.new_centroids
+        self.iteration += 1
+        return out
+
+    def inertia(self) -> float:
+        """k-means objective at the current assignment/centroids."""
+        dist = rows_to_centroids(self.x, self.centroids, self.assignment)
+        return float((dist**2).sum())
+
+    # -- checkpoint support (knors fault tolerance) ----------------
+
+    def export_state(self) -> dict:
+        """Snapshot of the loop's resumable state (mti / unpruned)."""
+        if self.pruning == "elkan":
+            raise ConfigError(
+                "checkpointing is not offered for the Elkan baseline"
+            )
+        snap: dict = {
+            "iteration": self.iteration,
+            "centroids": self.centroids.copy(),
+            "prev_centroids": self.prev_centroids.copy(),
+        }
+        if self.pruning == "mti" and self._state is not None:
+            snap.update(
+                assignment=self._state.assignment.copy(),
+                ub=self._state.ub.copy(),
+                sums=self._state.sums.copy(),
+                counts=self._state.counts.copy(),
+            )
+        elif self._assignment is not None:
+            snap["assignment"] = self._assignment.copy()
+        return snap
+
+    def restore_state(self, snap: dict) -> None:
+        """Resume from an :meth:`export_state` snapshot."""
+        from repro.core.mti import MtiState
+
+        self.iteration = int(snap["iteration"])
+        self.centroids = np.array(snap["centroids"], copy=True)
+        self.prev_centroids = np.array(snap["prev_centroids"], copy=True)
+        if self.pruning == "mti":
+            if "ub" not in snap or snap["ub"] is None:
+                raise ConfigError(
+                    "snapshot has no pruning state but pruning='mti'"
+                )
+            self._state = MtiState(
+                assignment=np.array(
+                    snap["assignment"], dtype=np.int32, copy=True
+                ),
+                ub=np.array(snap["ub"], copy=True),
+                sums=np.array(snap["sums"], copy=True),
+                counts=np.array(
+                    snap["counts"], dtype=np.int64, copy=True
+                ),
+            )
+        elif self.pruning is None:
+            self._assignment = np.array(
+                snap["assignment"], dtype=np.int32, copy=True
+            )
+
+
+def resolve_init(
+    x: np.ndarray,
+    k: int,
+    init: str | np.ndarray,
+    seed: int,
+) -> np.ndarray:
+    """Initial centroids from a method name or an explicit array."""
+    if isinstance(init, np.ndarray):
+        c = np.array(init, dtype=np.float64, copy=True)
+        if c.shape != (k, x.shape[1]):
+            raise ConfigError(
+                f"init centroids shape {c.shape} != ({k}, {x.shape[1]})"
+            )
+        return c
+    return init_centroids(x, k, init, seed=seed)
+
+
+def default_criteria(
+    criteria: ConvergenceCriteria | None,
+) -> ConvergenceCriteria:
+    """The drivers' default stopping rules when none are given."""
+    return criteria or ConvergenceCriteria()

@@ -1,0 +1,236 @@
+"""knori: the NUMA-optimized in-memory k-means module (Section 5).
+
+Runs ||Lloyd's (Algorithm 1) with optional MTI pruning on one simulated
+NUMA machine. Per iteration:
+
+1. The exact numerics (assignment + pruning decisions + centroid
+   update) are computed for the whole dataset.
+2. The dataset's row blocks become tasks (8192 rows each, the paper's
+   minimum task size), each stamped with its exact work content and
+   the NUMA bank its rows live on.
+3. The event-driven engine replays the iteration through the chosen
+   scheduler over the machine's bound (or oblivious) threads, charging
+   calibrated compute/memory/lock costs, followed by the single global
+   barrier and the funnel reduction.
+
+``knori(x, k, pruning=None)`` is the paper's knori-;
+``bind_policy=BindPolicy.OBLIVIOUS`` is the Figure 4 baseline;
+``scheduler="fifo" | "static"`` are the Figure 5 baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ConvergenceCriteria
+from repro.drivers.common import (
+    NumericsLoop,
+    check_pruning,
+    default_criteria,
+    make_scheduler,
+    resolve_init,
+)
+from repro.errors import DatasetError
+from repro.metrics import IterationRecord, RunResult
+from repro.sched import build_task_blocks
+from repro.sched.blocks import auto_task_rows
+from repro.simhw import (
+    AllocPolicy,
+    BindPolicy,
+    CostModel,
+    FOUR_SOCKET_XEON,
+    SimMachine,
+)
+
+_F64 = 8
+_I32 = 4
+
+
+def _register_memory(
+    machine: SimMachine, n: int, d: int, k: int, pruning: str | None
+) -> None:
+    """Record the run's allocations for Table 1 accounting."""
+    mem = machine.memory
+    t = machine.n_threads
+    data_policy = (
+        AllocPolicy.OBLIVIOUS
+        if machine.bind_policy is BindPolicy.OBLIVIOUS
+        else AllocPolicy.PARTITIONED
+    )
+    mem.alloc("row_data", n * d * _F64, data_policy, component="data")
+    mem.alloc(
+        "assignment", n * _I32, data_policy, component="assignment"
+    )
+    mem.alloc(
+        "global_centroids",
+        k * d * _F64,
+        AllocPolicy.INTERLEAVE,
+        component="centroids",
+    )
+    # Per-thread centroid copies: sums (k*d) + counts (k) per thread,
+    # each bound to the owning thread's node.
+    for th in machine.threads:
+        mem.alloc(
+            f"thread{th.thread_id}_centroids",
+            k * d * _F64 + k * _F64,
+            AllocPolicy.NUMA_BIND,
+            component="per_thread_centroids",
+            home_node=th.node,
+        )
+    if pruning == "mti":
+        mem.alloc(
+            "mti_upper_bounds", n * _F64, data_policy,
+            component="mti_bounds",
+        )
+        mem.alloc(
+            "centroid_dist_matrix",
+            (k * (k + 1) // 2) * _F64,
+            AllocPolicy.INTERLEAVE,
+            component="mti_bounds",
+        )
+    elif pruning == "elkan":
+        mem.alloc(
+            "elkan_upper_bounds", n * _F64, data_policy,
+            component="ti_bounds",
+        )
+        mem.alloc(
+            "elkan_lower_bounds", n * k * _F64, data_policy,
+            component="ti_lower_bound_matrix",
+        )
+        mem.alloc(
+            "centroid_dist_matrix",
+            (k * (k + 1) // 2) * _F64,
+            AllocPolicy.INTERLEAVE,
+            component="ti_bounds",
+        )
+
+
+def knori(
+    x: np.ndarray,
+    k: int,
+    *,
+    pruning: str | None = "mti",
+    cost_model: CostModel = FOUR_SOCKET_XEON,
+    n_threads: int | None = None,
+    bind_policy: BindPolicy = BindPolicy.NUMA_BIND,
+    scheduler: str = "numa_aware",
+    init: str | np.ndarray = "random",
+    seed: int = 0,
+    criteria: ConvergenceCriteria | None = None,
+    task_rows: int | None = None,
+    machine: SimMachine | None = None,
+) -> RunResult:
+    """In-memory NUMA-optimized k-means on a simulated machine.
+
+    Parameters
+    ----------
+    x:
+        Data matrix (n, d), float64.
+    k:
+        Number of clusters.
+    pruning:
+        ``"mti"`` (the paper's knori), ``None`` (knori-), or
+        ``"elkan"`` (full TI baseline, O(nk) memory).
+    cost_model:
+        Machine to simulate; defaults to the paper's 4-socket Xeon.
+    n_threads:
+        Worker threads ``T``; defaults to the machine's physical cores.
+    bind_policy:
+        ``NUMA_BIND`` (paper default) or ``OBLIVIOUS`` (Fig 4 baseline).
+    scheduler:
+        ``"numa_aware"`` (default), ``"fifo"``, or ``"static"``.
+    init, seed:
+        Initialization method/array and RNG seed.
+    criteria:
+        Stopping rules (default: exact convergence, <=100 iterations).
+    task_rows:
+        Rows per task block (paper minimum: 8192).
+    machine:
+        Pre-built :class:`SimMachine` (overrides ``cost_model``/
+        ``n_threads``/``bind_policy``).
+
+    Returns
+    -------
+    RunResult
+        Exact clustering outputs plus per-iteration simulated timing,
+        pruning statistics and the memory breakdown.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+    n, d = x.shape
+    pruning = check_pruning(pruning)
+    crit = default_criteria(criteria)
+
+    if machine is None:
+        machine = SimMachine.build(
+            cost_model, n_threads=n_threads, bind_policy=bind_policy
+        )
+    sched = make_scheduler(scheduler)
+    if task_rows is None:
+        task_rows = auto_task_rows(n, machine.n_threads)
+    centroids0 = resolve_init(x, k, init, seed)
+    _register_memory(machine, n, d, k, pruning)
+
+    loop = NumericsLoop(
+        x, centroids0, pruning, n_partitions=machine.n_threads
+    )
+    records: list[IterationRecord] = []
+    converged = False
+    state_bytes = 12 if pruning else 4  # ub (8B) + assign vs assign only
+
+    for it in range(crit.max_iters):
+        num = loop.step()
+        tasks = build_task_blocks(
+            n,
+            d,
+            machine,
+            dist_per_row=num.dist_per_row,
+            needs_data=num.needs_data,
+            task_rows=task_rows,
+            state_bytes_per_row=state_bytes,
+        )
+        trace = machine.engine.run(
+            sched, tasks, machine.threads, d=d, k=k
+        )
+        records.append(
+            IterationRecord(
+                iteration=it,
+                sim_ns=trace.total_ns,
+                n_changed=num.n_changed,
+                dist_computations=int(num.dist_per_row.sum()),
+                clause1_rows=num.clause1_rows,
+                clause2_pruned=num.clause2_pruned,
+                clause3_pruned=num.clause3_pruned,
+                busy_fraction=trace.busy_fraction,
+                steals=trace.total_steals,
+                rows_active=int(num.needs_data.sum()),
+            )
+        )
+        if crit.converged(n, num.n_changed, num.motion):
+            converged = True
+            break
+
+    algo = {"mti": "knori", "elkan": "knori[elkan]", None: "knori-"}[
+        pruning
+    ]
+    return RunResult(
+        algorithm=algo,
+        centroids=loop.centroids,
+        assignment=loop.assignment.copy(),
+        iterations=len(records),
+        converged=converged,
+        inertia=loop.inertia(),
+        records=records,
+        memory_breakdown=machine.memory.component_breakdown(),
+        params={
+            "n": n,
+            "d": d,
+            "k": k,
+            "T": machine.n_threads,
+            "pruning": pruning,
+            "bind_policy": machine.bind_policy.value,
+            "scheduler": scheduler,
+            "task_rows": task_rows,
+        },
+    )

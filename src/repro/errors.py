@@ -1,0 +1,43 @@
+"""Exception hierarchy for the knor reproduction library.
+
+All library-raised exceptions derive from :class:`KnorError` so callers can
+catch one base type. Subclasses mark which subsystem rejected the request.
+"""
+
+from __future__ import annotations
+
+
+class KnorError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigError(KnorError, ValueError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class TopologyError(ConfigError):
+    """A NUMA topology description is invalid (e.g. zero nodes)."""
+
+
+class AllocationError(KnorError):
+    """The simulated memory manager could not satisfy a request."""
+
+
+class SchedulerError(KnorError):
+    """A task scheduler was driven outside its contract."""
+
+
+class DatasetError(KnorError, ValueError):
+    """A dataset is malformed (wrong shape, dtype, or on-disk header)."""
+
+
+class ConvergenceError(KnorError):
+    """An iterative routine failed to make progress (e.g. k > n)."""
+
+
+class CommunicatorError(KnorError):
+    """Misuse of the simulated MPI communicator."""
+
+
+class IoSubsystemError(KnorError):
+    """The simulated SAFS/SSD layer was driven outside its contract."""

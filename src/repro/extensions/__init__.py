@@ -1,0 +1,58 @@
+"""Section 9 extensions and related-work algorithms.
+
+The paper's future-work list starts with "other variants of k-means
+like spherical k-means, semi-supervised k-means++", built on the same
+NUMA-optimized core; Related Work additionally analyses Yinyang
+k-means (Ding et al., ICML 2015), the O(nt)-memory pruning competitor
+between MTI's O(n) and Elkan's O(nk). All three are implemented here
+on the library's shared kernels so they inherit the exact-numerics
+guarantees:
+
+* :func:`spherical_kmeans` -- cosine-similarity k-means on the unit
+  sphere (document clustering's workhorse).
+* :func:`semisupervised_kmeanspp` -- Yoder & Priebe's seeded
+  k-means++: labeled points pin their clusters.
+* :func:`yinyang_kmeans` / :class:`YinyangState` -- group-filtered
+  triangle-inequality pruning; assignments match Lloyd's exactly, and
+  the memory/pruning trade-off slots between MTI and Elkan (see the
+  ablation bench).
+
+The "later phases" targets are implemented too:
+
+* :func:`gmm_em` -- diagonal-covariance Gaussian mixtures via EM.
+* :func:`knn_brute` / :func:`knn_pruned` -- exact kNN, blocked and
+  triangle-inequality block-pruned.
+* :func:`agglomerative` -- hierarchical clustering with
+  single/complete/average/ward linkage (Lance-Williams).
+"""
+
+from repro.extensions.spherical import spherical_kmeans
+from repro.extensions.semisupervised import semisupervised_kmeanspp
+from repro.extensions.yinyang import (
+    YinyangState,
+    yinyang_init,
+    yinyang_iteration,
+    yinyang_kmeans,
+)
+from repro.extensions.gmm import GmmResult, gmm_em
+from repro.extensions.knn import KnnResult, knn_brute, knn_pruned
+from repro.extensions.agglomerative import (
+    AgglomerativeResult,
+    agglomerative,
+)
+
+__all__ = [
+    "spherical_kmeans",
+    "semisupervised_kmeanspp",
+    "YinyangState",
+    "yinyang_init",
+    "yinyang_iteration",
+    "yinyang_kmeans",
+    "GmmResult",
+    "gmm_em",
+    "KnnResult",
+    "knn_brute",
+    "knn_pruned",
+    "AgglomerativeResult",
+    "agglomerative",
+]

@@ -1,0 +1,149 @@
+"""Gaussian mixture models via EM (Section 9's "later phases" list).
+
+Diagonal-covariance EM, the standard large-scale variant: like Lloyd's
+it alternates a per-point phase (responsibilities) with a global
+reduction (weighted sums), so it maps onto the same super-phase
+structure knor generalizes to -- the per-thread accumulators simply
+carry weighted sums and weighted squared sums instead of plain sums.
+
+Numerics follow the usual log-space formulation for stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.init import init_centroids
+from repro.errors import ConvergenceError, DatasetError
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass
+class GmmResult:
+    """Outcome of an EM run."""
+
+    means: np.ndarray  # (k, d)
+    variances: np.ndarray  # (k, d) diagonal covariances
+    weights: np.ndarray  # (k,) mixing proportions
+    responsibilities: np.ndarray  # (n, k)
+    log_likelihood: float
+    ll_history: list[float] = field(default_factory=list)
+    iterations: int = 0
+    converged: bool = False
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """Hard labels: argmax responsibility."""
+        return np.argmax(self.responsibilities, axis=1).astype(np.int32)
+
+
+def _log_prob(
+    x: np.ndarray, means: np.ndarray, variances: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Log of weighted component densities, (n, k)."""
+    n, d = x.shape
+    k = means.shape[0]
+    out = np.empty((n, k))
+    for c in range(k):
+        var = variances[c]
+        diff = x - means[c]
+        quad = ((diff**2) / var).sum(axis=1)
+        out[:, c] = (
+            np.log(weights[c])
+            - 0.5 * (d * _LOG_2PI + np.log(var).sum() + quad)
+        )
+    return out
+
+
+def gmm_em(
+    x: np.ndarray,
+    k: int,
+    *,
+    init: str | np.ndarray = "kmeans++",
+    seed: int = 0,
+    max_iters: int = 100,
+    tol: float = 1e-6,
+    var_floor: float = 1e-6,
+) -> GmmResult:
+    """Fit a k-component diagonal GMM with EM.
+
+    Parameters
+    ----------
+    init:
+        Mean initialization (a :func:`init_centroids` method name or
+        an explicit (k, d) array). Variances start at the global
+        per-dimension variance; weights uniform.
+    tol:
+        Converged when the mean log-likelihood improves by less than
+        this between iterations.
+    var_floor:
+        Lower bound on each variance (prevents collapse onto a point).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+    n, d = x.shape
+    if k < 1 or k > n:
+        raise ConvergenceError(f"k={k} invalid for n={n}")
+    if max_iters < 1:
+        raise ConvergenceError("max_iters must be >= 1")
+
+    if isinstance(init, np.ndarray):
+        means = np.array(init, dtype=np.float64, copy=True)
+        if means.shape != (k, d):
+            raise DatasetError(
+                f"init means shape {means.shape} != ({k}, {d})"
+            )
+    else:
+        means = init_centroids(x, k, init, seed=seed)
+    variances = np.tile(
+        np.maximum(x.var(axis=0), var_floor), (k, 1)
+    )
+    weights = np.full(k, 1.0 / k)
+
+    ll_history: list[float] = []
+    resp = np.zeros((n, k))
+    converged = False
+    iterations = 0
+    for _ in range(max_iters):
+        iterations += 1
+        # E-step in log space.
+        logp = _log_prob(x, means, variances, weights)
+        m = logp.max(axis=1, keepdims=True)
+        log_norm = m[:, 0] + np.log(
+            np.exp(logp - m).sum(axis=1)
+        )
+        resp = np.exp(logp - log_norm[:, None])
+        ll = float(log_norm.mean())
+        ll_history.append(ll)
+
+        # M-step: weighted reductions (the super-phase analogue).
+        nk = resp.sum(axis=0)  # (k,)
+        nk = np.maximum(nk, 1e-12)
+        means = (resp.T @ x) / nk[:, None]
+        sq = resp.T @ (x**2)
+        variances = np.maximum(
+            sq / nk[:, None] - means**2, var_floor
+        )
+        weights = nk / n
+
+        if len(ll_history) >= 2 and (
+            ll_history[-1] - ll_history[-2] < tol
+        ):
+            converged = True
+            break
+
+    return GmmResult(
+        means=means,
+        variances=variances,
+        weights=weights,
+        responsibilities=resp,
+        log_likelihood=ll_history[-1],
+        ll_history=ll_history,
+        iterations=iterations,
+        converged=converged,
+    )

@@ -1,0 +1,166 @@
+"""k-nearest-neighbor search (Section 9's "later phases" list).
+
+Blocked brute-force kNN over the library's shared distance kernel,
+plus a **triangle-inequality pruned** variant that reuses knor's MTI
+machinery: queries are first assigned to a small set of pivots
+(cluster centroids); a candidate block whose pivot-to-pivot distance
+exceeds the query's current k-th distance plus both radii cannot
+contain a closer neighbor and is skipped wholesale. The same
+O(n)-state philosophy as MTI: no per-pair bound matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distance import euclidean
+from repro.core.lloyd import lloyd
+from repro.core.convergence import ConvergenceCriteria
+from repro.errors import ConvergenceError, DatasetError
+
+
+@dataclass
+class KnnResult:
+    """Neighbor indices/distances plus exact work accounting."""
+
+    indices: np.ndarray  # (nq, k) int64, ascending by distance
+    distances: np.ndarray  # (nq, k)
+    dist_computations: int
+    blocks_pruned: int = 0
+    blocks_total: int = 0
+
+
+def knn_brute(
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    *,
+    block_rows: int = 8192,
+) -> KnnResult:
+    """Exact blocked brute-force kNN."""
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    if data.ndim != 2 or queries.ndim != 2:
+        raise DatasetError("data and queries must be 2-D")
+    if data.shape[1] != queries.shape[1]:
+        raise DatasetError("dimension mismatch between data and queries")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ConvergenceError(f"k={k} invalid for n={n}")
+
+    nq = queries.shape[0]
+    best_d = np.full((nq, k), np.inf)
+    best_i = np.full((nq, k), -1, dtype=np.int64)
+    computations = 0
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        dist = euclidean(queries, data[start:stop])
+        computations += dist.size
+        merged_d = np.concatenate([best_d, dist], axis=1)
+        merged_i = np.concatenate(
+            [
+                best_i,
+                np.broadcast_to(
+                    np.arange(start, stop), (nq, stop - start)
+                ),
+            ],
+            axis=1,
+        )
+        sel = np.argpartition(merged_d, k - 1, axis=1)[:, :k]
+        rows = np.arange(nq)[:, None]
+        best_d = merged_d[rows, sel]
+        best_i = merged_i[rows, sel]
+    order = np.argsort(best_d, axis=1, kind="stable")
+    rows = np.arange(nq)[:, None]
+    return KnnResult(
+        indices=best_i[rows, order],
+        distances=best_d[rows, order],
+        dist_computations=computations,
+    )
+
+
+def knn_pruned(
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    *,
+    n_pivots: int | None = None,
+    seed: int = 0,
+) -> KnnResult:
+    """Exact kNN with triangle-inequality block pruning.
+
+    Data is partitioned into pivot cells (a short k-means run); for a
+    query q with current k-th best distance r, a cell with pivot p and
+    radius rad can be skipped when ``d(q, p) - rad > r`` -- no point
+    inside can beat the current neighbors (triangle inequality, the
+    same bound family as MTI's clauses).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    if data.ndim != 2 or queries.ndim != 2:
+        raise DatasetError("data and queries must be 2-D")
+    if data.shape[1] != queries.shape[1]:
+        raise DatasetError("dimension mismatch between data and queries")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ConvergenceError(f"k={k} invalid for n={n}")
+    if n_pivots is None:
+        n_pivots = max(1, min(64, int(np.sqrt(n))))
+    n_pivots = min(n_pivots, n)
+
+    cells = lloyd(
+        data, n_pivots, init="kmeans++", seed=seed,
+        criteria=ConvergenceCriteria(max_iters=10),
+    )
+    pivots = cells.centroids
+    member_lists = [
+        np.nonzero(cells.assignment == c)[0] for c in range(n_pivots)
+    ]
+    radii = np.zeros(n_pivots)
+    for c, members in enumerate(member_lists):
+        if members.size:
+            radii[c] = euclidean(
+                data[members], pivots[c : c + 1]
+            ).max()
+
+    nq = queries.shape[0]
+    q_to_pivot = euclidean(queries, pivots)  # (nq, P)
+    computations = q_to_pivot.size
+    # Visit cells nearest-first so the k-th distance tightens early.
+    visit_order = np.argsort(q_to_pivot, axis=1)
+
+    best_d = np.full((nq, k), np.inf)
+    best_i = np.full((nq, k), -1, dtype=np.int64)
+    blocks_pruned = 0
+    blocks_total = 0
+    for qi in range(nq):
+        kth = np.inf
+        for c in visit_order[qi]:
+            members = member_lists[c]
+            if members.size == 0:
+                continue
+            blocks_total += 1
+            if q_to_pivot[qi, c] - radii[c] > kth:
+                blocks_pruned += 1
+                continue
+            dist = euclidean(
+                queries[qi : qi + 1], data[members]
+            )[0]
+            computations += dist.size
+            merged_d = np.concatenate([best_d[qi], dist])
+            merged_i = np.concatenate([best_i[qi], members])
+            sel = np.argpartition(merged_d, k - 1)[:k]
+            best_d[qi] = merged_d[sel]
+            best_i[qi] = merged_i[sel]
+            kth = best_d[qi].max()
+    order = np.argsort(best_d, axis=1, kind="stable")
+    rows = np.arange(nq)[:, None]
+    return KnnResult(
+        indices=best_i[rows, order],
+        distances=best_d[rows, order],
+        dist_computations=computations,
+        blocks_pruned=blocks_pruned,
+        blocks_total=blocks_total,
+    )

@@ -1,0 +1,126 @@
+"""Semi-supervised k-means++ (Yoder & Priebe, 2016).
+
+A Section 9 extension target. A subset of points carries class labels
+in ``0..k-1``; unlabeled points carry ``-1``. Two changes to standard
+k-means++/Lloyd's:
+
+* **seeding** -- each labeled class seeds its cluster at the labeled
+  mean; the remaining clusters (classes with no labels) are seeded by
+  the usual D^2-weighted draw against the already-placed seeds;
+* **iteration** -- labeled points keep their label's cluster, so they
+  anchor the centroid they voted for; only unlabeled points move.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceCriteria
+from repro.core.distance import euclidean, nearest_centroid
+from repro.errors import ConvergenceError, DatasetError
+from repro.metrics import IterationRecord, RunResult
+
+
+def semisupervised_kmeanspp(
+    x: np.ndarray,
+    k: int,
+    labels: np.ndarray,
+    *,
+    seed: int = 0,
+    criteria: ConvergenceCriteria | None = None,
+) -> RunResult:
+    """Seeded k-means with label anchoring.
+
+    Parameters
+    ----------
+    labels:
+        Length-n int array: a class in ``[0, k)`` for labeled points,
+        ``-1`` for unlabeled ones. At least one point must be labeled;
+        fully-labeled input degenerates to computing class means.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels)
+    if x.ndim != 2:
+        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+    if labels.shape != (x.shape[0],):
+        raise DatasetError(
+            f"labels shape {labels.shape} != ({x.shape[0]},)"
+        )
+    if labels.max(initial=-1) >= k:
+        raise DatasetError("labels must lie in [0, k) or be -1")
+    if not (labels >= 0).any():
+        raise ConvergenceError(
+            "semisupervised_kmeanspp needs at least one labeled point"
+        )
+    crit = criteria or ConvergenceCriteria()
+    n, d = x.shape
+    rng = np.random.default_rng(seed)
+
+    # --- seeding ------------------------------------------------------
+    centroids = np.zeros((k, d))
+    seeded = np.zeros(k, dtype=bool)
+    for c in range(k):
+        members = x[labels == c]
+        if members.shape[0]:
+            centroids[c] = members.mean(axis=0)
+            seeded[c] = True
+    # D^2 draw for unseeded clusters against everything placed so far.
+    placed = centroids[seeded]
+    if placed.shape[0] == 0:  # unreachable given the check above
+        raise ConvergenceError("no labeled seeds")
+    d2 = euclidean(x, placed).min(axis=1) ** 2
+    for c in np.nonzero(~seeded)[0]:
+        total = d2.sum()
+        idx = (
+            int(rng.choice(n, p=d2 / total))
+            if total > 0
+            else int(rng.integers(0, n))
+        )
+        centroids[c] = x[idx]
+        new_d = euclidean(x, x[idx : idx + 1])[:, 0] ** 2
+        np.minimum(d2, new_d, out=d2)
+
+    # --- anchored Lloyd's ---------------------------------------------
+    anchored = labels >= 0
+    assign = np.full(n, -1, dtype=np.int32)
+    records: list[IterationRecord] = []
+    converged = False
+    mindist = np.zeros(n)
+    for it in range(crit.max_iters):
+        new_assign, mindist = nearest_centroid(x, centroids)
+        new_assign[anchored] = labels[anchored]
+        n_changed = int(np.count_nonzero(new_assign != assign))
+        assign = new_assign
+        prev = centroids
+        sums = np.zeros((k, d))
+        for dim in range(d):
+            sums[:, dim] = np.bincount(
+                assign, weights=x[:, dim], minlength=k
+            )
+        counts = np.bincount(assign, minlength=k)
+        centroids = prev.copy()
+        nz = counts > 0
+        centroids[nz] = sums[nz] / counts[nz, None]
+        records.append(
+            IterationRecord(
+                iteration=it, sim_ns=0.0, n_changed=n_changed,
+                dist_computations=n * k,
+            )
+        )
+        if crit.converged(n, n_changed):
+            converged = True
+            break
+
+    return RunResult(
+        algorithm="semisupervised-kmeans++",
+        centroids=centroids,
+        assignment=assign,
+        iterations=len(records),
+        converged=converged,
+        inertia=float((mindist[~anchored] ** 2).sum()),
+        records=records,
+        params={
+            "n": n, "d": d, "k": k,
+            "n_labeled": int(anchored.sum()),
+        },
+    )

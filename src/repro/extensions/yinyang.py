@@ -1,0 +1,317 @@
+"""Yinyang k-means (Ding et al., ICML 2015) -- the O(nt) competitor.
+
+Related Work positions Yinyang between the two pruning designs this
+library ships: it keeps one lower bound per *group* of centroids
+(t groups, t = k/10 is "generally optimal"), so memory is O(nt) --
+more than MTI's O(n), far less than Elkan's O(nk) -- and its group
+filter prunes more than MTI's clause 2/3 while maintaining fewer
+bounds than Elkan. The paper's criticism stands for both Yinyang and
+Elkan: the bound matrix still grows with n asymptotically.
+
+Exactness contract: like MTI and Elkan, assignments equal unpruned
+Lloyd's bit-for-bit (ties aside), enforced by the test suite.
+
+Implementation notes
+--------------------
+* Centroids are grouped once at initialization by a small Lloyd run
+  over the centroids themselves (the standard formulation).
+* Per iteration: the **global filter** skips a point when its loosened
+  upper bound stays below every group lower bound; the **group
+  filter** then evaluates only the groups whose lower bound dipped
+  under the (tightened) upper bound.
+* ``lb[i, g]`` lower-bounds the distance from point i to every
+  centroid of group g *except* i's assigned centroid, maintained via
+  min/second-min bookkeeping when a group is evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceCriteria
+from repro.core.distance import euclidean, rows_to_centroids
+from repro.core.init import init_centroids
+from repro.core.lloyd import lloyd
+from repro.errors import DatasetError
+from repro.metrics import IterationRecord, RunResult
+
+
+@dataclass
+class YinyangState:
+    """Persistent O(nt) pruning state."""
+
+    assignment: np.ndarray  # (n,) int32
+    ub: np.ndarray  # (n,)
+    lb: np.ndarray  # (n, t) group lower bounds
+    group_of: np.ndarray  # (k,) centroid -> group
+    groups: list[np.ndarray]  # group -> centroid ids
+    sums: np.ndarray  # (k, d)
+    counts: np.ndarray  # (k,)
+
+    @property
+    def n(self) -> int:
+        return self.assignment.shape[0]
+
+    @property
+    def t(self) -> int:
+        return self.lb.shape[1]
+
+
+@dataclass
+class YinyangIterationResult:
+    """Outcome and pruning statistics of one Yinyang iteration."""
+    new_centroids: np.ndarray
+    n_changed: int
+    dist_per_row: np.ndarray
+    motion: np.ndarray
+    global_filtered: int = 0
+    computed: int = 0
+
+
+def _group_centroids(centroids: np.ndarray, t: int, seed: int) -> np.ndarray:
+    """Cluster the centroids into t groups (standard Yinyang setup)."""
+    k = centroids.shape[0]
+    if t >= k:
+        return np.arange(k)
+    res = lloyd(
+        centroids, t, init="kmeans++", seed=seed,
+        criteria=ConvergenceCriteria(max_iters=5),
+    )
+    return res.assignment.astype(np.int64)
+
+
+def yinyang_init(
+    x: np.ndarray, centroids: np.ndarray, *, t: int | None = None,
+    seed: int = 0,
+) -> tuple[YinyangState, YinyangIterationResult]:
+    """Iteration 0: full pass seeding assignments and group bounds."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    k, d = centroids.shape
+    if t is None:
+        t = max(1, k // 10)
+    if not 1 <= t <= k:
+        raise DatasetError(f"t={t} must be in [1, k={k}]")
+
+    group_of = _group_centroids(centroids, t, seed)
+    groups = [np.nonzero(group_of == g)[0] for g in range(t)]
+    # Drop empty groups (possible when centroid-clustering collapses).
+    groups = [g for g in groups if g.size]
+    t = len(groups)
+    group_of = np.empty(k, dtype=np.int64)
+    for gi, members in enumerate(groups):
+        group_of[members] = gi
+
+    dist = euclidean(x, centroids)
+    assign = np.argmin(dist, axis=1).astype(np.int32)
+    ub = dist[np.arange(n), assign].copy()
+    masked = dist.copy()
+    masked[np.arange(n), assign] = np.inf
+    lb = np.empty((n, t))
+    for gi, members in enumerate(groups):
+        lb[:, gi] = masked[:, members].min(axis=1)
+
+    sums = np.zeros((k, d))
+    for dim in range(d):
+        sums[:, dim] = np.bincount(assign, weights=x[:, dim], minlength=k)
+    counts = np.bincount(assign, minlength=k).astype(np.int64)
+    state = YinyangState(
+        assignment=assign, ub=ub, lb=lb, group_of=group_of,
+        groups=groups, sums=sums, counts=counts,
+    )
+    new_centroids = centroids.copy()
+    nz = counts > 0
+    new_centroids[nz] = sums[nz] / counts[nz, None]
+    return state, YinyangIterationResult(
+        new_centroids=new_centroids,
+        n_changed=n,
+        dist_per_row=np.full(n, k, dtype=np.int32),
+        motion=np.zeros(k),
+        computed=n * k,
+    )
+
+
+def yinyang_iteration(
+    x: np.ndarray,
+    centroids: np.ndarray,
+    prev_centroids: np.ndarray,
+    state: YinyangState,
+) -> YinyangIterationResult:
+    """One Yinyang-pruned iteration; mutates ``state`` in place."""
+    x = np.asarray(x, dtype=np.float64)
+    n, d = x.shape
+    k = centroids.shape[0]
+    if state.n != n:
+        raise DatasetError(f"state tracks {state.n} rows, data has {n}")
+    t = state.t
+
+    motion = rows_to_centroids(centroids, prev_centroids, np.arange(k))
+    group_motion = np.array(
+        [motion[members].max() for members in state.groups]
+    )
+    state.ub += motion[state.assignment]
+    state.lb -= group_motion[None, :]
+
+    assign = state.assignment
+    old_assign = assign.copy()
+    dist_per_row = np.zeros(n, dtype=np.int32)
+
+    lb_min = state.lb.min(axis=1)
+    maybe = np.nonzero(state.ub > lb_min)[0]
+    computed = 0
+    if maybe.size:
+        # Tighten and re-apply the global filter.
+        tight = rows_to_centroids(x[maybe], centroids, assign[maybe])
+        computed += int(maybe.size)
+        dist_per_row[maybe] += 1
+        state.ub[maybe] = tight
+        still = maybe[tight > lb_min[maybe]]
+
+        if still.size:
+            m = still.size
+            xs = x[still]
+            bs = assign[still].copy()
+            ubs = state.ub[still].copy()
+            lbs = state.lb[still]  # copy (fancy indexing)
+            need = lbs < ubs[:, None]  # group filter
+
+            best = bs.copy()
+            bestdist = ubs.copy()
+            min1 = np.full((m, t), np.inf)
+            arg1 = np.full((m, t), -1, dtype=np.int64)
+            min2 = np.full((m, t), np.inf)
+
+            for gi, members in enumerate(state.groups):
+                rows = np.nonzero(need[:, gi])[0]
+                if rows.size == 0:
+                    continue
+                dmat = euclidean(xs[rows], centroids[members])
+                computed += dmat.size
+                dist_per_row[still[rows]] += members.size
+                order = np.argsort(dmat, axis=1)
+                m1 = dmat[np.arange(rows.size), order[:, 0]]
+                min1[rows, gi] = m1
+                arg1[rows, gi] = members[order[:, 0]]
+                if members.size > 1:
+                    min2[rows, gi] = dmat[
+                        np.arange(rows.size), order[:, 1]
+                    ]
+                improve = m1 < bestdist[rows]
+                best[rows[improve]] = members[
+                    order[improve, 0]
+                ].astype(np.int32)
+                bestdist[rows[improve]] = m1[improve]
+
+            # Refresh evaluated groups' lower bounds, excluding the
+            # (possibly new) assigned centroid.
+            for gi in range(t):
+                rows = np.nonzero(need[:, gi])[0]
+                if rows.size == 0:
+                    continue
+                exclude_best = arg1[rows, gi] == best[rows]
+                lbs[rows, gi] = np.where(
+                    exclude_best, min2[rows, gi], min1[rows, gi]
+                )
+
+            # A reassigned point's OLD centroid re-enters its group's
+            # "others" set: that group's bound must drop to the old
+            # assigned distance (the tightened ub) or it would overstate
+            # the bound and the next group filter could wrongly skip a
+            # move back (Ding et al.'s lb update rule).
+            moved = np.nonzero(best != bs)[0]
+            if moved.size:
+                old_groups = state.group_of[bs[moved]]
+                np.minimum.at(
+                    lbs, (moved, old_groups), ubs[moved]
+                )
+
+            state.lb[still] = lbs
+            state.ub[still] = bestdist
+            assign[still] = best
+
+    changed = np.nonzero(assign != old_assign)[0]
+    n_changed = int(changed.size)
+    if n_changed:
+        xc = x[changed]
+        frm = old_assign[changed]
+        to = assign[changed]
+        for dim in range(d):
+            state.sums[:, dim] -= np.bincount(
+                frm, weights=xc[:, dim], minlength=k
+            )
+            state.sums[:, dim] += np.bincount(
+                to, weights=xc[:, dim], minlength=k
+            )
+        state.counts -= np.bincount(frm, minlength=k)
+        state.counts += np.bincount(to, minlength=k)
+
+    new_centroids = centroids.copy()
+    nz = state.counts > 0
+    new_centroids[nz] = state.sums[nz] / state.counts[nz, None]
+
+    return YinyangIterationResult(
+        new_centroids=new_centroids,
+        n_changed=n_changed,
+        dist_per_row=dist_per_row,
+        motion=motion,
+        global_filtered=int(n - maybe.size),
+        computed=computed,
+    )
+
+
+def yinyang_kmeans(
+    x: np.ndarray,
+    k: int,
+    *,
+    t: int | None = None,
+    init: str | np.ndarray = "random",
+    seed: int = 0,
+    criteria: ConvergenceCriteria | None = None,
+) -> RunResult:
+    """Run Yinyang k-means to convergence (exact, O(nt) memory)."""
+    x = np.asarray(x, dtype=np.float64)
+    crit = criteria or ConvergenceCriteria()
+    if isinstance(init, np.ndarray):
+        c0 = np.array(init, dtype=np.float64, copy=True)
+    else:
+        c0 = init_centroids(x, k, init, seed=seed)
+    state, res = yinyang_init(x, c0, t=t, seed=seed)
+    prev, cur = c0, res.new_centroids
+    records = [
+        IterationRecord(
+            iteration=0, sim_ns=0.0, n_changed=res.n_changed,
+            dist_computations=res.computed,
+        )
+    ]
+    converged = False
+    for it in range(1, crit.max_iters):
+        r = yinyang_iteration(x, cur, prev, state)
+        records.append(
+            IterationRecord(
+                iteration=it, sim_ns=0.0, n_changed=r.n_changed,
+                dist_computations=r.computed,
+                clause1_rows=r.global_filtered,
+            )
+        )
+        prev, cur = cur, r.new_centroids
+        if crit.converged(x.shape[0], r.n_changed, r.motion):
+            converged = True
+            break
+
+    dist = rows_to_centroids(x, cur, state.assignment)
+    n_bytes = state.lb.nbytes + state.ub.nbytes
+    return RunResult(
+        algorithm="yinyang",
+        centroids=cur,
+        assignment=state.assignment.copy(),
+        iterations=len(records),
+        converged=converged,
+        inertia=float((dist**2).sum()),
+        records=records,
+        memory_breakdown={"yinyang_bounds": n_bytes},
+        params={
+            "n": x.shape[0], "d": x.shape[1], "k": k, "t": state.t,
+        },
+    )

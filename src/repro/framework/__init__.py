@@ -1,0 +1,35 @@
+"""The generalized NUMA/SEM algorithm framework (Section 9's goal).
+
+The paper's stated endgame: "provide a C++ interface upon which users
+may implement custom algorithms and benefit from our NUMA and external
+memory optimizations." This package is that interface, in Python: an
+algorithm supplies exact per-iteration numerics plus per-row work
+statistics (:class:`RowAlgorithm` / :class:`RowWork`), and the
+framework runs it on the simulated NUMA machine (:func:`run_numa`) or
+the semi-external stack (:func:`run_sem`) -- scheduling, binding,
+caching and timing all inherited, no algorithm-specific driver code.
+
+knor's own k-means is expressible as one adapter
+(:class:`KmeansAlgorithm`); :class:`GmmAlgorithm` shows a non-k-means
+EM algorithm riding the same substrate, which is precisely the claim
+Section 9 makes about the design's generality.
+"""
+
+from repro.framework.base import (
+    RowAlgorithm,
+    RowWork,
+    FrameworkResult,
+    run_numa,
+    run_sem,
+)
+from repro.framework.adapters import GmmAlgorithm, KmeansAlgorithm
+
+__all__ = [
+    "RowAlgorithm",
+    "RowWork",
+    "FrameworkResult",
+    "run_numa",
+    "run_sem",
+    "KmeansAlgorithm",
+    "GmmAlgorithm",
+]

@@ -1,0 +1,251 @@
+"""Framework core: the RowAlgorithm contract and the generic drivers.
+
+An algorithm that wants knor's substrate implements three methods:
+
+* ``begin(x)`` -- see the data once, allocate persistent state;
+* ``iteration(x) -> RowWork`` -- run one exact super-phase over the
+  data and report, per row, how much compute happened
+  (``compute_units``, in point-centroid-distance-column equivalents)
+  and whether the row's data was required (``needs_data`` -- rows the
+  algorithm skipped wholesale cost no memory traffic, and in SEM mode
+  no I/O request);
+* ``converged() -> bool``.
+
+Everything else -- task construction, NUMA placement, scheduling,
+stealing, lock/barrier/reduction charges, the SAFS + row-cache stack --
+is the framework's job, identical to what the built-in knori/knors
+drivers do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.data.matrixfile import MatrixFile
+from repro.drivers.common import make_scheduler
+from repro.errors import ConfigError, DatasetError
+from repro.metrics import IterationRecord
+from repro.sched import build_task_blocks
+from repro.sched.blocks import auto_task_rows
+from repro.sem import RowCache, RowEngine, Safs
+from repro.simhw import (
+    BindPolicy,
+    CostModel,
+    FOUR_SOCKET_XEON,
+    SimMachine,
+)
+from repro.simhw.ssd import OCZ_INTREPID_ARRAY, SsdArray
+
+
+@dataclass
+class RowWork:
+    """One iteration's exact per-row work statistics."""
+
+    #: Compute per row, in units of one point-centroid distance column
+    #: of the data's dimensionality (the framework's compute currency).
+    compute_units: np.ndarray
+    #: Rows whose data had to be touched (False = skipped wholesale).
+    needs_data: np.ndarray
+    #: Observable progress measure (points that changed, parameters
+    #: that moved...) -- recorded, not interpreted.
+    n_changed: int = 0
+    #: Per-row bytes of algorithm state touched alongside the data.
+    state_bytes_per_row: int = 8
+
+
+@runtime_checkable
+class RowAlgorithm(Protocol):
+    """What an algorithm supplies to run on the substrate."""
+
+    def begin(self, x: np.ndarray) -> None:  # pragma: no cover
+        ...
+
+    def iteration(self, x: np.ndarray) -> RowWork:  # pragma: no cover
+        ...
+
+    def converged(self) -> bool:  # pragma: no cover
+        ...
+
+
+@dataclass
+class FrameworkResult:
+    """Timing/record envelope around a framework-run algorithm."""
+
+    algorithm: Any  # the caller's object, with its own results inside
+    records: list[IterationRecord] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def iterations(self) -> int:
+        return len(self.records)
+
+    @property
+    def sim_seconds(self) -> float:
+        return sum(r.sim_ns for r in self.records) / 1e9
+
+
+def _check_work(work: RowWork, n: int) -> None:
+    if work.compute_units.shape != (n,):
+        raise ConfigError(
+            f"compute_units shape {work.compute_units.shape} != ({n},)"
+        )
+    if work.needs_data.shape != (n,):
+        raise ConfigError(
+            f"needs_data shape {work.needs_data.shape} != ({n},)"
+        )
+
+
+def run_numa(
+    algorithm: RowAlgorithm,
+    x: np.ndarray,
+    *,
+    cost_model: CostModel = FOUR_SOCKET_XEON,
+    n_threads: int | None = None,
+    bind_policy: BindPolicy = BindPolicy.NUMA_BIND,
+    scheduler: str = "numa_aware",
+    max_iters: int = 100,
+    reduction_k: int = 1,
+) -> FrameworkResult:
+    """Run a row algorithm on the simulated NUMA machine.
+
+    ``reduction_k`` sizes the end-of-iteration funnel reduction (the
+    algorithm's shared-state merge, k*d elements); pass the number of
+    per-row output slots your reduction carries.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+    n, d = x.shape
+    machine = SimMachine.build(
+        cost_model, n_threads=n_threads, bind_policy=bind_policy
+    )
+    sched = make_scheduler(scheduler)
+    task_rows = auto_task_rows(n, machine.n_threads)
+
+    algorithm.begin(x)
+    result = FrameworkResult(algorithm=algorithm)
+    for it in range(max_iters):
+        work = algorithm.iteration(x)
+        _check_work(work, n)
+        tasks = build_task_blocks(
+            n, d, machine,
+            dist_per_row=work.compute_units,
+            needs_data=work.needs_data,
+            task_rows=task_rows,
+            state_bytes_per_row=work.state_bytes_per_row,
+        )
+        trace = machine.engine.run(
+            sched, tasks, machine.threads, d=d, k=reduction_k
+        )
+        result.records.append(
+            IterationRecord(
+                iteration=it,
+                sim_ns=trace.total_ns,
+                n_changed=work.n_changed,
+                dist_computations=int(work.compute_units.sum()),
+                busy_fraction=trace.busy_fraction,
+                steals=trace.total_steals,
+                rows_active=int(work.needs_data.sum()),
+            )
+        )
+        if algorithm.converged():
+            result.converged = True
+            break
+    return result
+
+
+def run_sem(
+    algorithm: RowAlgorithm,
+    data: str | Path | MatrixFile | np.ndarray,
+    *,
+    cost_model: CostModel = FOUR_SOCKET_XEON,
+    ssd: SsdArray = OCZ_INTREPID_ARRAY,
+    n_threads: int | None = None,
+    scheduler: str = "numa_aware",
+    row_cache_bytes: int | None = None,
+    page_cache_bytes: int | None = None,
+    cache_update_interval: int = 5,
+    max_iters: int = 100,
+    reduction_k: int = 1,
+) -> FrameworkResult:
+    """Run a row algorithm semi-externally: rows stream through the
+    SAFS + row-cache stack, clause-style skipped rows issue no I/O."""
+    if isinstance(data, MatrixFile):
+        x, n, d = np.asarray(data._mm), data.n, data.d
+    elif isinstance(data, (str, Path)):
+        mf = MatrixFile(data)
+        x, n, d = np.asarray(mf._mm), mf.n, mf.d
+    else:
+        x = np.asarray(data, dtype=np.float64)
+        if x.ndim != 2:
+            raise DatasetError(f"data must be 2-D, got {x.shape}")
+        n, d = x.shape
+
+    row_bytes = d * 8
+    data_bytes = n * row_bytes
+    if row_cache_bytes is None:
+        row_cache_bytes = data_bytes // 32
+    if page_cache_bytes is None:
+        page_cache_bytes = max(64 * ssd.page_bytes, data_bytes // 16)
+
+    machine = SimMachine.build(
+        cost_model, n_threads=n_threads, ssd=ssd
+    )
+    sched = make_scheduler(scheduler)
+    safs = Safs(ssd, page_cache_bytes=page_cache_bytes)
+    row_cache = (
+        RowCache(
+            row_cache_bytes, row_bytes, n,
+            n_partitions=machine.n_threads,
+            update_interval=cache_update_interval,
+        )
+        if row_cache_bytes > 0
+        else None
+    )
+    io_engine = RowEngine(safs, row_bytes, n, row_cache=row_cache)
+    task_rows = auto_task_rows(n, machine.n_threads)
+
+    algorithm.begin(x)
+    result = FrameworkResult(algorithm=algorithm)
+    for it in range(max_iters):
+        work = algorithm.iteration(x)
+        _check_work(work, n)
+        io = io_engine.run_iteration(it, work.needs_data)
+        tasks = build_task_blocks(
+            n, d, machine,
+            dist_per_row=work.compute_units,
+            needs_data=work.needs_data,
+            task_rows=task_rows,
+            state_bytes_per_row=work.state_bytes_per_row,
+        )
+        trace = machine.engine.run(
+            sched, tasks, machine.threads, d=d, k=reduction_k
+        )
+        sim_ns = (
+            max(trace.span_ns, io.service_ns)
+            + trace.barrier_ns
+            + trace.reduction_ns
+        )
+        result.records.append(
+            IterationRecord(
+                iteration=it,
+                sim_ns=sim_ns,
+                n_changed=work.n_changed,
+                dist_computations=int(work.compute_units.sum()),
+                busy_fraction=trace.busy_fraction,
+                bytes_requested=io.bytes_requested,
+                bytes_read=io.bytes_read,
+                io_requests=io.merged_requests,
+                cache_hits=io.row_cache_hits,
+                cache_misses=io.rows_requested,
+                rows_active=io.rows_needed,
+            )
+        )
+        if algorithm.converged():
+            result.converged = True
+            break
+    return result

@@ -1,0 +1,43 @@
+"""Instrumentation: exact counters, memory accounting, result records.
+
+Everything the evaluation section reports flows through this package:
+per-iteration simulated time, distance-computation counts and pruning
+breakdowns (Figures 5, 8), I/O bytes requested vs. read and cache hits
+(Figures 6, 7), and peak memory by component (Table 1, Figures 8c, 9c).
+"""
+
+from repro.metrics.results import IterationRecord, RunResult
+from repro.metrics.memory import (
+    table1_bytes,
+    ROUTINE_MEMORY_FORMULAS,
+)
+from repro.metrics.tables import render_table, render_series
+from repro.metrics.export import (
+    result_to_dict,
+    write_json,
+    write_records_csv,
+    read_records_csv,
+)
+from repro.metrics.quality import (
+    adjusted_rand_index,
+    davies_bouldin_index,
+    normalized_mutual_info,
+    silhouette_score,
+)
+
+__all__ = [
+    "adjusted_rand_index",
+    "davies_bouldin_index",
+    "normalized_mutual_info",
+    "silhouette_score",
+    "result_to_dict",
+    "write_json",
+    "write_records_csv",
+    "read_records_csv",
+    "IterationRecord",
+    "RunResult",
+    "table1_bytes",
+    "ROUTINE_MEMORY_FORMULAS",
+    "render_table",
+    "render_series",
+]

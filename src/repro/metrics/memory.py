@@ -1,0 +1,115 @@
+"""Memory accounting per Table 1.
+
+Table 1 of the paper gives the asymptotic memory of every routine:
+
+==================  =============================
+Routine             Memory complexity
+==================  =============================
+Naive Lloyd's       O(nd + kd)
+knors--, knors-     O(n + Tkd)
+knors               O(2n + Tkd + k^2)
+knori-, knord-      O(nd + Tkd)
+knori, knord        O(nd + Tkd + n + k^2)
+==================  =============================
+
+:func:`table1_bytes` turns those formulas into concrete byte counts for
+given (n, d, k, T) so tests can check the *measured* component
+breakdown of a run against the *predicted* bound, and the Table 1 bench
+can print both side by side.
+
+Concrete sizes assume float64 elements (8 B), int32 assignments (4 B)
+and float64 upper bounds (8 B) -- matching the paper's "6-10 bytes per
+data point" for the O(n) MTI increment.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+F64 = 8
+I32 = 4
+
+
+def _common(n: int, d: int, k: int, t: int) -> None:
+    if min(n, d, k, t) < 1:
+        raise ConfigError(
+            f"n, d, k, T must all be >= 1 (got {n}, {d}, {k}, {t})"
+        )
+
+
+def naive_lloyd_bytes(n: int, d: int, k: int, t: int = 1) -> int:
+    """O(nd + kd): data plus one shared next-iteration centroid set."""
+    _common(n, d, k, t)
+    return n * d * F64 + 2 * k * d * F64 + n * I32
+
+
+def knori_minus_bytes(n: int, d: int, k: int, t: int) -> int:
+    """knori- / knord- per machine: O(nd + Tkd)."""
+    _common(n, d, k, t)
+    return n * d * F64 + (t + 1) * k * d * F64 + n * I32
+
+
+def knori_bytes(n: int, d: int, k: int, t: int) -> int:
+    """knori / knord per machine: O(nd + Tkd + n + k^2).
+
+    The +n is the MTI upper bounds (8 B each); +k^2 the centroid
+    distance matrix (triangular in the real system; we charge the
+    triangle).
+    """
+    return (
+        knori_minus_bytes(n, d, k, t)
+        + n * F64
+        + (k * (k + 1) // 2) * F64
+    )
+
+
+def knors_minus_minus_bytes(n: int, d: int, k: int, t: int) -> int:
+    """knors-- / knors-: O(n + Tkd) -- row data stays on SSD."""
+    _common(n, d, k, t)
+    return n * I32 + (t + 1) * k * d * F64
+
+
+def knors_bytes(
+    n: int, d: int, k: int, t: int, row_cache_bytes: int = 0
+) -> int:
+    """knors: O(2n + Tkd + k^2) plus the user-sized row cache."""
+    return (
+        knors_minus_minus_bytes(n, d, k, t)
+        + n * F64
+        + (k * (k + 1) // 2) * F64
+        + row_cache_bytes
+    )
+
+
+def elkan_ti_bytes(n: int, d: int, k: int, t: int) -> int:
+    """Full Elkan TI: knori- plus the O(nk) lower-bound matrix.
+
+    This is the scalability cliff MTI exists to avoid (Section 4).
+    """
+    return knori_minus_bytes(n, d, k, t) + n * k * F64 + n * F64
+
+
+#: Routine name -> byte formula, for the Table 1 bench.
+ROUTINE_MEMORY_FORMULAS = {
+    "naive_lloyd": naive_lloyd_bytes,
+    "knori-": knori_minus_bytes,
+    "knori": knori_bytes,
+    "knord-": knori_minus_bytes,
+    "knord": knori_bytes,
+    "knors--": knors_minus_minus_bytes,
+    "knors-": knors_minus_minus_bytes,
+    "knors": knors_bytes,
+    "elkan_ti": elkan_ti_bytes,
+}
+
+
+def table1_bytes(
+    routine: str, n: int, d: int, k: int, t: int, **kwargs: int
+) -> int:
+    """Predicted bytes for a routine at concrete (n, d, k, T)."""
+    if routine not in ROUTINE_MEMORY_FORMULAS:
+        raise ConfigError(
+            f"unknown routine {routine!r}; choose from "
+            f"{sorted(ROUTINE_MEMORY_FORMULAS)}"
+        )
+    return ROUTINE_MEMORY_FORMULAS[routine](n, d, k, t, **kwargs)

@@ -1,0 +1,162 @@
+"""Clustering quality metrics.
+
+Downstream users of a k-means library need to *evaluate* clusterings,
+not just produce them; these are the standard internal and external
+indices, implemented on the library's own distance kernel:
+
+* external (need ground truth): adjusted Rand index, normalized
+  mutual information;
+* internal: silhouette coefficient (optionally subsampled -- it is
+  O(n^2)), Davies-Bouldin index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import euclidean
+from repro.errors import DatasetError
+
+
+def _check_labels(a: np.ndarray, b: np.ndarray | None = None):
+    a = np.asarray(a)
+    if a.ndim != 1:
+        raise DatasetError(f"labels must be 1-D, got shape {a.shape}")
+    if b is not None:
+        b = np.asarray(b)
+        if b.shape != a.shape:
+            raise DatasetError(
+                f"label arrays disagree: {a.shape} vs {b.shape}"
+            )
+        return a, b
+    return a
+
+
+def contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Contingency table of two labelings, (|A|, |B|)."""
+    a, b = _check_labels(a, b)
+    _, ai = np.unique(a, return_inverse=True)
+    _, bi = np.unique(b, return_inverse=True)
+    table = np.zeros((ai.max() + 1, bi.max() + 1), dtype=np.int64)
+    np.add.at(table, (ai, bi), 1)
+    return table
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """ARI: chance-corrected pair-counting agreement in [-1, 1]."""
+    table = contingency(a, b)
+    n = table.sum()
+    if n < 2:
+        raise DatasetError("ARI needs at least 2 points")
+    sum_comb = (table * (table - 1) // 2).sum()
+    rows = table.sum(axis=1)
+    cols = table.sum(axis=0)
+    comb_rows = (rows * (rows - 1) // 2).sum()
+    comb_cols = (cols * (cols - 1) // 2).sum()
+    total = n * (n - 1) // 2
+    expected = comb_rows * comb_cols / total
+    max_index = (comb_rows + comb_cols) / 2
+    if max_index == expected:
+        return 1.0  # both labelings trivial (all-one-cluster, etc.)
+    return float((sum_comb - expected) / (max_index - expected))
+
+
+def normalized_mutual_info(a: np.ndarray, b: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalization, in [0, 1]."""
+    table = contingency(a, b).astype(np.float64)
+    n = table.sum()
+    pa = table.sum(axis=1) / n
+    pb = table.sum(axis=0) / n
+    pab = table / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = pab / np.outer(pa, pb)
+        terms = np.where(pab > 0, pab * np.log(ratio), 0.0)
+    mi = terms.sum()
+
+    def entropy(p):
+        p = p[p > 0]
+        return float(-(p * np.log(p)).sum())
+
+    ha, hb = entropy(pa), entropy(pb)
+    if ha == 0 and hb == 0:
+        return 1.0
+    denom = (ha + hb) / 2
+    if denom == 0:
+        return 0.0
+    return float(np.clip(mi / denom, 0.0, 1.0))
+
+
+def silhouette_score(
+    x: np.ndarray,
+    labels: np.ndarray,
+    *,
+    sample: int | None = 2000,
+    seed: int = 0,
+) -> float:
+    """Mean silhouette coefficient, in [-1, 1].
+
+    ``sample`` caps the points scored (distances to *all* points are
+    still exact); ``None`` scores everything (O(n^2)).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    labels = _check_labels(labels)
+    if x.shape[0] != labels.shape[0]:
+        raise DatasetError("x and labels length mismatch")
+    uniq = np.unique(labels)
+    if uniq.size < 2:
+        raise DatasetError("silhouette needs at least 2 clusters")
+    n = x.shape[0]
+    idx = np.arange(n)
+    if sample is not None and n > sample:
+        idx = np.random.default_rng(seed).choice(
+            n, size=sample, replace=False
+        )
+    dist = euclidean(x[idx], x)  # (m, n)
+    scores = np.empty(idx.size)
+    for pos, i in enumerate(idx):
+        li = labels[i]
+        row = dist[pos]
+        same = labels == li
+        n_same = same.sum()
+        if n_same <= 1:
+            scores[pos] = 0.0
+            continue
+        a = row[same].sum() / (n_same - 1)  # exclude self (distance 0)
+        b = np.inf
+        for lj in uniq:
+            if lj == li:
+                continue
+            other = labels == lj
+            b = min(b, row[other].mean())
+        scores[pos] = (b - a) / max(a, b)
+    return float(scores.mean())
+
+
+def davies_bouldin_index(x: np.ndarray, labels: np.ndarray) -> float:
+    """Davies-Bouldin: mean worst within/between spread ratio (lower
+    is better, >= 0)."""
+    x = np.asarray(x, dtype=np.float64)
+    labels = _check_labels(labels)
+    uniq = np.unique(labels)
+    if uniq.size < 2:
+        raise DatasetError("Davies-Bouldin needs at least 2 clusters")
+    centroids = np.vstack(
+        [x[labels == c].mean(axis=0) for c in uniq]
+    )
+    spreads = np.array(
+        [
+            euclidean(x[labels == c], centroids[i : i + 1]).mean()
+            for i, c in enumerate(uniq)
+        ]
+    )
+    cdist = euclidean(centroids, centroids)
+    k = uniq.size
+    worst = np.zeros(k)
+    for i in range(k):
+        ratios = [
+            (spreads[i] + spreads[j]) / cdist[i, j]
+            for j in range(k)
+            if j != i and cdist[i, j] > 0
+        ]
+        worst[i] = max(ratios) if ratios else 0.0
+    return float(worst.mean())

@@ -1,0 +1,105 @@
+"""Run result records shared by every driver.
+
+A driver (knori / knors / knord / baseline) produces one
+:class:`RunResult` carrying the exact clustering outputs plus one
+:class:`IterationRecord` per iteration with the quantities the paper's
+figures plot. Simulated time is explicitly named ``sim_ns`` --
+nothing in these records is wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class IterationRecord:
+    """Exact per-iteration observables."""
+
+    iteration: int
+    sim_ns: float
+    n_changed: int
+    dist_computations: int
+    #: Rows skipped wholesale by MTI clause 1 (0 when pruning is off).
+    clause1_rows: int = 0
+    clause2_pruned: int = 0
+    clause3_pruned: int = 0
+    #: Mean thread utilization before the barrier (1.0 = no skew).
+    busy_fraction: float = 1.0
+    steals: int = 0
+    # --- SEM-only I/O observables (zero for in-memory runs) ---------
+    bytes_requested: int = 0
+    bytes_read: int = 0
+    io_requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rows_active: int = 0
+    # --- distributed-only observables --------------------------------
+    network_bytes: int = 0
+    allreduce_ns: float = 0.0
+
+
+@dataclass
+class RunResult:
+    """Complete outcome of one k-means run on one (simulated) system."""
+
+    algorithm: str
+    centroids: np.ndarray
+    assignment: np.ndarray
+    iterations: int
+    converged: bool
+    inertia: float
+    records: list[IterationRecord] = field(default_factory=list)
+    #: Peak simulated memory, bytes, by component ("data", "centroids",
+    #: "per_thread_centroids", "mti_bounds", "row_cache", ...).
+    memory_breakdown: dict[str, int] = field(default_factory=dict)
+    params: dict = field(default_factory=dict)
+
+    @property
+    def sim_seconds(self) -> float:
+        """Total simulated run time, seconds."""
+        return sum(r.sim_ns for r in self.records) / 1e9
+
+    @property
+    def sim_seconds_per_iter(self) -> float:
+        """Mean simulated seconds per iteration."""
+        if not self.records:
+            return 0.0
+        return self.sim_seconds / len(self.records)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Sum of per-component peaks (components peak together in
+        k-means: nothing is freed mid-run)."""
+        return sum(self.memory_breakdown.values())
+
+    @property
+    def total_dist_computations(self) -> int:
+        return sum(r.dist_computations for r in self.records)
+
+    @property
+    def total_bytes_read(self) -> int:
+        return sum(r.bytes_read for r in self.records)
+
+    @property
+    def total_bytes_requested(self) -> int:
+        return sum(r.bytes_requested for r in self.records)
+
+    @property
+    def cluster_sizes(self) -> np.ndarray:
+        return np.bincount(
+            self.assignment, minlength=self.centroids.shape[0]
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.algorithm}: {self.iterations} iters "
+            f"({'converged' if self.converged else 'cap hit'}), "
+            f"sim {self.sim_seconds:.4f}s "
+            f"({self.sim_seconds_per_iter:.4f}s/iter), "
+            f"inertia {self.inertia:.4g}, "
+            f"peak mem {self.peak_memory_bytes / 1e6:.1f} MB"
+        )

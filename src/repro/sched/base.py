@@ -1,0 +1,59 @@
+"""Scheduler base class and shared helpers."""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+from repro.errors import SchedulerError
+from repro.simhw.engine import ScheduleDecision, TaskWork
+from repro.simhw.thread import SimThread
+
+
+def owner_of_task(task_id: int, n_tasks: int, n_threads: int) -> int:
+    """Thread that owns a task under the paper's block partitioning.
+
+    Tasks are contiguous row blocks in dataset order; thread ``t`` owns
+    the ``t``-th equal share of them, mirroring Figure 1's layout where
+    thread ``t``'s data partition is rows ``[t*alpha, (t+1)*alpha)``.
+    """
+    if n_tasks <= 0:
+        raise SchedulerError("no tasks to own")
+    if not 0 <= task_id < n_tasks:
+        raise SchedulerError(f"task_id {task_id} out of range")
+    return min(task_id * n_threads // n_tasks, n_threads - 1)
+
+
+class BaseScheduler(abc.ABC):
+    """Common queue bookkeeping for all three scheduling policies."""
+
+    def __init__(self) -> None:
+        self._queues: list[deque[TaskWork]] = []
+        self._thread_nodes: list[int] = []
+        self._n_threads = 0
+
+    def assign(self, tasks: list[TaskWork], threads: list[SimThread]) -> None:
+        """Load a fresh iteration's tasks into per-thread queues."""
+        if not threads:
+            raise SchedulerError("assign() needs at least one thread")
+        self._n_threads = len(threads)
+        self._thread_nodes = [th.node for th in threads]
+        self._queues = [deque() for _ in threads]
+        n_tasks = len(tasks)
+        for task in tasks:
+            owner = owner_of_task(task.task_id, n_tasks, self._n_threads)
+            self._queues[owner].append(task)
+
+    def queue_lengths(self) -> list[int]:
+        """Remaining tasks per partition (for tests and introspection)."""
+        return [len(q) for q in self._queues]
+
+    def _n_prowling(self) -> int:
+        """Threads whose own queue is empty -- the potential stealers
+        contending on everyone else's partition lock."""
+        return sum(1 for q in self._queues if not q)
+
+    @abc.abstractmethod
+    def next_task(self, thread: SimThread) -> ScheduleDecision | None:
+        """Hand ``thread`` its next task, or ``None`` when it should
+        park at the barrier."""

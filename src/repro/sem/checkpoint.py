@@ -1,0 +1,120 @@
+"""Lightweight checkpointing for semi-external runs.
+
+FlashGraph "is also tolerant to in-memory failures, allowing recovery
+in SEM routines through lightweight checkpointing" (Section 2). The
+state a SEM k-means run needs to resume is exactly its O(n) in-memory
+footprint: assignments, MTI upper bounds, the persistent per-cluster
+sums/counts, current/previous centroids and the iteration counter. Row
+data never needs checkpointing -- it is already durable on SSD.
+
+Checkpoints are written atomically (tmp file + rename) so a crash
+mid-write leaves the previous checkpoint intact. The paper disables
+checkpointing during performance evaluation (Section 8.5), and so do
+the benches; the integration tests exercise crash/recovery.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import IoSubsystemError
+
+_MANIFEST = "checkpoint.json"
+_ARRAYS = "checkpoint.npz"
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class CheckpointState:
+    """Everything needed to resume a knors run."""
+
+    iteration: int
+    centroids: np.ndarray
+    prev_centroids: np.ndarray
+    assignment: np.ndarray
+    ub: np.ndarray | None  # None when pruning is off
+    sums: np.ndarray | None
+    counts: np.ndarray | None
+    n_changed: int
+    params: dict
+
+
+def save_checkpoint(directory: str | Path, state: CheckpointState) -> Path:
+    """Atomically persist a checkpoint, replacing any previous one."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays = {
+        "centroids": state.centroids,
+        "prev_centroids": state.prev_centroids,
+        "assignment": state.assignment,
+    }
+    if state.ub is not None:
+        arrays["ub"] = state.ub
+    if state.sums is not None:
+        arrays["sums"] = state.sums
+        arrays["counts"] = state.counts
+    tmp_arrays = directory / (_ARRAYS + ".tmp")
+    with open(tmp_arrays, "wb") as fh:
+        np.savez(fh, **arrays)
+    tmp_manifest = directory / (_MANIFEST + ".tmp")
+    tmp_manifest.write_text(
+        json.dumps(
+            {
+                "format_version": _FORMAT_VERSION,
+                "iteration": state.iteration,
+                "n_changed": state.n_changed,
+                "has_pruning_state": state.ub is not None,
+                "params": state.params,
+            }
+        )
+    )
+    # Rename order matters: arrays first, manifest last -- a manifest
+    # is only ever visible when its arrays are already in place.
+    tmp_arrays.replace(directory / _ARRAYS)
+    tmp_manifest.replace(directory / _MANIFEST)
+    return directory
+
+
+def load_checkpoint(directory: str | Path) -> CheckpointState:
+    """Load the checkpoint in ``directory``; raises if absent/corrupt."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    arrays_path = directory / _ARRAYS
+    if not manifest_path.exists() or not arrays_path.exists():
+        raise IoSubsystemError(f"no checkpoint in {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise IoSubsystemError(
+            f"corrupt checkpoint manifest in {directory}: {exc}"
+        ) from exc
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise IoSubsystemError(
+            f"unsupported checkpoint version "
+            f"{manifest.get('format_version')}"
+        )
+    with np.load(arrays_path) as data:
+        has_pruning = manifest["has_pruning_state"]
+        return CheckpointState(
+            iteration=int(manifest["iteration"]),
+            centroids=data["centroids"].copy(),
+            prev_centroids=data["prev_centroids"].copy(),
+            assignment=data["assignment"].copy(),
+            ub=data["ub"].copy() if has_pruning else None,
+            sums=data["sums"].copy() if has_pruning else None,
+            counts=data["counts"].copy() if has_pruning else None,
+            n_changed=int(manifest["n_changed"]),
+            params=manifest["params"],
+        )
+
+
+def has_checkpoint(directory: str | Path) -> bool:
+    """Is there a loadable checkpoint in ``directory``?"""
+    directory = Path(directory)
+    return (directory / _MANIFEST).exists() and (
+        directory / _ARRAYS
+    ).exists()

@@ -1,0 +1,64 @@
+"""SAFS page cache: LRU over filesystem pages.
+
+SAFS "creates and manages a page cache that pins frequently touched
+pages in memory" (Section 2). The cache is consulted *after* the row
+cache and *before* the SSD array. Capacity is expressed in bytes and
+rounded down to whole pages.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import IoSubsystemError
+
+
+class PageCache:
+    """LRU page cache keyed by page index."""
+
+    def __init__(self, capacity_bytes: int, page_bytes: int) -> None:
+        if page_bytes <= 0:
+            raise IoSubsystemError(f"page_bytes must be > 0, got {page_bytes}")
+        if capacity_bytes < 0:
+            raise IoSubsystemError("capacity_bytes must be >= 0")
+        self.page_bytes = page_bytes
+        self.capacity_pages = capacity_bytes // page_bytes
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_pages * self.page_bytes
+
+    def lookup(self, page: int) -> bool:
+        """Probe one page; a hit refreshes its recency."""
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def admit(self, page: int) -> None:
+        """Insert a page read from SSD, evicting LRU pages as needed."""
+        if self.capacity_pages == 0:
+            return
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            return
+        while len(self._pages) >= self.capacity_pages:
+            self._pages.popitem(last=False)
+        self._pages[page] = None
+
+    def clear(self) -> None:
+        """Drop everything (the benches do this between runs, matching
+        the paper's "we drop all caches between runs")."""
+        self._pages.clear()
+
+    def contains(self, page: int) -> bool:
+        """Non-mutating membership probe (for tests)."""
+        return page in self._pages

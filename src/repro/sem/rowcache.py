@@ -1,0 +1,121 @@
+"""The partitioned, lazily-updated row cache (Section 6.2.2, Figure 3).
+
+The row cache pins **active rows** -- rows that issued an I/O request
+in the refresh iteration -- in memory at row granularity. Design points
+reproduced from the paper:
+
+* *Partitioned*: one partition per data partition (generally one per
+  thread); each partition admits only rows it owns, into a lock-free
+  local structure, so population needs no locking.
+* *Lazily updated*: the cache refreshes at iteration ``I_cache``
+  (default 5, the paper's setting for all experiments), then the gap
+  to the next refresh doubles -- 5, 10, 20, 40... Row activation
+  patterns stabilize as centroids root themselves, so a stale cache
+  still hits ("nearly a 100% cache hit rate", Figure 7).
+* *Capacity-bounded*: a user-defined byte budget, split evenly across
+  partitions; within a refresh each partition admits its active rows
+  in row order until full.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IoSubsystemError
+
+
+class RowCache:
+    """Partitioned lazily-updated row cache."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        row_bytes: int,
+        n_rows: int,
+        *,
+        n_partitions: int = 1,
+        update_interval: int = 5,
+    ) -> None:
+        if row_bytes <= 0:
+            raise IoSubsystemError(f"row_bytes must be > 0, got {row_bytes}")
+        if n_rows <= 0:
+            raise IoSubsystemError(f"n_rows must be > 0, got {n_rows}")
+        if n_partitions <= 0:
+            raise IoSubsystemError("n_partitions must be > 0")
+        if update_interval <= 0:
+            raise IoSubsystemError("update_interval must be > 0")
+        self.capacity_rows = max(0, capacity_bytes) // row_bytes
+        self.row_bytes = row_bytes
+        self.n_rows = n_rows
+        self.n_partitions = n_partitions
+        self.update_interval = update_interval
+        self._cached = np.zeros(n_rows, dtype=bool)
+        self._next_refresh = update_interval
+        self._gap = update_interval
+        self.hits = 0
+        self.misses = 0
+        self.refreshes = 0
+        # Partition boundaries (FlashGraph partitions the matrix evenly).
+        self._bounds = np.linspace(
+            0, n_rows, n_partitions + 1, dtype=np.int64
+        )
+
+    @property
+    def cached_rows(self) -> int:
+        return int(self._cached.sum())
+
+    @property
+    def cached_bytes(self) -> int:
+        return self.cached_rows * self.row_bytes
+
+    def lookup(self, rows: np.ndarray) -> np.ndarray:
+        """Hit mask for the requested rows; updates hit/miss tallies."""
+        rows = np.asarray(rows, dtype=np.int64)
+        mask = self._cached[rows]
+        self.hits += int(mask.sum())
+        self.misses += int(rows.size - mask.sum())
+        return mask
+
+    def should_refresh(self, iteration: int) -> bool:
+        """Is ``iteration`` a scheduled (exponentially spaced) refresh?"""
+        return iteration == self._next_refresh
+
+    def refresh(self, iteration: int, active_rows: np.ndarray) -> int:
+        """Flush and repopulate from this iteration's active rows.
+
+        Each partition admits its own active rows, in row order, until
+        its share of the capacity is exhausted. Returns rows admitted.
+        """
+        if not self.should_refresh(iteration):
+            raise IoSubsystemError(
+                f"refresh called at iteration {iteration}, scheduled at "
+                f"{self._next_refresh}"
+            )
+        self._cached[:] = False
+        active_rows = np.asarray(active_rows, dtype=np.int64)
+        per_part = self.capacity_rows // self.n_partitions
+        admitted = 0
+        for p in range(self.n_partitions):
+            lo, hi = self._bounds[p], self._bounds[p + 1]
+            mine = active_rows[(active_rows >= lo) & (active_rows < hi)]
+            take = mine[:per_part]
+            self._cached[take] = True
+            admitted += int(take.size)
+        self.refreshes += 1
+        self._gap *= 2
+        self._next_refresh = iteration + self._gap
+        return admitted
+
+    def fast_forward(self, iteration: int) -> None:
+        """Advance the refresh schedule past ``iteration`` without
+        populating (used when resuming from a checkpoint: the cache
+        restarts cold and re-engages at the next scheduled refresh)."""
+        while self._next_refresh <= iteration:
+            self._next_refresh += self._gap * 2
+            self._gap *= 2
+
+    def clear(self) -> None:
+        """Drop contents and reset the refresh schedule."""
+        self._cached[:] = False
+        self._gap = self.update_interval
+        self._next_refresh = self.update_interval

@@ -1,0 +1,322 @@
+"""Event-driven execution engine for one parallel super-phase.
+
+The engine replays, in simulated time, exactly what the paper's worker
+threads do inside one iteration of ||Lloyd's: repeatedly pull a task
+from the scheduler, stream the task's rows from whichever bank holds
+them, run the (possibly pruned) distance computations, and accumulate
+into thread-local centroids. It then charges the single global barrier
+and the funnel reduction that ends the iteration.
+
+The *work content* of each task (rows touched, distance computations
+after pruning, bytes needed) is computed by the real algorithm before
+the engine runs; the engine decides only *when* and *where* the work
+happens and what it costs. That split keeps numerics exact while timing
+stays a deterministic model.
+
+Event order: the thread with the smallest private clock acts next.
+Ties break on thread id, so traces are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import SchedulerError
+from repro.simhw.costmodel import CostModel
+from repro.simhw.thread import SimThread, ThreadCounters
+from repro.simhw.topology import BindPolicy
+
+
+@dataclass(frozen=True)
+class TaskWork:
+    """Exact work content of one task, produced by the algorithm.
+
+    Attributes
+    ----------
+    task_id:
+        Dense index of the task (block of contiguous rows).
+    n_rows:
+        Rows in the block.
+    n_dist:
+        Point-centroid distance computations actually performed for the
+        block this iteration (after pruning).
+    data_bytes:
+        Row data that must be streamed from memory for the block.
+    state_bytes:
+        Per-row algorithm state touched (assignments, bounds).
+    home_node:
+        NUMA node whose bank holds the block's slice of the dataset.
+    """
+
+    task_id: int
+    n_rows: int
+    n_dist: int
+    data_bytes: int
+    state_bytes: int
+    home_node: int
+
+
+class TaskScheduler(Protocol):
+    """What the engine needs from a scheduler (see :mod:`repro.sched`)."""
+
+    def assign(
+        self, tasks: list[TaskWork], threads: list[SimThread]
+    ) -> None:  # pragma: no cover - protocol
+        """Load a fresh iteration's tasks."""
+        ...
+
+    def next_task(
+        self, thread: SimThread
+    ) -> "ScheduleDecision | None":  # pragma: no cover - protocol
+        """Hand ``thread`` its next task, or None when drained."""
+        ...
+
+
+@dataclass(frozen=True)
+class ScheduleDecision:
+    """One scheduler response: a task plus the locking it cost.
+
+    ``probe_contenders`` lists, for each queue partition the thread
+    probed while searching, how many threads contend on that
+    partition's lock. ``stolen_from_node`` is the NUMA node of the
+    queue the task was finally taken from (for steal accounting).
+    """
+
+    task: TaskWork
+    probe_contenders: tuple[int, ...] = (1,)
+    stolen_from_node: int | None = None
+    was_steal: bool = False
+
+
+@dataclass
+class TaskExecution:
+    """Trace record: one task run on one thread."""
+
+    task_id: int
+    thread_id: int
+    start_ns: float
+    end_ns: float
+    compute_ns: float
+    mem_ns: float
+    lock_ns: float
+    remote: bool
+
+
+@dataclass
+class IterationTrace:
+    """Everything the engine learned about one super-phase."""
+
+    thread_clocks_ns: list[float]
+    span_ns: float
+    barrier_ns: float
+    reduction_ns: float
+    total_ns: float
+    executions: list[TaskExecution] = field(default_factory=list)
+    #: Exact totals summed over threads.
+    total_rows: int = 0
+    total_dist: int = 0
+    total_bytes_local: int = 0
+    total_bytes_remote: int = 0
+    total_steals: int = 0
+
+    @property
+    def busy_fraction(self) -> float:
+        """Mean thread utilization before the barrier (1.0 = no skew)."""
+        if self.span_ns <= 0 or not self.thread_clocks_ns:
+            return 1.0
+        return sum(self.thread_clocks_ns) / (
+            self.span_ns * len(self.thread_clocks_ns)
+        )
+
+
+class IterationEngine:
+    """Replays one super-phase of ||Lloyd's in simulated time."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        *,
+        bind_policy: BindPolicy = BindPolicy.NUMA_BIND,
+        record_executions: bool = False,
+    ) -> None:
+        self.cost = cost_model
+        self.bind_policy = bind_policy
+        self.record_executions = record_executions
+
+    # -- bank concurrency estimate ---------------------------------
+
+    def _bank_streams(
+        self, tasks: list[TaskWork], threads: list[SimThread]
+    ) -> dict[int, tuple[int, int]]:
+        """Estimate (total, remote) concurrent streams per bank.
+
+        Static approximation: every thread whose assigned data lives on
+        a bank counts as one stream there; threads on other nodes count
+        as remote streams. Under OBLIVIOUS everything sits on node 0 so
+        all T threads pile onto one bank -- exactly the saturation
+        Figure 4 attributes to NUMA-oblivious allocation.
+        """
+        banks = {task.home_node for task in tasks}
+        streams: dict[int, tuple[int, int]] = {}
+        if len(banks) <= 1:
+            # All data in one bank (OBLIVIOUS / NUMA_BIND-to-one-node):
+            # every thread must stream from it.
+            for bank in banks:
+                remote = sum(1 for th in threads if th.node != bank)
+                streams[bank] = (max(1, len(threads)), remote)
+            return streams
+        # Partitioned data: each bank is served mostly by the threads
+        # bound to its node (steals are the exception, not the steady
+        # state, so they do not change the concurrency estimate).
+        for bank in banks:
+            local = sum(1 for th in threads if th.node == bank)
+            streams[bank] = (max(1, local), 0)
+        return streams
+
+    # -- main loop ---------------------------------------------------
+
+    def run(
+        self,
+        scheduler: TaskScheduler,
+        tasks: list[TaskWork],
+        threads: list[SimThread],
+        *,
+        d: int,
+        k: int,
+        reduction: bool = True,
+    ) -> IterationTrace:
+        """Execute one super-phase and return its trace.
+
+        ``d``/``k`` size the centroid merge at the end; set
+        ``reduction=False`` for phases that do not merge (e.g. an
+        assignment-only pass).
+        """
+        if not threads:
+            raise SchedulerError("engine needs at least one thread")
+        for th in threads:
+            th.clock_ns = 0.0
+            th.counters = ThreadCounters()
+        scheduler.assign(tasks, threads)
+        bank_streams = self._bank_streams(tasks, threads)
+        n_threads = len(threads)
+        overlap = self.bind_policy is not BindPolicy.OBLIVIOUS
+        smt_mult = self.cost.smt_compute_mult(n_threads)
+        migration_mult = (
+            self.cost.migration_compute_mult(n_threads)
+            if self.bind_policy is BindPolicy.OBLIVIOUS
+            else 1.0
+        )
+
+        executions: list[TaskExecution] = []
+        seen_tasks: set[int] = set()
+        heap: list[tuple[float, int]] = [
+            (th.clock_ns, th.thread_id) for th in threads
+        ]
+        heapq.heapify(heap)
+        done: set[int] = set()
+
+        while heap:
+            clock, tid = heapq.heappop(heap)
+            if tid in done:
+                continue
+            thread = threads[tid]
+            decision = scheduler.next_task(thread)
+            if decision is None:
+                done.add(tid)
+                continue
+            task = decision.task
+            if task.task_id in seen_tasks:
+                raise SchedulerError(
+                    f"task {task.task_id} dispatched twice"
+                )
+            seen_tasks.add(task.task_id)
+
+            lock_ns = sum(
+                self.cost.lock_wait_ns(c) for c in decision.probe_contenders
+            )
+            thread.counters.queue_probes += len(decision.probe_contenders)
+            thread.counters.lock_wait_ns += lock_ns
+            if decision.was_steal:
+                if decision.stolen_from_node == thread.node:
+                    thread.counters.steals_local_node += 1
+                else:
+                    thread.counters.steals_remote_node += 1
+
+            compute_ns = (
+                self.cost.dist_comp_ns(d, task.n_dist)
+                + self.cost.rows_overhead_ns(task.n_rows)
+            ) * smt_mult * migration_mult
+            remote = task.home_node != thread.node
+            total_streams, remote_streams = bank_streams.get(
+                task.home_node, (1, 0)
+            )
+            nbytes = task.data_bytes + task.state_bytes
+            mem_ns = self.cost.mem_stream_ns(
+                nbytes,
+                remote=remote,
+                streams_on_bank=total_streams,
+                remote_streams_on_bank=remote_streams,
+            )
+            # A remote block cannot ride the local-bank prefetch
+            # pipeline: remote accesses serialize against compute, so
+            # stolen-remote tasks (and everything under the oblivious
+            # policy) lose the overlap.
+            task_ns = self.cost.task_time_ns(
+                compute_ns, mem_ns, overlap=overlap and not remote
+            )
+            start = thread.clock_ns
+            thread.advance(lock_ns + task_ns)
+
+            c = thread.counters
+            c.tasks_run += 1
+            c.rows_processed += task.n_rows
+            c.dist_computations += task.n_dist
+            if remote:
+                c.bytes_remote += nbytes
+            else:
+                c.bytes_local += nbytes
+
+            if self.record_executions:
+                executions.append(
+                    TaskExecution(
+                        task_id=task.task_id,
+                        thread_id=tid,
+                        start_ns=start,
+                        end_ns=thread.clock_ns,
+                        compute_ns=compute_ns,
+                        mem_ns=mem_ns,
+                        lock_ns=lock_ns,
+                        remote=remote,
+                    )
+                )
+            heapq.heappush(heap, (thread.clock_ns, tid))
+
+        if len(seen_tasks) != len(tasks):
+            raise SchedulerError(
+                f"scheduler drained with {len(seen_tasks)}/{len(tasks)} "
+                "tasks dispatched"
+            )
+
+        span = max(th.clock_ns for th in threads)
+        barrier = self.cost.barrier_ns(n_threads)
+        red = (
+            self.cost.reduction_ns(k, d, n_threads) if reduction else 0.0
+        )
+        totals = [th.counters for th in threads]
+        return IterationTrace(
+            thread_clocks_ns=[th.clock_ns for th in threads],
+            span_ns=span,
+            barrier_ns=barrier,
+            reduction_ns=red,
+            total_ns=span + barrier + red,
+            executions=executions,
+            total_rows=sum(c.rows_processed for c in totals),
+            total_dist=sum(c.dist_computations for c in totals),
+            total_bytes_local=sum(c.bytes_local for c in totals),
+            total_bytes_remote=sum(c.bytes_remote for c in totals),
+            total_steals=sum(
+                c.steals_local_node + c.steals_remote_node for c in totals
+            ),
+        )

@@ -1,0 +1,99 @@
+"""One simulated shared-memory machine.
+
+Bundles the static pieces (topology, cost model, optional SSD array)
+with the per-run pieces (memory manager, worker threads, execution
+engine) behind a single object the drivers instantiate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.simhw.costmodel import CostModel, FOUR_SOCKET_XEON
+from repro.simhw.engine import IterationEngine
+from repro.simhw.memory import MemoryManager
+from repro.simhw.ssd import SsdArray
+from repro.simhw.thread import SimThread, spawn_threads
+from repro.simhw.topology import BindPolicy, NumaTopology
+
+
+@dataclass
+class SimMachine:
+    """A simulated NUMA machine ready to run worker threads.
+
+    Examples
+    --------
+    >>> from repro.simhw import FOUR_SOCKET_XEON, BindPolicy
+    >>> m = SimMachine.build(FOUR_SOCKET_XEON, n_threads=8)
+    >>> len(m.threads)
+    8
+    >>> {t.node for t in m.threads}
+    {0, 1, 2, 3}
+    """
+
+    cost_model: CostModel
+    n_threads: int
+    bind_policy: BindPolicy
+    memory: MemoryManager
+    threads: list[SimThread]
+    engine: IterationEngine
+    ssd: SsdArray | None = None
+
+    @property
+    def topology(self) -> NumaTopology:
+        return self.cost_model.topology
+
+    @classmethod
+    def build(
+        cls,
+        cost_model: CostModel = FOUR_SOCKET_XEON,
+        *,
+        n_threads: int | None = None,
+        bind_policy: BindPolicy = BindPolicy.NUMA_BIND,
+        ssd: SsdArray | None = None,
+        record_executions: bool = False,
+    ) -> "SimMachine":
+        """Construct a machine with ``n_threads`` workers.
+
+        ``n_threads`` defaults to the machine's physical core count,
+        the configuration the paper benchmarks most.
+        """
+        topo = cost_model.topology
+        if n_threads is None:
+            n_threads = topo.physical_cores
+        if n_threads < 1:
+            raise ConfigError(f"n_threads must be >= 1, got {n_threads}")
+        if n_threads > topo.hardware_threads * 4:
+            raise ConfigError(
+                f"{n_threads} threads grossly oversubscribes "
+                f"{topo.hardware_threads} hardware threads"
+            )
+        return cls(
+            cost_model=cost_model,
+            n_threads=n_threads,
+            bind_policy=bind_policy,
+            memory=MemoryManager(topo),
+            threads=spawn_threads(topo, n_threads, bind_policy),
+            engine=IterationEngine(
+                cost_model,
+                bind_policy=bind_policy,
+                record_executions=record_executions,
+            ),
+            ssd=ssd,
+        )
+
+    def node_of_row_block(self, block_frac: float) -> int:
+        """NUMA node holding a row block at relative dataset position.
+
+        Figure 1's layout: thread ``t`` owns rows ``[t*alpha,
+        (t+1)*alpha)`` and its partition is allocated on *its* node --
+        so a block's home bank is its owning thread's node (at T=1,
+        everything is local to the one thread). Under an oblivious
+        layout everything sits on node 0. Drivers use this to stamp
+        ``TaskWork.home_node``.
+        """
+        if self.bind_policy is BindPolicy.OBLIVIOUS:
+            return 0
+        owner = min(int(block_frac * self.n_threads), self.n_threads - 1)
+        return self.threads[owner].node

@@ -1,0 +1,108 @@
+"""SSD array model for the semi-external-memory substrate.
+
+The paper's single-node machine drives 24 OCZ Intrepid 3000 SSDs behind
+three HBAs; the cloud knors machine (i3.16xlarge) has 8 NVMe devices.
+For k-means the array behaves like one logical device with an aggregate
+bandwidth ceiling and an aggregate IOPS ceiling; SAFS stripes requests
+across devices, so a read batch is limited by whichever ceiling it hits
+first. The minimum transfer unit is one filesystem page (4 KB in every
+experiment, Section 8.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, IoSubsystemError
+
+_NS_PER_S = 1e9
+
+
+@dataclass(frozen=True)
+class SsdReadResult:
+    """Outcome of one read batch submitted to the array."""
+
+    n_requests: int
+    pages_read: int
+    bytes_read: int
+    service_ns: float
+
+
+@dataclass(frozen=True)
+class SsdArray:
+    """Aggregate model of a striped SSD array.
+
+    Parameters
+    ----------
+    n_devices:
+        Devices in the array.
+    per_device_bw:
+        Sequential read bandwidth of one device, bytes/second.
+    per_device_iops:
+        4K random-read IOPS of one device.
+    page_bytes:
+        Filesystem page size -- the minimum read unit (Section 6.2.1
+        discusses why knors keeps this at 4 KB).
+    """
+
+    n_devices: int = 24
+    per_device_bw: float = 450e6
+    per_device_iops: float = 60e3
+    page_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ConfigError(f"n_devices must be >= 1, got {self.n_devices}")
+        if self.page_bytes < 512:
+            raise ConfigError(
+                f"page_bytes must be >= 512, got {self.page_bytes}"
+            )
+        if self.per_device_bw <= 0 or self.per_device_iops <= 0:
+            raise ConfigError("device bandwidth and IOPS must be positive")
+
+    @property
+    def array_bw(self) -> float:
+        """Aggregate sequential bandwidth, bytes/second."""
+        return self.n_devices * self.per_device_bw
+
+    @property
+    def array_iops(self) -> float:
+        """Aggregate 4K IOPS."""
+        return self.n_devices * self.per_device_iops
+
+    def read(self, n_requests: int, total_pages: int) -> SsdReadResult:
+        """Service one batch of page reads.
+
+        ``n_requests`` is the number of (merged) I/O requests SAFS
+        issued; ``total_pages`` the pages they cover. Service time is
+        the larger of the bandwidth-limited and IOPS-limited times --
+        asynchronous submission keeps the device queues full, so the
+        batch pipelines against whichever ceiling binds.
+        """
+        if n_requests < 0 or total_pages < 0:
+            raise IoSubsystemError("negative read batch")
+        if n_requests > total_pages:
+            raise IoSubsystemError(
+                f"{n_requests} requests cannot cover only "
+                f"{total_pages} pages"
+            )
+        nbytes = total_pages * self.page_bytes
+        bw_ns = nbytes / self.array_bw * _NS_PER_S
+        iops_ns = n_requests / self.array_iops * _NS_PER_S
+        return SsdReadResult(
+            n_requests=n_requests,
+            pages_read=total_pages,
+            bytes_read=nbytes,
+            service_ns=max(bw_ns, iops_ns),
+        )
+
+
+#: The paper's 24-SSD OCZ Intrepid 3000 array (Section 8.1).
+OCZ_INTREPID_ARRAY = SsdArray(
+    n_devices=24, per_device_bw=450e6, per_device_iops=60e3
+)
+
+#: i3.16xlarge instance storage: 8 NVMe devices (Section 8.9.1).
+I3_NVME_ARRAY = SsdArray(
+    n_devices=8, per_device_bw=1.9e9, per_device_iops=200e3
+)

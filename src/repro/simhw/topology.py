@@ -1,0 +1,145 @@
+"""NUMA machine topology descriptions.
+
+A topology is the static shape of a machine: how many NUMA nodes, how
+many physical cores per node, and how many hardware threads each core
+exposes through simultaneous multithreading (SMT). The paper's single
+node test machine is a four-socket Xeon E7-4860 (4 NUMA nodes x 12
+cores, 2-way SMT => 96 hardware threads, 48 physical cores); its cloud
+machines are dual-socket c4.8xlarge (18 physical cores) and i3.16xlarge
+(32 physical cores) instances.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+
+
+class BindPolicy(enum.Enum):
+    """How worker threads are placed on the machine.
+
+    ``NUMA_BIND``
+        The paper's scheme (Section 5.2, Figure 1): each thread is bound
+        to one NUMA node, threads are spread evenly over nodes, and each
+        thread's data partition is allocated on its node.
+
+    ``OBLIVIOUS``
+        The NUMA-oblivious baseline of Figure 4: the OS places threads
+        with no affinity, so every thread's accesses hit whichever bank
+        holds the (single, contiguous) allocation, mostly remotely.
+
+    ``CORE_BIND``
+        Bind each thread to one specific core. The paper rejects this as
+        "too restrictive to the OS scheduler" when threads exceed
+        physical cores; we model that with an oversubscription penalty.
+    """
+
+    NUMA_BIND = "numa_bind"
+    OBLIVIOUS = "oblivious"
+    CORE_BIND = "core_bind"
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """Static shape of one shared-memory machine.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of NUMA nodes (sockets with a local memory bank).
+    cores_per_node:
+        Physical cores attached to each node's local bus.
+    smt:
+        Hardware threads per physical core (1 = no hyperthreading).
+
+    Examples
+    --------
+    >>> topo = NumaTopology(n_nodes=4, cores_per_node=12, smt=2)
+    >>> topo.physical_cores
+    48
+    >>> topo.hardware_threads
+    96
+    >>> topo.node_of_thread(0, n_threads=8)
+    0
+    >>> topo.node_of_thread(7, n_threads=8)
+    3
+    """
+
+    n_nodes: int
+    cores_per_node: int
+    smt: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise TopologyError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.cores_per_node < 1:
+            raise TopologyError(
+                f"cores_per_node must be >= 1, got {self.cores_per_node}"
+            )
+        if self.smt < 1:
+            raise TopologyError(f"smt must be >= 1, got {self.smt}")
+
+    @property
+    def physical_cores(self) -> int:
+        """Total physical cores in the machine (``P`` in the paper)."""
+        return self.n_nodes * self.cores_per_node
+
+    @property
+    def hardware_threads(self) -> int:
+        """Total schedulable hardware threads (physical cores x SMT)."""
+        return self.physical_cores * self.smt
+
+    def node_of_thread(self, thread_id: int, n_threads: int) -> int:
+        """NUMA node a bound thread lives on under the paper's layout.
+
+        Figure 1 assigns ``beta = T / N`` consecutive thread ids to each
+        node. When ``T`` does not divide evenly, the remainder threads
+        are spread over the first nodes, matching a block distribution.
+        """
+        if not 0 <= thread_id < n_threads:
+            raise TopologyError(
+                f"thread_id {thread_id} out of range for T={n_threads}"
+            )
+        base = n_threads // self.n_nodes
+        extra = n_threads % self.n_nodes
+        # First `extra` nodes carry (base + 1) threads each.
+        boundary = extra * (base + 1)
+        if thread_id < boundary:
+            return thread_id // (base + 1)
+        if base == 0:
+            # More nodes than threads: every thread landed in the
+            # `extra` region above; anything else is unreachable.
+            raise TopologyError(
+                f"thread_id {thread_id} unplaceable with T={n_threads}"
+            )
+        return extra + (thread_id - boundary) // base
+
+    def threads_on_node(self, node: int, n_threads: int) -> list[int]:
+        """Inverse of :meth:`node_of_thread` for one node."""
+        if not 0 <= node < self.n_nodes:
+            raise TopologyError(f"node {node} out of range (N={self.n_nodes})")
+        return [
+            t for t in range(n_threads)
+            if self.node_of_thread(t, n_threads) == node
+        ]
+
+    def oversubscription(self, n_threads: int) -> float:
+        """Ratio of requested threads to physical cores, floored at 1.
+
+        Above 1.0, extra parallelism comes only from SMT, which the
+        cost model discounts (Figure 4 shows speedup flattening past 48
+        threads on the 48-core machine).
+        """
+        return max(1.0, n_threads / self.physical_cores)
+
+
+#: The paper's single-node evaluation machine (Section 8.1).
+FOUR_SOCKET_TOPOLOGY = NumaTopology(n_nodes=4, cores_per_node=12, smt=2)
+
+#: Amazon EC2 c4.8xlarge: 18 physical cores on 2 sockets (Section 8.2).
+C4_8XLARGE_TOPOLOGY = NumaTopology(n_nodes=2, cores_per_node=9, smt=2)
+
+#: Amazon EC2 i3.16xlarge: 32 physical cores on 2 sockets (Section 8.9.1).
+I3_16XLARGE_TOPOLOGY = NumaTopology(n_nodes=2, cores_per_node=16, smt=2)

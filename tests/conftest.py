@@ -1,0 +1,49 @@
+"""Shared fixtures for the knor-repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import friendster_like, write_matrix
+
+
+@pytest.fixture(scope="session")
+def blobs():
+    """Well-separated Gaussian blobs: k-means ground truth is obvious."""
+    rng = np.random.default_rng(42)
+    centers = np.array(
+        [[0.0, 0.0, 0.0], [10.0, 0.0, 0.0], [0.0, 10.0, 0.0],
+         [10.0, 10.0, 10.0]]
+    )
+    x = np.vstack(
+        [rng.normal(loc=c, scale=0.5, size=(250, 3)) for c in centers]
+    )
+    rng.shuffle(x)
+    return x
+
+
+@pytest.fixture(scope="session")
+def overlapping():
+    """Ten overlapping clusters in 8-D: many iterations, real pruning."""
+    rng = np.random.default_rng(7)
+    centers = rng.normal(scale=3.0, size=(10, 8))
+    x = np.vstack(
+        [rng.normal(loc=c, scale=1.8, size=(300, 8)) for c in centers]
+    )
+    rng.shuffle(x)
+    return x
+
+
+@pytest.fixture(scope="session")
+def friendster_small():
+    """A small Friendster-like spectral embedding (cached per session)."""
+    return friendster_like(4096, 8)
+
+
+@pytest.fixture()
+def matrix_path(tmp_path, overlapping):
+    """The overlapping dataset written to a real knor binary file."""
+    path = tmp_path / "overlap.knor"
+    write_matrix(path, overlapping)
+    return path

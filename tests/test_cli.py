@@ -1,0 +1,111 @@
+"""CLI: generate, inspect, and cluster via the repro-kmeans entry."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import write_matrix
+
+
+@pytest.fixture()
+def small_matrix(tmp_path, overlapping):
+    path = tmp_path / "data.knor"
+    write_matrix(path, overlapping)
+    return path
+
+
+def test_gen_and_info(tmp_path, capsys):
+    out = tmp_path / "rm.knor"
+    assert main(["gen", "--dataset", "rm-856m", "--n", "256",
+                 "-o", str(out)]) == 0
+    assert out.exists()
+    assert main(["info", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "n=256" in text and "d=16" in text
+
+
+def test_knori_runs_and_saves(small_matrix, tmp_path, capsys):
+    out = tmp_path / "result.npz"
+    rc = main([
+        "knori", str(small_matrix), "-k", "5", "--seed", "1",
+        "--max-iters", "20", "--out", str(out),
+    ])
+    assert rc == 0
+    assert "knori:" in capsys.readouterr().out
+    data = np.load(out)
+    assert data["centroids"].shape == (5, 8)
+    assert data["assignment"].shape[0] == 3000
+
+
+def test_knori_pruning_none(small_matrix, capsys):
+    assert main([
+        "knori", str(small_matrix), "-k", "3", "--pruning", "none",
+        "--max-iters", "10",
+    ]) == 0
+    assert "knori-" in capsys.readouterr().out
+
+
+def test_knors_reports_io(small_matrix, capsys):
+    assert main([
+        "knors", str(small_matrix), "-k", "4", "--max-iters", "10",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "knors" in out
+    assert "read" in out
+
+
+def test_knors_checkpoint_resume(small_matrix, tmp_path, capsys):
+    ckpt = tmp_path / "ckpt"
+    assert main([
+        "knors", str(small_matrix), "-k", "4", "--max-iters", "4",
+        "--checkpoint-dir", str(ckpt), "--checkpoint-interval", "2",
+    ]) == 0
+    from repro.sem.checkpoint import has_checkpoint
+
+    assert has_checkpoint(ckpt)
+    assert main([
+        "knors", str(small_matrix), "-k", "4", "--max-iters", "50",
+        "--checkpoint-dir", str(ckpt), "--resume",
+    ]) == 0
+
+
+def test_quality_and_json_flags(small_matrix, tmp_path, capsys):
+    j = tmp_path / "run.json"
+    rc = main([
+        "knori", str(small_matrix), "-k", "5", "--quality",
+        "--json", str(j), "--max-iters", "15",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "silhouette=" in out and "davies-bouldin=" in out
+    import json as _json
+
+    data = _json.loads(j.read_text())
+    assert data["params"]["k"] == 5
+    assert len(data["records"]) == data["iterations"]
+
+
+def test_knord(small_matrix, capsys):
+    assert main([
+        "knord", str(small_matrix), "-k", "4", "--machines", "3",
+        "--max-iters", "10",
+    ]) == 0
+    assert "knord" in capsys.readouterr().out
+
+
+def test_knord_rejects_elkan(small_matrix, capsys):
+    rc = main([
+        "knord", str(small_matrix), "-k", "4", "--pruning", "elkan",
+    ])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_missing_file_is_graceful(capsys):
+    assert main(["info", "/nonexistent/x.knor"]) == 2
+
+
+def test_bad_dataset_name_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["gen", "--dataset", "mnist", "-o",
+              str(tmp_path / "x.knor")])

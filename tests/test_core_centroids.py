@@ -1,0 +1,99 @@
+"""Unit tests for per-thread centroid accumulation and funnel merge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.centroids import (
+    PartialCentroids,
+    cluster_sums,
+    funnel_merge,
+)
+from repro.errors import DatasetError
+
+
+def test_accumulate_matches_groupby():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(100, 3))
+    assign = rng.integers(0, 5, size=100).astype(np.int32)
+    p = cluster_sums(x, assign, 5)
+    for c in range(5):
+        np.testing.assert_allclose(
+            p.sums[c], x[assign == c].sum(axis=0), atol=1e-9
+        )
+        assert p.counts[c] == (assign == c).sum()
+
+
+def test_finalize_means_and_empty_clusters():
+    x = np.array([[1.0, 1.0], [3.0, 3.0]])
+    assign = np.array([0, 0], dtype=np.int32)
+    p = cluster_sums(x, assign, 3)
+    prev = np.array([[9.0, 9.0], [7.0, 7.0], [5.0, 5.0]])
+    out = p.finalize(prev)
+    np.testing.assert_allclose(out[0], [2.0, 2.0])
+    # Empty clusters keep their previous centroid -- no NaNs.
+    np.testing.assert_allclose(out[1], [7.0, 7.0])
+    np.testing.assert_allclose(out[2], [5.0, 5.0])
+    assert np.isfinite(out).all()
+
+
+def test_merge_from_adds():
+    a = PartialCentroids.zeros(2, 2)
+    b = PartialCentroids.zeros(2, 2)
+    a.sums[0] = [1.0, 2.0]
+    a.counts[0] = 1
+    b.sums[0] = [3.0, 4.0]
+    b.counts[0] = 2
+    a.merge_from(b)
+    np.testing.assert_allclose(a.sums[0], [4.0, 6.0])
+    assert a.counts[0] == 3
+
+
+def test_merge_shape_mismatch_raises():
+    with pytest.raises(DatasetError):
+        PartialCentroids.zeros(2, 2).merge_from(PartialCentroids.zeros(3, 2))
+
+
+def test_funnel_merge_empty_raises():
+    with pytest.raises(DatasetError):
+        funnel_merge([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_parts=st.integers(1, 9),
+    k=st.integers(1, 5),
+    seed=st.integers(0, 500),
+)
+def test_funnel_merge_equals_global_sum(n_parts, k, seed):
+    """The reduction tree must equal a single global accumulation."""
+    rng = np.random.default_rng(seed)
+    n, d = 64, 3
+    x = rng.normal(size=(n, d))
+    assign = rng.integers(0, k, size=n).astype(np.int32)
+    bounds = np.linspace(0, n, n_parts + 1, dtype=int)
+    partials = []
+    for i in range(n_parts):
+        p = PartialCentroids.zeros(k, d)
+        lo, hi = bounds[i], bounds[i + 1]
+        if hi > lo:
+            p.accumulate(x[lo:hi], assign[lo:hi])
+        partials.append(p)
+    merged = funnel_merge(partials)
+    reference = cluster_sums(x, assign, k)
+    np.testing.assert_allclose(merged.sums, reference.sums, atol=1e-9)
+    np.testing.assert_array_equal(merged.counts, reference.counts)
+
+
+def test_accumulate_length_mismatch_raises():
+    p = PartialCentroids.zeros(2, 2)
+    with pytest.raises(DatasetError):
+        p.accumulate(np.zeros((3, 2)), np.zeros(4, dtype=np.int32))
+
+
+def test_funnel_merge_single_partial_identity():
+    p = PartialCentroids.zeros(2, 2)
+    p.sums[1] = [5.0, 5.0]
+    out = funnel_merge([p])
+    np.testing.assert_allclose(out.sums[1], [5.0, 5.0])

@@ -1,0 +1,144 @@
+"""Unit tests for the Euclidean distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.distance import (
+    euclidean,
+    half_min_inter_centroid,
+    nearest_centroid,
+    pairwise_centroid_distances,
+    rows_to_centroids,
+)
+from repro.errors import DatasetError
+
+
+def test_euclidean_matches_naive():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(50, 7))
+    c = rng.normal(size=(5, 7))
+    got = euclidean(x, c)
+    want = np.sqrt(((x[:, None, :] - c[None, :, :]) ** 2).sum(axis=2))
+    np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-10)
+
+
+def test_euclidean_identical_points_zero():
+    x = np.ones((3, 4))
+    assert euclidean(x, x.copy()).min() == pytest.approx(0.0, abs=1e-12)
+
+
+def test_euclidean_shape_and_dtype():
+    d = euclidean(np.zeros((4, 2)), np.ones((3, 2)))
+    assert d.shape == (4, 3)
+    assert d.dtype == np.float64
+
+
+def test_euclidean_dimension_mismatch():
+    with pytest.raises(DatasetError):
+        euclidean(np.zeros((4, 2)), np.zeros((3, 5)))
+
+
+def test_euclidean_rejects_1d():
+    with pytest.raises(DatasetError):
+        euclidean(np.zeros(4), np.zeros((3, 4)))
+
+
+def test_euclidean_never_negative_under_cancellation():
+    # Large magnitudes with tiny differences stress the expanded form.
+    x = np.full((2, 3), 1e8)
+    c = x + 1e-8
+    assert (euclidean(x, c) >= 0).all()
+
+
+def test_pairwise_centroid_distances_symmetric_zero_diag():
+    rng = np.random.default_rng(1)
+    c = rng.normal(size=(6, 3))
+    cc = pairwise_centroid_distances(c)
+    np.testing.assert_allclose(cc, cc.T, atol=1e-12)
+    # Expanded-form cancellation: the diagonal is ~sqrt(eps), not 0.
+    np.testing.assert_allclose(np.diag(cc), 0.0, atol=1e-6)
+
+
+def test_half_min_inter_centroid_values():
+    c = np.array([[0.0], [1.0], [10.0]])
+    s = half_min_inter_centroid(pairwise_centroid_distances(c))
+    np.testing.assert_allclose(s, [0.5, 0.5, 4.5])
+
+
+def test_half_min_single_centroid_is_inf():
+    s = half_min_inter_centroid(pairwise_centroid_distances(np.zeros((1, 3))))
+    assert np.isinf(s[0])
+
+
+def test_nearest_centroid_matches_argmin():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(200, 5))
+    c = rng.normal(size=(9, 5))
+    assign, mind = nearest_centroid(x, c)
+    full = euclidean(x, c)
+    np.testing.assert_array_equal(assign, np.argmin(full, axis=1))
+    np.testing.assert_allclose(mind, full.min(axis=1), atol=1e-12)
+
+
+def test_nearest_centroid_blocking_invariant():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(100, 4))
+    c = rng.normal(size=(3, 4))
+    a1, d1 = nearest_centroid(x, c, block_rows=7)
+    a2, d2 = nearest_centroid(x, c, block_rows=100000)
+    np.testing.assert_array_equal(a1, a2)
+    np.testing.assert_allclose(d1, d2, atol=0)
+
+
+def test_nearest_centroid_tie_breaks_low_index():
+    x = np.array([[0.0, 0.0]])
+    c = np.array([[1.0, 0.0], [-1.0, 0.0]])  # equidistant
+    assign, _ = nearest_centroid(x, c)
+    assert assign[0] == 0
+
+
+def test_rows_to_centroids_matches_euclidean():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(80, 6))
+    c = rng.normal(size=(4, 6))
+    idx = rng.integers(0, 4, size=80)
+    got = rows_to_centroids(x, c, idx)
+    want = euclidean(x, c)[np.arange(80), idx]
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    x=hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(1, 20), st.integers(1, 6)),
+        elements=st.floats(-100, 100),
+    ),
+)
+def test_euclidean_nonnegative_and_self_zero(x):
+    d = euclidean(x, x)
+    assert (d >= 0).all()
+    # Self-distance along the diagonal is ~0 (expanded form, ulp noise).
+    assert np.allclose(np.diag(d), 0.0, atol=1e-5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(2, 30),
+    k=st.integers(1, 8),
+    d=st.integers(1, 5),
+    seed=st.integers(0, 1000),
+)
+def test_triangle_inequality_holds(n, k, d, seed):
+    """d(x, c1) <= d(x, c2) + d(c1, c2) -- the bound MTI relies on."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    c = rng.normal(size=(k, d))
+    dx = euclidean(x, c)
+    cc = pairwise_centroid_distances(c)
+    for i in range(k):
+        for j in range(k):
+            assert (dx[:, i] <= dx[:, j] + cc[i, j] + 1e-9).all()

@@ -1,0 +1,118 @@
+"""Full Elkan TI: exactness, bound invariants, and MTI comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConvergenceCriteria,
+    elkan_init,
+    elkan_iteration,
+    init_centroids,
+    lloyd,
+    mti_init,
+    mti_iteration,
+)
+from repro.core.distance import euclidean
+from repro.errors import DatasetError
+
+
+def run_elkan(x, c0, max_iters=100):
+    state, res = elkan_init(x, c0)
+    prev, cur = c0, res.new_centroids
+    computed = res.computed
+    results = [res]
+    for _ in range(max_iters - 1):
+        r = elkan_iteration(x, cur, prev, state)
+        computed += r.computed
+        results.append(r)
+        prev, cur = cur, r.new_centroids
+        if r.n_changed == 0:
+            break
+    return state, cur, computed, results
+
+
+@pytest.mark.parametrize("k", [1, 3, 10])
+def test_elkan_matches_lloyd_exactly(overlapping, k):
+    c0 = init_centroids(overlapping, k, "kmeans++", seed=1)
+    ref = lloyd(
+        overlapping, k, init=c0, criteria=ConvergenceCriteria(max_iters=100)
+    )
+    state, centroids, _, results = run_elkan(overlapping, c0)
+    np.testing.assert_array_equal(state.assignment, ref.assignment)
+    np.testing.assert_allclose(centroids, ref.centroids, atol=1e-8)
+    assert len(results) == ref.iterations
+
+
+def test_elkan_prunes_at_least_as_much_as_mti(overlapping, friendster_small):
+    """Elkan's O(nk) lower bounds buy extra pruning over MTI.
+
+    That surplus is precisely what the paper trades away for O(n)
+    memory (Section 4).
+    """
+    for data, k in ((overlapping, 10), (friendster_small, 8)):
+        c0 = init_centroids(data, k, "random", seed=3)
+        _, _, elkan_computed, _ = run_elkan(data, c0)
+        state, res = mti_init(data, c0)
+        prev, cur = c0, res.new_centroids
+        mti_computed = res.computed
+        for _ in range(99):
+            r = mti_iteration(data, cur, prev, state)
+            mti_computed += r.computed
+            prev, cur = cur, r.new_centroids
+            if r.n_changed == 0:
+                break
+        assert elkan_computed <= mti_computed
+
+
+def test_lower_bounds_are_lower_bounds(overlapping):
+    c0 = init_centroids(overlapping, 6, "random", seed=4)
+    state, res = elkan_init(overlapping, c0)
+    prev, cur = c0, res.new_centroids
+    for _ in range(6):
+        r = elkan_iteration(overlapping, cur, prev, state)
+        true = euclidean(overlapping, cur)
+        assert (state.lb <= true + 1e-9).all()
+        prev, cur = cur, r.new_centroids
+        if r.n_changed == 0:
+            break
+
+
+def test_upper_bounds_are_upper_bounds(overlapping):
+    c0 = init_centroids(overlapping, 6, "random", seed=4)
+    state, res = elkan_init(overlapping, c0)
+    prev, cur = c0, res.new_centroids
+    for _ in range(6):
+        r = elkan_iteration(overlapping, cur, prev, state)
+        true = euclidean(overlapping, cur)[
+            np.arange(overlapping.shape[0]), state.assignment
+        ]
+        assert (state.ub >= true - 1e-9).all()
+        prev, cur = cur, r.new_centroids
+        if r.n_changed == 0:
+            break
+
+
+def test_lb_matrix_shape_is_nk(overlapping):
+    c0 = init_centroids(overlapping, 5, "random", seed=0)
+    state, _ = elkan_init(overlapping, c0)
+    assert state.lb.shape == (overlapping.shape[0], 5)
+
+
+def test_state_row_mismatch_raises(overlapping):
+    c0 = init_centroids(overlapping, 3, "random", seed=0)
+    state, res = elkan_init(overlapping, c0)
+    with pytest.raises(DatasetError):
+        elkan_iteration(overlapping[:5], res.new_centroids, c0, state)
+
+
+def test_counts_conserved(overlapping):
+    c0 = init_centroids(overlapping, 7, "random", seed=9)
+    state, res = elkan_init(overlapping, c0)
+    prev, cur = c0, res.new_centroids
+    for _ in range(5):
+        r = elkan_iteration(overlapping, cur, prev, state)
+        assert state.counts.sum() == overlapping.shape[0]
+        assert (state.counts >= 0).all()
+        prev, cur = cur, r.new_centroids
+        if r.n_changed == 0:
+            break

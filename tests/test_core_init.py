@@ -1,0 +1,115 @@
+"""Unit tests for centroid initialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import euclidean
+from repro.core.init import (
+    init_centroids,
+    kmeans_parallel,
+    kmeanspp,
+    random_partition,
+    random_sample,
+)
+from repro.errors import ConvergenceError, DatasetError
+
+
+@pytest.fixture()
+def data():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(300, 4))
+
+
+@pytest.mark.parametrize(
+    "method",
+    ["random", "forgy", "random_partition", "kmeans++", "kmeans||"],
+)
+def test_shapes_and_determinism(data, method):
+    c1 = init_centroids(data, 7, method, seed=3)
+    c2 = init_centroids(data, 7, method, seed=3)
+    assert c1.shape == (7, 4)
+    np.testing.assert_array_equal(c1, c2)
+
+
+@pytest.mark.parametrize("method", ["random", "kmeans++", "kmeans||"])
+def test_different_seeds_differ(data, method):
+    c1 = init_centroids(data, 5, method, seed=1)
+    c2 = init_centroids(data, 5, method, seed=2)
+    assert not np.array_equal(c1, c2)
+
+
+def test_random_sample_returns_data_points(data):
+    c = init_centroids(data, 6, "random", seed=0)
+    # Every centroid must be an actual row of the data.
+    d = euclidean(c, data)
+    assert np.allclose(d.min(axis=1), 0.0, atol=1e-6)
+
+
+def test_random_sample_distinct_points(data):
+    c = init_centroids(data, 50, "random", seed=0)
+    assert np.unique(c, axis=0).shape[0] == 50
+
+
+def test_kmeanspp_spreads_centroids(data):
+    """k-means++ seeds should be farther apart than uniform ones."""
+    rng_runs = []
+    pp_runs = []
+    for seed in range(5):
+        cr = init_centroids(data, 8, "random", seed=seed)
+        cp = init_centroids(data, 8, "kmeans++", seed=seed)
+        off = ~np.eye(8, dtype=bool)
+        rng_runs.append(euclidean(cr, cr)[off].min())
+        pp_runs.append(euclidean(cp, cp)[off].min())
+    assert np.mean(pp_runs) > np.mean(rng_runs)
+
+
+def test_kmeanspp_duplicate_points_fallback():
+    x = np.zeros((20, 3))
+    c = kmeanspp(x, 4, np.random.default_rng(0))
+    assert c.shape == (4, 3)
+    np.testing.assert_array_equal(c, 0.0)
+
+
+def test_random_partition_every_cluster_nonempty(data):
+    c = random_partition(data, 12, np.random.default_rng(5))
+    assert np.isfinite(c).all()
+    assert c.shape == (12, 4)
+
+
+def test_kmeans_parallel_covers_space(data):
+    c = kmeans_parallel(data, 10, np.random.default_rng(1))
+    assert c.shape == (10, 4)
+    # Every point should have a reasonably close seed.
+    assert euclidean(data, c).min(axis=1).max() < 5.0
+
+
+def test_k_exceeds_n_raises():
+    with pytest.raises(ConvergenceError):
+        init_centroids(np.zeros((3, 2)), 4, "random")
+
+
+def test_k_zero_raises():
+    with pytest.raises(ConvergenceError):
+        init_centroids(np.zeros((3, 2)), 0, "random")
+
+
+def test_unknown_method_raises(data):
+    with pytest.raises(ConvergenceError):
+        init_centroids(data, 3, "definitely-not-a-method")
+
+
+def test_non_2d_raises():
+    with pytest.raises(DatasetError):
+        init_centroids(np.zeros(10), 2, "random")
+
+
+def test_generator_seed_accepted(data):
+    gen = np.random.default_rng(9)
+    c = init_centroids(data, 3, "random", seed=gen)
+    assert c.shape == (3, 4)
+
+
+def test_k_equals_n():
+    x = np.arange(12, dtype=float).reshape(4, 3)
+    c = random_sample(x, 4, np.random.default_rng(0))
+    np.testing.assert_array_equal(np.sort(c, axis=0), np.sort(x, axis=0))

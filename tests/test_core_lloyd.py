@@ -1,0 +1,150 @@
+"""Serial Lloyd's and the unpruned ||Lloyd's super-phase."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConvergenceCriteria,
+    full_iteration,
+    init_centroids,
+    lloyd,
+)
+from repro.errors import ConfigError, DatasetError
+
+
+def test_lloyd_recovers_blobs(blobs):
+    res = lloyd(blobs, 4, init="kmeans++", seed=0)
+    assert res.converged
+    assert sorted(res.cluster_sizes.tolist()) == [250, 250, 250, 250]
+    # Each centroid sits inside its blob (scale 0.5 noise).
+    assert res.inertia / blobs.shape[0] < 1.5
+
+
+def test_lloyd_deterministic(blobs):
+    a = lloyd(blobs, 4, seed=5)
+    b = lloyd(blobs, 4, seed=5)
+    np.testing.assert_array_equal(a.assignment, b.assignment)
+    np.testing.assert_array_equal(a.centroids, b.centroids)
+
+
+def test_lloyd_objective_nonincreasing(overlapping):
+    """The k-means objective never increases across iterations."""
+    from repro.core.distance import nearest_centroid
+
+    c = init_centroids(overlapping, 8, "random", seed=2)
+    last = np.inf
+    for _ in range(15):
+        res = full_iteration(overlapping, c)
+        obj = float((res.mindist**2).sum())
+        assert obj <= last + 1e-6
+        last = obj
+        c = res.new_centroids
+        if res.n_changed == 0:
+            break
+
+
+def test_lloyd_max_iters_respected(overlapping):
+    res = lloyd(
+        overlapping, 10, seed=1, criteria=ConvergenceCriteria(max_iters=3)
+    )
+    assert res.iterations <= 3
+
+
+def test_lloyd_explicit_init_array(blobs):
+    c0 = init_centroids(blobs, 4, "kmeans++", seed=1)
+    res = lloyd(blobs, 4, init=c0)
+    assert res.converged
+
+
+def test_lloyd_init_shape_mismatch(blobs):
+    with pytest.raises(ValueError):
+        lloyd(blobs, 4, init=np.zeros((3, 3)))
+
+
+def test_lloyd_k1(blobs):
+    res = lloyd(blobs, 1, seed=0)
+    assert res.converged
+    np.testing.assert_allclose(
+        res.centroids[0], blobs.mean(axis=0), atol=1e-9
+    )
+
+
+def test_lloyd_k_equals_n():
+    x = np.arange(10, dtype=float).reshape(5, 2) * 10
+    res = lloyd(x, 5, seed=0)
+    assert res.converged
+    assert res.inertia == pytest.approx(0.0, abs=1e-12)
+
+
+def test_lloyd_constant_data():
+    x = np.ones((50, 3))
+    res = lloyd(x, 3, seed=0)
+    assert res.converged
+    assert np.isfinite(res.centroids).all()
+
+
+def test_lloyd_changed_history_monotone_end(overlapping):
+    res = lloyd(overlapping, 6, seed=3)
+    assert res.changed_history[-1] == 0 or not res.converged
+
+
+def test_full_iteration_partition_count_invariance(overlapping):
+    """Funnel-merged per-thread partials match a single partition."""
+    c = init_centroids(overlapping, 5, "random", seed=1)
+    r1 = full_iteration(overlapping, c, n_partitions=1)
+    r8 = full_iteration(overlapping, c, n_partitions=8)
+    r48 = full_iteration(overlapping, c, n_partitions=48)
+    np.testing.assert_array_equal(r1.assignment, r8.assignment)
+    np.testing.assert_allclose(
+        r1.new_centroids, r8.new_centroids, atol=1e-9
+    )
+    np.testing.assert_allclose(
+        r1.new_centroids, r48.new_centroids, atol=1e-9
+    )
+
+
+def test_full_iteration_stats(overlapping):
+    c = init_centroids(overlapping, 5, "random", seed=1)
+    r = full_iteration(overlapping, c)
+    assert (r.dist_per_row == 5).all()
+    assert r.needs_data.all()
+    assert r.n_changed == overlapping.shape[0]  # first iteration
+
+
+def test_full_iteration_changed_counts(overlapping):
+    c = init_centroids(overlapping, 5, "random", seed=1)
+    r1 = full_iteration(overlapping, c)
+    r2 = full_iteration(
+        overlapping, r1.new_centroids, r1.assignment
+    )
+    manual = int(np.count_nonzero(r2.assignment != r1.assignment))
+    assert r2.n_changed == manual
+
+
+def test_full_iteration_bad_partitions(overlapping):
+    c = init_centroids(overlapping, 5, "random", seed=1)
+    with pytest.raises(DatasetError):
+        full_iteration(overlapping, c, n_partitions=0)
+
+
+def test_criteria_validation():
+    with pytest.raises(ConfigError):
+        ConvergenceCriteria(max_iters=0)
+    with pytest.raises(ConfigError):
+        ConvergenceCriteria(tol_changed_frac=1.5)
+    with pytest.raises(ConfigError):
+        ConvergenceCriteria(tol_centroid_motion=-1)
+
+
+def test_criteria_motion_tolerance(overlapping):
+    crit = ConvergenceCriteria(max_iters=100, tol_centroid_motion=1.0)
+    res = lloyd(overlapping, 5, seed=0, criteria=crit)
+    loose_iters = res.iterations
+    strict = lloyd(overlapping, 5, seed=0)
+    assert loose_iters <= strict.iterations
+
+
+def test_criteria_changed_fraction():
+    crit = ConvergenceCriteria(tol_changed_frac=0.5)
+    assert crit.converged(100, 50)
+    assert not crit.converged(100, 51)

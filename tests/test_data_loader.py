@@ -1,0 +1,108 @@
+"""CSV/NPY import and the convert CLI path."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import convert_to_knor, load_csv, load_npy, read_matrix
+from repro.errors import DatasetError
+
+
+@pytest.fixture()
+def csv_file(tmp_path):
+    p = tmp_path / "m.csv"
+    p.write_text("1.0,2.0,3.0\n4.0,5.0,6.0\n7.5,8.5,9.5\n")
+    return p
+
+
+@pytest.fixture()
+def npy_file(tmp_path):
+    p = tmp_path / "m.npy"
+    np.save(p, np.arange(12, dtype=np.float32).reshape(4, 3))
+    return p
+
+
+class TestLoadCsv:
+    def test_basic(self, csv_file):
+        x = load_csv(csv_file)
+        assert x.shape == (3, 3)
+        assert x.dtype == np.float64
+        assert x[2, 2] == 9.5
+
+    def test_header_skip(self, tmp_path):
+        p = tmp_path / "h.csv"
+        p.write_text("a,b\n1,2\n3,4\n")
+        x = load_csv(p, skip_header=1)
+        assert x.shape == (2, 2)
+
+    def test_other_delimiter(self, tmp_path):
+        p = tmp_path / "t.tsv"
+        p.write_text("1\t2\n3\t4\n")
+        x = load_csv(p, delimiter="\t")
+        assert x.shape == (2, 2)
+
+    def test_single_column(self, tmp_path):
+        p = tmp_path / "one.csv"
+        p.write_text("1\n2\n3\n")
+        assert load_csv(p).shape == (3, 1)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("1,2\n3,oops\n")
+        with pytest.raises(DatasetError):
+            load_csv(p)
+
+    def test_ragged_rejected(self, tmp_path):
+        p = tmp_path / "ragged.csv"
+        p.write_text("1,2,3\n4,5\n")
+        with pytest.raises(DatasetError):
+            load_csv(p)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_csv(tmp_path / "nope.csv")
+
+
+class TestLoadNpy:
+    def test_basic(self, npy_file):
+        x = load_npy(npy_file)
+        assert x.shape == (4, 3)
+        assert x.dtype == np.float64
+
+    def test_wrong_ndim(self, tmp_path):
+        p = tmp_path / "v.npy"
+        np.save(p, np.arange(5))
+        with pytest.raises(DatasetError):
+            load_npy(p)
+
+    def test_non_numeric(self, tmp_path):
+        p = tmp_path / "s.npy"
+        np.save(p, np.array([["a", "b"]]))
+        with pytest.raises(DatasetError):
+            load_npy(p)
+
+
+class TestConvert:
+    def test_csv_roundtrip(self, csv_file, tmp_path):
+        out = tmp_path / "m.knor"
+        convert_to_knor(csv_file, out)
+        np.testing.assert_array_equal(
+            read_matrix(out), load_csv(csv_file)
+        )
+
+    def test_npy_roundtrip(self, npy_file, tmp_path):
+        out = tmp_path / "m.knor"
+        convert_to_knor(npy_file, out)
+        assert read_matrix(out).shape == (4, 3)
+
+    def test_unknown_format(self, csv_file, tmp_path):
+        with pytest.raises(DatasetError):
+            convert_to_knor(csv_file, tmp_path / "x.knor", fmt="hdf5")
+
+    def test_cli_convert_then_cluster(self, csv_file, tmp_path, capsys):
+        out = tmp_path / "m.knor"
+        assert main(["convert", str(csv_file), "-o", str(out)]) == 0
+        assert "n=3 d=3" in capsys.readouterr().out
+        assert main([
+            "knori", str(out), "-k", "2", "--max-iters", "5",
+        ]) == 0

@@ -1,0 +1,112 @@
+"""Distributed substrate: network model, collectives, cluster builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import Cluster, NetworkModel, SimComm, TEN_GBE
+from repro.errors import CommunicatorError, ConfigError
+
+
+class TestNetworkModel:
+    def test_message_cost(self):
+        net = NetworkModel(latency_ns=1000, bandwidth=1e9)
+        assert net.message_ns(0) == 1000
+        assert net.message_ns(1_000_000) == pytest.approx(1000 + 1e6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NetworkModel(latency_ns=-1)
+        with pytest.raises(ConfigError):
+            NetworkModel(bandwidth=0)
+        with pytest.raises(ConfigError):
+            TEN_GBE.message_ns(-5)
+
+
+class TestSimComm:
+    def test_allreduce_sums_exactly(self):
+        comm = SimComm(4)
+        parts = [np.full((3, 2), float(i)) for i in range(4)]
+        res = comm.allreduce_sum(parts)
+        np.testing.assert_allclose(res.value, np.full((3, 2), 6.0))
+        assert res.sim_ns > 0
+        assert res.bytes_on_wire == 48 * 3
+
+    def test_allreduce_single_rank_free(self):
+        comm = SimComm(1)
+        res = comm.allreduce_sum([np.ones((2, 2))])
+        assert res.sim_ns == 0.0
+        np.testing.assert_array_equal(res.value, np.ones((2, 2)))
+
+    def test_allreduce_contribution_count_checked(self):
+        comm = SimComm(3)
+        with pytest.raises(CommunicatorError):
+            comm.allreduce_sum([np.ones(2)] * 2)
+
+    def test_allreduce_shape_mismatch(self):
+        comm = SimComm(2)
+        with pytest.raises(CommunicatorError):
+            comm.allreduce_sum([np.ones(2), np.ones(3)])
+
+    def test_allreduce_does_not_mutate_inputs(self):
+        comm = SimComm(2)
+        a = np.ones(4)
+        b = np.ones(4)
+        comm.allreduce_sum([a, b])
+        np.testing.assert_array_equal(a, np.ones(4))
+
+    def test_ring_beats_tree_for_large_buffers(self):
+        comm = SimComm(16)
+        big = 64 * 1024 * 1024
+        assert comm._ring_ns(big) < comm._tree_ns(big)
+        assert comm.allreduce_ns(big) == comm._ring_ns(big)
+
+    def test_tree_beats_ring_for_tiny_buffers(self):
+        comm = SimComm(16)
+        assert comm._tree_ns(8) < comm._ring_ns(8)
+
+    def test_gather_serializes_at_root(self):
+        comm = SimComm(8)
+        one = TEN_GBE.message_ns(1000)
+        assert comm.gather_ns(1000) == pytest.approx(7 * one)
+
+    def test_collective_costs_grow_with_ranks(self):
+        sizes = [SimComm(p).allreduce_ns(80_000) for p in (2, 4, 16, 64)]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(CommunicatorError):
+            SimComm(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        p=st.integers(2, 16),
+        shape=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+        seed=st.integers(0, 100),
+    )
+    def test_allreduce_matches_numpy_sum(self, p, shape, seed):
+        rng = np.random.default_rng(seed)
+        parts = [rng.normal(size=shape) for _ in range(p)]
+        res = SimComm(p).allreduce_sum(parts)
+        np.testing.assert_allclose(
+            res.value, np.sum(parts, axis=0), atol=1e-9
+        )
+
+
+class TestCluster:
+    def test_build_defaults(self):
+        c = Cluster.build(3)
+        assert c.n_machines == 3
+        assert c.comm.n_ranks == 3
+        # c4.8xlarge: 18 physical cores per machine.
+        assert all(m.n_threads == 18 for m in c.machines)
+        assert c.total_threads == 54
+
+    def test_thread_override(self):
+        c = Cluster.build(2, threads_per_machine=4)
+        assert c.total_threads == 8
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            Cluster.build(0)

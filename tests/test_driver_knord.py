@@ -1,0 +1,106 @@
+"""knord driver: distributed runs on the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro import ConvergenceCriteria, knord, knori
+from repro.core import init_centroids
+from repro.errors import ConfigError, DatasetError
+
+CRIT = ConvergenceCriteria(max_iters=30)
+
+
+def test_matches_single_machine(overlapping):
+    c0 = init_centroids(overlapping, 8, "random", seed=3)
+    single = knori(overlapping, 8, init=c0)
+    for p in (1, 2, 4, 7):
+        dist = knord(overlapping, 8, n_machines=p, init=c0)
+        np.testing.assert_array_equal(dist.assignment, single.assignment)
+        np.testing.assert_allclose(
+            dist.centroids, single.centroids, atol=1e-8
+        )
+        assert dist.iterations == single.iterations
+
+
+def test_unpruned_matches_too(overlapping):
+    c0 = init_centroids(overlapping, 6, "random", seed=1)
+    a = knord(overlapping, 6, n_machines=3, pruning=None, init=c0)
+    b = knord(overlapping, 6, n_machines=3, pruning="mti", init=c0)
+    np.testing.assert_array_equal(a.assignment, b.assignment)
+    assert a.algorithm == "knord-"
+    assert b.algorithm == "knord"
+
+
+def test_speedup_with_machines():
+    """Distributed wins once per-machine compute outweighs the
+    allreduce latency -- so test at a compute-heavy size."""
+    from repro.data import rand_multivariate
+
+    x = rand_multivariate(200_000, 16, seed=9)
+    crit = ConvergenceCriteria(max_iters=6)
+    t1 = knord(x, 8, n_machines=1, pruning=None, seed=1, criteria=crit)
+    t4 = knord(x, 8, n_machines=4, pruning=None, seed=1, criteria=crit)
+    assert t4.sim_seconds < t1.sim_seconds
+
+
+def test_latency_bound_at_tiny_scale(friendster_small):
+    """At tiny n the collective dominates and more machines do NOT
+    help -- the cost model must show that, not hide it."""
+    t1 = knord(friendster_small, 8, n_machines=1, pruning=None,
+               seed=1, criteria=CRIT)
+    t4 = knord(friendster_small, 8, n_machines=4, pruning=None,
+               seed=1, criteria=CRIT)
+    assert t4.sim_seconds > t1.sim_seconds
+
+
+def test_allreduce_charged(overlapping):
+    res = knord(overlapping, 5, n_machines=4, seed=0, criteria=CRIT)
+    for rec in res.records:
+        assert rec.allreduce_ns > 0
+        assert rec.network_bytes > 0
+    single = knord(overlapping, 5, n_machines=1, seed=0, criteria=CRIT)
+    for rec in single.records:
+        assert rec.allreduce_ns == 0.0
+
+
+def test_mti_prunes_distributed(friendster_small):
+    m = knord(friendster_small, 8, n_machines=4, seed=2, criteria=CRIT)
+    n = knord(friendster_small, 8, n_machines=4, pruning=None, seed=2,
+              criteria=CRIT)
+    assert m.total_dist_computations < n.total_dist_computations
+    assert m.sim_seconds < n.sim_seconds
+
+
+def test_memory_is_per_machine(overlapping):
+    one = knord(overlapping, 5, n_machines=1, seed=0, criteria=CRIT)
+    four = knord(overlapping, 5, n_machines=4, seed=0, criteria=CRIT)
+    assert four.params["memory_scope"] == "per_machine"
+    # A quarter of the rows -> roughly a quarter of the data bytes.
+    assert four.memory_breakdown["data"] == pytest.approx(
+        one.memory_breakdown["data"] / 4, rel=0.05
+    )
+
+
+def test_elkan_rejected(overlapping):
+    with pytest.raises(ConfigError):
+        knord(overlapping, 5, pruning="elkan")
+
+
+def test_too_many_machines(overlapping):
+    with pytest.raises(DatasetError):
+        knord(overlapping[:3], 2, n_machines=5)
+
+
+def test_uneven_shards_handled(overlapping):
+    # 3000 rows over 7 machines: shard sizes differ.
+    res = knord(overlapping, 5, n_machines=7, seed=0, criteria=CRIT)
+    assert res.assignment.shape[0] == overlapping.shape[0]
+    assert res.converged
+
+
+def test_threads_per_machine_override(overlapping):
+    res = knord(
+        overlapping, 5, n_machines=2, threads_per_machine=4, seed=0,
+        criteria=CRIT,
+    )
+    assert res.params["threads_per_machine"] == 4

@@ -1,0 +1,138 @@
+"""knori driver: clustering correctness plus simulated-performance shape."""
+
+import numpy as np
+import pytest
+
+from repro import ConvergenceCriteria, knori, lloyd
+from repro.core import init_centroids
+from repro.errors import ConfigError, DatasetError
+from repro.simhw import BindPolicy
+
+CRIT = ConvergenceCriteria(max_iters=30)
+
+
+def test_clusters_blobs_correctly(blobs):
+    res = knori(blobs, 4, seed=0, init="kmeans++")
+    assert res.converged
+    assert sorted(res.cluster_sizes.tolist()) == [250] * 4
+
+
+def test_matches_serial_lloyd(overlapping):
+    c0 = init_centroids(overlapping, 8, "random", seed=3)
+    ref = lloyd(overlapping, 8, init=c0)
+    for pruning in ("mti", "elkan", None):
+        res = knori(overlapping, 8, pruning=pruning, init=c0, seed=3)
+        np.testing.assert_array_equal(res.assignment, ref.assignment)
+        np.testing.assert_allclose(res.centroids, ref.centroids, atol=1e-7)
+        assert res.iterations == ref.iterations
+        assert res.inertia == pytest.approx(ref.inertia, rel=1e-9)
+
+
+def test_pruning_invariant_to_hardware(overlapping):
+    """Simulated machine shape must never change the math."""
+    c0 = init_centroids(overlapping, 6, "random", seed=1)
+    a = knori(overlapping, 6, init=c0, n_threads=1)
+    b = knori(overlapping, 6, init=c0, n_threads=48,
+              bind_policy=BindPolicy.OBLIVIOUS, scheduler="fifo")
+    np.testing.assert_array_equal(a.assignment, b.assignment)
+    np.testing.assert_allclose(a.centroids, b.centroids, atol=1e-9)
+
+
+def test_mti_reduces_computation_and_time(friendster_small):
+    m = knori(friendster_small, 8, pruning="mti", seed=2, criteria=CRIT)
+    n = knori(friendster_small, 8, pruning=None, seed=2, criteria=CRIT)
+    assert m.total_dist_computations < n.total_dist_computations
+    assert m.sim_seconds < n.sim_seconds
+
+
+def test_speedup_with_threads(friendster_small):
+    t1 = knori(friendster_small, 8, pruning=None, n_threads=1,
+               seed=1, criteria=CRIT)
+    t16 = knori(friendster_small, 8, pruning=None, n_threads=16,
+                seed=1, criteria=CRIT)
+    speedup = t1.sim_seconds / t16.sim_seconds
+    assert 8.0 < speedup <= 16.0
+
+
+def test_numa_oblivious_slower(friendster_small):
+    aware = knori(friendster_small, 8, pruning=None, n_threads=16,
+                  seed=1, criteria=CRIT)
+    obl = knori(friendster_small, 8, pruning=None, n_threads=16,
+                seed=1, criteria=CRIT,
+                bind_policy=BindPolicy.OBLIVIOUS)
+    assert obl.sim_seconds > 1.5 * aware.sim_seconds
+
+
+def test_memory_breakdown_components(overlapping):
+    res = knori(overlapping, 5, seed=0)
+    mb = res.memory_breakdown
+    n, d, k, t = (
+        overlapping.shape[0], overlapping.shape[1], 5, res.params["T"]
+    )
+    assert mb["data"] == n * d * 8
+    assert mb["assignment"] == n * 4
+    assert mb["per_thread_centroids"] == t * (k * d * 8 + k * 8)
+    assert mb["mti_bounds"] == n * 8 + (k * (k + 1) // 2) * 8
+
+
+def test_elkan_memory_includes_lb_matrix(overlapping):
+    res = knori(overlapping, 5, pruning="elkan", seed=0)
+    n, k = overlapping.shape[0], 5
+    assert res.memory_breakdown["ti_lower_bound_matrix"] == n * k * 8
+
+
+def test_mti_memory_increment_small(overlapping):
+    m = knori(overlapping, 5, pruning="mti", seed=0)
+    n = knori(overlapping, 5, pruning=None, seed=0)
+    e = knori(overlapping, 5, pruning="elkan", seed=0)
+    assert n.peak_memory_bytes < m.peak_memory_bytes < e.peak_memory_bytes
+
+
+def test_iteration_records_complete(overlapping):
+    res = knori(overlapping, 6, seed=1, criteria=CRIT)
+    assert len(res.records) == res.iterations
+    for i, rec in enumerate(res.records):
+        assert rec.iteration == i
+        assert rec.sim_ns > 0
+    assert res.records[0].dist_computations == overlapping.shape[0] * 6
+    assert res.records[-1].n_changed == 0  # converged
+
+
+def test_max_iters_cap(overlapping):
+    res = knori(
+        overlapping, 10, seed=0, criteria=ConvergenceCriteria(max_iters=2)
+    )
+    assert res.iterations == 2
+    assert not res.converged
+
+
+@pytest.mark.parametrize("scheduler", ["numa_aware", "fifo", "static"])
+def test_all_schedulers_work(overlapping, scheduler):
+    res = knori(overlapping, 5, scheduler=scheduler, seed=0, criteria=CRIT)
+    assert res.iterations >= 1
+    assert res.converged
+
+
+def test_invalid_scheduler(overlapping):
+    with pytest.raises(ConfigError):
+        knori(overlapping, 5, scheduler="round_robin")
+
+
+def test_invalid_pruning(overlapping):
+    with pytest.raises(ConfigError):
+        knori(overlapping, 5, pruning="yinyang")
+
+
+def test_1d_data_rejected():
+    with pytest.raises(DatasetError):
+        knori(np.zeros(10), 2)
+
+
+def test_params_recorded(overlapping):
+    res = knori(overlapping, 5, seed=0, n_threads=7)
+    assert res.params["k"] == 5
+    assert res.params["T"] == 7
+    assert res.params["pruning"] == "mti"
+    assert res.algorithm == "knori"
+    none = knori(overlapping, 5, pruning=None, seed=0)
+    assert none.algorithm == "knori-"

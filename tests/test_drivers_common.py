@@ -1,0 +1,129 @@
+"""Driver plumbing: NumericsLoop, scheduler lookup, init resolution."""
+
+import numpy as np
+import pytest
+
+from repro.core import init_centroids
+from repro.drivers.common import (
+    NumericsLoop,
+    check_pruning,
+    make_scheduler,
+    resolve_init,
+)
+from repro.errors import ConfigError
+from repro.sched import FifoScheduler, NumaAwareScheduler, StaticScheduler
+
+
+class TestLookups:
+    def test_make_scheduler(self):
+        assert isinstance(make_scheduler("numa_aware"), NumaAwareScheduler)
+        assert isinstance(make_scheduler("fifo"), FifoScheduler)
+        assert isinstance(make_scheduler("static"), StaticScheduler)
+        with pytest.raises(ConfigError):
+            make_scheduler("work_first")
+
+    def test_check_pruning(self):
+        assert check_pruning("mti") == "mti"
+        assert check_pruning(None) is None
+        with pytest.raises(ConfigError):
+            check_pruning("yinyang")
+
+    def test_resolve_init_array_and_name(self, overlapping):
+        c = resolve_init(overlapping, 4, "kmeans++", 1)
+        assert c.shape == (4, 8)
+        same = resolve_init(overlapping, 4, c, 0)
+        np.testing.assert_array_equal(same, c)
+        assert same is not c  # defensive copy
+        with pytest.raises(ConfigError):
+            resolve_init(overlapping, 4, np.zeros((3, 8)), 0)
+
+
+class TestNumericsLoop:
+    def test_step_sequence_matches_direct_mti(self, overlapping):
+        from repro.core import mti_init, mti_iteration
+
+        c0 = init_centroids(overlapping, 5, "random", seed=1)
+        loop = NumericsLoop(overlapping, c0, "mti")
+        state, res = mti_init(overlapping, c0)
+        out0 = loop.step()
+        np.testing.assert_allclose(
+            out0.new_centroids, res.new_centroids
+        )
+        prev, cur = c0, res.new_centroids
+        for _ in range(4):
+            r = mti_iteration(overlapping, cur, prev, state)
+            out = loop.step()
+            assert out.n_changed == r.n_changed
+            np.testing.assert_allclose(
+                out.new_centroids, r.new_centroids
+            )
+            prev, cur = cur, r.new_centroids
+            if r.n_changed == 0:
+                break
+
+    def test_export_restore_roundtrip_mti(self, overlapping):
+        c0 = init_centroids(overlapping, 5, "random", seed=2)
+        a = NumericsLoop(overlapping, c0, "mti")
+        for _ in range(3):
+            a.step()
+        snap = a.export_state()
+
+        b = NumericsLoop(overlapping, c0, "mti")
+        b.restore_state(snap)
+        # Continue both; they must stay in lockstep.
+        for _ in range(5):
+            ra = a.step()
+            rb = b.step()
+            assert ra.n_changed == rb.n_changed
+            np.testing.assert_array_equal(a.assignment, b.assignment)
+            if ra.n_changed == 0:
+                break
+
+    def test_export_restore_roundtrip_unpruned(self, overlapping):
+        c0 = init_centroids(overlapping, 4, "random", seed=3)
+        a = NumericsLoop(overlapping, c0, None)
+        for _ in range(2):
+            a.step()
+        snap = a.export_state()
+        b = NumericsLoop(overlapping, c0, None)
+        b.restore_state(snap)
+        ra, rb = a.step(), b.step()
+        assert ra.n_changed == rb.n_changed
+        np.testing.assert_allclose(
+            ra.new_centroids, rb.new_centroids
+        )
+
+    def test_elkan_checkpoint_rejected(self, overlapping):
+        c0 = init_centroids(overlapping, 4, "random", seed=0)
+        loop = NumericsLoop(overlapping, c0, "elkan")
+        loop.step()
+        with pytest.raises(ConfigError):
+            loop.export_state()
+
+    def test_restore_mti_without_bounds_rejected(self, overlapping):
+        c0 = init_centroids(overlapping, 4, "random", seed=0)
+        loop = NumericsLoop(overlapping, c0, "mti")
+        with pytest.raises(ConfigError):
+            loop.restore_state(
+                {
+                    "iteration": 2,
+                    "centroids": c0,
+                    "prev_centroids": c0,
+                    "assignment": np.zeros(
+                        overlapping.shape[0], dtype=np.int32
+                    ),
+                    "ub": None,
+                }
+            )
+
+    def test_snapshot_is_deep_copy(self, overlapping):
+        c0 = init_centroids(overlapping, 4, "random", seed=4)
+        loop = NumericsLoop(overlapping, c0, "mti")
+        loop.step()
+        snap = loop.export_state()
+        loop.step()  # mutate the live state
+        # Snapshot unaffected by subsequent stepping.
+        assert snap["iteration"] == 1
+        fresh = NumericsLoop(overlapping, c0, "mti")
+        fresh.restore_state(snap)
+        assert fresh.iteration == 1

@@ -1,0 +1,211 @@
+"""Extensions: spherical k-means, semi-supervised k-means++, Yinyang."""
+
+import numpy as np
+import pytest
+
+from repro import ConvergenceCriteria, lloyd
+from repro.core import init_centroids
+from repro.core.distance import euclidean
+from repro.errors import ConvergenceError, DatasetError
+from repro.extensions import (
+    semisupervised_kmeanspp,
+    spherical_kmeans,
+    yinyang_init,
+    yinyang_iteration,
+    yinyang_kmeans,
+)
+
+
+@pytest.fixture(scope="module")
+def directions():
+    """Three tight direction bundles on the unit sphere."""
+    rng = np.random.default_rng(3)
+    axes = np.array(
+        [[1.0, 0, 0, 0], [0, 1.0, 0, 0], [0, 0, 1.0, 0]]
+    )
+    x = np.vstack(
+        [a + rng.normal(scale=0.05, size=(200, 4)) for a in axes]
+    )
+    # Random magnitudes: spherical k-means must ignore them.
+    x *= rng.uniform(0.5, 20.0, size=(600, 1))
+    rng.shuffle(x)
+    return x
+
+
+class TestSpherical:
+    def test_recovers_direction_bundles(self, directions):
+        res = spherical_kmeans(directions, 3, seed=0)
+        assert res.converged
+        assert sorted(res.cluster_sizes.tolist()) == [200, 200, 200]
+
+    def test_centroids_unit_norm(self, directions):
+        res = spherical_kmeans(directions, 3, seed=0)
+        norms = np.linalg.norm(res.centroids, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_scale_invariance(self, directions):
+        a = spherical_kmeans(directions, 3, seed=1)
+        b = spherical_kmeans(directions * 100.0, 3, seed=1)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_objective_decreases(self, directions):
+        res = spherical_kmeans(directions, 5, seed=2)
+        # inertia = -total cosine similarity; per-iteration similarity
+        # is non-decreasing, so final inertia <= -n * min_similarity.
+        assert res.inertia < 0
+
+    def test_zero_vector_rejected(self):
+        x = np.vstack([np.ones((5, 3)), np.zeros((1, 3))])
+        with pytest.raises(DatasetError):
+            spherical_kmeans(x, 2)
+
+    def test_k_validation(self, directions):
+        with pytest.raises(ConvergenceError):
+            spherical_kmeans(directions, 0)
+
+
+class TestSemiSupervised:
+    def test_labels_anchor_points(self, blobs):
+        n = blobs.shape[0]
+        labels = np.full(n, -1)
+        # Label 20 points per true blob (rows are shuffled; use
+        # proximity to blob means to assign true classes).
+        means = np.array(
+            [[0.0, 0, 0], [10.0, 0, 0], [0, 10.0, 0], [10, 10, 10.0]]
+        )
+        true = np.argmin(euclidean(blobs, means), axis=1)
+        for c in range(4):
+            idx = np.nonzero(true == c)[0][:20]
+            labels[idx] = c
+        res = semisupervised_kmeanspp(blobs, 4, labels, seed=0)
+        assert res.converged
+        # Anchored points keep their labels.
+        anchored = labels >= 0
+        np.testing.assert_array_equal(
+            res.assignment[anchored], labels[anchored]
+        )
+        # With anchors, cluster c recovers blob c (label-aligned).
+        agreement = (res.assignment == true).mean()
+        assert agreement > 0.95
+
+    def test_partial_seeding_fills_rest(self, blobs):
+        labels = np.full(blobs.shape[0], -1)
+        labels[0] = 0  # single labeled point, clusters 1..3 unseeded
+        res = semisupervised_kmeanspp(blobs, 4, labels, seed=1)
+        assert res.params["n_labeled"] == 1
+        assert len(np.unique(res.assignment)) == 4
+
+    def test_requires_some_labels(self, blobs):
+        with pytest.raises(ConvergenceError):
+            semisupervised_kmeanspp(
+                blobs, 4, np.full(blobs.shape[0], -1)
+            )
+
+    def test_label_validation(self, blobs):
+        bad = np.full(blobs.shape[0], -1)
+        bad[0] = 7
+        with pytest.raises(DatasetError):
+            semisupervised_kmeanspp(blobs, 4, bad)
+        with pytest.raises(DatasetError):
+            semisupervised_kmeanspp(blobs, 4, np.zeros(3))
+
+
+class TestYinyang:
+    @pytest.mark.parametrize("k,t", [(5, 1), (10, 2), (20, None)])
+    def test_matches_lloyd_exactly(self, overlapping, k, t):
+        c0 = init_centroids(overlapping, k, "random", seed=2)
+        ref = lloyd(
+            overlapping, k, init=c0,
+            criteria=ConvergenceCriteria(max_iters=100),
+        )
+        res = yinyang_kmeans(overlapping, k, t=t, init=c0)
+        np.testing.assert_array_equal(res.assignment, ref.assignment)
+        np.testing.assert_allclose(
+            res.centroids, ref.centroids, atol=1e-8
+        )
+        assert res.iterations == ref.iterations
+
+    def test_prunes_computation(self, overlapping):
+        c0 = init_centroids(overlapping, 20, "random", seed=1)
+        ref = lloyd(overlapping, 20, init=c0)
+        res = yinyang_kmeans(overlapping, 20, init=c0)
+        full = ref.iterations * overlapping.shape[0] * 20
+        assert res.total_dist_computations < 0.6 * full
+
+    def test_memory_is_nt(self, overlapping):
+        res = yinyang_kmeans(overlapping, 20, t=2, seed=0)
+        n = overlapping.shape[0]
+        assert res.memory_breakdown["yinyang_bounds"] == n * 2 * 8 + n * 8
+
+    def test_lb_are_lower_bounds(self, overlapping):
+        c0 = init_centroids(overlapping, 10, "random", seed=3)
+        state, res = yinyang_init(overlapping, c0, seed=3)
+        prev, cur = c0, res.new_centroids
+        for _ in range(6):
+            r = yinyang_iteration(overlapping, cur, prev, state)
+            dist = euclidean(overlapping, cur)
+            for gi, members in enumerate(state.groups):
+                other = dist[:, members].copy()
+                own_in_group = (
+                    state.group_of[state.assignment] == gi
+                )
+                # Exclude the assigned centroid's column where it
+                # belongs to this group.
+                for pos, c in enumerate(members):
+                    mask = state.assignment == c
+                    other[mask, pos] = np.inf
+                gmin = other.min(axis=1)
+                ok = state.lb[:, gi] <= gmin + 1e-9
+                assert ok.all()
+            prev, cur = cur, r.new_centroids
+            if r.n_changed == 0:
+                break
+
+    def test_pruning_between_mti_and_elkan(self, overlapping):
+        """The related-work ordering on Gaussian-mixture data:
+        Elkan <= Yinyang <= MTI on computation, memory inverse."""
+        from repro import knori
+
+        k = 20
+        c0 = init_centroids(overlapping, k, "random", seed=5)
+        crit = ConvergenceCriteria(max_iters=100)
+        mti = knori(overlapping, k, init=c0, criteria=crit)
+        elkan = knori(
+            overlapping, k, pruning="elkan", init=c0, criteria=crit
+        )
+        yy = yinyang_kmeans(overlapping, k, init=c0, criteria=crit)
+        assert (
+            elkan.total_dist_computations
+            <= yy.total_dist_computations
+        )
+        assert (
+            yy.total_dist_computations <= mti.total_dist_computations
+        )
+
+    def test_group_coupling_weakness_on_spectral_data(
+        self, friendster_small
+    ):
+        """On outlier-heavy spectral embeddings a single fast-moving
+        centroid poisons its whole group's bound (Yinyang decays per
+        GROUP max motion), so MTI -- whose clause 1 compares against
+        fresh centroid separations -- can out-prune it. An honest
+        divergence from the 'Yinyang always wins' intuition, kept
+        under test."""
+        from repro import knori
+
+        k = 20
+        c0 = init_centroids(friendster_small, k, "random", seed=1)
+        crit = ConvergenceCriteria(max_iters=40)
+        mti = knori(friendster_small, k, init=c0, criteria=crit)
+        yy = yinyang_kmeans(friendster_small, k, init=c0, criteria=crit)
+        assert (
+            mti.total_dist_computations < yy.total_dist_computations
+        )
+        # Both remain exact regardless.
+        ref = lloyd(friendster_small, k, init=c0, criteria=crit)
+        np.testing.assert_array_equal(yy.assignment, ref.assignment)
+
+    def test_invalid_t(self, overlapping):
+        c0 = init_centroids(overlapping, 5, "random", seed=0)
+        with pytest.raises(DatasetError):
+            yinyang_init(overlapping, c0, t=9)

@@ -1,0 +1,177 @@
+"""The generalized framework: contract checks and adapter fidelity."""
+
+import numpy as np
+import pytest
+
+from repro import ConvergenceCriteria, knori, knors, lloyd
+from repro.core import init_centroids
+from repro.errors import ConfigError
+from repro.framework import (
+    GmmAlgorithm,
+    KmeansAlgorithm,
+    RowAlgorithm,
+    RowWork,
+    run_numa,
+    run_sem,
+)
+from repro.simhw import BindPolicy
+
+
+class TestKmeansAdapter:
+    def test_matches_builtin_knori(self, overlapping):
+        c0 = init_centroids(overlapping, 6, "random", seed=2)
+        builtin = knori(overlapping, 6, init=c0)
+        algo = KmeansAlgorithm(6, init=c0)
+        res = run_numa(algo, overlapping, reduction_k=6)
+        np.testing.assert_array_equal(
+            algo.assignment, builtin.assignment
+        )
+        np.testing.assert_allclose(
+            algo.centroids, builtin.centroids, atol=1e-10
+        )
+        assert res.converged
+        assert res.iterations == builtin.iterations
+        # Identical work content -> identical simulated time.
+        assert res.sim_seconds == pytest.approx(
+            builtin.sim_seconds, rel=1e-9
+        )
+
+    def test_matches_builtin_knors(self, matrix_path, overlapping):
+        c0 = init_centroids(overlapping, 5, "random", seed=1)
+        data_bytes = overlapping.size * 8
+        builtin = knors(
+            matrix_path, 5, init=c0,
+            row_cache_bytes=data_bytes // 32,
+            page_cache_bytes=data_bytes // 16,
+        )
+        algo = KmeansAlgorithm(5, init=c0)
+        res = run_sem(
+            algo, matrix_path, reduction_k=5,
+            row_cache_bytes=data_bytes // 32,
+            page_cache_bytes=data_bytes // 16,
+        )
+        np.testing.assert_array_equal(
+            algo.assignment, builtin.assignment
+        )
+        assert res.sim_seconds == pytest.approx(
+            builtin.sim_seconds, rel=1e-9
+        )
+        assert (
+            sum(r.bytes_read for r in res.records)
+            == builtin.total_bytes_read
+        )
+
+    def test_pruning_modes(self, overlapping):
+        c0 = init_centroids(overlapping, 5, "random", seed=3)
+        ref = lloyd(overlapping, 5, init=c0)
+        for pruning in ("mti", "elkan", None):
+            algo = KmeansAlgorithm(5, pruning=pruning, init=c0)
+            run_numa(algo, overlapping, reduction_k=5)
+            np.testing.assert_array_equal(
+                algo.assignment, ref.assignment
+            )
+
+    def test_protocol_conformance(self):
+        assert isinstance(KmeansAlgorithm(3), RowAlgorithm)
+        assert isinstance(GmmAlgorithm(3), RowAlgorithm)
+
+
+class TestGmmAdapter:
+    def test_gmm_on_substrate(self, blobs):
+        algo = GmmAlgorithm(4, seed=1)
+        res = run_numa(algo, blobs, reduction_k=4, max_iters=60)
+        assert res.converged
+        # Log-likelihood monotone.
+        ll = np.array(algo.ll_history)
+        assert (np.diff(ll) >= -1e-9).all()
+        # Hard labels recover the blobs (up to permutation): check
+        # cluster sizes.
+        sizes = np.sort(np.bincount(algo.assignment, minlength=4))
+        np.testing.assert_array_equal(sizes, [250, 250, 250, 250])
+        # Substrate charged k gaussian evals per row per iteration.
+        n = blobs.shape[0]
+        assert res.records[0].dist_computations == n * 4
+
+    def test_gmm_sem(self, matrix_path, overlapping):
+        algo = GmmAlgorithm(3, seed=0)
+        res = run_sem(algo, matrix_path, max_iters=15, reduction_k=3)
+        assert res.iterations >= 2
+        # EM has no pruning: every iteration requests all rows (modulo
+        # row-cache hits).
+        n = overlapping.shape[0]
+        for rec in res.records:
+            assert rec.rows_active == n
+
+
+class TestContract:
+    def test_bad_work_shapes_rejected(self, blobs):
+        class Broken:
+            def begin(self, x):
+                pass
+
+            def iteration(self, x):
+                return RowWork(
+                    compute_units=np.zeros(3),
+                    needs_data=np.ones(x.shape[0], dtype=bool),
+                )
+
+            def converged(self):
+                return False
+
+        with pytest.raises(ConfigError):
+            run_numa(Broken(), blobs, max_iters=2)
+
+    def test_max_iters_respected(self, blobs):
+        class Never:
+            def begin(self, x):
+                pass
+
+            def iteration(self, x):
+                n = x.shape[0]
+                return RowWork(
+                    compute_units=np.ones(n, dtype=np.int64),
+                    needs_data=np.ones(n, dtype=bool),
+                )
+
+            def converged(self):
+                return False
+
+        res = run_numa(Never(), blobs, max_iters=3)
+        assert res.iterations == 3
+        assert not res.converged
+
+    def test_custom_sparse_algorithm_prices_skips(self, blobs):
+        """A custom algorithm that skips most rows pays less."""
+
+        class Sparse:
+            def __init__(self, frac):
+                self.frac = frac
+                self.calls = 0
+
+            def begin(self, x):
+                pass
+
+            def iteration(self, x):
+                self.calls += 1
+                n = x.shape[0]
+                needs = np.zeros(n, dtype=bool)
+                needs[: int(self.frac * n)] = True
+                units = np.where(needs, 10, 0).astype(np.int64)
+                return RowWork(
+                    compute_units=units, needs_data=needs
+                )
+
+            def converged(self):
+                return self.calls >= 4
+
+        dense = run_numa(Sparse(1.0), blobs)
+        sparse = run_numa(Sparse(0.1), blobs)
+        assert sparse.sim_seconds < dense.sim_seconds
+
+    def test_oblivious_policy_available(self, blobs):
+        algo = KmeansAlgorithm(3, seed=0)
+        res = run_numa(
+            algo, blobs, bind_policy=BindPolicy.OBLIVIOUS,
+            reduction_k=3,
+        )
+        assert res.iterations >= 1

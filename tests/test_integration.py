@@ -1,0 +1,108 @@
+"""End-to-end integration: the three modules agree on real datasets,
+SEM runs touch real files, and the headline performance relationships
+from the paper's evaluation hold at reproduction scale."""
+
+import numpy as np
+import pytest
+
+from repro import ConvergenceCriteria, knord, knori, knors, lloyd
+from repro.core import init_centroids
+from repro.data import friendster_like, load_dataset, write_matrix
+
+
+@pytest.fixture(scope="module")
+def fr8():
+    return friendster_like(16384, 8)
+
+
+def test_all_modules_identical_results(fr8, tmp_path):
+    """knori == knors == knord == serial Lloyd, bit-for-bit on
+    assignments."""
+    k = 10
+    c0 = init_centroids(fr8, k, "random", seed=11)
+    ref = lloyd(fr8, k, init=c0)
+    im = knori(fr8, k, init=c0)
+    path = write_matrix(tmp_path / "fr8.knor", fr8)
+    sem = knors(path, k, init=c0)
+    dist = knord(fr8, k, n_machines=4, init=c0)
+    for res in (im, sem, dist):
+        np.testing.assert_array_equal(res.assignment, ref.assignment)
+        np.testing.assert_allclose(res.centroids, ref.centroids,
+                                   atol=1e-7)
+        assert res.converged == ref.converged
+
+
+def test_headline_performance_relationships(fr8):
+    """The evaluation's qualitative claims, all in one place."""
+    crit = ConvergenceCriteria(max_iters=20)
+    im_mti = knori(fr8, 10, seed=7, criteria=crit)
+    im_none = knori(fr8, 10, pruning=None, seed=7, criteria=crit)
+    im_elkan = knori(fr8, 10, pruning="elkan", seed=7, criteria=crit)
+
+    # MTI speeds up k-means by a few factors (Fig 8).
+    assert im_mti.sim_seconds < im_none.sim_seconds
+    # Elkan prunes more computation than MTI (Section 4's trade-off)...
+    assert (
+        im_elkan.total_dist_computations
+        <= im_mti.total_dist_computations
+    )
+    # ...but MTI uses far less memory than Elkan's O(nk) bounds.
+    assert im_mti.peak_memory_bytes < im_elkan.peak_memory_bytes
+
+
+def test_sem_within_small_factor_of_in_memory(fr8, tmp_path):
+    """Section 8.8: knors runs within a small constant factor of
+    knori when I/O is maskable."""
+    crit = ConvergenceCriteria(max_iters=15)
+    path = write_matrix(tmp_path / "fr8.knor", fr8)
+    im = knori(fr8, 10, seed=3, criteria=crit)
+    sem = knors(path, 10, seed=3, criteria=crit)
+    assert sem.sim_seconds < 10 * im.sim_seconds
+
+
+def test_ru_worst_case_prunes_less_than_friendster(fr8):
+    """Uniform random data prunes worse than natural clusters
+    (Section 8.8's premise)."""
+    ru = load_dataset("ru-2b", n=16384)
+    crit = ConvergenceCriteria(max_iters=12)
+    nat = knori(fr8, 10, seed=5, criteria=crit)
+    uni = knori(ru, 10, seed=5, criteria=crit)
+
+    def prune_frac(res):
+        n, k = res.params["n"], res.params["k"]
+        full = n * k * res.iterations
+        return 1.0 - res.total_dist_computations / full
+
+    assert prune_frac(nat) > prune_frac(uni)
+
+
+def test_datasets_registry_end_to_end():
+    for name in ("rm-856m", "rm-1b", "ru-2b"):
+        x = load_dataset(name, n=2048)
+        res = knori(x, 5, seed=0, criteria=ConvergenceCriteria(max_iters=8))
+        assert res.iterations >= 1
+        assert np.isfinite(res.inertia)
+
+
+def test_degenerate_inputs_handled():
+    rng = np.random.default_rng(0)
+    # d = 1
+    x1 = rng.normal(size=(500, 1))
+    assert knori(x1, 3, seed=0).converged
+    # Constant data: all points identical.
+    xc = np.ones((100, 4))
+    res = knori(xc, 2, seed=0)
+    assert np.isfinite(res.centroids).all()
+    # k = n.
+    xs = rng.normal(size=(8, 2)) * 100
+    res = knori(xs, 8, seed=0)
+    assert res.inertia == pytest.approx(0.0, abs=1e-9)
+
+
+def test_reproducibility_across_runs(fr8):
+    a = knori(fr8, 10, seed=42)
+    b = knori(fr8, 10, seed=42)
+    np.testing.assert_array_equal(a.assignment, b.assignment)
+    assert a.sim_seconds == b.sim_seconds  # deterministic cost model
+    for ra, rb in zip(a.records, b.records):
+        assert ra.sim_ns == rb.sim_ns

@@ -1,0 +1,150 @@
+"""Metrics: result records, Table 1 formulas, table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import (
+    IterationRecord,
+    ROUTINE_MEMORY_FORMULAS,
+    RunResult,
+    render_series,
+    render_table,
+    table1_bytes,
+)
+from repro.metrics.memory import elkan_ti_bytes, knori_bytes, knors_bytes
+
+
+def make_result(sim_ns_list):
+    return RunResult(
+        algorithm="test",
+        centroids=np.zeros((2, 2)),
+        assignment=np.array([0, 1, 0], dtype=np.int32),
+        iterations=len(sim_ns_list),
+        converged=True,
+        inertia=1.0,
+        records=[
+            IterationRecord(
+                iteration=i, sim_ns=ns, n_changed=0,
+                dist_computations=10, bytes_read=100,
+                bytes_requested=50,
+            )
+            for i, ns in enumerate(sim_ns_list)
+        ],
+        memory_breakdown={"data": 1000, "bounds": 24},
+    )
+
+
+class TestRunResult:
+    def test_time_aggregation(self):
+        r = make_result([1e9, 2e9, 3e9])
+        assert r.sim_seconds == pytest.approx(6.0)
+        assert r.sim_seconds_per_iter == pytest.approx(2.0)
+
+    def test_empty_records(self):
+        r = make_result([])
+        assert r.sim_seconds == 0.0
+        assert r.sim_seconds_per_iter == 0.0
+
+    def test_memory_and_io_totals(self):
+        r = make_result([1e9, 1e9])
+        assert r.peak_memory_bytes == 1024
+        assert r.total_bytes_read == 200
+        assert r.total_bytes_requested == 100
+        assert r.total_dist_computations == 20
+
+    def test_cluster_sizes(self):
+        r = make_result([1e9])
+        np.testing.assert_array_equal(r.cluster_sizes, [2, 1])
+
+    def test_summary_contains_key_facts(self):
+        s = make_result([1e9]).summary()
+        assert "test" in s
+        assert "converged" in s
+
+
+class TestTable1:
+    N, D, K, T = 1_000_000, 32, 10, 48
+
+    def test_ordering_matches_paper(self):
+        """Table 1's qualitative ordering at realistic parameters:
+        knors-- < knors < knori- < knori << elkan."""
+        semm = table1_bytes("knors--", self.N, self.D, self.K, self.T)
+        sem = knors_bytes(self.N, self.D, self.K, self.T)
+        imm = table1_bytes("knori-", self.N, self.D, self.K, self.T)
+        im = knori_bytes(self.N, self.D, self.K, self.T)
+        elkan = elkan_ti_bytes(self.N, self.D, self.K, self.T)
+        assert semm < sem < imm < im < elkan
+
+    def test_mti_increment_is_small(self):
+        """MTI adds O(n + k^2): under 5% of the data size here --
+        the paper's 'negligible amounts' claim (Fig 8c)."""
+        imm = table1_bytes("knori-", self.N, self.D, self.K, self.T)
+        im = table1_bytes("knori", self.N, self.D, self.K, self.T)
+        data = self.N * self.D * 8
+        assert (im - imm) / data < 0.05
+
+    def test_mti_bytes_per_point_in_paper_range(self):
+        """Paper: the O(n) term adds 6-10 bytes per data point."""
+        imm = table1_bytes("knori-", self.N, self.D, self.K, self.T)
+        im = table1_bytes("knori", self.N, self.D, self.K, self.T)
+        per_point = (im - imm) / self.N
+        assert 6 <= per_point <= 10
+
+    def test_elkan_blows_up_with_k(self):
+        e10 = elkan_ti_bytes(self.N, self.D, 10, self.T)
+        e100 = elkan_ti_bytes(self.N, self.D, 100, self.T)
+        # The lower-bound matrix grows by n * 90 extra float64s --
+        # the O(nk) term that makes TI unusable at billion scale.
+        lb_growth = self.N * 90 * 8
+        assert e100 - e10 == pytest.approx(lb_growth, rel=0.05)
+
+    def test_sem_data_term_independent_of_d(self):
+        a = table1_bytes("knors--", self.N, 8, self.K, self.T)
+        b = table1_bytes("knors--", self.N, 512, self.K, self.T)
+        # Only the (T+1)kd centroid copies grow with d; there is no
+        # O(nd) data term in SEM.
+        assert b - a == (self.T + 1) * self.K * (512 - 8) * 8
+
+    def test_all_registered_formulas_positive(self):
+        for name in ROUTINE_MEMORY_FORMULAS:
+            assert table1_bytes(name, 100, 4, 3, 2) > 0
+
+    def test_unknown_routine(self):
+        with pytest.raises(ConfigError):
+            table1_bytes("knorz", 10, 2, 2, 1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            table1_bytes("knori", 0, 2, 2, 1)
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(
+            ["name", "value"],
+            [["knori", 1.5], ["knors", 0.25]],
+            title="demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "knori" in out and "0.250" in out
+        # All data lines equally wide.
+        widths = {len(l) for l in lines[2:]}
+        assert len(widths) == 1
+
+    def test_render_table_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+    def test_render_series(self):
+        out = render_series(
+            "T",
+            {"aware": {1: 1.0, 2: 2.0}, "oblivious": {1: 0.5}},
+        )
+        assert "aware" in out and "oblivious" in out
+        assert "nan" in out  # missing point shows explicitly
+
+    def test_large_and_small_floats(self):
+        out = render_table(["x"], [[1e9], [1e-9], [0.0]])
+        assert "1e+09" in out and "1e-09" in out and "0" in out

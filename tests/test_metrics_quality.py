@@ -1,0 +1,143 @@
+"""Clustering quality metrics: known values and invariances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import lloyd
+from repro.errors import DatasetError
+from repro.metrics import (
+    adjusted_rand_index,
+    davies_bouldin_index,
+    normalized_mutual_info,
+    silhouette_score,
+)
+from repro.metrics.quality import contingency
+
+
+class TestContingency:
+    def test_simple_table(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 1])
+        t = contingency(a, b)
+        np.testing.assert_array_equal(t, [[0, 2], [1, 1]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DatasetError):
+            contingency(np.zeros(3), np.zeros(4))
+
+
+class TestAri:
+    def test_perfect_agreement(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+        # Label permutation does not matter.
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, 2000)
+        b = rng.integers(0, 5, 2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, 100)
+        b = rng.integers(0, 4, 100)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_single_cluster_vs_itself(self):
+        a = np.zeros(10, dtype=int)
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_too_few_points(self):
+        with pytest.raises(DatasetError):
+            adjusted_rand_index(np.array([0]), np.array([0]))
+
+
+class TestNmi:
+    def test_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        assert normalized_mutual_info(a, a) == pytest.approx(1.0)
+        assert normalized_mutual_info(a, 1 - a) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 4, 5000)
+        b = rng.integers(0, 4, 5000)
+        assert normalized_mutual_info(a, b) < 0.01
+
+    def test_bounds(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 3, 200)
+        b = rng.integers(0, 6, 200)
+        v = normalized_mutual_info(a, b)
+        assert 0.0 <= v <= 1.0
+
+
+class TestSilhouette:
+    def test_separated_blobs_near_one(self, blobs):
+        res = lloyd(blobs, 4, init="kmeans++", seed=0)
+        s = silhouette_score(blobs, res.assignment, sample=None)
+        assert s > 0.8
+
+    def test_bad_labels_score_lower(self, blobs):
+        res = lloyd(blobs, 4, init="kmeans++", seed=0)
+        good = silhouette_score(blobs, res.assignment)
+        rng = np.random.default_rng(0)
+        bad = silhouette_score(
+            blobs, rng.integers(0, 4, blobs.shape[0])
+        )
+        assert good > bad
+        assert abs(bad) < 0.2
+
+    def test_sampling_close_to_exact(self, blobs):
+        res = lloyd(blobs, 4, init="kmeans++", seed=0)
+        exact = silhouette_score(blobs, res.assignment, sample=None)
+        sampled = silhouette_score(
+            blobs, res.assignment, sample=200, seed=1
+        )
+        assert sampled == pytest.approx(exact, abs=0.05)
+
+    def test_single_cluster_rejected(self, blobs):
+        with pytest.raises(DatasetError):
+            silhouette_score(blobs, np.zeros(blobs.shape[0], dtype=int))
+
+
+class TestDaviesBouldin:
+    def test_separated_better_than_random(self, blobs):
+        res = lloyd(blobs, 4, init="kmeans++", seed=0)
+        good = davies_bouldin_index(blobs, res.assignment)
+        rng = np.random.default_rng(0)
+        bad = davies_bouldin_index(
+            blobs, rng.integers(0, 4, blobs.shape[0])
+        )
+        assert 0 <= good < bad
+
+    def test_single_cluster_rejected(self, blobs):
+        with pytest.raises(DatasetError):
+            davies_bouldin_index(
+                blobs, np.zeros(blobs.shape[0], dtype=int)
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 100),
+    ka=st.integers(1, 5),
+    kb=st.integers(1, 5),
+    seed=st.integers(0, 1000),
+)
+def test_ari_nmi_bounds_hold(n, ka, kb, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, ka, n)
+    b = rng.integers(0, kb, n)
+    ari = adjusted_rand_index(a, b)
+    nmi = normalized_mutual_info(a, b)
+    assert -1.0 <= ari <= 1.0
+    assert 0.0 <= nmi <= 1.0
+    assert adjusted_rand_index(a, a) == pytest.approx(1.0)

@@ -1,0 +1,207 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These exercise invariants that span modules: pruning safety across
+random problem instances, conservation laws of the counters, monotone
+cost responses, I/O geometry consistency, and the equivalence of all
+public drivers on arbitrary inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConvergenceCriteria, knord, knori, lloyd
+from repro.core import init_centroids
+from repro.core.distance import euclidean
+from repro.core.mti import mti_init, mti_iteration
+from repro.data import write_matrix
+from repro.sem import RowCache, Safs
+from repro.simhw import FOUR_SOCKET_XEON
+from repro.simhw.ssd import OCZ_INTREPID_ARRAY
+
+
+def gaussian_instance(n, k, d, seed):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=3.0, size=(max(k, 2), d))
+    comp = rng.integers(0, max(k, 2), size=n)
+    return centers[comp] + rng.normal(scale=1.0, size=(n, d))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(20, 150),
+    k=st.integers(2, 8),
+    d=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_drivers_agree_with_lloyd_objective(n, k, d, seed):
+    """knori (all pruning modes) and knord reach Lloyd's objective on
+    arbitrary Gaussian instances (assignments may differ only on exact
+    ties, so compare assigned distances)."""
+    x = gaussian_instance(n, k, d, seed)
+    k = min(k, n)
+    c0 = init_centroids(x, k, "random", seed=seed)
+    crit = ConvergenceCriteria(max_iters=50)
+    ref = lloyd(x, k, init=c0, criteria=crit)
+    ref_obj = ref.inertia
+    for run in (
+        knori(x, k, init=c0, criteria=crit, n_threads=4),
+        knori(x, k, pruning="elkan", init=c0, criteria=crit,
+              n_threads=4),
+        knori(x, k, pruning=None, init=c0, criteria=crit, n_threads=4),
+        knord(x, k, n_machines=min(3, n), init=c0, criteria=crit),
+    ):
+        assert run.inertia == pytest.approx(ref_obj, rel=1e-6, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(20, 200),
+    k=st.integers(2, 10),
+    seed=st.integers(0, 10_000),
+)
+def test_mti_counters_conserve(n, k, seed):
+    """dist_per_row sums to computed; clause1 + needs_data covers n;
+    cluster counts always sum to n."""
+    x = gaussian_instance(n, k, 4, seed)
+    k = min(k, n)
+    c0 = init_centroids(x, k, "random", seed=seed)
+    state, res = mti_init(x, c0)
+    prev, cur = c0, res.new_centroids
+    for _ in range(8):
+        r = mti_iteration(x, cur, prev, state)
+        assert int(r.dist_per_row.sum()) == r.computed
+        assert r.clause1_rows + int(r.needs_data.sum()) == n
+        assert state.counts.sum() == n
+        assert (state.counts >= 0).all()
+        prev, cur = cur, r.new_centroids
+        if r.n_changed == 0:
+            break
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(20, 150),
+    k=st.integers(2, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_objective_never_increases(n, k, seed):
+    """The k-means objective is non-increasing for the MTI driver."""
+    x = gaussian_instance(n, k, 3, seed)
+    k = min(k, n)
+    c0 = init_centroids(x, k, "random", seed=seed)
+    state, res = mti_init(x, c0)
+    prev, cur = c0, res.new_centroids
+    last = np.inf
+    for _ in range(12):
+        d = euclidean(x, cur)[np.arange(n), state.assignment]
+        obj = float((d**2).sum())
+        assert obj <= last * (1 + 1e-12) + 1e-9
+        last = obj
+        r = mti_iteration(x, cur, prev, state)
+        prev, cur = cur, r.new_centroids
+        if r.n_changed == 0:
+            break
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(st.integers(0, 5000), min_size=0, max_size=100,
+                  unique=True),
+    row_bytes=st.sampled_from([16, 64, 200, 512]),
+    cache_pages=st.integers(0, 64),
+)
+def test_safs_accounting_consistent(rows, row_bytes, cache_pages):
+    """bytes_requested = rows * row_bytes; hits + ssd pages = pages
+    needed; requests never exceed pages from SSD."""
+    safs = Safs(
+        OCZ_INTREPID_ARRAY, page_cache_bytes=cache_pages * 4096
+    )
+    arr = np.array(sorted(rows), dtype=np.int64)
+    batch = safs.fetch_rows(arr, row_bytes)
+    assert batch.bytes_requested == arr.size * row_bytes
+    assert (
+        batch.page_cache_hits + batch.pages_from_ssd
+        == batch.pages_needed
+    )
+    assert batch.merged_requests <= batch.pages_from_ssd or (
+        batch.pages_from_ssd == 0 and batch.merged_requests == 0
+    )
+    assert batch.bytes_read == batch.pages_from_ssd * 4096
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    capacity_rows=st.integers(0, 100),
+    n_rows=st.integers(1, 500),
+    n_parts=st.integers(1, 8),
+    interval=st.integers(1, 10),
+    n_iters=st.integers(1, 60),
+    seed=st.integers(0, 100),
+)
+def test_row_cache_schedule_and_capacity(
+    capacity_rows, n_rows, n_parts, interval, n_iters, seed
+):
+    """Refresh points follow the doubling schedule; capacity is never
+    exceeded; hit counts never exceed lookups."""
+    rng = np.random.default_rng(seed)
+    rc = RowCache(
+        capacity_rows * 64, 64, n_rows,
+        n_partitions=n_parts, update_interval=interval,
+    )
+    expected_refreshes = []
+    nxt, gap = interval, interval
+    while nxt < n_iters:
+        expected_refreshes.append(nxt)
+        gap *= 2
+        nxt += gap
+    seen = []
+    for it in range(n_iters):
+        active = np.unique(rng.integers(0, n_rows, size=20))
+        rc.lookup(active)
+        if rc.should_refresh(it):
+            rc.refresh(it, active)
+            seen.append(it)
+        assert rc.cached_rows <= max(0, capacity_rows)
+    assert seen == expected_refreshes
+    assert rc.hits + rc.misses > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    d=st.integers(1, 128),
+    n_dist_a=st.integers(0, 10_000),
+    n_dist_b=st.integers(0, 10_000),
+)
+def test_cost_model_superadditive_compute(d, n_dist_a, n_dist_b):
+    """Compute charges are additive and nonnegative."""
+    cm = FOUR_SOCKET_XEON
+    a = cm.dist_comp_ns(d, n_dist_a)
+    b = cm.dist_comp_ns(d, n_dist_b)
+    both = cm.dist_comp_ns(d, n_dist_a + n_dist_b)
+    assert a >= 0 and b >= 0
+    assert both == pytest.approx(a + b, rel=1e-12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(30, 120),
+    k=st.integers(2, 6),
+    seed=st.integers(0, 1000),
+)
+def test_knors_matches_knori_on_disk(n, k, seed, tmp_path_factory):
+    """Round-tripping through the on-disk format and the SEM stack
+    never changes the clustering."""
+    from repro import knors
+
+    x = gaussian_instance(n, k, 3, seed)
+    k = min(k, n)
+    c0 = init_centroids(x, k, "random", seed=seed)
+    td = tmp_path_factory.mktemp("prop")
+    path = write_matrix(td / f"m{seed}.knor", x)
+    crit = ConvergenceCriteria(max_iters=40)
+    a = knori(x, k, init=c0, criteria=crit)
+    b = knors(path, k, init=c0, criteria=crit)
+    np.testing.assert_array_equal(a.assignment, b.assignment)
+    np.testing.assert_allclose(a.centroids, b.centroids, atol=1e-10)

@@ -1,0 +1,140 @@
+"""SEM checkpointing: save/load, crash recovery, atomicity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import ConvergenceCriteria, knors
+from repro.core import init_centroids
+from repro.errors import IoSubsystemError
+from repro.sem.checkpoint import (
+    CheckpointState,
+    has_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def make_state(it=3):
+    rng = np.random.default_rng(0)
+    return CheckpointState(
+        iteration=it,
+        centroids=rng.normal(size=(4, 3)),
+        prev_centroids=rng.normal(size=(4, 3)),
+        assignment=rng.integers(0, 4, 100).astype(np.int32),
+        ub=rng.random(100),
+        sums=rng.normal(size=(4, 3)),
+        counts=rng.integers(1, 50, 4).astype(np.int64),
+        n_changed=17,
+        params={"n": 100, "d": 3, "k": 4, "pruning": "mti"},
+    )
+
+
+class TestCheckpointFiles:
+    def test_roundtrip(self, tmp_path):
+        state = make_state()
+        save_checkpoint(tmp_path, state)
+        assert has_checkpoint(tmp_path)
+        back = load_checkpoint(tmp_path)
+        assert back.iteration == 3
+        assert back.n_changed == 17
+        np.testing.assert_array_equal(back.centroids, state.centroids)
+        np.testing.assert_array_equal(back.assignment, state.assignment)
+        np.testing.assert_array_equal(back.ub, state.ub)
+        assert back.params["pruning"] == "mti"
+
+    def test_unpruned_state_has_no_bounds(self, tmp_path):
+        state = make_state()
+        state.ub = None
+        state.sums = None
+        state.counts = None
+        save_checkpoint(tmp_path, state)
+        back = load_checkpoint(tmp_path)
+        assert back.ub is None and back.sums is None
+
+    def test_overwrite_keeps_latest(self, tmp_path):
+        save_checkpoint(tmp_path, make_state(it=3))
+        save_checkpoint(tmp_path, make_state(it=7))
+        assert load_checkpoint(tmp_path).iteration == 7
+
+    def test_missing_raises(self, tmp_path):
+        assert not has_checkpoint(tmp_path)
+        with pytest.raises(IoSubsystemError):
+            load_checkpoint(tmp_path)
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        save_checkpoint(tmp_path, make_state())
+        (tmp_path / "checkpoint.json").write_text("{not json")
+        with pytest.raises(IoSubsystemError):
+            load_checkpoint(tmp_path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        save_checkpoint(tmp_path, make_state())
+        m = json.loads((tmp_path / "checkpoint.json").read_text())
+        m["format_version"] = 99
+        (tmp_path / "checkpoint.json").write_text(json.dumps(m))
+        with pytest.raises(IoSubsystemError):
+            load_checkpoint(tmp_path)
+
+    def test_no_tmp_files_left(self, tmp_path):
+        save_checkpoint(tmp_path, make_state())
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestKnorsRecovery:
+    @pytest.mark.parametrize("pruning", ["mti", None])
+    def test_crash_and_resume_matches_uninterrupted(
+        self, matrix_path, overlapping, tmp_path, pruning
+    ):
+        """Kill the run at iteration 4, resume, and land on the exact
+        same final clustering as an uninterrupted run."""
+        c0 = init_centroids(overlapping, 6, "random", seed=3)
+        ckpt = tmp_path / "ckpt"
+        full = knors(matrix_path, 6, init=c0, pruning=pruning)
+
+        # "Crash": cap at 4 iterations, checkpointing every 2.
+        knors(
+            matrix_path, 6, init=c0, pruning=pruning,
+            checkpoint_dir=ckpt, checkpoint_interval=2,
+            criteria=ConvergenceCriteria(max_iters=4),
+        )
+        assert has_checkpoint(ckpt)
+        assert load_checkpoint(ckpt).iteration == 4
+
+        resumed = knors(
+            matrix_path, 6, init=c0, pruning=pruning,
+            checkpoint_dir=ckpt, checkpoint_interval=2, resume=True,
+        )
+        np.testing.assert_array_equal(
+            resumed.assignment, full.assignment
+        )
+        np.testing.assert_allclose(
+            resumed.centroids, full.centroids, atol=1e-9
+        )
+        # The resumed run only performed the remaining iterations.
+        assert resumed.iterations == full.iterations - 4
+
+    def test_resume_without_checkpoint_starts_fresh(
+        self, matrix_path, overlapping, tmp_path
+    ):
+        c0 = init_centroids(overlapping, 4, "random", seed=1)
+        res = knors(
+            matrix_path, 4, init=c0,
+            checkpoint_dir=tmp_path / "empty", resume=True,
+            criteria=ConvergenceCriteria(max_iters=5),
+        )
+        assert res.iterations == 5 or res.converged
+
+    def test_checkpoint_written_at_interval(
+        self, matrix_path, overlapping, tmp_path
+    ):
+        c0 = init_centroids(overlapping, 4, "random", seed=1)
+        ckpt = tmp_path / "c"
+        knors(
+            matrix_path, 4, init=c0, checkpoint_dir=ckpt,
+            checkpoint_interval=3,
+            criteria=ConvergenceCriteria(max_iters=7),
+        )
+        state = load_checkpoint(ckpt)
+        assert state.iteration in (3, 6)

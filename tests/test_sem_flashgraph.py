@@ -1,0 +1,95 @@
+"""RowEngine: the per-iteration SEM I/O plan."""
+
+import numpy as np
+import pytest
+
+from repro.sem import RowCache, RowEngine, Safs
+from repro.simhw.ssd import OCZ_INTREPID_ARRAY
+
+
+def make_engine(n_rows=10_000, row_bytes=64, rc_rows=None, pc_pages=32):
+    safs = Safs(OCZ_INTREPID_ARRAY, page_cache_bytes=pc_pages * 4096)
+    rc = (
+        RowCache(rc_rows * row_bytes, row_bytes, n_rows, update_interval=5)
+        if rc_rows
+        else None
+    )
+    return RowEngine(safs, row_bytes, n_rows, row_cache=rc)
+
+
+def test_full_scan_reads_everything():
+    eng = make_engine(pc_pages=0)
+    needs = np.ones(10_000, dtype=bool)
+    stats = eng.run_iteration(0, needs)
+    assert stats.rows_needed == 10_000
+    assert stats.bytes_requested == 10_000 * 64
+    # 64 rows/page -> ~157 pages, merged into one sequential request.
+    assert stats.merged_requests == 1
+    assert stats.bytes_read == stats.pages_needed * 4096
+
+
+def test_clause1_rows_skip_io():
+    eng = make_engine(pc_pages=0)
+    needs = np.zeros(10_000, dtype=bool)
+    needs[:100] = True
+    stats = eng.run_iteration(0, needs)
+    assert stats.rows_needed == 100
+    assert stats.bytes_requested == 100 * 64
+
+
+def test_row_cache_cuts_requests_after_refresh():
+    eng = make_engine(rc_rows=5000, pc_pages=0)
+    needs = np.zeros(10_000, dtype=bool)
+    needs[:4000] = True
+    # Iterations 0..4; refresh happens at iteration 5's scheduled point.
+    for it in range(5):
+        stats = eng.run_iteration(it, needs)
+        assert stats.row_cache_hits == 0
+    stats5 = eng.run_iteration(5, needs)
+    assert stats5.rc_refreshed
+    assert stats5.rc_admitted == 4000
+    stats6 = eng.run_iteration(6, needs)
+    assert stats6.row_cache_hits == 4000
+    assert stats6.rows_requested == 0
+    assert stats6.bytes_read == 0
+    assert stats6.service_ns == 0.0
+
+
+def test_stale_cache_misses_new_actives():
+    eng = make_engine(rc_rows=5000, pc_pages=0)
+    first = np.zeros(10_000, dtype=bool)
+    first[:2000] = True
+    for it in range(6):
+        eng.run_iteration(it, first)
+    # Activation pattern shifts: half the active rows are new.
+    shifted = np.zeros(10_000, dtype=bool)
+    shifted[1000:3000] = True
+    stats = eng.run_iteration(6, shifted)
+    assert stats.row_cache_hits == 1000
+    assert stats.rows_requested == 1000
+
+
+def test_no_row_cache_everything_requested():
+    eng = make_engine(rc_rows=None, pc_pages=0)
+    needs = np.ones(1000, dtype=bool)
+    s0 = eng.run_iteration(0, needs)
+    s1 = eng.run_iteration(1, needs)
+    assert s0.rows_requested == s1.rows_requested == 1000
+    assert s0.row_cache_hits == s1.row_cache_hits == 0
+
+
+def test_page_cache_serves_repeat_iterations():
+    # Page cache big enough for the whole (tiny) dataset.
+    eng = make_engine(n_rows=1000, pc_pages=64)
+    needs = np.ones(1000, dtype=bool)
+    s0 = eng.run_iteration(0, needs)
+    s1 = eng.run_iteration(1, needs)
+    assert s0.pages_from_ssd > 0
+    assert s1.pages_from_ssd == 0
+    assert s1.bytes_read == 0
+
+
+def test_service_time_positive_for_real_io():
+    eng = make_engine(pc_pages=0)
+    stats = eng.run_iteration(0, np.ones(10_000, dtype=bool))
+    assert stats.service_ns > 0

@@ -1,0 +1,128 @@
+"""Cost model: calibration anchors and monotonicity properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.simhw import FOUR_SOCKET_XEON, EC2_C4_8XLARGE
+
+
+def test_table3_calibration_anchor():
+    """1-thread knori- on Friendster-8 should cost ~7.49 s/iter.
+
+    n=66M, d=8, k=10: compute cost alone must land within 10% of the
+    paper's measured serial iteration time.
+    """
+    cm = FOUR_SOCKET_XEON
+    n, d, k = 66_000_000, 8, 10
+    sim_s = (cm.dist_comp_ns(d, n * k) + cm.rows_overhead_ns(n)) / 1e9
+    assert sim_s == pytest.approx(7.49, rel=0.10)
+
+
+def test_dist_comp_scales_linearly():
+    cm = FOUR_SOCKET_XEON
+    assert cm.dist_comp_ns(8, 200) == pytest.approx(
+        2 * cm.dist_comp_ns(8, 100)
+    )
+    assert cm.dist_comp_ns(16, 100) > cm.dist_comp_ns(8, 100)
+
+
+def test_dist_comp_invalid_d():
+    with pytest.raises(ConfigError):
+        FOUR_SOCKET_XEON.dist_comp_ns(0, 10)
+
+
+def test_smt_mult_identity_below_cores():
+    cm = FOUR_SOCKET_XEON
+    for t in (1, 24, 48):
+        assert cm.smt_compute_mult(t) == 1.0
+
+
+def test_smt_mult_penalizes_oversubscription():
+    cm = FOUR_SOCKET_XEON
+    assert cm.smt_compute_mult(64) > 1.0
+    assert cm.smt_compute_mult(96) > cm.smt_compute_mult(64)
+    # But SMT still yields net speedup: 64 threads at mult m do more
+    # work per unit time than 48 at mult 1 iff 64/m > 48.
+    assert 64 / cm.smt_compute_mult(64) > 48
+
+
+def test_migration_mult_grows_with_threads():
+    cm = FOUR_SOCKET_XEON
+    assert cm.migration_compute_mult(1) == 1.0
+    assert cm.migration_compute_mult(64) > cm.migration_compute_mult(4)
+
+
+def test_remote_stream_slower_than_local():
+    cm = FOUR_SOCKET_XEON
+    local = cm.mem_stream_ns(1 << 20, remote=False, streams_on_bank=4)
+    remote = cm.mem_stream_ns(
+        1 << 20, remote=True, streams_on_bank=4, remote_streams_on_bank=3
+    )
+    assert remote > local
+
+
+def test_bank_saturation_monotone():
+    cm = FOUR_SOCKET_XEON
+    t_prev = 0.0
+    for streams in (1, 4, 16, 64):
+        t = cm.mem_stream_ns(1 << 20, remote=False, streams_on_bank=streams)
+        assert t >= t_prev
+        t_prev = t
+
+
+def test_zero_bytes_free():
+    assert FOUR_SOCKET_XEON.mem_stream_ns(
+        0, remote=True, streams_on_bank=8
+    ) == 0.0
+
+
+def test_task_time_overlap_semantics():
+    cm = FOUR_SOCKET_XEON
+    assert cm.task_time_ns(100.0, 60.0, overlap=True) == 100.0
+    assert cm.task_time_ns(100.0, 60.0, overlap=False) == 160.0
+
+
+def test_lock_wait_grows_with_contention():
+    cm = FOUR_SOCKET_XEON
+    assert cm.lock_wait_ns(1) == cm.lock_ns
+    assert cm.lock_wait_ns(8) > cm.lock_wait_ns(2)
+
+
+def test_barrier_single_thread_free():
+    assert FOUR_SOCKET_XEON.barrier_ns(1) == 0.0
+    assert FOUR_SOCKET_XEON.barrier_ns(64) > FOUR_SOCKET_XEON.barrier_ns(2)
+
+
+def test_reduction_grows_logarithmically():
+    cm = FOUR_SOCKET_XEON
+    r2 = cm.reduction_ns(10, 8, 2)
+    r64 = cm.reduction_ns(10, 8, 64)
+    assert 0 < r2 < r64
+    assert cm.reduction_ns(10, 8, 1) == 0.0
+
+
+def test_with_topology_swaps_shape():
+    cm = FOUR_SOCKET_XEON.with_topology(EC2_C4_8XLARGE.topology)
+    assert cm.topology.physical_cores == 18
+    assert cm.dist_base_ns == FOUR_SOCKET_XEON.dist_base_ns
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    nbytes=st.integers(1, 1 << 24),
+    streams=st.integers(1, 128),
+    rstreams=st.integers(0, 128),
+)
+def test_mem_stream_never_cheaper_remote(nbytes, streams, rstreams):
+    """A remote access is never cheaper than the same access local."""
+    cm = FOUR_SOCKET_XEON
+    local = cm.mem_stream_ns(nbytes, remote=False, streams_on_bank=streams)
+    remote = cm.mem_stream_ns(
+        nbytes,
+        remote=True,
+        streams_on_bank=streams,
+        remote_streams_on_bank=rstreams,
+    )
+    assert remote >= local

@@ -1,0 +1,172 @@
+"""Event-driven iteration engine: dispatch, accounting, and invariants."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sched import NumaAwareScheduler, StaticScheduler
+from repro.simhw import (
+    BindPolicy,
+    FOUR_SOCKET_XEON,
+    IterationEngine,
+    TaskWork,
+)
+from repro.simhw.thread import spawn_threads
+
+
+def make_tasks(n_tasks, n_dist=100, home_nodes=None):
+    return [
+        TaskWork(
+            task_id=i,
+            n_rows=10,
+            n_dist=n_dist,
+            data_bytes=640,
+            state_bytes=120,
+            home_node=home_nodes[i] if home_nodes else i % 4,
+        )
+        for i in range(n_tasks)
+    ]
+
+
+def run(n_threads, tasks, policy=BindPolicy.NUMA_BIND, sched=None,
+        record=False):
+    engine = IterationEngine(
+        FOUR_SOCKET_XEON, bind_policy=policy, record_executions=record
+    )
+    threads = spawn_threads(FOUR_SOCKET_XEON.topology, n_threads, policy)
+    return engine.run(
+        sched or StaticScheduler(), tasks, threads, d=8, k=10
+    )
+
+
+def test_all_tasks_executed_once():
+    trace = run(4, make_tasks(16))
+    assert trace.total_rows == 160
+    assert trace.total_dist == 1600
+
+
+def test_trace_totals_reset_between_runs():
+    engine = IterationEngine(FOUR_SOCKET_XEON)
+    threads = spawn_threads(FOUR_SOCKET_XEON.topology, 4,
+                            BindPolicy.NUMA_BIND)
+    sched = StaticScheduler()
+    t1 = engine.run(sched, make_tasks(8), threads, d=8, k=10)
+    t2 = engine.run(sched, make_tasks(8), threads, d=8, k=10)
+    assert t1.total_rows == t2.total_rows == 80
+
+
+def test_more_threads_faster_span():
+    tasks = make_tasks(64)
+    t1 = run(1, tasks)
+    t8 = run(8, tasks)
+    assert t8.span_ns < t1.span_ns
+    # Near-linear at uniform work.
+    assert t1.span_ns / t8.span_ns > 5.0
+
+
+def test_skewed_work_creates_skewed_span():
+    """Static scheduling of skewed tasks leaves threads idle."""
+    tasks = make_tasks(16)
+    # Make the first quarter of tasks 50x heavier.
+    heavy = [
+        TaskWork(t.task_id, t.n_rows, t.n_dist * (50 if i < 4 else 1),
+                 t.data_bytes, t.state_bytes, t.home_node)
+        for i, t in enumerate(tasks)
+    ]
+    static = run(4, heavy, sched=StaticScheduler())
+    stealing = run(4, heavy, sched=NumaAwareScheduler())
+    assert stealing.span_ns < static.span_ns
+    assert static.busy_fraction < 0.8
+    assert stealing.busy_fraction > static.busy_fraction
+
+
+def test_oblivious_slower_than_bound():
+    tasks = make_tasks(64)
+    aware = run(16, tasks)
+    oblivious_tasks = [
+        TaskWork(t.task_id, t.n_rows, t.n_dist, t.data_bytes,
+                 t.state_bytes, 0)
+        for t in tasks
+    ]
+    oblivious = run(16, oblivious_tasks, policy=BindPolicy.OBLIVIOUS)
+    assert oblivious.total_ns > aware.total_ns
+
+
+def test_remote_bytes_accounted():
+    # All tasks on node 0, threads on all nodes -> most bytes remote.
+    tasks = make_tasks(16, home_nodes=[0] * 16)
+    trace = run(8, tasks, sched=NumaAwareScheduler())
+    assert trace.total_bytes_remote > 0
+
+
+def test_local_bytes_when_partitioned():
+    trace = run(8, make_tasks(16))
+    assert trace.total_bytes_local > 0
+
+
+def test_barrier_and_reduction_charged():
+    trace = run(8, make_tasks(8))
+    assert trace.barrier_ns > 0
+    assert trace.reduction_ns > 0
+    assert trace.total_ns == pytest.approx(
+        trace.span_ns + trace.barrier_ns + trace.reduction_ns
+    )
+
+
+def test_no_reduction_when_disabled():
+    engine = IterationEngine(FOUR_SOCKET_XEON)
+    threads = spawn_threads(FOUR_SOCKET_XEON.topology, 4,
+                            BindPolicy.NUMA_BIND)
+    trace = engine.run(
+        StaticScheduler(), make_tasks(8), threads, d=8, k=10,
+        reduction=False,
+    )
+    assert trace.reduction_ns == 0.0
+
+
+def test_execution_records():
+    trace = run(2, make_tasks(6), record=True)
+    assert len(trace.executions) == 6
+    for ex in trace.executions:
+        assert ex.end_ns >= ex.start_ns
+        assert ex.compute_ns > 0
+
+
+def test_empty_threads_rejected():
+    engine = IterationEngine(FOUR_SOCKET_XEON)
+    with pytest.raises(SchedulerError):
+        engine.run(StaticScheduler(), make_tasks(4), [], d=8, k=10)
+
+
+def test_deterministic_traces():
+    t1 = run(8, make_tasks(32), sched=NumaAwareScheduler())
+    t2 = run(8, make_tasks(32), sched=NumaAwareScheduler())
+    assert t1.total_ns == t2.total_ns
+    assert t1.thread_clocks_ns == t2.thread_clocks_ns
+
+
+def test_single_thread_executes_serially():
+    trace = run(1, make_tasks(10))
+    assert trace.busy_fraction == pytest.approx(1.0)
+    assert trace.barrier_ns == 0.0
+
+
+def test_remote_task_loses_prefetch_overlap():
+    """A stolen/remote block cannot overlap memory with compute: its
+    task time is the sum, a local one's is the max."""
+    cm = FOUR_SOCKET_XEON
+    engine = IterationEngine(cm)
+    threads = spawn_threads(cm.topology, 4, BindPolicy.NUMA_BIND)
+    # One fat task; home node either local to thread 0 or remote.
+    local = [TaskWork(0, 100, 5000, 1 << 16, 0, threads[0].node)]
+    remote_node = (threads[0].node + 1) % cm.topology.n_nodes
+    remote = [TaskWork(0, 100, 5000, 1 << 16, 0, remote_node)]
+    sched = StaticScheduler()
+    t_local = engine.run(sched, local, threads[:1], d=8, k=10)
+    t_remote = engine.run(sched, remote, threads[:1], d=8, k=10)
+    compute = cm.dist_comp_ns(8, 5000) + cm.rows_overhead_ns(100)
+    mem_local = cm.mem_stream_ns(1 << 16, remote=False, streams_on_bank=1)
+    # Local: overlapped -> span is max(compute, mem).
+    assert t_local.span_ns == pytest.approx(max(compute, mem_local))
+    # Remote: additive and with remote charges -> strictly larger.
+    assert t_remote.span_ns > t_local.span_ns
+    assert t_remote.span_ns > compute

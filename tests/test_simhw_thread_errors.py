@@ -1,0 +1,75 @@
+"""SimThread counters, spawn placement, and the error hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+from repro.simhw.thread import SimThread, ThreadCounters, spawn_threads
+from repro.simhw.topology import BindPolicy, NumaTopology
+
+
+class TestThreadCounters:
+    def test_merge(self):
+        a = ThreadCounters(tasks_run=2, rows_processed=10,
+                           dist_computations=100, bytes_local=64,
+                           lock_wait_ns=5.0)
+        b = ThreadCounters(tasks_run=1, rows_processed=5,
+                           bytes_remote=32, steals_local_node=1,
+                           queue_probes=3, lock_wait_ns=2.5)
+        m = a.merged_with(b)
+        assert m.tasks_run == 3
+        assert m.rows_processed == 15
+        assert m.dist_computations == 100
+        assert m.bytes_local == 64
+        assert m.bytes_remote == 32
+        assert m.steals_local_node == 1
+        assert m.queue_probes == 3
+        assert m.lock_wait_ns == pytest.approx(7.5)
+        # Originals untouched.
+        assert a.tasks_run == 2 and b.tasks_run == 1
+
+    def test_advance_rejects_negative(self):
+        th = SimThread(thread_id=0, node=0)
+        th.advance(5.0)
+        assert th.clock_ns == 5.0
+        with pytest.raises(ValueError):
+            th.advance(-1.0)
+
+
+class TestSpawn:
+    def test_bound_follows_figure1(self):
+        topo = NumaTopology(4, 2)
+        threads = spawn_threads(topo, 8, BindPolicy.NUMA_BIND)
+        assert [t.node for t in threads] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_core_bind_same_layout(self):
+        topo = NumaTopology(2, 4)
+        a = spawn_threads(topo, 4, BindPolicy.NUMA_BIND)
+        b = spawn_threads(topo, 4, BindPolicy.CORE_BIND)
+        assert [t.node for t in a] == [t.node for t in b]
+
+    def test_oblivious_round_robin(self):
+        topo = NumaTopology(3, 4)
+        threads = spawn_threads(topo, 5, BindPolicy.OBLIVIOUS)
+        assert [t.node for t in threads] == [0, 1, 2, 0, 1]
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_knor_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not errors.KnorError
+                and obj.__module__ == "repro.errors"
+            ):
+                assert issubclass(obj, errors.KnorError), name
+
+    def test_config_errors_are_value_errors(self):
+        assert issubclass(errors.ConfigError, ValueError)
+        assert issubclass(errors.TopologyError, errors.ConfigError)
+        assert issubclass(errors.DatasetError, ValueError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.KnorError):
+            raise errors.SchedulerError("boom")

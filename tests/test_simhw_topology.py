@@ -1,0 +1,92 @@
+"""NUMA topology: thread placement and shape arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.simhw.topology import (
+    BindPolicy,
+    FOUR_SOCKET_TOPOLOGY,
+    NumaTopology,
+)
+
+
+def test_paper_machine_shape():
+    assert FOUR_SOCKET_TOPOLOGY.physical_cores == 48
+    assert FOUR_SOCKET_TOPOLOGY.hardware_threads == 96
+    assert FOUR_SOCKET_TOPOLOGY.n_nodes == 4
+
+
+def test_even_thread_distribution():
+    topo = NumaTopology(4, 12)
+    nodes = [topo.node_of_thread(t, 8) for t in range(8)]
+    assert nodes == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_uneven_thread_distribution():
+    topo = NumaTopology(4, 12)
+    nodes = [topo.node_of_thread(t, 6) for t in range(6)]
+    # 6 threads on 4 nodes: first two nodes carry 2 each.
+    assert nodes == [0, 0, 1, 1, 2, 3]
+
+
+def test_fewer_threads_than_nodes():
+    topo = NumaTopology(4, 12)
+    assert [topo.node_of_thread(t, 2) for t in range(2)] == [0, 1]
+
+
+def test_threads_on_node_inverse():
+    topo = NumaTopology(4, 12)
+    for n_threads in (1, 3, 7, 16, 48):
+        seen = []
+        for node in range(4):
+            seen.extend(topo.threads_on_node(node, n_threads))
+        assert sorted(seen) == list(range(n_threads))
+
+
+def test_node_out_of_range():
+    topo = NumaTopology(2, 4)
+    with pytest.raises(TopologyError):
+        topo.threads_on_node(2, 4)
+    with pytest.raises(TopologyError):
+        topo.node_of_thread(4, 4)
+
+
+def test_invalid_topologies():
+    for kwargs in (
+        dict(n_nodes=0, cores_per_node=1),
+        dict(n_nodes=1, cores_per_node=0),
+        dict(n_nodes=1, cores_per_node=1, smt=0),
+    ):
+        with pytest.raises(TopologyError):
+            NumaTopology(**kwargs)
+
+
+def test_oversubscription():
+    topo = NumaTopology(4, 12)
+    assert topo.oversubscription(24) == 1.0
+    assert topo.oversubscription(48) == 1.0
+    assert topo.oversubscription(96) == pytest.approx(2.0)
+
+
+def test_bind_policy_enum_values():
+    assert BindPolicy.NUMA_BIND.value == "numa_bind"
+    assert BindPolicy.OBLIVIOUS.value == "oblivious"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_nodes=st.integers(1, 8),
+    cores=st.integers(1, 16),
+    n_threads=st.integers(1, 64),
+)
+def test_placement_is_balanced(n_nodes, cores, n_threads):
+    """Every node carries floor(T/N) or ceil(T/N) threads."""
+    topo = NumaTopology(n_nodes, cores)
+    counts = [
+        len(topo.threads_on_node(node, n_threads))
+        for node in range(n_nodes)
+    ]
+    assert sum(counts) == n_threads
+    assert max(counts) - min(counts) <= 1
