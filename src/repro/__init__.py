@@ -20,7 +20,10 @@ True
 
 Public API
 ----------
-* :func:`knori` / :func:`knors` / :func:`knord` -- the three modules.
+* :func:`knori` / :func:`knors` / :func:`knord` -- the three modules
+  (thin shims over the unified :mod:`repro.runtime` execution layer).
+* :mod:`repro.runtime` -- execution backends, the iteration
+  orchestrator, and :class:`~repro.runtime.RunObserver` trace hooks.
 * :func:`repro.core.lloyd` -- serial reference implementation.
 * :mod:`repro.data` -- Table 2 dataset generators and on-disk format.
 * :mod:`repro.baselines` -- serial strategies, naive parallel Lloyd's,

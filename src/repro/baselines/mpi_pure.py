@@ -8,7 +8,9 @@ and there is no within-machine work stealing (static per-rank
 partitions). knord outperforms it by 20-50% (Figure 12), which is the
 NUMA dividend in isolation, since the numerics are identical.
 
-Here the numerics run exactly as knord's, while the cost side differs:
+Here the numerics run exactly as knord's -- the same
+:class:`~repro.runtime.ShardedKmeans` fleet, one shard per rank --
+while the cost side differs (:class:`~repro.runtime.PureMpiBackend`):
 
 * per-rank compute pays a NUMA penalty factor (unpinned ranks make
   remote accesses when migrated);
@@ -18,19 +20,23 @@ Here the numerics run exactly as knord's, while the cost side differs:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core import ConvergenceCriteria
-from repro.core.centroids import cluster_sums
-from repro.core.distance import nearest_centroid, rows_to_centroids
-from repro.core.mti import MtiState, mti_init, mti_iteration
+from repro.core.distance import rows_to_centroids
 from repro.dist import NetworkModel, SimComm, TEN_GBE
 from repro.drivers.common import check_pruning, default_criteria, resolve_init
 from repro.errors import ConfigError, DatasetError
-from repro.metrics import IterationRecord, RunResult
+from repro.metrics import RunResult
+from repro.runtime import (
+    IterationLoop,
+    PureMpiBackend,
+    RunObserver,
+    ShardedKmeans,
+)
 from repro.simhw import CostModel, EC2_C4_8XLARGE
-
-_F64 = 8
 
 #: Compute penalty of unpinned, OS-placed MPI ranks relative to knord's
 #: bound threads (calibrated to Figure 12's 20-50% knord advantage).
@@ -49,6 +55,7 @@ def mpi_lloyd(
     init: str | np.ndarray = "random",
     seed: int = 0,
     criteria: ConvergenceCriteria | None = None,
+    observers: Sequence[RunObserver] = (),
 ) -> RunResult:
     """Pure-MPI ||Lloyd's (``pruning=None`` gives the paper's MPI-)."""
     x = np.asarray(x, dtype=np.float64)
@@ -65,106 +72,27 @@ def mpi_lloyd(
         raise DatasetError(f"n={n} rows cannot shard over {n_ranks} ranks")
     comm = SimComm(n_ranks, network)
 
-    bounds = np.linspace(0, n, n_ranks + 1, dtype=np.int64)
-    shards = [x[bounds[i] : bounds[i + 1]] for i in range(n_ranks)]
-    states: list[MtiState | None] = [None] * n_ranks
-    prev_assign: list[np.ndarray | None] = [None] * n_ranks
+    centroids0 = resolve_init(x, k, init, seed)
+    sharded = ShardedKmeans(x, centroids0, pruning, n_ranks, k)
+    backend = PureMpiBackend(
+        comm,
+        sharded,
+        dist_col_ns=cost_model.dist_base_ns
+        + cost_model.dist_per_dim_ns * d,
+        row_overhead_ns=cost_model.row_overhead_ns,
+        numa_penalty=MPI_NUMA_PENALTY,
+    )
+    result = IterationLoop(
+        backend, criteria=crit, observers=observers
+    ).run()
 
-    centroids = resolve_init(x, k, init, seed)
-    prev_centroids = centroids.copy()
-    records: list[IterationRecord] = []
-    converged = False
-    dist_col_ns = cost_model.dist_base_ns + cost_model.dist_per_dim_ns * d
-
-    for it in range(crit.max_iters):
-        shard_sums = []
-        shard_counts = []
-        changed_total = 0
-        rank_ns = []
-        dist_total = 0
-        motion = None
-        for ri in range(n_ranks):
-            shard = shards[ri]
-            sn = shard.shape[0]
-            if pruning == "mti":
-                if it == 0:
-                    states[ri], res = mti_init(shard, centroids)
-                    n_dist = res.computed
-                    changed = res.n_changed
-                else:
-                    res = mti_iteration(
-                        shard, centroids, prev_centroids, states[ri]
-                    )
-                    n_dist = res.computed
-                    changed = res.n_changed
-                    motion = res.motion
-                shard_sums.append(states[ri].sums)
-                shard_counts.append(states[ri].counts.astype(np.float64))
-            else:
-                assign, _ = nearest_centroid(shard, centroids)
-                changed = (
-                    sn
-                    if prev_assign[ri] is None
-                    else int(np.count_nonzero(assign != prev_assign[ri]))
-                )
-                prev_assign[ri] = assign
-                partial = cluster_sums(shard, assign, k)
-                shard_sums.append(partial.sums)
-                shard_counts.append(partial.counts.astype(np.float64))
-                n_dist = sn * k
-            # Single-threaded rank, unpinned: NUMA penalty, no SMT.
-            rank_ns.append(
-                (
-                    n_dist * dist_col_ns
-                    + sn * cost_model.row_overhead_ns
-                )
-                * MPI_NUMA_PENALTY
-            )
-            changed_total += changed
-            dist_total += n_dist
-
-        red_sums = comm.allreduce_sum(shard_sums)
-        red_counts = comm.allreduce_sum(shard_counts)
-        allreduce_ns = comm.allreduce_ns(
-            red_sums.value.nbytes + red_counts.value.nbytes + 8
-        )
-        counts = red_counts.value
-        new_centroids = centroids.copy()
-        nonzero = counts > 0
-        new_centroids[nonzero] = (
-            red_sums.value[nonzero] / counts[nonzero, None]
-        )
-
-        records.append(
-            IterationRecord(
-                iteration=it,
-                sim_ns=max(rank_ns) + allreduce_ns,
-                n_changed=changed_total,
-                dist_computations=dist_total,
-                network_bytes=red_sums.bytes_on_wire
-                + red_counts.bytes_on_wire,
-                allreduce_ns=allreduce_ns,
-            )
-        )
-        prev_centroids = centroids
-        centroids = new_centroids
-        if crit.converged(n, changed_total, motion):
-            converged = True
-            break
-
-    if pruning == "mti":
-        assignment = np.concatenate([s.assignment for s in states])
-    else:
-        assignment = np.concatenate(prev_assign)
-    dist = rows_to_centroids(x, centroids, assignment)
-    return RunResult(
+    assignment = sharded.assignment
+    dist = rows_to_centroids(x, sharded.centroids, assignment)
+    return result.as_run_result(
         algorithm="MPI" if pruning == "mti" else "MPI-",
-        centroids=centroids,
+        centroids=sharded.centroids,
         assignment=assignment,
-        iterations=len(records),
-        converged=converged,
         inertia=float((dist**2).sum()),
-        records=records,
         params={
             "n": n,
             "d": d,

@@ -64,10 +64,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--json", type=Path, default=None,
         help="write the full run record (timings, counters) as JSON",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="stream runtime trace events (iterations, I/O, "
+        "collectives) to stderr",
+    )
 
 
 def _pruning(value: str) -> str | None:
     return None if value == "none" else value
+
+
+def _observers(args: argparse.Namespace):
+    from repro.runtime import PrintObserver
+
+    return (PrintObserver(),) if args.trace else ()
 
 
 def _finish(
@@ -147,6 +158,7 @@ def cmd_knori(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         init=args.init, seed=args.seed,
         criteria=ConvergenceCriteria(max_iters=args.max_iters),
+        observers=_observers(args),
     )
     _finish(result, args.out,
             quality_data=x if args.quality else None,
@@ -167,6 +179,7 @@ def cmd_knors(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
         resume=args.resume,
+        observers=_observers(args),
     )
     qd = (
         MatrixFile(args.matrix).read_rows(None) if args.quality else None
@@ -190,6 +203,7 @@ def cmd_knord(args: argparse.Namespace) -> int:
         pruning=_pruning(args.pruning),
         init=args.init, seed=args.seed,
         criteria=ConvergenceCriteria(max_iters=args.max_iters),
+        observers=_observers(args),
     )
     _finish(result, args.out,
             quality_data=x if args.quality else None,

@@ -46,7 +46,15 @@ class ElkanState:
 
 @dataclass
 class ElkanIterationResult:
-    """Outcome and pruning statistics of one Elkan iteration."""
+    """Outcome and pruning statistics of one Elkan iteration.
+
+    The pruning breakdown uses the same field names as
+    :class:`~repro.core.mti.MtiIterationResult` so drivers can consume
+    either result uniformly: Elkan evaluates its bounds per
+    point-centroid pair with the tightened upper bound, which maps to
+    MTI's clause-3 position (``clause2_pruned`` stays 0 -- Elkan has
+    no separate loose-bound pass).
+    """
 
     new_centroids: np.ndarray
     n_changed: int
@@ -54,9 +62,15 @@ class ElkanIterationResult:
     needs_data: np.ndarray
     motion: np.ndarray
     clause1_rows: int = 0
-    pruned_pairs: int = 0
+    clause2_pruned: int = 0
+    clause3_pruned: int = 0
     tightened_rows: int = 0
     computed: int = 0
+
+    @property
+    def pruned_pairs(self) -> int:
+        """Backward-compatible alias for :attr:`clause3_pruned`."""
+        return self.clause3_pruned
 
 
 def elkan_init(
@@ -204,7 +218,7 @@ def elkan_iteration(
         needs_data=needs_data,
         motion=motion,
         clause1_rows=int(clause1.sum()),
-        pruned_pairs=pruned_pairs,
+        clause3_pruned=pruned_pairs,
         tightened_rows=n_tightened,
         computed=computed,
     )

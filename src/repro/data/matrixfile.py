@@ -103,6 +103,15 @@ class MatrixFile:
         start = row * self.row_bytes
         return start, start + self.row_bytes
 
+    def row_view(self) -> np.ndarray:
+        """Zero-copy (n, d) array view over the on-disk data region.
+
+        Row accesses through the view hit the file at page granularity
+        via the memmap -- this is the supported way for SEM drivers to
+        index rows without loading the matrix.
+        """
+        return np.asarray(self._mm)
+
     def read_rows(self, rows: np.ndarray | None) -> np.ndarray:
         """Fetch rows by index (``None`` = all) as float64 copies."""
         if rows is None:

@@ -138,22 +138,40 @@ class NumericsLoop:
             res = iter_fn(
                 self.x, self.centroids, self.prev_centroids, self._state
             )
+            # MtiIterationResult and ElkanIterationResult share the
+            # normalized clause field names; no per-type fallbacks.
             out = IterationNumerics(
                 new_centroids=res.new_centroids,
                 n_changed=res.n_changed,
                 dist_per_row=res.dist_per_row,
                 needs_data=res.needs_data,
                 clause1_rows=res.clause1_rows,
-                clause2_pruned=getattr(res, "clause2_pruned", 0),
-                clause3_pruned=getattr(
-                    res, "clause3_pruned", getattr(res, "pruned_pairs", 0)
-                ),
+                clause2_pruned=res.clause2_pruned,
+                clause3_pruned=res.clause3_pruned,
                 motion=res.motion,
             )
         self.prev_centroids = self.centroids
         self.centroids = out.new_centroids
         self.iteration += 1
         return out
+
+    def partial_sums_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-cluster (sums, counts) over this loop's rows.
+
+        The distributed backend reduces these across shards; the
+        pruned algorithms maintain them incrementally while the
+        unpruned path recomputes from the assignment (both via
+        ``bincount``, so a 1-shard reduction is bit-identical to the
+        whole-data centroid update).
+        """
+        if self.pruning is not None:
+            assert self._state is not None
+            return self._state.sums, self._state.counts
+        from repro.core.centroids import cluster_sums
+
+        k = self.centroids.shape[0]
+        partial = cluster_sums(self.x, self.assignment, k)
+        return partial.sums, partial.counts
 
     def inertia(self) -> float:
         """k-means objective at the current assignment/centroids."""

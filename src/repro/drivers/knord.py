@@ -10,16 +10,23 @@ NUMA placement gains outweigh cross-machine skew), so an iteration
 takes as long as its slowest machine plus the collective.
 
 ``knord(x, k, pruning=None)`` is the paper's knord-.
+
+This driver is a parameter-translation shim over
+:mod:`repro.runtime`: per-shard numerics live in a
+:class:`~repro.runtime.ShardedKmeans` fleet of ``NumericsLoop``\\s, the
+cluster replay and the allreduce in a
+:class:`~repro.runtime.DistributedBackend`, and the iteration skeleton
+in the shared :class:`~repro.runtime.IterationLoop`.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core import ConvergenceCriteria
-from repro.core.centroids import cluster_sums
-from repro.core.distance import nearest_centroid, rows_to_centroids
-from repro.core.mti import MtiState, mti_init, mti_iteration
+from repro.core.distance import rows_to_centroids
 from repro.dist import Cluster, NetworkModel, TEN_GBE
 from repro.drivers.common import (
     check_pruning,
@@ -28,17 +35,16 @@ from repro.drivers.common import (
     resolve_init,
 )
 from repro.errors import ConfigError, DatasetError
-from repro.metrics import IterationRecord, RunResult
-from repro.sched import build_task_blocks
-from repro.sched.blocks import auto_task_rows
-from repro.simhw import AllocPolicy, BindPolicy, CostModel, EC2_C4_8XLARGE
-
-_F64 = 8
-_I32 = 4
-
-
-def _shard_bounds(n: int, p: int) -> np.ndarray:
-    return np.linspace(0, n, p + 1, dtype=np.int64)
+from repro.metrics import RunResult
+from repro.runtime import (
+    DistributedBackend,
+    IterationLoop,
+    RunObserver,
+    ShardedKmeans,
+    register_distributed_memory,
+    state_bytes_per_row,
+)
+from repro.simhw import BindPolicy, CostModel, EC2_C4_8XLARGE
 
 
 def knord(
@@ -57,6 +63,7 @@ def knord(
     criteria: ConvergenceCriteria | None = None,
     task_rows: int | None = None,
     cluster: Cluster | None = None,
+    observers: Sequence[RunObserver] = (),
 ) -> RunResult:
     """Distributed NUMA-optimized k-means on a simulated cluster.
 
@@ -72,6 +79,9 @@ def knord(
         paper's c4.8xlarge fleet on placement-group 10 GbE).
     cluster:
         Pre-built :class:`Cluster` (overrides the hardware params).
+    observers:
+        :class:`~repro.runtime.RunObserver` hooks receiving the run's
+        trace-event stream (per-machine task traces, collectives).
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2:
@@ -93,170 +103,36 @@ def knord(
     p = cluster.n_machines
     if n < p:
         raise DatasetError(f"n={n} rows cannot shard over {p} machines")
-    bounds = _shard_bounds(n, p)
-    shards = [x[bounds[i] : bounds[i + 1]] for i in range(p)]
-    schedulers = [make_scheduler(scheduler) for _ in range(p)]
 
+    centroids0 = resolve_init(x, k, init, seed)
+    sharded = ShardedKmeans(x, centroids0, pruning, p, k)
+    schedulers = [make_scheduler(scheduler) for _ in range(p)]
     # Per-machine memory accounting (machines are identical; report
     # machine 0, flagged per-machine in params).
-    for mi, machine in enumerate(cluster.machines):
-        shard_n = int(bounds[mi + 1] - bounds[mi])
-        mem = machine.memory
-        data_policy = (
-            AllocPolicy.OBLIVIOUS
-            if machine.bind_policy is BindPolicy.OBLIVIOUS
-            else AllocPolicy.PARTITIONED
-        )
-        mem.alloc("row_data", shard_n * d * _F64, data_policy,
-                  component="data")
-        mem.alloc("assignment", shard_n * _I32, data_policy,
-                  component="assignment")
-        mem.alloc("global_centroids", k * d * _F64,
-                  AllocPolicy.INTERLEAVE, component="centroids")
-        for th in machine.threads:
-            mem.alloc(
-                f"thread{th.thread_id}_centroids",
-                k * d * _F64 + k * _F64,
-                AllocPolicy.NUMA_BIND,
-                component="per_thread_centroids",
-                home_node=th.node,
-            )
-        if pruning == "mti":
-            mem.alloc("mti_upper_bounds", shard_n * _F64, data_policy,
-                      component="mti_bounds")
-            mem.alloc("centroid_dist_matrix",
-                      (k * (k + 1) // 2) * _F64,
-                      AllocPolicy.INTERLEAVE, component="mti_bounds")
+    register_distributed_memory(
+        cluster.machines, sharded.shard_rows(), d, k, pruning
+    )
 
-    centroids = resolve_init(x, k, init, seed)
-    prev_centroids = centroids.copy()
-    mti_states: list[MtiState | None] = [None] * p
-    prev_assign: list[np.ndarray | None] = [None] * p
-    records: list[IterationRecord] = []
-    converged = False
+    backend = DistributedBackend(
+        cluster,
+        schedulers,
+        sharded,
+        d=d,
+        k=k,
+        task_rows=task_rows,
+        state_bytes=state_bytes_per_row(pruning, k),
+    )
+    result = IterationLoop(
+        backend, criteria=crit, observers=observers
+    ).run()
 
-    for it in range(crit.max_iters):
-        shard_sums: list[np.ndarray] = []
-        shard_counts: list[np.ndarray] = []
-        shard_changed = 0
-        machine_ns: list[float] = []
-        dist_total = 0
-        clause1_total = 0
-        steals_total = 0
-        busy: list[float] = []
-        motion = None
-
-        for mi in range(p):
-            shard = shards[mi]
-            sn = shard.shape[0]
-            if pruning == "mti":
-                if it == 0:
-                    mti_states[mi], res = mti_init(shard, centroids)
-                    dpr = res.dist_per_row
-                    needs = res.needs_data
-                    changed = res.n_changed
-                    c1 = 0
-                else:
-                    res = mti_iteration(
-                        shard, centroids, prev_centroids, mti_states[mi]
-                    )
-                    dpr = res.dist_per_row
-                    needs = res.needs_data
-                    changed = res.n_changed
-                    c1 = res.clause1_rows
-                    motion = res.motion
-                state = mti_states[mi]
-                shard_sums.append(state.sums)
-                shard_counts.append(state.counts.astype(np.float64))
-            else:
-                assign, _ = nearest_centroid(shard, centroids)
-                changed = (
-                    sn
-                    if prev_assign[mi] is None
-                    else int(np.count_nonzero(assign != prev_assign[mi]))
-                )
-                prev_assign[mi] = assign
-                partial = cluster_sums(shard, assign, k)
-                shard_sums.append(partial.sums)
-                shard_counts.append(partial.counts.astype(np.float64))
-                dpr = np.full(sn, k, dtype=np.int32)
-                needs = np.ones(sn, dtype=bool)
-                c1 = 0
-
-            machine = cluster.machines[mi]
-            tasks = build_task_blocks(
-                sn,
-                d,
-                machine,
-                dist_per_row=dpr,
-                needs_data=needs,
-                task_rows=(
-                    auto_task_rows(sn, machine.n_threads)
-                    if task_rows is None
-                    else min(task_rows, max(1, sn))
-                ),
-                state_bytes_per_row=12 if pruning else 4,
-            )
-            trace = machine.engine.run(
-                schedulers[mi], tasks, machine.threads, d=d, k=k
-            )
-            machine_ns.append(trace.total_ns)
-            dist_total += int(dpr.sum())
-            clause1_total += c1
-            steals_total += trace.total_steals
-            busy.append(trace.busy_fraction)
-            shard_changed += changed
-
-        # Decentralized global update: allreduce sums and counts.
-        red_sums = cluster.comm.allreduce_sum(shard_sums)
-        red_counts = cluster.comm.allreduce_sum(shard_counts)
-        allreduce_ns = cluster.comm.allreduce_ns(
-            red_sums.value.nbytes + red_counts.value.nbytes + 8
-        )
-        counts = red_counts.value
-        new_centroids = centroids.copy()
-        nonzero = counts > 0
-        new_centroids[nonzero] = (
-            red_sums.value[nonzero] / counts[nonzero, None]
-        )
-
-        records.append(
-            IterationRecord(
-                iteration=it,
-                sim_ns=max(machine_ns) + allreduce_ns,
-                n_changed=shard_changed,
-                dist_computations=dist_total,
-                clause1_rows=clause1_total,
-                busy_fraction=float(np.mean(busy)),
-                steals=steals_total,
-                network_bytes=red_sums.bytes_on_wire
-                + red_counts.bytes_on_wire,
-                allreduce_ns=allreduce_ns,
-            )
-        )
-
-        prev_centroids = centroids
-        centroids = new_centroids
-        if crit.converged(n, shard_changed, motion):
-            converged = True
-            break
-
-    if pruning == "mti":
-        assignment = np.concatenate(
-            [s.assignment for s in mti_states]
-        )
-    else:
-        assignment = np.concatenate(prev_assign)
-
-    dist = rows_to_centroids(x, centroids, assignment)
-    return RunResult(
+    assignment = sharded.assignment
+    dist = rows_to_centroids(x, sharded.centroids, assignment)
+    return result.as_run_result(
         algorithm="knord" if pruning == "mti" else "knord-",
-        centroids=centroids,
+        centroids=sharded.centroids,
         assignment=assignment,
-        iterations=len(records),
-        converged=converged,
         inertia=float((dist**2).sum()),
-        records=records,
         memory_breakdown=cluster.machines[0].memory.component_breakdown(),
         params={
             "n": n,

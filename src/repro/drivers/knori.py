@@ -16,9 +16,16 @@ NUMA machine. Per iteration:
 ``knori(x, k, pruning=None)`` is the paper's knori-;
 ``bind_policy=BindPolicy.OBLIVIOUS`` is the Figure 4 baseline;
 ``scheduler="fifo" | "static"`` are the Figure 5 baselines.
+
+This driver is a parameter-translation shim over
+:mod:`repro.runtime`: it builds the machine, numerics source and
+:class:`~repro.runtime.InMemoryBackend`, then hands the iteration
+skeleton to the shared :class:`~repro.runtime.IterationLoop`.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -31,78 +38,21 @@ from repro.drivers.common import (
     resolve_init,
 )
 from repro.errors import DatasetError
-from repro.metrics import IterationRecord, RunResult
-from repro.sched import build_task_blocks
+from repro.metrics import RunResult
+from repro.runtime import (
+    InMemoryBackend,
+    IterationLoop,
+    KmeansSource,
+    RunObserver,
+    register_inmemory_memory,
+)
 from repro.sched.blocks import auto_task_rows
 from repro.simhw import (
-    AllocPolicy,
     BindPolicy,
     CostModel,
     FOUR_SOCKET_XEON,
     SimMachine,
 )
-
-_F64 = 8
-_I32 = 4
-
-
-def _register_memory(
-    machine: SimMachine, n: int, d: int, k: int, pruning: str | None
-) -> None:
-    """Record the run's allocations for Table 1 accounting."""
-    mem = machine.memory
-    t = machine.n_threads
-    data_policy = (
-        AllocPolicy.OBLIVIOUS
-        if machine.bind_policy is BindPolicy.OBLIVIOUS
-        else AllocPolicy.PARTITIONED
-    )
-    mem.alloc("row_data", n * d * _F64, data_policy, component="data")
-    mem.alloc(
-        "assignment", n * _I32, data_policy, component="assignment"
-    )
-    mem.alloc(
-        "global_centroids",
-        k * d * _F64,
-        AllocPolicy.INTERLEAVE,
-        component="centroids",
-    )
-    # Per-thread centroid copies: sums (k*d) + counts (k) per thread,
-    # each bound to the owning thread's node.
-    for th in machine.threads:
-        mem.alloc(
-            f"thread{th.thread_id}_centroids",
-            k * d * _F64 + k * _F64,
-            AllocPolicy.NUMA_BIND,
-            component="per_thread_centroids",
-            home_node=th.node,
-        )
-    if pruning == "mti":
-        mem.alloc(
-            "mti_upper_bounds", n * _F64, data_policy,
-            component="mti_bounds",
-        )
-        mem.alloc(
-            "centroid_dist_matrix",
-            (k * (k + 1) // 2) * _F64,
-            AllocPolicy.INTERLEAVE,
-            component="mti_bounds",
-        )
-    elif pruning == "elkan":
-        mem.alloc(
-            "elkan_upper_bounds", n * _F64, data_policy,
-            component="ti_bounds",
-        )
-        mem.alloc(
-            "elkan_lower_bounds", n * k * _F64, data_policy,
-            component="ti_lower_bound_matrix",
-        )
-        mem.alloc(
-            "centroid_dist_matrix",
-            (k * (k + 1) // 2) * _F64,
-            AllocPolicy.INTERLEAVE,
-            component="ti_bounds",
-        )
 
 
 def knori(
@@ -119,6 +69,7 @@ def knori(
     criteria: ConvergenceCriteria | None = None,
     task_rows: int | None = None,
     machine: SimMachine | None = None,
+    observers: Sequence[RunObserver] = (),
 ) -> RunResult:
     """In-memory NUMA-optimized k-means on a simulated machine.
 
@@ -148,6 +99,9 @@ def knori(
     machine:
         Pre-built :class:`SimMachine` (overrides ``cost_model``/
         ``n_threads``/``bind_policy``).
+    observers:
+        :class:`~repro.runtime.RunObserver` hooks receiving the run's
+        trace-event stream (iteration boundaries, task traces).
 
     Returns
     -------
@@ -170,58 +124,32 @@ def knori(
     if task_rows is None:
         task_rows = auto_task_rows(n, machine.n_threads)
     centroids0 = resolve_init(x, k, init, seed)
-    _register_memory(machine, n, d, k, pruning)
+    register_inmemory_memory(machine, n, d, k, pruning)
 
     loop = NumericsLoop(
         x, centroids0, pruning, n_partitions=machine.n_threads
     )
-    records: list[IterationRecord] = []
-    converged = False
-    state_bytes = 12 if pruning else 4  # ub (8B) + assign vs assign only
-
-    for it in range(crit.max_iters):
-        num = loop.step()
-        tasks = build_task_blocks(
-            n,
-            d,
-            machine,
-            dist_per_row=num.dist_per_row,
-            needs_data=num.needs_data,
-            task_rows=task_rows,
-            state_bytes_per_row=state_bytes,
-        )
-        trace = machine.engine.run(
-            sched, tasks, machine.threads, d=d, k=k
-        )
-        records.append(
-            IterationRecord(
-                iteration=it,
-                sim_ns=trace.total_ns,
-                n_changed=num.n_changed,
-                dist_computations=int(num.dist_per_row.sum()),
-                clause1_rows=num.clause1_rows,
-                clause2_pruned=num.clause2_pruned,
-                clause3_pruned=num.clause3_pruned,
-                busy_fraction=trace.busy_fraction,
-                steals=trace.total_steals,
-                rows_active=int(num.needs_data.sum()),
-            )
-        )
-        if crit.converged(n, num.n_changed, num.motion):
-            converged = True
-            break
+    backend = InMemoryBackend(
+        machine,
+        sched,
+        KmeansSource(loop, k),
+        n_rows=n,
+        d=d,
+        reduction_k=k,
+        task_rows=task_rows,
+    )
+    result = IterationLoop(
+        backend, criteria=crit, observers=observers
+    ).run()
 
     algo = {"mti": "knori", "elkan": "knori[elkan]", None: "knori-"}[
         pruning
     ]
-    return RunResult(
+    return result.as_run_result(
         algorithm=algo,
         centroids=loop.centroids,
         assignment=loop.assignment.copy(),
-        iterations=len(records),
-        converged=converged,
         inertia=loop.inertia(),
-        records=records,
         memory_breakdown=machine.memory.component_breakdown(),
         params={
             "n": n,

@@ -17,11 +17,18 @@ Flag mapping to the paper's names:
 * ``knors(path, k)`` -- knors (MTI + row cache).
 * ``knors(path, k, pruning=None)`` -- knors- (no MTI, RC enabled).
 * ``knors(path, k, pruning=None, row_cache_bytes=0)`` -- knors--.
+
+This driver is a parameter-translation shim over
+:mod:`repro.runtime`: it assembles the SAFS/row-cache I/O stack, a
+:class:`~repro.runtime.SemBackend` with an optional
+:class:`~repro.runtime.CheckpointHook`, and hands the iteration
+skeleton to the shared :class:`~repro.runtime.IterationLoop`.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -34,19 +41,20 @@ from repro.drivers.common import (
     make_scheduler,
     resolve_init,
 )
-from repro.errors import DatasetError
-from repro.metrics import IterationRecord, RunResult
-from repro.sched import build_task_blocks
+from repro.metrics import RunResult
+from repro.runtime import (
+    CheckpointHook,
+    IterationLoop,
+    KmeansSource,
+    RunObserver,
+    SemBackend,
+    register_sem_memory,
+    resolve_row_data,
+)
 from repro.sched.blocks import auto_task_rows
 from repro.sem import RowCache, RowEngine, Safs
-from repro.sem.checkpoint import (
-    CheckpointState,
-    has_checkpoint,
-    load_checkpoint,
-    save_checkpoint,
-)
+from repro.sem.checkpoint import has_checkpoint, load_checkpoint
 from repro.simhw import (
-    AllocPolicy,
     BindPolicy,
     CostModel,
     FOUR_SOCKET_XEON,
@@ -55,26 +63,6 @@ from repro.simhw import (
 from repro.simhw.ssd import OCZ_INTREPID_ARRAY, SsdArray
 
 _F64 = 8
-_I32 = 4
-
-
-def _open_data(
-    data: np.ndarray | str | Path | MatrixFile,
-) -> tuple[np.ndarray, int, int]:
-    """Resolve the data source to an indexable array plus (n, d).
-
-    Paths resolve to a memmap-backed view, so row accesses during the
-    run read from the real file at page granularity.
-    """
-    if isinstance(data, MatrixFile):
-        return np.asarray(data._mm), data.n, data.d
-    if isinstance(data, (str, Path)):
-        mf = MatrixFile(data)
-        return np.asarray(mf._mm), mf.n, mf.d
-    x = np.asarray(data, dtype=np.float64)
-    if x.ndim != 2:
-        raise DatasetError(f"data must be 2-D, got shape {x.shape}")
-    return x, x.shape[0], x.shape[1]
 
 
 def knors(
@@ -97,6 +85,7 @@ def knors(
     checkpoint_dir: str | Path | None = None,
     checkpoint_interval: int = 10,
     resume: bool = False,
+    observers: Sequence[RunObserver] = (),
 ) -> RunResult:
     """Semi-external-memory k-means over an SSD-resident matrix.
 
@@ -125,8 +114,11 @@ def knors(
         ``checkpoint_dir`` (atomic replace); ``resume=True`` continues
         from the newest checkpoint there. Disabled when
         ``checkpoint_dir`` is None, as in the paper's benchmarks.
+    observers:
+        :class:`~repro.runtime.RunObserver` hooks receiving the run's
+        trace-event stream (iterations, I/O, task traces, checkpoints).
     """
-    x, n, d = _open_data(data)
+    x, n, d = resolve_row_data(data)
     pruning = check_pruning(pruning)
     crit = default_criteria(criteria)
     row_bytes = d * _F64
@@ -157,49 +149,14 @@ def knors(
         else None
     )
     io_engine = RowEngine(safs, row_bytes, n, row_cache=row_cache)
-
-    # -- memory accounting: note there is NO O(nd) row_data entry ----
-    mem = machine.memory
-    mem.alloc(
-        "assignment", n * _I32, AllocPolicy.PARTITIONED,
-        component="assignment",
-    )
-    mem.alloc(
-        "global_centroids", k * d * _F64, AllocPolicy.INTERLEAVE,
-        component="centroids",
-    )
-    for th in machine.threads:
-        mem.alloc(
-            f"thread{th.thread_id}_centroids",
-            k * d * _F64 + k * _F64,
-            AllocPolicy.NUMA_BIND,
-            component="per_thread_centroids",
-            home_node=th.node,
-        )
-    if pruning == "mti":
-        mem.alloc(
-            "mti_upper_bounds", n * _F64, AllocPolicy.PARTITIONED,
-            component="mti_bounds",
-        )
-        mem.alloc(
-            "centroid_dist_matrix", (k * (k + 1) // 2) * _F64,
-            AllocPolicy.INTERLEAVE, component="mti_bounds",
-        )
-    if row_cache is not None:
-        mem.alloc(
-            "row_cache", row_cache_bytes, AllocPolicy.PARTITIONED,
-            component="row_cache",
-        )
-    mem.alloc(
-        "page_cache", page_cache_bytes, AllocPolicy.INTERLEAVE,
-        component="page_cache",
+    register_sem_memory(
+        machine, n, d, k, pruning,
+        row_cache_bytes=row_cache_bytes if row_cache is not None else 0,
+        page_cache_bytes=page_cache_bytes,
     )
 
     centroids0 = resolve_init(np.asarray(x), k, init, seed)
     loop = NumericsLoop(x, centroids0, pruning, n_partitions=t)
-    records: list[IterationRecord] = []
-    converged = False
-    state_bytes = 12 if pruning else 4
 
     start_it = 0
     if resume and checkpoint_dir is not None and has_checkpoint(
@@ -223,68 +180,33 @@ def knors(
             # refresh after the resume point.
             row_cache.fast_forward(start_it - 1)
 
-    for it in range(start_it, crit.max_iters):
-        num = loop.step()
-        io = io_engine.run_iteration(it, num.needs_data)
-        tasks = build_task_blocks(
-            n,
-            d,
-            machine,
-            dist_per_row=num.dist_per_row,
-            needs_data=num.needs_data,
-            task_rows=task_rows,
-            state_bytes_per_row=state_bytes,
+    checkpoint = (
+        CheckpointHook(
+            directory=checkpoint_dir,
+            interval=checkpoint_interval,
+            loop=loop,
+            params={"n": n, "d": d, "k": k, "pruning": pruning},
         )
-        trace = machine.engine.run(
-            sched, tasks, machine.threads, d=d, k=k
-        )
-        # Async I/O overlaps the compute span (Section 6): the longer
-        # of the two dominates, then everyone meets at the barrier.
-        sim_ns = (
-            max(trace.span_ns, io.service_ns)
-            + trace.barrier_ns
-            + trace.reduction_ns
-        )
-        records.append(
-            IterationRecord(
-                iteration=it,
-                sim_ns=sim_ns,
-                n_changed=num.n_changed,
-                dist_computations=int(num.dist_per_row.sum()),
-                clause1_rows=num.clause1_rows,
-                clause2_pruned=num.clause2_pruned,
-                clause3_pruned=num.clause3_pruned,
-                busy_fraction=trace.busy_fraction,
-                steals=trace.total_steals,
-                bytes_requested=io.bytes_requested,
-                bytes_read=io.bytes_read,
-                io_requests=io.merged_requests,
-                cache_hits=io.row_cache_hits,
-                cache_misses=io.rows_requested,
-                rows_active=io.rows_needed,
-            )
-        )
-        if checkpoint_dir is not None and (
-            (it + 1) % checkpoint_interval == 0
-        ):
-            snap = loop.export_state()
-            save_checkpoint(
-                checkpoint_dir,
-                CheckpointState(
-                    iteration=snap["iteration"],
-                    centroids=snap["centroids"],
-                    prev_centroids=snap["prev_centroids"],
-                    assignment=snap["assignment"],
-                    ub=snap.get("ub"),
-                    sums=snap.get("sums"),
-                    counts=snap.get("counts"),
-                    n_changed=num.n_changed,
-                    params={"n": n, "d": d, "k": k, "pruning": pruning},
-                ),
-            )
-        if crit.converged(n, num.n_changed, num.motion):
-            converged = True
-            break
+        if checkpoint_dir is not None
+        else None
+    )
+    backend = SemBackend(
+        machine,
+        sched,
+        KmeansSource(loop, k),
+        io_engine,
+        n_rows=n,
+        d=d,
+        reduction_k=k,
+        task_rows=task_rows,
+        checkpoint=checkpoint,
+    )
+    result = IterationLoop(
+        backend,
+        criteria=crit,
+        observers=observers,
+        start_iteration=start_it,
+    ).run()
 
     if pruning == "mti":
         algo = "knors"
@@ -292,15 +214,12 @@ def knors(
         algo = "knors--"
     else:
         algo = "knors-"
-    return RunResult(
+    return result.as_run_result(
         algorithm=algo,
         centroids=loop.centroids,
         assignment=loop.assignment.copy(),
-        iterations=len(records),
-        converged=converged,
         inertia=loop.inertia(),
-        records=records,
-        memory_breakdown=mem.component_breakdown(),
+        memory_breakdown=machine.memory.component_breakdown(),
         params={
             "n": n,
             "d": d,

@@ -16,6 +16,7 @@ from repro.core.init import init_centroids
 from repro.drivers.common import NumericsLoop, check_pruning
 from repro.errors import DatasetError
 from repro.framework.base import RowWork
+from repro.runtime import state_bytes_per_row
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
 
@@ -55,7 +56,8 @@ class KmeansAlgorithm:
             compute_units=num.dist_per_row,
             needs_data=num.needs_data,
             n_changed=num.n_changed,
-            state_bytes_per_row=12 if self.pruning else 4,
+            # Pruning-mode-aware rate (Elkan's k-wide bound row counts).
+            state_bytes_per_row=state_bytes_per_row(self.pruning, self.k),
         )
 
     def converged(self) -> bool:

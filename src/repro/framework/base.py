@@ -14,22 +14,32 @@ An algorithm that wants knor's substrate implements three methods:
 Everything else -- task construction, NUMA placement, scheduling,
 stealing, lock/barrier/reduction charges, the SAFS + row-cache stack --
 is the framework's job, identical to what the built-in knori/knors
-drivers do.
+drivers do: both generic drivers wrap the algorithm in a
+:class:`~repro.runtime.RowAlgorithmSource` and run the same
+:class:`~repro.runtime.InMemoryBackend`/:class:`~repro.runtime.SemBackend`
+through the shared :class:`~repro.runtime.IterationLoop`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Protocol, runtime_checkable
+from typing import Any, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro.data.matrixfile import MatrixFile
 from repro.drivers.common import make_scheduler
-from repro.errors import ConfigError, DatasetError
+from repro.errors import DatasetError
 from repro.metrics import IterationRecord
-from repro.sched import build_task_blocks
+from repro.runtime import (
+    InMemoryBackend,
+    IterationLoop,
+    RowAlgorithmSource,
+    RunObserver,
+    SemBackend,
+    resolve_row_data,
+)
 from repro.sched.blocks import auto_task_rows
 from repro.sem import RowCache, RowEngine, Safs
 from repro.simhw import (
@@ -88,17 +98,6 @@ class FrameworkResult:
         return sum(r.sim_ns for r in self.records) / 1e9
 
 
-def _check_work(work: RowWork, n: int) -> None:
-    if work.compute_units.shape != (n,):
-        raise ConfigError(
-            f"compute_units shape {work.compute_units.shape} != ({n},)"
-        )
-    if work.needs_data.shape != (n,):
-        raise ConfigError(
-            f"needs_data shape {work.needs_data.shape} != ({n},)"
-        )
-
-
 def run_numa(
     algorithm: RowAlgorithm,
     x: np.ndarray,
@@ -109,6 +108,7 @@ def run_numa(
     scheduler: str = "numa_aware",
     max_iters: int = 100,
     reduction_k: int = 1,
+    observers: Sequence[RunObserver] = (),
 ) -> FrameworkResult:
     """Run a row algorithm on the simulated NUMA machine.
 
@@ -127,35 +127,26 @@ def run_numa(
     task_rows = auto_task_rows(n, machine.n_threads)
 
     algorithm.begin(x)
-    result = FrameworkResult(algorithm=algorithm)
-    for it in range(max_iters):
-        work = algorithm.iteration(x)
-        _check_work(work, n)
-        tasks = build_task_blocks(
-            n, d, machine,
-            dist_per_row=work.compute_units,
-            needs_data=work.needs_data,
-            task_rows=task_rows,
-            state_bytes_per_row=work.state_bytes_per_row,
-        )
-        trace = machine.engine.run(
-            sched, tasks, machine.threads, d=d, k=reduction_k
-        )
-        result.records.append(
-            IterationRecord(
-                iteration=it,
-                sim_ns=trace.total_ns,
-                n_changed=work.n_changed,
-                dist_computations=int(work.compute_units.sum()),
-                busy_fraction=trace.busy_fraction,
-                steals=trace.total_steals,
-                rows_active=int(work.needs_data.sum()),
-            )
-        )
-        if algorithm.converged():
-            result.converged = True
-            break
-    return result
+    backend = InMemoryBackend(
+        machine,
+        sched,
+        RowAlgorithmSource(algorithm, x),
+        n_rows=n,
+        d=d,
+        reduction_k=reduction_k,
+        task_rows=task_rows,
+    )
+    result = IterationLoop(
+        backend,
+        should_stop=lambda out: algorithm.converged(),
+        max_iters=max_iters,
+        observers=observers,
+    ).run()
+    return FrameworkResult(
+        algorithm=algorithm,
+        records=result.records,
+        converged=result.converged,
+    )
 
 
 def run_sem(
@@ -171,19 +162,11 @@ def run_sem(
     cache_update_interval: int = 5,
     max_iters: int = 100,
     reduction_k: int = 1,
+    observers: Sequence[RunObserver] = (),
 ) -> FrameworkResult:
     """Run a row algorithm semi-externally: rows stream through the
     SAFS + row-cache stack, clause-style skipped rows issue no I/O."""
-    if isinstance(data, MatrixFile):
-        x, n, d = np.asarray(data._mm), data.n, data.d
-    elif isinstance(data, (str, Path)):
-        mf = MatrixFile(data)
-        x, n, d = np.asarray(mf._mm), mf.n, mf.d
-    else:
-        x = np.asarray(data, dtype=np.float64)
-        if x.ndim != 2:
-            raise DatasetError(f"data must be 2-D, got {x.shape}")
-        n, d = x.shape
+    x, n, d = resolve_row_data(data)
 
     row_bytes = d * 8
     data_bytes = n * row_bytes
@@ -210,42 +193,24 @@ def run_sem(
     task_rows = auto_task_rows(n, machine.n_threads)
 
     algorithm.begin(x)
-    result = FrameworkResult(algorithm=algorithm)
-    for it in range(max_iters):
-        work = algorithm.iteration(x)
-        _check_work(work, n)
-        io = io_engine.run_iteration(it, work.needs_data)
-        tasks = build_task_blocks(
-            n, d, machine,
-            dist_per_row=work.compute_units,
-            needs_data=work.needs_data,
-            task_rows=task_rows,
-            state_bytes_per_row=work.state_bytes_per_row,
-        )
-        trace = machine.engine.run(
-            sched, tasks, machine.threads, d=d, k=reduction_k
-        )
-        sim_ns = (
-            max(trace.span_ns, io.service_ns)
-            + trace.barrier_ns
-            + trace.reduction_ns
-        )
-        result.records.append(
-            IterationRecord(
-                iteration=it,
-                sim_ns=sim_ns,
-                n_changed=work.n_changed,
-                dist_computations=int(work.compute_units.sum()),
-                busy_fraction=trace.busy_fraction,
-                bytes_requested=io.bytes_requested,
-                bytes_read=io.bytes_read,
-                io_requests=io.merged_requests,
-                cache_hits=io.row_cache_hits,
-                cache_misses=io.rows_requested,
-                rows_active=io.rows_needed,
-            )
-        )
-        if algorithm.converged():
-            result.converged = True
-            break
-    return result
+    backend = SemBackend(
+        machine,
+        sched,
+        RowAlgorithmSource(algorithm, x),
+        io_engine,
+        n_rows=n,
+        d=d,
+        reduction_k=reduction_k,
+        task_rows=task_rows,
+    )
+    result = IterationLoop(
+        backend,
+        should_stop=lambda out: algorithm.converged(),
+        max_iters=max_iters,
+        observers=observers,
+    ).run()
+    return FrameworkResult(
+        algorithm=algorithm,
+        records=result.records,
+        converged=result.converged,
+    )

@@ -1,0 +1,83 @@
+"""repro.runtime: the unified execution layer under every driver.
+
+The paper's three engines -- in-memory (Section 5), semi-external
+(Section 6) and distributed (Section 7) -- share one iteration
+skeleton: exact numerics, row-block task construction, scheduler and
+engine replay, barrier + reduction, per-iteration accounting. This
+package factors that skeleton out once:
+
+* **sources** (:class:`KmeansSource`, :class:`RowAlgorithmSource`)
+  produce per-iteration exact work statistics;
+* **backends** (:class:`InMemoryBackend`, :class:`SemBackend`,
+  :class:`DistributedBackend`, :class:`PureMpiBackend`) price them on
+  a substrate and emit :class:`~repro.metrics.IterationRecord`\\s;
+* the :class:`IterationLoop` orchestrates any backend to convergence
+  and assembles results uniformly;
+* :class:`RunObserver` hooks expose the full trace-event stream to
+  benchmarks, the CLI, and profilers.
+
+``knori()``, ``knors()``, ``knord()``, the generalized framework's
+``run_numa``/``run_sem``, and ``baselines.mpi_lloyd`` are thin
+parameter-translation shims over these pieces.
+"""
+
+from repro.runtime.backends import (
+    CheckpointHook,
+    DistributedBackend,
+    ExecutionBackend,
+    InMemoryBackend,
+    IterationOutcome,
+    PureMpiBackend,
+    SemBackend,
+    ShardedKmeans,
+)
+from repro.runtime.loop import IterationLoop, LoopResult
+from repro.runtime.memory import (
+    register_distributed_memory,
+    register_inmemory_memory,
+    register_sem_memory,
+    state_bytes_per_row,
+)
+from repro.runtime.observer import (
+    ObserverChain,
+    PrintObserver,
+    RecordingObserver,
+    RunObserver,
+    TraceEvent,
+    chain_observers,
+)
+from repro.runtime.sources import (
+    KmeansSource,
+    NumericsSource,
+    RowAlgorithmSource,
+    StepStats,
+    resolve_row_data,
+)
+
+__all__ = [
+    "CheckpointHook",
+    "DistributedBackend",
+    "ExecutionBackend",
+    "InMemoryBackend",
+    "IterationLoop",
+    "IterationOutcome",
+    "KmeansSource",
+    "LoopResult",
+    "NumericsSource",
+    "ObserverChain",
+    "PrintObserver",
+    "PureMpiBackend",
+    "RecordingObserver",
+    "RowAlgorithmSource",
+    "RunObserver",
+    "SemBackend",
+    "ShardedKmeans",
+    "StepStats",
+    "TraceEvent",
+    "chain_observers",
+    "register_distributed_memory",
+    "register_inmemory_memory",
+    "register_sem_memory",
+    "resolve_row_data",
+    "state_bytes_per_row",
+]

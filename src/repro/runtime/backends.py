@@ -1,0 +1,493 @@
+"""Execution backends: the hardware side of the unified runtime.
+
+A backend runs ONE iteration of a numerics source on its substrate and
+returns the finished :class:`~repro.metrics.IterationRecord` plus what
+the convergence check needs. Three substrates implement the protocol:
+
+* :class:`InMemoryBackend` -- one simulated NUMA machine (knori,
+  ``run_numa``): task blocks through a scheduler, engine replay,
+  barrier + funnel reduction.
+* :class:`SemBackend` -- the same machine plus the SAFS + row-cache
+  I/O stack (knors, ``run_sem``): asynchronous I/O overlaps compute,
+  ``sim = max(span, io) + sync``; optional checkpoint hook.
+* :class:`DistributedBackend` -- a simulated cluster (knord): each
+  machine drives its own per-shard numerics loop, partial centroid
+  sums meet in a real tree-summed allreduce, every machine recomputes
+  identical global centroids (decentralized, Section 7).
+  :class:`PureMpiBackend` reuses the same sharded numerics with the
+  paper's NUMA-oblivious per-rank cost model (Section 8.9 baseline).
+
+The exact numerics, counters and simulated costs are byte-identical to
+the pre-runtime per-driver loops; only the orchestration moved here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.metrics import IterationRecord
+from repro.runtime.observer import RunObserver
+from repro.runtime.sources import NumericsSource, StepStats
+from repro.sched import build_task_blocks
+from repro.sched.blocks import auto_task_rows
+from repro.simhw import SimMachine
+
+
+@dataclass
+class IterationOutcome:
+    """One executed iteration: its record plus convergence inputs."""
+
+    record: IterationRecord
+    n_changed: int
+    motion: np.ndarray | None
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What the :class:`IterationLoop` drives."""
+
+    #: Total rows governed by this backend (convergence denominator).
+    n_rows: int
+
+    def run_iteration(
+        self, iteration: int, observer: RunObserver
+    ) -> IterationOutcome:  # pragma: no cover - protocol
+        ...
+
+    def after_record(
+        self, iteration: int, outcome: IterationOutcome,
+        observer: RunObserver,
+    ) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class InMemoryBackend:
+    """Section 5 substrate: scheduler + engine on one NUMA machine."""
+
+    def __init__(
+        self,
+        machine: SimMachine,
+        scheduler: Any,
+        source: NumericsSource,
+        *,
+        n_rows: int,
+        d: int,
+        reduction_k: int,
+        task_rows: int,
+    ) -> None:
+        self.machine = machine
+        self.scheduler = scheduler
+        self.source = source
+        self.n_rows = n_rows
+        self.d = d
+        self.reduction_k = reduction_k
+        self.task_rows = task_rows
+
+    def _replay(self, stats: StepStats) -> Any:
+        """Price one iteration's work on the machine."""
+        tasks = build_task_blocks(
+            self.n_rows,
+            self.d,
+            self.machine,
+            dist_per_row=stats.dist_per_row,
+            needs_data=stats.needs_data,
+            task_rows=self.task_rows,
+            state_bytes_per_row=stats.state_bytes,
+        )
+        return self.machine.engine.run(
+            self.scheduler, tasks, self.machine.threads,
+            d=self.d, k=self.reduction_k,
+        )
+
+    def run_iteration(
+        self, iteration: int, observer: RunObserver
+    ) -> IterationOutcome:
+        stats = self.source.step(iteration)
+        trace = self._replay(stats)
+        observer.on_task_trace(iteration, trace)
+        record = IterationRecord(
+            iteration=iteration,
+            sim_ns=trace.total_ns,
+            n_changed=stats.n_changed,
+            dist_computations=int(stats.dist_per_row.sum()),
+            clause1_rows=stats.clause1_rows,
+            clause2_pruned=stats.clause2_pruned,
+            clause3_pruned=stats.clause3_pruned,
+            busy_fraction=trace.busy_fraction,
+            steals=trace.total_steals,
+            rows_active=int(stats.needs_data.sum()),
+        )
+        return IterationOutcome(record, stats.n_changed, stats.motion)
+
+    def after_record(self, iteration, outcome, observer) -> None:
+        """In-memory runs have no post-record side effects."""
+
+
+@dataclass
+class CheckpointHook:
+    """knors' FlashGraph-style fault tolerance as a backend hook.
+
+    Persists the numerics loop's O(n) resumable state every
+    ``interval`` iterations (atomic replace; see
+    :mod:`repro.sem.checkpoint`).
+    """
+
+    directory: str | Path
+    interval: int
+    loop: Any  # NumericsLoop (must offer export_state())
+    params: dict
+
+    def maybe_save(
+        self, iteration: int, n_changed: int, observer: RunObserver
+    ) -> None:
+        if (iteration + 1) % self.interval != 0:
+            return
+        from repro.sem.checkpoint import CheckpointState, save_checkpoint
+
+        snap = self.loop.export_state()
+        save_checkpoint(
+            self.directory,
+            CheckpointState(
+                iteration=snap["iteration"],
+                centroids=snap["centroids"],
+                prev_centroids=snap["prev_centroids"],
+                assignment=snap["assignment"],
+                ub=snap.get("ub"),
+                sums=snap.get("sums"),
+                counts=snap.get("counts"),
+                n_changed=n_changed,
+                params=self.params,
+            ),
+        )
+        observer.on_checkpoint(iteration, self.directory)
+
+
+class SemBackend(InMemoryBackend):
+    """Section 6 substrate: InMemory compute overlapped with the
+    SAFS + row-cache I/O pipeline."""
+
+    def __init__(
+        self,
+        machine: SimMachine,
+        scheduler: Any,
+        source: NumericsSource,
+        io_engine: Any,
+        *,
+        n_rows: int,
+        d: int,
+        reduction_k: int,
+        task_rows: int,
+        checkpoint: CheckpointHook | None = None,
+    ) -> None:
+        super().__init__(
+            machine, scheduler, source,
+            n_rows=n_rows, d=d, reduction_k=reduction_k,
+            task_rows=task_rows,
+        )
+        self.io_engine = io_engine
+        self.checkpoint = checkpoint
+
+    def run_iteration(
+        self, iteration: int, observer: RunObserver
+    ) -> IterationOutcome:
+        stats = self.source.step(iteration)
+        io = self.io_engine.run_iteration(iteration, stats.needs_data)
+        observer.on_io(iteration, io)
+        trace = self._replay(stats)
+        observer.on_task_trace(iteration, trace)
+        # Async I/O overlaps the compute span (Section 6): the longer
+        # of the two dominates, then everyone meets at the barrier.
+        sim_ns = (
+            max(trace.span_ns, io.service_ns)
+            + trace.barrier_ns
+            + trace.reduction_ns
+        )
+        record = IterationRecord(
+            iteration=iteration,
+            sim_ns=sim_ns,
+            n_changed=stats.n_changed,
+            dist_computations=int(stats.dist_per_row.sum()),
+            clause1_rows=stats.clause1_rows,
+            clause2_pruned=stats.clause2_pruned,
+            clause3_pruned=stats.clause3_pruned,
+            busy_fraction=trace.busy_fraction,
+            steals=trace.total_steals,
+            bytes_requested=io.bytes_requested,
+            bytes_read=io.bytes_read,
+            io_requests=io.merged_requests,
+            cache_hits=io.row_cache_hits,
+            cache_misses=io.rows_requested,
+            rows_active=io.rows_needed,
+        )
+        return IterationOutcome(record, stats.n_changed, stats.motion)
+
+    def after_record(self, iteration, outcome, observer) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.maybe_save(
+                iteration, outcome.n_changed, observer
+            )
+
+
+class ShardedKmeans:
+    """Per-shard :class:`NumericsLoop` fleet with a shared global view.
+
+    Each shard's loop owns that shard's persistent pruning state; after
+    every collective the reduced global centroids are pushed back into
+    all loops, so each loop's next step sees exactly what a
+    decentralized driver on that machine would.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        centroids0: np.ndarray,
+        pruning: str | None,
+        n_shards: int,
+        k: int,
+    ) -> None:
+        from repro.drivers.common import NumericsLoop
+
+        n = x.shape[0]
+        self.x = x
+        self.k = k
+        self.pruning = pruning
+        self.bounds = np.linspace(0, n, n_shards + 1, dtype=np.int64)
+        self.shards = [
+            x[self.bounds[i]: self.bounds[i + 1]]
+            for i in range(n_shards)
+        ]
+        self.loops = [
+            NumericsLoop(shard, centroids0, pruning, n_partitions=1)
+            for shard in self.shards
+        ]
+        self.centroids = np.array(centroids0, dtype=np.float64, copy=True)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.loops)
+
+    def shard_rows(self) -> list[int]:
+        return [s.shape[0] for s in self.shards]
+
+    def step(self, mi: int) -> StepStats:
+        num = self.loops[mi].step()
+        return StepStats(
+            dist_per_row=num.dist_per_row,
+            needs_data=num.needs_data,
+            n_changed=num.n_changed,
+            motion=num.motion,
+            clause1_rows=num.clause1_rows,
+            clause2_pruned=num.clause2_pruned,
+            clause3_pruned=num.clause3_pruned,
+        )
+
+    def partials(self, mi: int) -> tuple[np.ndarray, np.ndarray]:
+        """Shard ``mi``'s centroid sums and (float) counts."""
+        sums, counts = self.loops[mi].partial_sums_counts()
+        return sums, counts.astype(np.float64)
+
+    def reduce_and_broadcast(
+        self,
+        comm: Any,
+        shard_sums: list[np.ndarray],
+        shard_counts: list[np.ndarray],
+    ) -> tuple[np.ndarray, int, int, float]:
+        """Allreduce partials, recompute and install global centroids.
+
+        Returns ``(new_centroids, payload_bytes, wire_bytes,
+        allreduce_ns)``.
+        """
+        red_sums = comm.allreduce_sum(shard_sums)
+        red_counts = comm.allreduce_sum(shard_counts)
+        payload = red_sums.value.nbytes + red_counts.value.nbytes + 8
+        allreduce_ns = comm.allreduce_ns(payload)
+        counts = red_counts.value
+        new_centroids = self.centroids.copy()
+        nonzero = counts > 0
+        new_centroids[nonzero] = (
+            red_sums.value[nonzero] / counts[nonzero, None]
+        )
+        self.centroids = new_centroids
+        for loop in self.loops:
+            loop.centroids = new_centroids
+        wire = red_sums.bytes_on_wire + red_counts.bytes_on_wire
+        return new_centroids, payload, wire, allreduce_ns
+
+    @property
+    def assignment(self) -> np.ndarray:
+        return np.concatenate([lp.assignment for lp in self.loops])
+
+
+class DistributedBackend:
+    """Section 7 substrate: one knori-style machine per shard plus the
+    cluster allreduce; an iteration takes as long as its slowest
+    machine plus the collective."""
+
+    def __init__(
+        self,
+        cluster: Any,
+        schedulers: list[Any],
+        sharded: ShardedKmeans,
+        *,
+        d: int,
+        k: int,
+        task_rows: int | None,
+        state_bytes: int,
+    ) -> None:
+        self.cluster = cluster
+        self.schedulers = schedulers
+        self.sharded = sharded
+        self.n_rows = sharded.x.shape[0]
+        self.d = d
+        self.k = k
+        self.task_rows = task_rows
+        self.state_bytes = state_bytes
+
+    def run_iteration(
+        self, iteration: int, observer: RunObserver
+    ) -> IterationOutcome:
+        shard_sums: list[np.ndarray] = []
+        shard_counts: list[np.ndarray] = []
+        n_changed = 0
+        machine_ns: list[float] = []
+        dist_total = 0
+        clause1 = clause2 = clause3 = 0
+        steals = 0
+        busy: list[float] = []
+        motion: np.ndarray | None = None
+
+        for mi in range(self.sharded.n_shards):
+            stats = self.sharded.step(mi)
+            if stats.motion is not None:
+                motion = stats.motion
+            sums, counts = self.sharded.partials(mi)
+            shard_sums.append(sums)
+            shard_counts.append(counts)
+
+            machine = self.cluster.machines[mi]
+            sn = self.sharded.shards[mi].shape[0]
+            tasks = build_task_blocks(
+                sn,
+                self.d,
+                machine,
+                dist_per_row=stats.dist_per_row,
+                needs_data=stats.needs_data,
+                task_rows=(
+                    auto_task_rows(sn, machine.n_threads)
+                    if self.task_rows is None
+                    else min(self.task_rows, max(1, sn))
+                ),
+                state_bytes_per_row=self.state_bytes,
+            )
+            trace = machine.engine.run(
+                self.schedulers[mi], tasks, machine.threads,
+                d=self.d, k=self.k,
+            )
+            observer.on_task_trace(iteration, trace, machine_index=mi)
+            machine_ns.append(trace.total_ns)
+            dist_total += int(stats.dist_per_row.sum())
+            clause1 += stats.clause1_rows
+            clause2 += stats.clause2_pruned
+            clause3 += stats.clause3_pruned
+            steals += trace.total_steals
+            busy.append(trace.busy_fraction)
+            n_changed += stats.n_changed
+
+        _, payload, wire, allreduce_ns = (
+            self.sharded.reduce_and_broadcast(
+                self.cluster.comm, shard_sums, shard_counts
+            )
+        )
+        observer.on_collective(iteration, payload, wire, allreduce_ns)
+
+        record = IterationRecord(
+            iteration=iteration,
+            sim_ns=max(machine_ns) + allreduce_ns,
+            n_changed=n_changed,
+            dist_computations=dist_total,
+            clause1_rows=clause1,
+            clause2_pruned=clause2,
+            clause3_pruned=clause3,
+            busy_fraction=float(np.mean(busy)),
+            steals=steals,
+            network_bytes=wire,
+            allreduce_ns=allreduce_ns,
+        )
+        return IterationOutcome(record, n_changed, motion)
+
+    def after_record(self, iteration, outcome, observer) -> None:
+        """Distributed runs have no post-record side effects."""
+
+
+class PureMpiBackend:
+    """Section 8.9 baseline: identical sharded numerics, but one
+    single-threaded unpinned rank per core -- per-rank compute pays the
+    NUMA penalty and the allreduce spans every rank, not one per
+    machine. The knord-vs-MPI gap is therefore pure NUMA dividend."""
+
+    def __init__(
+        self,
+        comm: Any,
+        sharded: ShardedKmeans,
+        *,
+        dist_col_ns: float,
+        row_overhead_ns: float,
+        numa_penalty: float,
+    ) -> None:
+        self.comm = comm
+        self.sharded = sharded
+        self.n_rows = sharded.x.shape[0]
+        self.dist_col_ns = dist_col_ns
+        self.row_overhead_ns = row_overhead_ns
+        self.numa_penalty = numa_penalty
+
+    def run_iteration(
+        self, iteration: int, observer: RunObserver
+    ) -> IterationOutcome:
+        shard_sums: list[np.ndarray] = []
+        shard_counts: list[np.ndarray] = []
+        n_changed = 0
+        rank_ns: list[float] = []
+        dist_total = 0
+        motion: np.ndarray | None = None
+
+        for ri in range(self.sharded.n_shards):
+            stats = self.sharded.step(ri)
+            if stats.motion is not None:
+                motion = stats.motion
+            sums, counts = self.sharded.partials(ri)
+            shard_sums.append(sums)
+            shard_counts.append(counts)
+            sn = self.sharded.shards[ri].shape[0]
+            n_dist = int(stats.dist_per_row.sum())
+            # Single-threaded rank, unpinned: NUMA penalty, no SMT.
+            rank_ns.append(
+                (n_dist * self.dist_col_ns + sn * self.row_overhead_ns)
+                * self.numa_penalty
+            )
+            dist_total += n_dist
+            n_changed += stats.n_changed
+
+        _, payload, wire, allreduce_ns = (
+            self.sharded.reduce_and_broadcast(
+                self.comm, shard_sums, shard_counts
+            )
+        )
+        observer.on_collective(iteration, payload, wire, allreduce_ns)
+
+        record = IterationRecord(
+            iteration=iteration,
+            sim_ns=max(rank_ns) + allreduce_ns,
+            n_changed=n_changed,
+            dist_computations=dist_total,
+            network_bytes=wire,
+            allreduce_ns=allreduce_ns,
+        )
+        return IterationOutcome(record, n_changed, motion)
+
+    def after_record(self, iteration, outcome, observer) -> None:
+        """Rank-based runs have no post-record side effects."""

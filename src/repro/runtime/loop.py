@@ -1,0 +1,133 @@
+"""The single iteration orchestrator every driver runs through.
+
+``IterationLoop`` owns the skeleton the paper's three engines share:
+step the numerics, replay them on the substrate, record the iteration,
+fire the post-record hook (checkpointing), check convergence. The
+backend supplies the substrate; the stopping rule is either a
+:class:`~repro.core.ConvergenceCriteria` (the k-means drivers) or an
+arbitrary ``should_stop`` callable (the generalized framework, which
+delegates to the algorithm's own ``converged()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core import ConvergenceCriteria
+from repro.errors import ConfigError
+from repro.metrics import IterationRecord, RunResult
+from repro.runtime.backends import ExecutionBackend, IterationOutcome
+from repro.runtime.observer import RunObserver, chain_observers
+
+
+@dataclass
+class LoopResult:
+    """What one orchestrated run produced, before result assembly."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def iterations(self) -> int:
+        return len(self.records)
+
+    def as_run_result(
+        self,
+        *,
+        algorithm: str,
+        centroids: np.ndarray,
+        assignment: np.ndarray,
+        inertia: float,
+        memory_breakdown: dict[str, int] | None = None,
+        params: dict | None = None,
+    ) -> RunResult:
+        """Assemble the uniform :class:`RunResult` envelope."""
+        return RunResult(
+            algorithm=algorithm,
+            centroids=centroids,
+            assignment=assignment,
+            iterations=self.iterations,
+            converged=self.converged,
+            inertia=inertia,
+            records=self.records,
+            memory_breakdown=memory_breakdown or {},
+            params=params or {},
+        )
+
+
+class IterationLoop:
+    """Run a backend to convergence (or the iteration cap).
+
+    Parameters
+    ----------
+    backend:
+        Any :class:`~repro.runtime.backends.ExecutionBackend`.
+    criteria:
+        k-means stopping rules; mutually exclusive with
+        ``should_stop``. Supplies ``max_iters`` when given.
+    should_stop:
+        Custom predicate over each :class:`IterationOutcome`
+        (the framework passes ``lambda out: algorithm.converged()``).
+        Requires an explicit ``max_iters``.
+    max_iters:
+        Iteration cap; required with ``should_stop``, optional
+        override alongside ``criteria``.
+    observers:
+        :class:`RunObserver` hooks; all events fan out to each, in
+        order.
+    start_iteration:
+        First iteration index (non-zero when resuming a checkpointed
+        run; the cap stays absolute, as in the paper's recovery).
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        *,
+        criteria: ConvergenceCriteria | None = None,
+        should_stop: Callable[[IterationOutcome], bool] | None = None,
+        max_iters: int | None = None,
+        observers: Sequence[RunObserver] = (),
+        start_iteration: int = 0,
+    ) -> None:
+        if (criteria is None) == (should_stop is None):
+            raise ConfigError(
+                "pass exactly one of criteria / should_stop"
+            )
+        if should_stop is not None and max_iters is None:
+            raise ConfigError("should_stop requires max_iters")
+        self.backend = backend
+        self.criteria = criteria
+        self.should_stop = should_stop
+        self.max_iters = (
+            max_iters if max_iters is not None else criteria.max_iters
+        )
+        self.observer = chain_observers(observers)
+        self.start_iteration = start_iteration
+
+    def _stopped(self, outcome: IterationOutcome) -> bool:
+        if self.criteria is not None:
+            return self.criteria.converged(
+                self.backend.n_rows, outcome.n_changed, outcome.motion
+            )
+        return self.should_stop(outcome)
+
+    def run(self) -> LoopResult:
+        """Execute iterations until convergence or the cap."""
+        obs = self.observer
+        result = LoopResult()
+        obs.on_run_start(self.backend.n_rows, self.max_iters)
+        for it in range(self.start_iteration, self.max_iters):
+            obs.on_iteration_start(it)
+            outcome = self.backend.run_iteration(it, obs)
+            result.records.append(outcome.record)
+            obs.on_iteration_end(it, outcome.record)
+            self.backend.after_record(it, outcome, obs)
+            if self._stopped(outcome):
+                result.converged = True
+                break
+        obs.on_run_end(result.iterations, result.converged)
+        return result

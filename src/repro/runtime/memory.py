@@ -1,0 +1,169 @@
+"""Memory-layout registration and per-row state accounting (Table 1).
+
+The three k-means execution modes allocate the same logical objects --
+row data (in-memory modes only), assignments, global + per-thread
+centroid copies, pruning bounds, SEM caches -- with mode-specific NUMA
+placement policies. This module owns those layouts so the drivers stay
+parameter-translation shims, and owns the *per-row state traffic*
+constant the task builder charges alongside row data:
+
+* unpruned: the 4-byte assignment slot;
+* MTI: assignment + the 8-byte upper bound (12 B/row);
+* Elkan: assignment + upper bound + the k-wide lower-bound row
+  (``(k + 1) * 8 + 4`` B/row) -- the O(nk) bound matrix is real state
+  the iteration touches, so charging Elkan the MTI rate (as the seed
+  drivers did) underestimates its memory traffic.
+"""
+
+from __future__ import annotations
+
+from repro.simhw import AllocPolicy, BindPolicy, SimMachine
+
+_F64 = 8
+_I32 = 4
+
+
+def state_bytes_per_row(pruning: str | None, k: int) -> int:
+    """Bytes of algorithm state touched per active row, by mode."""
+    if pruning is None:
+        return _I32
+    if pruning == "mti":
+        return _F64 + _I32
+    if pruning == "elkan":
+        return (k + 1) * _F64 + _I32
+    raise ValueError(f"unknown pruning mode {pruning!r}")
+
+
+def _alloc_centroids(machine: SimMachine, k: int, d: int) -> None:
+    """Global centroids + per-thread private copies (every mode)."""
+    machine.memory.alloc(
+        "global_centroids",
+        k * d * _F64,
+        AllocPolicy.INTERLEAVE,
+        component="centroids",
+    )
+    for th in machine.threads:
+        machine.memory.alloc(
+            f"thread{th.thread_id}_centroids",
+            k * d * _F64 + k * _F64,
+            AllocPolicy.NUMA_BIND,
+            component="per_thread_centroids",
+            home_node=th.node,
+        )
+
+
+def _alloc_pruning_bounds(
+    machine: SimMachine,
+    n: int,
+    k: int,
+    pruning: str | None,
+    data_policy: AllocPolicy,
+) -> None:
+    """Mode-specific bound structures (Table 1's extra columns)."""
+    mem = machine.memory
+    if pruning == "mti":
+        mem.alloc(
+            "mti_upper_bounds", n * _F64, data_policy,
+            component="mti_bounds",
+        )
+        mem.alloc(
+            "centroid_dist_matrix",
+            (k * (k + 1) // 2) * _F64,
+            AllocPolicy.INTERLEAVE,
+            component="mti_bounds",
+        )
+    elif pruning == "elkan":
+        mem.alloc(
+            "elkan_upper_bounds", n * _F64, data_policy,
+            component="ti_bounds",
+        )
+        mem.alloc(
+            "elkan_lower_bounds", n * k * _F64, data_policy,
+            component="ti_lower_bound_matrix",
+        )
+        mem.alloc(
+            "centroid_dist_matrix",
+            (k * (k + 1) // 2) * _F64,
+            AllocPolicy.INTERLEAVE,
+            component="ti_bounds",
+        )
+
+
+def register_inmemory_memory(
+    machine: SimMachine, n: int, d: int, k: int, pruning: str | None
+) -> None:
+    """knori's allocations: O(nd) row data resident in RAM."""
+    data_policy = (
+        AllocPolicy.OBLIVIOUS
+        if machine.bind_policy is BindPolicy.OBLIVIOUS
+        else AllocPolicy.PARTITIONED
+    )
+    machine.memory.alloc(
+        "row_data", n * d * _F64, data_policy, component="data"
+    )
+    machine.memory.alloc(
+        "assignment", n * _I32, data_policy, component="assignment"
+    )
+    _alloc_centroids(machine, k, d)
+    _alloc_pruning_bounds(machine, n, k, pruning, data_policy)
+
+
+def register_sem_memory(
+    machine: SimMachine,
+    n: int,
+    d: int,
+    k: int,
+    pruning: str | None,
+    *,
+    row_cache_bytes: int,
+    page_cache_bytes: int,
+) -> None:
+    """knors' allocations: NO O(nd) row data -- only O(n) state plus
+    the two caches (the semi-external argument in one layout)."""
+    mem = machine.memory
+    mem.alloc(
+        "assignment", n * _I32, AllocPolicy.PARTITIONED,
+        component="assignment",
+    )
+    _alloc_centroids(machine, k, d)
+    if pruning == "mti":
+        _alloc_pruning_bounds(
+            machine, n, k, "mti", AllocPolicy.PARTITIONED
+        )
+    if row_cache_bytes > 0:
+        mem.alloc(
+            "row_cache", row_cache_bytes, AllocPolicy.PARTITIONED,
+            component="row_cache",
+        )
+    mem.alloc(
+        "page_cache", page_cache_bytes, AllocPolicy.INTERLEAVE,
+        component="page_cache",
+    )
+
+
+def register_distributed_memory(
+    machines: list[SimMachine],
+    shard_rows: list[int],
+    d: int,
+    k: int,
+    pruning: str | None,
+) -> None:
+    """knord's allocations: every machine holds its own shard."""
+    for machine, shard_n in zip(machines, shard_rows):
+        data_policy = (
+            AllocPolicy.OBLIVIOUS
+            if machine.bind_policy is BindPolicy.OBLIVIOUS
+            else AllocPolicy.PARTITIONED
+        )
+        machine.memory.alloc(
+            "row_data", shard_n * d * _F64, data_policy, component="data"
+        )
+        machine.memory.alloc(
+            "assignment", shard_n * _I32, data_policy,
+            component="assignment",
+        )
+        _alloc_centroids(machine, k, d)
+        if pruning == "mti":
+            _alloc_pruning_bounds(
+                machine, shard_n, k, "mti", data_policy
+            )

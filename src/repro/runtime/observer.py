@@ -1,0 +1,207 @@
+"""Run observability: trace-event hooks threaded through the runtime.
+
+Every execution backend reports the same event stream while an
+:class:`~repro.runtime.loop.IterationLoop` drives it:
+
+``on_run_start`` → (``on_iteration_start`` → [``on_io``] →
+``on_task_trace``\\* → [``on_collective``] → ``on_iteration_end`` →
+[``on_checkpoint``])\\* → ``on_run_end``
+
+Benchmarks, the CLI's ``--trace`` flag, and future profilers all ride
+this one mechanism instead of scraping ``IterationRecord`` lists after
+the fact. Observers are passive: nothing they return can alter the
+numerics or the simulated costs, which preserves the two-plane
+invariant (see ``docs/architecture.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence, TextIO
+
+
+class RunObserver:
+    """Base observer: every hook is a no-op; override what you need.
+
+    Subclassing (rather than a Protocol) keeps observers forward
+    compatible: new events default to no-ops for existing observers.
+    """
+
+    def on_run_start(self, n_rows: int, max_iters: int,
+                     meta: dict | None = None) -> None:
+        """The loop is about to run ``max_iters`` iterations max."""
+
+    def on_iteration_start(self, iteration: int) -> None:
+        """An iteration's numerics are about to execute."""
+
+    def on_io(self, iteration: int, io: Any) -> None:
+        """A SEM backend planned its row fetches (``IoIterationStats``)."""
+
+    def on_task_trace(self, iteration: int, trace: Any,
+                      machine_index: int = 0) -> None:
+        """One machine replayed its task blocks (``IterationTrace``).
+
+        Distributed backends emit one call per machine, tagged with
+        ``machine_index``; single-machine backends always pass 0.
+        """
+
+    def on_collective(self, iteration: int, payload_bytes: int,
+                      wire_bytes: int, sim_ns: float) -> None:
+        """A distributed backend completed its allreduce."""
+
+    def on_iteration_end(self, iteration: int, record: Any) -> None:
+        """The iteration's ``IterationRecord`` is final."""
+
+    def on_checkpoint(self, iteration: int, path: Any) -> None:
+        """A backend persisted resumable state after an iteration."""
+
+    def on_run_end(self, iterations: int, converged: bool) -> None:
+        """The loop finished (converged or hit the iteration cap)."""
+
+
+class ObserverChain(RunObserver):
+    """Fans every event out to a sequence of observers, in order."""
+
+    def __init__(self, observers: Sequence[RunObserver]) -> None:
+        self.observers = list(observers)
+
+    def on_run_start(self, n_rows, max_iters, meta=None):
+        for o in self.observers:
+            o.on_run_start(n_rows, max_iters, meta)
+
+    def on_iteration_start(self, iteration):
+        for o in self.observers:
+            o.on_iteration_start(iteration)
+
+    def on_io(self, iteration, io):
+        for o in self.observers:
+            o.on_io(iteration, io)
+
+    def on_task_trace(self, iteration, trace, machine_index=0):
+        for o in self.observers:
+            o.on_task_trace(iteration, trace, machine_index)
+
+    def on_collective(self, iteration, payload_bytes, wire_bytes, sim_ns):
+        for o in self.observers:
+            o.on_collective(iteration, payload_bytes, wire_bytes, sim_ns)
+
+    def on_iteration_end(self, iteration, record):
+        for o in self.observers:
+            o.on_iteration_end(iteration, record)
+
+    def on_checkpoint(self, iteration, path):
+        for o in self.observers:
+            o.on_checkpoint(iteration, path)
+
+    def on_run_end(self, iterations, converged):
+        for o in self.observers:
+            o.on_run_end(iterations, converged)
+
+
+def chain_observers(observers: Sequence[RunObserver]) -> RunObserver:
+    """Collapse 0/1/N observers into one dispatch target."""
+    if not observers:
+        return RunObserver()
+    if len(observers) == 1:
+        return observers[0]
+    return ObserverChain(observers)
+
+
+@dataclass
+class TraceEvent:
+    """One recorded observer event (for tests and offline analysis)."""
+
+    name: str
+    iteration: int | None
+    payload: dict = field(default_factory=dict)
+
+
+class RecordingObserver(RunObserver):
+    """Appends every event to ``self.events`` -- the test fixture for
+    event-ordering guarantees, and a cheap in-memory profiler."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def _rec(self, name: str, iteration: int | None, **payload) -> None:
+        self.events.append(TraceEvent(name, iteration, payload))
+
+    def on_run_start(self, n_rows, max_iters, meta=None):
+        self._rec("run_start", None, n_rows=n_rows, max_iters=max_iters)
+
+    def on_iteration_start(self, iteration):
+        self._rec("iteration_start", iteration)
+
+    def on_io(self, iteration, io):
+        self._rec("io", iteration, bytes_read=io.bytes_read,
+                  service_ns=io.service_ns)
+
+    def on_task_trace(self, iteration, trace, machine_index=0):
+        self._rec("task_trace", iteration, machine_index=machine_index,
+                  total_ns=trace.total_ns, steals=trace.total_steals)
+
+    def on_collective(self, iteration, payload_bytes, wire_bytes, sim_ns):
+        self._rec("collective", iteration, payload_bytes=payload_bytes,
+                  wire_bytes=wire_bytes, sim_ns=sim_ns)
+
+    def on_iteration_end(self, iteration, record):
+        self._rec("iteration_end", iteration, sim_ns=record.sim_ns)
+
+    def on_checkpoint(self, iteration, path):
+        self._rec("checkpoint", iteration, path=str(path))
+
+    def on_run_end(self, iterations, converged):
+        self._rec("run_end", None, iterations=iterations,
+                  converged=converged)
+
+    def names(self) -> list[str]:
+        """Event names in arrival order (ordering assertions)."""
+        return [e.name for e in self.events]
+
+
+class PrintObserver(RunObserver):
+    """Writes one line per event -- the CLI's ``--trace`` output."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        import sys
+
+        self.stream = stream if stream is not None else sys.stderr
+
+    def _emit(self, line: str) -> None:
+        print(line, file=self.stream)
+
+    def on_run_start(self, n_rows, max_iters, meta=None):
+        self._emit(f"[trace] run start: n={n_rows} max_iters={max_iters}")
+
+    def on_io(self, iteration, io):
+        self._emit(
+            f"[trace] it={iteration} io: rows={io.rows_needed} "
+            f"rc_hits={io.row_cache_hits} read={io.bytes_read}B "
+            f"service={io.service_ns / 1e6:.3f}ms"
+        )
+
+    def on_task_trace(self, iteration, trace, machine_index=0):
+        self._emit(
+            f"[trace] it={iteration} m={machine_index} compute: "
+            f"span={trace.span_ns / 1e6:.3f}ms "
+            f"busy={trace.busy_fraction:.2f} steals={trace.total_steals}"
+        )
+
+    def on_collective(self, iteration, payload_bytes, wire_bytes, sim_ns):
+        self._emit(
+            f"[trace] it={iteration} allreduce: payload={payload_bytes}B "
+            f"wire={wire_bytes}B time={sim_ns / 1e6:.3f}ms"
+        )
+
+    def on_iteration_end(self, iteration, record):
+        self._emit(
+            f"[trace] it={iteration} done: sim={record.sim_ns / 1e6:.3f}ms"
+            f" changed={record.n_changed} dist={record.dist_computations}"
+        )
+
+    def on_checkpoint(self, iteration, path):
+        self._emit(f"[trace] it={iteration} checkpoint -> {path}")
+
+    def on_run_end(self, iterations, converged):
+        state = "converged" if converged else "cap hit"
+        self._emit(f"[trace] run end: {iterations} iterations ({state})")

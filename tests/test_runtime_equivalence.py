@@ -1,0 +1,110 @@
+"""Cross-driver equivalence: knori, knors and knord run the *same*
+numerics through different runtime backends, so their clustering
+outputs and exact counters must agree.
+
+This is the acceptance suite for the unified ``repro.runtime`` layer:
+whatever the substrate (in-memory machine, SEM I/O stack, distributed
+cluster), the exact plane -- assignments, centroids, distance
+computations, pruning clause counters -- is substrate-invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import knord, knori, knors
+from repro.core import ConvergenceCriteria
+
+K = 10
+SEED = 3
+
+
+def _records_by_iteration(result):
+    return {r.iteration: r for r in result.records}
+
+
+@pytest.fixture(scope="module", params=["mti", None],
+                ids=["mti", "unpruned"])
+def trio(request, overlapping):
+    """One (knori, knors, knord) trio per pruning mode."""
+    pruning = request.param
+    crit = ConvergenceCriteria(max_iters=25)
+    ri = knori(overlapping, K, pruning=pruning, seed=SEED, criteria=crit)
+    rs = knors(overlapping, K, pruning=pruning, seed=SEED, criteria=crit)
+    rd = knord(
+        overlapping, K, pruning=pruning, seed=SEED, criteria=crit,
+        n_machines=4,
+    )
+    return pruning, ri, rs, rd
+
+
+def test_same_iteration_count(trio):
+    _, ri, rs, rd = trio
+    assert ri.iterations == rs.iterations == rd.iterations
+    assert ri.converged == rs.converged == rd.converged
+
+
+def test_identical_assignments(trio):
+    _, ri, rs, rd = trio
+    np.testing.assert_array_equal(ri.assignment, rs.assignment)
+    np.testing.assert_array_equal(ri.assignment, rd.assignment)
+
+
+def test_centroids_agree_to_1e10(trio):
+    _, ri, rs, rd = trio
+    # knori and knors share one whole-data numerics loop: bit-identical.
+    np.testing.assert_array_equal(ri.centroids, rs.centroids)
+    # knord reduces per-shard partial sums in a tree, so float
+    # summation order differs -- but only at rounding level.
+    np.testing.assert_allclose(rd.centroids, ri.centroids,
+                               rtol=0, atol=1e-10)
+
+
+def test_identical_dist_computations(trio):
+    _, ri, rs, rd = trio
+    for res in (rs, rd):
+        other = _records_by_iteration(res)
+        for rec in ri.records:
+            assert other[rec.iteration].dist_computations == \
+                rec.dist_computations
+
+
+def test_identical_clause_counters(trio):
+    pruning, ri, rs, rd = trio
+    for res in (rs, rd):
+        other = _records_by_iteration(res)
+        for rec in ri.records:
+            o = other[rec.iteration]
+            assert o.clause1_rows == rec.clause1_rows
+            assert o.clause2_pruned == rec.clause2_pruned
+            assert o.clause3_pruned == rec.clause3_pruned
+            assert o.n_changed == rec.n_changed
+    if pruning == "mti":
+        assert any(r.clause1_rows > 0 for r in rd.records)
+
+
+def test_inertia_agrees(trio):
+    _, ri, rs, rd = trio
+    assert rs.inertia == pytest.approx(ri.inertia, rel=1e-12)
+    assert rd.inertia == pytest.approx(ri.inertia, rel=1e-9)
+
+
+def test_substrate_counters_are_substrate_specific(trio):
+    """The hardware plane still differs: knors reports I/O, knord
+    reports network traffic, knori reports neither."""
+    _, ri, rs, rd = trio
+    assert all(r.bytes_read == 0 and r.network_bytes == 0
+               for r in ri.records)
+    assert rs.records[0].bytes_read > 0
+    assert all(r.network_bytes > 0 and r.allreduce_ns > 0
+               for r in rd.records)
+
+
+def test_knors_from_file_matches_in_memory(matrix_path, overlapping):
+    """The on-disk memmap path yields the same numerics as the array."""
+    crit = ConvergenceCriteria(max_iters=10)
+    ra = knors(overlapping, K, pruning="mti", seed=SEED, criteria=crit)
+    rf = knors(matrix_path, K, pruning="mti", seed=SEED, criteria=crit)
+    np.testing.assert_array_equal(ra.assignment, rf.assignment)
+    np.testing.assert_array_equal(ra.centroids, rf.centroids)
