@@ -30,11 +30,15 @@ Public API
   framework comparators, pure MPI, mini-batch.
 * :mod:`repro.simhw`, :mod:`repro.sem`, :mod:`repro.dist` -- the
   simulated hardware substrates.
+* :mod:`repro.faults` -- deterministic fault injection
+  (:class:`FaultPlan`, :class:`FaultSpec`, :class:`RetryPolicy`) and
+  the recovery machinery the drivers answer it with.
 """
 
 from repro.core.convergence import ConvergenceCriteria
 from repro.core.lloyd import lloyd
 from repro.drivers import knord, knori, knors
+from repro.faults import FaultEvent, FaultPlan, FaultSpec, RetryPolicy
 from repro.metrics import RunResult
 
 __version__ = "1.0.0"
@@ -46,5 +50,9 @@ __all__ = [
     "lloyd",
     "ConvergenceCriteria",
     "RunResult",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
     "__version__",
 ]

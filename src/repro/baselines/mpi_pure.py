@@ -56,6 +56,8 @@ def mpi_lloyd(
     seed: int = 0,
     criteria: ConvergenceCriteria | None = None,
     observers: Sequence[RunObserver] = (),
+    faults: "FaultPlan | None" = None,
+    retry_policy: "RetryPolicy | None" = None,
 ) -> RunResult:
     """Pure-MPI ||Lloyd's (``pruning=None`` gives the paper's MPI-)."""
     x = np.asarray(x, dtype=np.float64)
@@ -81,9 +83,11 @@ def mpi_lloyd(
         + cost_model.dist_per_dim_ns * d,
         row_overhead_ns=cost_model.row_overhead_ns,
         numa_penalty=MPI_NUMA_PENALTY,
+        faults=faults,
+        retry_policy=retry_policy,
     )
     result = IterationLoop(
-        backend, criteria=crit, observers=observers
+        backend, criteria=crit, observers=observers, faults=faults
     ).run()
 
     assignment = sharded.assignment

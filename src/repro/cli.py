@@ -69,6 +69,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="stream runtime trace events (iterations, I/O, "
         "collectives) to stderr",
     )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject seeded faults, e.g. "
+        "'ssd_error=0.1,worker_crash=0.05,node_fail=0.02' "
+        "(keys: ssd_error, ssd_slow, ssd_slow_factor, ssd_retry_fail, "
+        "worker_crash, max_worker_crashes, node_fail, "
+        "max_node_failures, msg_drop, max_msg_drops)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="fault-stream seed; the same seed reproduces the same "
+        "fault trace byte-for-byte (default: 0)",
+    )
+    parser.add_argument(
+        "--retry-policy", default=None, metavar="SPEC",
+        help="recovery tuning, e.g. "
+        "'retries=5,backoff_ms=4,node_failure=abort' (keys: retries, "
+        "backoff_ms, multiplier, timeout_ms, node_failure)",
+    )
 
 
 def _pruning(value: str) -> str | None:
@@ -79,6 +98,27 @@ def _observers(args: argparse.Namespace):
     from repro.runtime import PrintObserver
 
     return (PrintObserver(),) if args.trace else ()
+
+
+def _fault_plan(args: argparse.Namespace):
+    """``(FaultPlan | None, RetryPolicy | None)`` from the CLI flags."""
+    from repro.faults import (
+        FaultPlan,
+        parse_fault_spec,
+        parse_retry_policy,
+    )
+
+    plan = (
+        FaultPlan(parse_fault_spec(args.faults), seed=args.fault_seed)
+        if args.faults is not None
+        else None
+    )
+    policy = (
+        parse_retry_policy(args.retry_policy)
+        if args.retry_policy is not None
+        else None
+    )
+    return plan, policy
 
 
 def _finish(
@@ -151,6 +191,7 @@ def cmd_convert(args: argparse.Namespace) -> int:
 def cmd_knori(args: argparse.Namespace) -> int:
     """Run in-memory clustering on a .knor matrix."""
     x = MatrixFile(args.matrix).read_rows(None)
+    plan, _ = _fault_plan(args)
     result = knori(
         x, args.k,
         pruning=_pruning(args.pruning),
@@ -159,6 +200,7 @@ def cmd_knori(args: argparse.Namespace) -> int:
         init=args.init, seed=args.seed,
         criteria=ConvergenceCriteria(max_iters=args.max_iters),
         observers=_observers(args),
+        faults=plan,
     )
     _finish(result, args.out,
             quality_data=x if args.quality else None,
@@ -168,6 +210,7 @@ def cmd_knori(args: argparse.Namespace) -> int:
 
 def cmd_knors(args: argparse.Namespace) -> int:
     """Run semi-external clustering on a .knor matrix."""
+    plan, policy = _fault_plan(args)
     result = knors(
         args.matrix, args.k,
         pruning=_pruning(args.pruning),
@@ -180,6 +223,8 @@ def cmd_knors(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         resume=args.resume,
         observers=_observers(args),
+        faults=plan,
+        retry_policy=policy,
     )
     qd = (
         MatrixFile(args.matrix).read_rows(None) if args.quality else None
@@ -197,6 +242,7 @@ def cmd_knord(args: argparse.Namespace) -> int:
     if args.pruning == "elkan":
         raise KnorError("knord supports --pruning mti|none")
     x = MatrixFile(args.matrix).read_rows(None)
+    plan, policy = _fault_plan(args)
     result = knord(
         x, args.k,
         n_machines=args.machines,
@@ -204,6 +250,8 @@ def cmd_knord(args: argparse.Namespace) -> int:
         init=args.init, seed=args.seed,
         criteria=ConvergenceCriteria(max_iters=args.max_iters),
         observers=_observers(args),
+        faults=plan,
+        retry_policy=policy,
     )
     _finish(result, args.out,
             quality_data=x if args.quality else None,

@@ -82,10 +82,26 @@ class NumericsLoop:
         self.x = x
         self.pruning = check_pruning(pruning)
         self.n_partitions = n_partitions
-        self.centroids = np.array(centroids0, dtype=np.float64, copy=True)
+        self._centroids0 = np.array(
+            centroids0, dtype=np.float64, copy=True
+        )
+        self.centroids = self._centroids0.copy()
         self.prev_centroids = self.centroids.copy()
         self._state = None
         self._assignment: np.ndarray | None = None
+        self.iteration = 0
+
+    def reset(self) -> None:
+        """Rewind to iteration 0 with the initial centroids.
+
+        Crash recovery's from-scratch rerun (no checkpoint available):
+        the numerics are deterministic, so a reset loop replays the
+        exact same iteration sequence.
+        """
+        self.centroids = self._centroids0.copy()
+        self.prev_centroids = self.centroids.copy()
+        self._state = None
+        self._assignment = None
         self.iteration = 0
 
     @property

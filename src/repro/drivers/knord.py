@@ -64,6 +64,8 @@ def knord(
     task_rows: int | None = None,
     cluster: Cluster | None = None,
     observers: Sequence[RunObserver] = (),
+    faults: "FaultPlan | None" = None,
+    retry_policy: "RetryPolicy | None" = None,
 ) -> RunResult:
     """Distributed NUMA-optimized k-means on a simulated cluster.
 
@@ -82,6 +84,12 @@ def knord(
     observers:
         :class:`~repro.runtime.RunObserver` hooks receiving the run's
         trace-event stream (per-machine task traces, collectives).
+    faults, retry_policy:
+        Optional :class:`~repro.faults.FaultPlan` and
+        :class:`~repro.faults.RetryPolicy`. Node failures either
+        degrade (reshard onto survivors; bit-identical results) or
+        abort per ``retry_policy.node_failure_mode``; dropped
+        allreduce messages charge timeout + retransmission.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2:
@@ -121,9 +129,11 @@ def knord(
         k=k,
         task_rows=task_rows,
         state_bytes=state_bytes_per_row(pruning, k),
+        faults=faults,
+        retry_policy=retry_policy,
     )
     result = IterationLoop(
-        backend, criteria=crit, observers=observers
+        backend, criteria=crit, observers=observers, faults=faults
     ).run()
 
     assignment = sharded.assignment

@@ -70,6 +70,7 @@ def knori(
     task_rows: int | None = None,
     machine: SimMachine | None = None,
     observers: Sequence[RunObserver] = (),
+    faults: "FaultPlan | None" = None,
 ) -> RunResult:
     """In-memory NUMA-optimized k-means on a simulated machine.
 
@@ -102,6 +103,11 @@ def knori(
     observers:
         :class:`~repro.runtime.RunObserver` hooks receiving the run's
         trace-event stream (iteration boundaries, task traces).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`. Worker crashes are
+        answered by a deterministic from-scratch rerun (the paper
+        offers no in-memory checkpointing); results stay bit-identical
+        to a fault-free run.
 
     Returns
     -------
@@ -139,7 +145,7 @@ def knori(
         task_rows=task_rows,
     )
     result = IterationLoop(
-        backend, criteria=crit, observers=observers
+        backend, criteria=crit, observers=observers, faults=faults
     ).run()
 
     algo = {"mti": "knori", "elkan": "knori[elkan]", None: "knori-"}[

@@ -86,6 +86,8 @@ def knors(
     checkpoint_interval: int = 10,
     resume: bool = False,
     observers: Sequence[RunObserver] = (),
+    faults: "FaultPlan | None" = None,
+    retry_policy: "RetryPolicy | None" = None,
 ) -> RunResult:
     """Semi-external-memory k-means over an SSD-resident matrix.
 
@@ -117,6 +119,13 @@ def knors(
     observers:
         :class:`~repro.runtime.RunObserver` hooks receiving the run's
         trace-event stream (iterations, I/O, task traces, checkpoints).
+    faults, retry_policy:
+        Optional :class:`~repro.faults.FaultPlan` and
+        :class:`~repro.faults.RetryPolicy`. SSD read errors and slow
+        pages are absorbed by the retry policy (charged simulated
+        time); worker and mid-checkpoint crashes resume from the
+        newest checkpoint (or rerun from scratch without one) with
+        bit-identical results.
     """
     x, n, d = resolve_row_data(data)
     pruning = check_pruning(pruning)
@@ -136,7 +145,12 @@ def knors(
     if task_rows is None:
         task_rows = auto_task_rows(n, t)
 
-    safs = Safs(ssd, page_cache_bytes=page_cache_bytes)
+    safs = Safs(
+        ssd,
+        page_cache_bytes=page_cache_bytes,
+        faults=faults,
+        retry_policy=retry_policy,
+    )
     row_cache = (
         RowCache(
             row_cache_bytes,
@@ -186,6 +200,7 @@ def knors(
             interval=checkpoint_interval,
             loop=loop,
             params={"n": n, "d": d, "k": k, "pruning": pruning},
+            faults=faults,
         )
         if checkpoint_dir is not None
         else None
@@ -206,6 +221,7 @@ def knors(
         criteria=crit,
         observers=observers,
         start_iteration=start_it,
+        faults=faults,
     ).run()
 
     if pruning == "mti":

@@ -41,3 +41,22 @@ class CommunicatorError(KnorError):
 
 class IoSubsystemError(KnorError):
     """The simulated SAFS/SSD layer was driven outside its contract."""
+
+
+class FaultError(KnorError):
+    """Base class for injected-fault outcomes (see :mod:`repro.faults`)."""
+
+
+class WorkerCrashError(FaultError):
+    """An injected worker crash: the process "died" between iterations
+    (or mid-checkpoint). Recoverable when the backend can resume."""
+
+
+class NodeFailureError(FaultError):
+    """A distributed run lost a machine and could not (or was not
+    allowed to) continue degraded."""
+
+
+class RetryExhaustedError(FaultError):
+    """A retried operation (SSD read, allreduce retransmit) kept
+    failing past the :class:`~repro.faults.RetryPolicy` budget."""

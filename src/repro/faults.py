@@ -1,0 +1,457 @@
+"""Deterministic fault injection: the failure plane of the simulation.
+
+FlashGraph makes the SEM engine "tolerant to in-memory failures,
+allowing recovery ... through lightweight checkpointing" (Section 2),
+and clusterNOR grows knor into a long-running clustering service where
+node loss is routine. This module makes those failure modes
+first-class *simulated* events -- exactly like the cost models make
+time first-class -- so recovery code is exercised deterministically
+instead of never.
+
+A :class:`FaultPlan` decides, per injection site, whether a fault
+fires:
+
+===========  ====================================================
+site         injected fault
+===========  ====================================================
+``ssd``      read-batch error (retried per :class:`RetryPolicy`)
+             or a slow-page latency spike
+``worker``   process crash between iterations (checkpoint resume
+             or restart-from-scratch, per backend)
+``checkpoint``  crash at a chosen point *inside*
+             ``save_checkpoint`` (schedule-only)
+``node``     permanent machine loss in a distributed run
+             (re-shard-and-continue or clean abort, per policy)
+``net``      dropped allreduce transmission (timeout + retransmit)
+===========  ====================================================
+
+Two construction modes:
+
+* ``FaultPlan(spec, seed=s)`` -- rate-driven. Every site owns an
+  independent ``default_rng([seed, site_index])`` stream, and the
+  simulation's query sequence is itself deterministic, so the full
+  fault trace is a pure function of ``(seed, spec, workload)`` --
+  byte-for-byte reproducible, as asserted by the test suite.
+* ``FaultPlan.from_schedule([...])`` -- explicit one-shot events for
+  tests ("crash the worker after iteration 3"). Scheduled events are
+  consumed when they fire, so an iteration replayed after recovery
+  does not re-fire them.
+
+Plans are stateful (consumed schedules, crash caps): build a fresh
+plan per run.
+
+Every injected fault and every recovery action is reported through the
+:class:`~repro.runtime.RunObserver` ``on_fault`` / ``on_retry`` /
+``on_recovery`` event family; nothing on this plane can change a
+clustering result (numerics stay exact), only simulated time and the
+control flow that re-derives the same numerics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Injection sites, in stream-index order (the order is part of the
+#: on-disk meaning of a fault seed -- do not reorder).
+SITES = ("ssd", "worker", "checkpoint", "node", "net")
+
+#: Crash points accepted inside ``save_checkpoint``.
+CHECKPOINT_CRASH_POINTS = (
+    "arrays-written",       # arrays durable, manifest not yet committed
+    "manifest-tmp-written",  # between tmp-write and the atomic rename
+    "committed-no-gc",      # committed, stale arrays not yet collected
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-site fault rates and caps for a seeded plan.
+
+    Rates are per *query* (one SSD batch, one iteration boundary, one
+    allreduce transmission...). Caps bound the recoverable-fault count
+    so any plan with recoverable-only faults terminates.
+    """
+
+    ssd_error_rate: float = 0.0
+    ssd_slow_rate: float = 0.0
+    #: Service-time multiplier of a slow-page spike.
+    ssd_slow_factor: float = 4.0
+    #: Chance that a retry of a failed batch fails again.
+    ssd_retry_fail_rate: float = 0.0
+    worker_crash_rate: float = 0.0
+    max_worker_crashes: int = 3
+    node_failure_rate: float = 0.0
+    max_node_failures: int = 1
+    msg_drop_rate: float = 0.0
+    max_msg_drops: int = 8
+
+    def __post_init__(self) -> None:
+        for name in (
+            "ssd_error_rate", "ssd_slow_rate", "ssd_retry_fail_rate",
+            "worker_crash_rate", "node_failure_rate", "msg_drop_rate",
+        ):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {v}")
+        if self.ssd_error_rate + self.ssd_slow_rate > 1.0:
+            raise ConfigError(
+                "ssd_error_rate + ssd_slow_rate cannot exceed 1"
+            )
+        if self.ssd_slow_factor < 1.0:
+            raise ConfigError(
+                f"ssd_slow_factor must be >= 1, got {self.ssd_slow_factor}"
+            )
+        for name in (
+            "max_worker_crashes", "max_node_failures", "max_msg_drops"
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(
+            getattr(self, f) > 0.0
+            for f in (
+                "ssd_error_rate", "ssd_slow_rate", "worker_crash_rate",
+                "node_failure_rate", "msg_drop_rate",
+            )
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How recoveries are answered (and charged simulated time).
+
+    * SSD read errors: up to ``max_retries`` re-reads, each preceded by
+      an exponential backoff of ``backoff_ns * multiplier**(attempt-1)``.
+    * Dropped allreduce transmissions: each drop costs ``timeout_ns``
+      (the detection wait) plus a full retransmission, up to
+      ``max_retries`` times.
+    * Node failures: ``node_failure_mode="degraded"`` re-shards the
+      dead machine's rows onto survivors and continues;
+      ``"abort"`` raises a clean
+      :class:`~repro.errors.NodeFailureError`.
+    """
+
+    max_retries: int = 3
+    backoff_ns: float = 2e6
+    backoff_multiplier: float = 2.0
+    timeout_ns: float = 50e6
+    node_failure_mode: str = "degraded"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ConfigError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+        if self.backoff_ns < 0 or self.timeout_ns < 0:
+            raise ConfigError("backoff_ns and timeout_ns must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1")
+        if self.node_failure_mode not in ("degraded", "abort"):
+            raise ConfigError(
+                "node_failure_mode must be 'degraded' or 'abort', got "
+                f"{self.node_failure_mode!r}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), ns."""
+        return self.backoff_ns * self.backoff_multiplier ** (attempt - 1)
+
+
+#: The drivers' default policy when faults are enabled.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled injection (tests' explicit-crash vocabulary).
+
+    ``site`` is one of :data:`SITES`; ``kind`` names the fault within
+    the site (``read_error`` / ``slow`` for ssd, ``crash`` for worker,
+    a :data:`CHECKPOINT_CRASH_POINTS` entry for checkpoint, ``fail``
+    for node, ``drop`` for net). ``machine`` targets a node failure;
+    ``times`` repeats the event (a ``read_error`` with ``times=2``
+    also fails the first retry).
+    """
+
+    site: str
+    iteration: int
+    kind: str
+    machine: int | None = None
+    times: int = 1
+
+    _KINDS = {
+        "ssd": ("read_error", "slow"),
+        "worker": ("crash",),
+        "checkpoint": CHECKPOINT_CRASH_POINTS,
+        "node": ("fail",),
+        "net": ("drop",),
+    }
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ConfigError(
+                f"unknown fault site {self.site!r}; choose from {SITES}"
+            )
+        allowed = self._KINDS[self.site]
+        if self.kind not in allowed:
+            raise ConfigError(
+                f"site {self.site!r} accepts kinds {allowed}, got "
+                f"{self.kind!r}"
+            )
+        if self.times < 1:
+            raise ConfigError(f"times must be >= 1, got {self.times}")
+
+
+class FaultPlan:
+    """Deterministic source of fault decisions for one run."""
+
+    def __init__(
+        self,
+        spec: FaultSpec | None = None,
+        *,
+        seed: int = 0,
+        schedule: list[FaultEvent] | None = None,
+    ) -> None:
+        self.spec = spec if spec is not None else FaultSpec()
+        self.seed = seed
+        self._schedule: list[FaultEvent] = [
+            replace(ev) for ev in (schedule or [])
+        ]
+        self._rng = {
+            site: np.random.default_rng([seed, i])
+            for i, site in enumerate(SITES)
+        }
+        self.worker_crashes = 0
+        self.node_failures = 0
+        self.msg_drops = 0
+
+    @classmethod
+    def from_schedule(cls, events: list[FaultEvent]) -> "FaultPlan":
+        """Explicit one-shot schedule (rates all zero)."""
+        return cls(FaultSpec(), schedule=events)
+
+    # -- schedule machinery -------------------------------------------
+
+    def _take(
+        self, site: str, iteration: int, kind: str | None = None
+    ) -> FaultEvent | None:
+        """Consume one matching scheduled event, if any."""
+        for i, ev in enumerate(self._schedule):
+            if ev.site != site or ev.iteration != iteration:
+                continue
+            if kind is not None and ev.kind != kind:
+                continue
+            if ev.times > 1:
+                ev.times -= 1
+            else:
+                del self._schedule[i]
+            return ev
+        return None
+
+    def _draw(self, site: str) -> float:
+        return float(self._rng[site].random())
+
+    # -- query sites ---------------------------------------------------
+
+    def ssd_fault(self, iteration: int) -> str | None:
+        """Fault for one SSD read batch: 'read_error', 'slow', None."""
+        ev = self._take("ssd", iteration)
+        if ev is not None:
+            return ev.kind
+        spec = self.spec
+        if spec.ssd_error_rate == 0.0 and spec.ssd_slow_rate == 0.0:
+            return None
+        u = self._draw("ssd")
+        if u < spec.ssd_error_rate:
+            return "read_error"
+        if u < spec.ssd_error_rate + spec.ssd_slow_rate:
+            return "slow"
+        return None
+
+    def ssd_retry_fails(self, iteration: int) -> bool:
+        """Does the current retry of a failed batch fail again?"""
+        if self._take("ssd", iteration, "read_error") is not None:
+            return True
+        if self.spec.ssd_retry_fail_rate == 0.0:
+            return False
+        return self._draw("ssd") < self.spec.ssd_retry_fail_rate
+
+    def worker_crash(self, iteration: int) -> bool:
+        """Does the worker crash after completing ``iteration``?"""
+        if self._take("worker", iteration, "crash") is not None:
+            self.worker_crashes += 1
+            return True
+        spec = self.spec
+        if (
+            spec.worker_crash_rate == 0.0
+            or self.worker_crashes >= spec.max_worker_crashes
+        ):
+            return False
+        if self._draw("worker") < spec.worker_crash_rate:
+            self.worker_crashes += 1
+            return True
+        return False
+
+    def checkpoint_crash(self, iteration: int) -> str | None:
+        """Crash point inside this iteration's checkpoint save.
+
+        Schedule-only: a mid-save crash is a surgical test fixture,
+        not a rate-driven background hazard.
+        """
+        ev = self._take("checkpoint", iteration)
+        return ev.kind if ev is not None else None
+
+    def node_failure(
+        self, iteration: int, alive: list[int]
+    ) -> int | None:
+        """Machine lost at the start of ``iteration``, if any."""
+        ev = self._take("node", iteration, "fail")
+        if ev is not None:
+            self.node_failures += 1
+            victim = ev.machine if ev.machine is not None else alive[0]
+            return victim if victim in alive else None
+        spec = self.spec
+        if (
+            spec.node_failure_rate == 0.0
+            or self.node_failures >= spec.max_node_failures
+            or len(alive) <= 1
+        ):
+            return None
+        if self._draw("node") < spec.node_failure_rate:
+            self.node_failures += 1
+            idx = int(self._rng["node"].integers(len(alive)))
+            return alive[idx]
+        return None
+
+    def drop_message(self, iteration: int) -> bool:
+        """Is the current allreduce transmission dropped?"""
+        if self._take("net", iteration, "drop") is not None:
+            self.msg_drops += 1
+            return True
+        spec = self.spec
+        if (
+            spec.msg_drop_rate == 0.0
+            or self.msg_drops >= spec.max_msg_drops
+        ):
+            return False
+        if self._draw("net") < spec.msg_drop_rate:
+            self.msg_drops += 1
+            return True
+        return False
+
+
+def faulty_collective_ns(
+    plan: FaultPlan | None,
+    policy: RetryPolicy,
+    iteration: int,
+    base_ns: float,
+    observer,
+) -> float:
+    """Charge dropped-allreduce timeouts and retransmissions.
+
+    Each drop costs the detection timeout plus a full retransmission
+    of the collective; the reduced *values* are unaffected (the
+    arithmetic already happened in-process, deterministically).
+    Raises :class:`~repro.errors.RetryExhaustedError` past the
+    policy's retry budget.
+    """
+    from repro.errors import RetryExhaustedError
+
+    if plan is None:
+        return base_ns
+    total = base_ns
+    attempt = 0
+    while plan.drop_message(iteration):
+        attempt += 1
+        observer.on_fault(
+            iteration, "net", "drop", {"attempt": attempt}
+        )
+        if attempt > policy.max_retries:
+            raise RetryExhaustedError(
+                f"allreduce dropped {attempt} times at iteration "
+                f"{iteration} (retry budget {policy.max_retries})"
+            )
+        total += policy.timeout_ns + base_ns
+        observer.on_retry(iteration, "net", attempt, policy.timeout_ns)
+    if attempt:
+        observer.on_recovery(
+            iteration, "net", "retransmit", {"attempts": attempt}
+        )
+    return total
+
+
+# -- CLI spec parsing ----------------------------------------------------
+
+_SPEC_KEYS = {
+    "ssd_error": "ssd_error_rate",
+    "ssd_slow": "ssd_slow_rate",
+    "ssd_slow_factor": "ssd_slow_factor",
+    "ssd_retry_fail": "ssd_retry_fail_rate",
+    "worker_crash": "worker_crash_rate",
+    "max_worker_crashes": "max_worker_crashes",
+    "node_fail": "node_failure_rate",
+    "max_node_failures": "max_node_failures",
+    "msg_drop": "msg_drop_rate",
+    "max_msg_drops": "max_msg_drops",
+}
+
+_POLICY_KEYS = {
+    "retries": ("max_retries", int),
+    "backoff_ms": ("backoff_ns", lambda v: float(v) * 1e6),
+    "multiplier": ("backoff_multiplier", float),
+    "timeout_ms": ("timeout_ns", lambda v: float(v) * 1e6),
+    "node_failure": ("node_failure_mode", str),
+}
+
+
+def _pairs(text: str, what: str) -> list[tuple[str, str]]:
+    out = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ConfigError(
+                f"malformed {what} entry {part!r} (expected key=value)"
+            )
+        key, value = part.split("=", 1)
+        out.append((key.strip(), value.strip()))
+    return out
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse the CLI's ``--faults`` spec, e.g.
+    ``"ssd_error=0.05,worker_crash=0.1,msg_drop=0.02"``."""
+    int_fields = {
+        "max_worker_crashes", "max_node_failures", "max_msg_drops"
+    }
+    kwargs: dict = {}
+    for key, value in _pairs(text, "--faults"):
+        if key not in _SPEC_KEYS:
+            raise ConfigError(
+                f"unknown fault key {key!r}; choose from "
+                f"{sorted(_SPEC_KEYS)}"
+            )
+        name = _SPEC_KEYS[key]
+        kwargs[name] = int(value) if name in int_fields else float(value)
+    return FaultSpec(**kwargs)
+
+
+def parse_retry_policy(text: str) -> RetryPolicy:
+    """Parse the CLI's ``--retry-policy`` spec, e.g.
+    ``"retries=5,backoff_ms=2,timeout_ms=50,node_failure=abort"``."""
+    kwargs: dict = {}
+    for key, value in _pairs(text, "--retry-policy"):
+        if key not in _POLICY_KEYS:
+            raise ConfigError(
+                f"unknown retry-policy key {key!r}; choose from "
+                f"{sorted(_POLICY_KEYS)}"
+            )
+        name, conv = _POLICY_KEYS[key]
+        kwargs[name] = conv(value)
+    return RetryPolicy(**kwargs)

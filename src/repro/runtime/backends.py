@@ -29,6 +29,7 @@ from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.errors import NodeFailureError, WorkerCrashError
 from repro.metrics import IterationRecord
 from repro.runtime.observer import RunObserver
 from repro.runtime.sources import NumericsSource, StepStats
@@ -62,6 +63,18 @@ class ExecutionBackend(Protocol):
         self, iteration: int, outcome: IterationOutcome,
         observer: RunObserver,
     ) -> None:  # pragma: no cover - protocol
+        ...
+
+    def recover(
+        self, iteration: int, observer: RunObserver
+    ) -> int:  # pragma: no cover - protocol
+        """Answer an injected worker crash after ``iteration``.
+
+        Restore resumable state (newest checkpoint, or a from-scratch
+        reset) and return the iteration index to replay from. Raises
+        :class:`~repro.errors.WorkerCrashError` when the substrate
+        cannot recover.
+        """
         ...
 
 
@@ -126,20 +139,36 @@ class InMemoryBackend:
     def after_record(self, iteration, outcome, observer) -> None:
         """In-memory runs have no post-record side effects."""
 
+    def recover(self, iteration: int, observer: RunObserver) -> int:
+        """In-memory recovery is a deterministic from-scratch rerun
+        (the paper offers no in-memory checkpointing)."""
+        loop = getattr(self.source, "loop", None)
+        if loop is None or not hasattr(loop, "reset"):
+            raise WorkerCrashError(
+                "in-memory backend cannot recover: source holds no "
+                "resettable numerics loop"
+            )
+        loop.reset()
+        return 0
+
 
 @dataclass
 class CheckpointHook:
     """knors' FlashGraph-style fault tolerance as a backend hook.
 
     Persists the numerics loop's O(n) resumable state every
-    ``interval`` iterations (atomic replace; see
-    :mod:`repro.sem.checkpoint`).
+    ``interval`` iterations (single-atomic-commit protocol; see
+    :mod:`repro.sem.checkpoint`). With a fault plan attached, a save
+    may be killed mid-protocol (``checkpoint`` site), which surfaces
+    as a :class:`~repro.errors.WorkerCrashError` the iteration loop
+    answers through ``backend.recover()``.
     """
 
     directory: str | Path
     interval: int
     loop: Any  # NumericsLoop (must offer export_state())
     params: dict
+    faults: Any = None  # FaultPlan, for mid-save crash points
 
     def maybe_save(
         self, iteration: int, n_changed: int, observer: RunObserver
@@ -148,6 +177,15 @@ class CheckpointHook:
             return
         from repro.sem.checkpoint import CheckpointState, save_checkpoint
 
+        crash_point = (
+            self.faults.checkpoint_crash(iteration)
+            if self.faults is not None
+            else None
+        )
+        if crash_point is not None:
+            observer.on_fault(
+                iteration, "checkpoint", crash_point, {}
+            )
         snap = self.loop.export_state()
         save_checkpoint(
             self.directory,
@@ -162,6 +200,7 @@ class CheckpointHook:
                 n_changed=n_changed,
                 params=self.params,
             ),
+            crash_point=crash_point,
         )
         observer.on_checkpoint(iteration, self.directory)
 
@@ -195,7 +234,9 @@ class SemBackend(InMemoryBackend):
         self, iteration: int, observer: RunObserver
     ) -> IterationOutcome:
         stats = self.source.step(iteration)
-        io = self.io_engine.run_iteration(iteration, stats.needs_data)
+        io = self.io_engine.run_iteration(
+            iteration, stats.needs_data, observer=observer
+        )
         observer.on_io(iteration, io)
         trace = self._replay(stats)
         observer.on_task_trace(iteration, trace)
@@ -231,6 +272,44 @@ class SemBackend(InMemoryBackend):
                 iteration, outcome.n_changed, observer
             )
 
+    def recover(self, iteration: int, observer: RunObserver) -> int:
+        """Resume from the newest checkpoint (the paper's lightweight
+        recovery); fall back to a from-scratch rerun without one.
+
+        The caches restart cold either way -- cache state is pure
+        timing, so the replayed numerics stay bit-identical.
+        """
+        from repro.sem.checkpoint import has_checkpoint, load_checkpoint
+
+        loop = getattr(self.source, "loop", None)
+        if (
+            self.checkpoint is not None
+            and loop is not None
+            and has_checkpoint(self.checkpoint.directory)
+        ):
+            ckpt = load_checkpoint(self.checkpoint.directory)
+            loop.restore_state(
+                {
+                    "iteration": ckpt.iteration,
+                    "centroids": ckpt.centroids,
+                    "prev_centroids": ckpt.prev_centroids,
+                    "assignment": ckpt.assignment,
+                    "ub": ckpt.ub,
+                    "sums": ckpt.sums,
+                    "counts": ckpt.counts,
+                }
+            )
+            resume_at = ckpt.iteration
+        else:
+            resume_at = super().recover(iteration, observer)
+        rc = getattr(self.io_engine, "row_cache", None)
+        if rc is not None:
+            rc.clear()
+            if resume_at > 0:
+                rc.fast_forward(resume_at - 1)
+        self.io_engine.safs.page_cache.clear()
+        return resume_at
+
 
 class ShardedKmeans:
     """Per-shard :class:`NumericsLoop` fleet with a shared global view.
@@ -255,6 +334,9 @@ class ShardedKmeans:
         self.x = x
         self.k = k
         self.pruning = pruning
+        self._centroids0 = np.array(
+            centroids0, dtype=np.float64, copy=True
+        )
         self.bounds = np.linspace(0, n, n_shards + 1, dtype=np.int64)
         self.shards = [
             x[self.bounds[i]: self.bounds[i + 1]]
@@ -264,7 +346,14 @@ class ShardedKmeans:
             NumericsLoop(shard, centroids0, pruning, n_partitions=1)
             for shard in self.shards
         ]
-        self.centroids = np.array(centroids0, dtype=np.float64, copy=True)
+        self.centroids = self._centroids0.copy()
+
+    def reset(self) -> None:
+        """Rewind every shard loop to the initial centroids (crash
+        recovery's from-scratch rerun; sharding is unchanged)."""
+        for loop in self.loops:
+            loop.reset()
+        self.centroids = self._centroids0.copy()
 
     @property
     def n_shards(self) -> int:
@@ -325,7 +414,20 @@ class ShardedKmeans:
 class DistributedBackend:
     """Section 7 substrate: one knori-style machine per shard plus the
     cluster allreduce; an iteration takes as long as its slowest
-    machine plus the collective."""
+    machine plus the collective.
+
+    With a fault plan attached, two distributed failure modes fire:
+
+    * **node failure** -- a machine dies permanently at an iteration
+      boundary. Under ``node_failure_mode="degraded"`` its shards are
+      reassigned round-robin to survivors, which then execute several
+      shards serially (slower, but the shard-ordered numerics and the
+      allreduce tree are untouched, so results stay bit-identical);
+      ``"abort"`` raises a clean
+      :class:`~repro.errors.NodeFailureError`.
+    * **dropped allreduce transmissions** -- each drop charges the
+      detection timeout plus a full retransmission.
+    """
 
     def __init__(
         self,
@@ -337,6 +439,8 @@ class DistributedBackend:
         k: int,
         task_rows: int | None,
         state_bytes: int,
+        faults: Any = None,
+        retry_policy: Any = None,
     ) -> None:
         self.cluster = cluster
         self.schedulers = schedulers
@@ -346,30 +450,78 @@ class DistributedBackend:
         self.k = k
         self.task_rows = task_rows
         self.state_bytes = state_bytes
+        self.faults = faults
+        if retry_policy is None:
+            from repro.faults import DEFAULT_RETRY_POLICY
+
+            retry_policy = DEFAULT_RETRY_POLICY
+        self.retry_policy = retry_policy
+        #: Which machine executes each shard (reassigned on failure).
+        self.shard_owner = list(range(sharded.n_shards))
+        self.failed: set[int] = set()
+
+    def _alive(self) -> list[int]:
+        return [
+            m for m in range(self.cluster.n_machines)
+            if m not in self.failed
+        ]
+
+    def _maybe_fail_node(
+        self, iteration: int, observer: RunObserver
+    ) -> None:
+        """Consult the plan for a machine loss at this boundary."""
+        alive = self._alive()
+        victim = self.faults.node_failure(iteration, alive)
+        if victim is None:
+            return
+        observer.on_fault(
+            iteration, "node", "fail", {"machine": victim}
+        )
+        survivors = [m for m in alive if m != victim]
+        if self.retry_policy.node_failure_mode == "abort" or not survivors:
+            raise NodeFailureError(
+                f"machine {victim} failed at iteration {iteration}"
+                + ("" if survivors else " (no survivors)")
+            )
+        self.failed.add(victim)
+        moved = [
+            s for s, owner in enumerate(self.shard_owner)
+            if owner == victim
+        ]
+        for j, s in enumerate(moved):
+            self.shard_owner[s] = survivors[j % len(survivors)]
+        observer.on_recovery(
+            iteration, "node", "reshard",
+            {"machine": victim, "shards": moved,
+             "survivors": len(survivors)},
+        )
 
     def run_iteration(
         self, iteration: int, observer: RunObserver
     ) -> IterationOutcome:
+        if self.faults is not None:
+            self._maybe_fail_node(iteration, observer)
         shard_sums: list[np.ndarray] = []
         shard_counts: list[np.ndarray] = []
         n_changed = 0
-        machine_ns: list[float] = []
+        machine_ns: dict[int, float] = {}
         dist_total = 0
         clause1 = clause2 = clause3 = 0
         steals = 0
         busy: list[float] = []
         motion: np.ndarray | None = None
 
-        for mi in range(self.sharded.n_shards):
-            stats = self.sharded.step(mi)
+        for si in range(self.sharded.n_shards):
+            stats = self.sharded.step(si)
             if stats.motion is not None:
                 motion = stats.motion
-            sums, counts = self.sharded.partials(mi)
+            sums, counts = self.sharded.partials(si)
             shard_sums.append(sums)
             shard_counts.append(counts)
 
+            mi = self.shard_owner[si]
             machine = self.cluster.machines[mi]
-            sn = self.sharded.shards[mi].shape[0]
+            sn = self.sharded.shards[si].shape[0]
             tasks = build_task_blocks(
                 sn,
                 self.d,
@@ -384,11 +536,12 @@ class DistributedBackend:
                 state_bytes_per_row=self.state_bytes,
             )
             trace = machine.engine.run(
-                self.schedulers[mi], tasks, machine.threads,
+                self.schedulers[si], tasks, machine.threads,
                 d=self.d, k=self.k,
             )
             observer.on_task_trace(iteration, trace, machine_index=mi)
-            machine_ns.append(trace.total_ns)
+            # A machine that adopted extra shards runs them serially.
+            machine_ns[mi] = machine_ns.get(mi, 0.0) + trace.total_ns
             dist_total += int(stats.dist_per_row.sum())
             clause1 += stats.clause1_rows
             clause2 += stats.clause2_pruned
@@ -402,11 +555,18 @@ class DistributedBackend:
                 self.cluster.comm, shard_sums, shard_counts
             )
         )
+        if self.faults is not None:
+            from repro.faults import faulty_collective_ns
+
+            allreduce_ns = faulty_collective_ns(
+                self.faults, self.retry_policy, iteration,
+                allreduce_ns, observer,
+            )
         observer.on_collective(iteration, payload, wire, allreduce_ns)
 
         record = IterationRecord(
             iteration=iteration,
-            sim_ns=max(machine_ns) + allreduce_ns,
+            sim_ns=max(machine_ns.values()) + allreduce_ns,
             n_changed=n_changed,
             dist_computations=dist_total,
             clause1_rows=clause1,
@@ -421,6 +581,12 @@ class DistributedBackend:
 
     def after_record(self, iteration, outcome, observer) -> None:
         """Distributed runs have no post-record side effects."""
+
+    def recover(self, iteration: int, observer: RunObserver) -> int:
+        """Distributed crash recovery is a from-scratch rerun on the
+        surviving fleet (knord keeps no checkpoints; Section 7)."""
+        self.sharded.reset()
+        return 0
 
 
 class PureMpiBackend:
@@ -437,6 +603,8 @@ class PureMpiBackend:
         dist_col_ns: float,
         row_overhead_ns: float,
         numa_penalty: float,
+        faults: Any = None,
+        retry_policy: Any = None,
     ) -> None:
         self.comm = comm
         self.sharded = sharded
@@ -444,6 +612,12 @@ class PureMpiBackend:
         self.dist_col_ns = dist_col_ns
         self.row_overhead_ns = row_overhead_ns
         self.numa_penalty = numa_penalty
+        self.faults = faults
+        if retry_policy is None:
+            from repro.faults import DEFAULT_RETRY_POLICY
+
+            retry_policy = DEFAULT_RETRY_POLICY
+        self.retry_policy = retry_policy
 
     def run_iteration(
         self, iteration: int, observer: RunObserver
@@ -477,6 +651,13 @@ class PureMpiBackend:
                 self.comm, shard_sums, shard_counts
             )
         )
+        if self.faults is not None:
+            from repro.faults import faulty_collective_ns
+
+            allreduce_ns = faulty_collective_ns(
+                self.faults, self.retry_policy, iteration,
+                allreduce_ns, observer,
+            )
         observer.on_collective(iteration, payload, wire, allreduce_ns)
 
         record = IterationRecord(
@@ -491,3 +672,9 @@ class PureMpiBackend:
 
     def after_record(self, iteration, outcome, observer) -> None:
         """Rank-based runs have no post-record side effects."""
+
+    def recover(self, iteration: int, observer: RunObserver) -> int:
+        """MPI ranks keep no checkpoints: recovery is a from-scratch
+        rerun over the same sharding."""
+        self.sharded.reset()
+        return 0

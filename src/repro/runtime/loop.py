@@ -12,12 +12,12 @@ delegates to the algorithm's own ``converged()``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.core import ConvergenceCriteria
-from repro.errors import ConfigError
+from repro.errors import ConfigError, WorkerCrashError
 from repro.metrics import IterationRecord, RunResult
 from repro.runtime.backends import ExecutionBackend, IterationOutcome
 from repro.runtime.observer import RunObserver, chain_observers
@@ -81,6 +81,16 @@ class IterationLoop:
     start_iteration:
         First iteration index (non-zero when resuming a checkpointed
         run; the cap stays absolute, as in the paper's recovery).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`. The loop consults
+        it at every iteration boundary (the paper's recovery unit):
+        an injected worker crash -- or a
+        :class:`~repro.errors.WorkerCrashError` escaping the backend,
+        e.g. from a mid-checkpoint crash -- triggers
+        ``backend.recover()``, which restores the newest checkpoint
+        (or restarts from scratch) and reports the iteration to
+        replay from. Replayed iterations overwrite their crashed
+        records, so a recovered run's record stream is continuous.
     """
 
     def __init__(
@@ -92,6 +102,7 @@ class IterationLoop:
         max_iters: int | None = None,
         observers: Sequence[RunObserver] = (),
         start_iteration: int = 0,
+        faults: Any = None,
     ) -> None:
         if (criteria is None) == (should_stop is None):
             raise ConfigError(
@@ -107,6 +118,7 @@ class IterationLoop:
         )
         self.observer = chain_observers(observers)
         self.start_iteration = start_iteration
+        self.faults = faults
 
     def _stopped(self, outcome: IterationOutcome) -> bool:
         if self.criteria is not None:
@@ -115,19 +127,46 @@ class IterationLoop:
             )
         return self.should_stop(outcome)
 
+    def _recover(
+        self, it: int, exc: WorkerCrashError, result: LoopResult
+    ) -> int:
+        """Answer a worker crash: restore state, rewind the records."""
+        obs = self.observer
+        obs.on_fault(it, "worker", "crash", {"reason": str(exc)})
+        resume_at = self.backend.recover(it, obs)
+        obs.on_recovery(
+            it, "worker", "resume", {"resume_at": resume_at}
+        )
+        # Replayed iterations re-emit their records; drop the ones the
+        # crash invalidated so the stream stays one record per index.
+        result.records = [
+            r for r in result.records if r.iteration < resume_at
+        ]
+        return resume_at
+
     def run(self) -> LoopResult:
         """Execute iterations until convergence or the cap."""
         obs = self.observer
         result = LoopResult()
         obs.on_run_start(self.backend.n_rows, self.max_iters)
-        for it in range(self.start_iteration, self.max_iters):
+        it = self.start_iteration
+        while it < self.max_iters:
             obs.on_iteration_start(it)
-            outcome = self.backend.run_iteration(it, obs)
-            result.records.append(outcome.record)
-            obs.on_iteration_end(it, outcome.record)
-            self.backend.after_record(it, outcome, obs)
+            try:
+                outcome = self.backend.run_iteration(it, obs)
+                result.records.append(outcome.record)
+                obs.on_iteration_end(it, outcome.record)
+                self.backend.after_record(it, outcome, obs)
+                if self.faults is not None and self.faults.worker_crash(it):
+                    raise WorkerCrashError(
+                        f"injected worker crash after iteration {it}"
+                    )
+            except WorkerCrashError as exc:
+                it = self._recover(it, exc, result)
+                continue
             if self._stopped(outcome):
                 result.converged = True
                 break
+            it += 1
         obs.on_run_end(result.iterations, result.converged)
         return result

@@ -7,6 +7,14 @@ Every execution backend reports the same event stream while an
 ``on_task_trace``\\* → [``on_collective``] → ``on_iteration_end`` →
 [``on_checkpoint``])\\* → ``on_run_end``
 
+Fault injection (:mod:`repro.faults`) adds a second family that can
+appear anywhere inside an iteration: ``on_fault`` (a fault fired),
+``on_retry`` (one recovery attempt, charged simulated time) and
+``on_recovery`` (the fault was answered -- retries succeeded, a
+checkpoint was restored, shards were reassigned). Every ``on_fault``
+from a recoverable fault is eventually followed by an ``on_recovery``
+for the same site.
+
 Benchmarks, the CLI's ``--trace`` flag, and future profilers all ride
 this one mechanism instead of scraping ``IterationRecord`` lists after
 the fact. Observers are passive: nothing they return can alter the
@@ -55,6 +63,18 @@ class RunObserver:
     def on_checkpoint(self, iteration: int, path: Any) -> None:
         """A backend persisted resumable state after an iteration."""
 
+    def on_fault(self, iteration: int, site: str, kind: str,
+                 detail: dict | None = None) -> None:
+        """An injected fault fired at ``site`` (see :mod:`repro.faults`)."""
+
+    def on_retry(self, iteration: int, site: str, attempt: int,
+                 delay_ns: float) -> None:
+        """One recovery attempt (re-read, retransmit) was charged."""
+
+    def on_recovery(self, iteration: int, site: str, action: str,
+                    detail: dict | None = None) -> None:
+        """A fault was answered (retried, resumed, re-sharded...)."""
+
     def on_run_end(self, iterations: int, converged: bool) -> None:
         """The loop finished (converged or hit the iteration cap)."""
 
@@ -92,6 +112,18 @@ class ObserverChain(RunObserver):
     def on_checkpoint(self, iteration, path):
         for o in self.observers:
             o.on_checkpoint(iteration, path)
+
+    def on_fault(self, iteration, site, kind, detail=None):
+        for o in self.observers:
+            o.on_fault(iteration, site, kind, detail)
+
+    def on_retry(self, iteration, site, attempt, delay_ns):
+        for o in self.observers:
+            o.on_retry(iteration, site, attempt, delay_ns)
+
+    def on_recovery(self, iteration, site, action, detail=None):
+        for o in self.observers:
+            o.on_recovery(iteration, site, action, detail)
 
     def on_run_end(self, iterations, converged):
         for o in self.observers:
@@ -150,6 +182,18 @@ class RecordingObserver(RunObserver):
     def on_checkpoint(self, iteration, path):
         self._rec("checkpoint", iteration, path=str(path))
 
+    def on_fault(self, iteration, site, kind, detail=None):
+        self._rec("fault", iteration, site=site, kind=kind,
+                  detail=detail or {})
+
+    def on_retry(self, iteration, site, attempt, delay_ns):
+        self._rec("retry", iteration, site=site, attempt=attempt,
+                  delay_ns=delay_ns)
+
+    def on_recovery(self, iteration, site, action, detail=None):
+        self._rec("recovery", iteration, site=site, action=action,
+                  detail=detail or {})
+
     def on_run_end(self, iterations, converged):
         self._rec("run_end", None, iterations=iterations,
                   converged=converged)
@@ -157,6 +201,17 @@ class RecordingObserver(RunObserver):
     def names(self) -> list[str]:
         """Event names in arrival order (ordering assertions)."""
         return [e.name for e in self.events]
+
+    def fault_events(self) -> list[TraceEvent]:
+        """The fault-plane subset, in order -- a run's fault trace.
+
+        Two runs with the same fault seed produce equal lists
+        (byte-for-byte reproducibility; asserted in the fault tests).
+        """
+        return [
+            e for e in self.events
+            if e.name in ("fault", "retry", "recovery")
+        ]
 
 
 class PrintObserver(RunObserver):
@@ -201,6 +256,22 @@ class PrintObserver(RunObserver):
 
     def on_checkpoint(self, iteration, path):
         self._emit(f"[trace] it={iteration} checkpoint -> {path}")
+
+    def on_fault(self, iteration, site, kind, detail=None):
+        extra = f" {detail}" if detail else ""
+        self._emit(f"[fault] it={iteration} {site}: {kind}{extra}")
+
+    def on_retry(self, iteration, site, attempt, delay_ns):
+        self._emit(
+            f"[fault] it={iteration} {site}: retry #{attempt} "
+            f"(+{delay_ns / 1e6:.3f}ms)"
+        )
+
+    def on_recovery(self, iteration, site, action, detail=None):
+        extra = f" {detail}" if detail else ""
+        self._emit(
+            f"[fault] it={iteration} {site}: recovered via {action}{extra}"
+        )
 
     def on_run_end(self, iterations, converged):
         state = "converged" if converged else "cap hit"

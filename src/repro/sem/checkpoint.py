@@ -7,10 +7,21 @@ footprint: assignments, MTI upper bounds, the persistent per-cluster
 sums/counts, current/previous centroids and the iteration counter. Row
 data never needs checkpointing -- it is already durable on SSD.
 
-Checkpoints are written atomically (tmp file + rename) so a crash
-mid-write leaves the previous checkpoint intact. The paper disables
-checkpointing during performance evaluation (Section 8.5), and so do
-the benches; the integration tests exercise crash/recovery.
+Durability protocol (format version 2): each save writes its arrays to
+a fresh sequence-numbered ``checkpoint-<seq>.npz`` (never overwriting
+the arrays a live manifest references), then commits by atomically
+renaming the manifest over ``checkpoint.json``. The manifest rename is
+the *only* commit point, so a crash at any instant -- mid-array-write,
+between tmp-write and rename, or before garbage collection -- leaves
+the previous checkpoint fully loadable (the crash-matrix tests inject
+crashes at each point via :mod:`repro.faults`). Version 1 checkpoints
+(single ``checkpoint.npz``, renamed arrays-then-manifest) remain
+loadable; version 1's window where an old manifest could pair with
+newly renamed arrays is what the redesign closes.
+
+The paper disables checkpointing during performance evaluation
+(Section 8.5), and so do the benches; the integration and fault tests
+exercise crash/recovery.
 """
 
 from __future__ import annotations
@@ -21,11 +32,11 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import IoSubsystemError
+from repro.errors import IoSubsystemError, WorkerCrashError
 
 _MANIFEST = "checkpoint.json"
-_ARRAYS = "checkpoint.npz"
-_FORMAT_VERSION = 1
+_V1_ARRAYS = "checkpoint.npz"
+_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -43,10 +54,56 @@ class CheckpointState:
     params: dict
 
 
-def save_checkpoint(directory: str | Path, state: CheckpointState) -> Path:
-    """Atomically persist a checkpoint, replacing any previous one."""
+def _read_manifest(directory: Path) -> dict | None:
+    """The committed manifest, or None when absent/unparseable."""
+    path = directory / _MANIFEST
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+
+
+def _arrays_path(directory: Path, manifest: dict) -> Path | None:
+    """The arrays file a manifest references, version-aware."""
+    version = manifest.get("format_version")
+    if version == 1:
+        return directory / _V1_ARRAYS
+    if version == _FORMAT_VERSION:
+        name = manifest.get("arrays")
+        if not name or "/" in str(name):
+            return None
+        return directory / str(name)
+    return None
+
+
+def save_checkpoint(
+    directory: str | Path,
+    state: CheckpointState,
+    *,
+    crash_point: str | None = None,
+) -> Path:
+    """Atomically persist a checkpoint, replacing any previous one.
+
+    ``crash_point`` (injected by a :class:`~repro.faults.FaultPlan`)
+    raises :class:`~repro.errors.WorkerCrashError` at the named stage
+    of the protocol; the previous checkpoint stays loadable at every
+    stage, and ``committed-no-gc`` leaves the *new* one loadable with
+    one stale arrays file the next save collects.
+    """
+    if (state.sums is None) != (state.counts is None):
+        raise IoSubsystemError(
+            "checkpoint sums and counts must be saved together "
+            f"(sums is {'None' if state.sums is None else 'set'}, "
+            f"counts is {'None' if state.counts is None else 'set'})"
+        )
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    previous = _read_manifest(directory)
+    seq = (previous.get("seq", 0) if previous else 0) + 1
+    arrays_name = f"checkpoint-{seq:08d}.npz"
+
     arrays = {
         "centroids": state.centroids,
         "prev_centroids": state.prev_centroids,
@@ -57,56 +114,86 @@ def save_checkpoint(directory: str | Path, state: CheckpointState) -> Path:
     if state.sums is not None:
         arrays["sums"] = state.sums
         arrays["counts"] = state.counts
-    tmp_arrays = directory / (_ARRAYS + ".tmp")
-    with open(tmp_arrays, "wb") as fh:
+    with open(directory / arrays_name, "wb") as fh:
         np.savez(fh, **arrays)
+    if crash_point == "arrays-written":
+        raise WorkerCrashError(
+            "injected crash: arrays written, manifest not committed"
+        )
+
     tmp_manifest = directory / (_MANIFEST + ".tmp")
     tmp_manifest.write_text(
         json.dumps(
             {
                 "format_version": _FORMAT_VERSION,
+                "seq": seq,
+                "arrays": arrays_name,
                 "iteration": state.iteration,
                 "n_changed": state.n_changed,
-                "has_pruning_state": state.ub is not None,
+                "has_ub": state.ub is not None,
+                "has_sums": state.sums is not None,
                 "params": state.params,
             }
         )
     )
-    # Rename order matters: arrays first, manifest last -- a manifest
-    # is only ever visible when its arrays are already in place.
-    tmp_arrays.replace(directory / _ARRAYS)
+    if crash_point == "manifest-tmp-written":
+        raise WorkerCrashError(
+            "injected crash: between manifest tmp-write and rename"
+        )
+
+    # The single atomic commit point.
     tmp_manifest.replace(directory / _MANIFEST)
+    if crash_point == "committed-no-gc":
+        raise WorkerCrashError(
+            "injected crash: committed, stale arrays not collected"
+        )
+
+    # Garbage-collect arrays files no manifest references (previous
+    # generations, plus leftovers from crashed saves).
+    for path in directory.glob("checkpoint-*.npz"):
+        if path.name != arrays_name:
+            path.unlink(missing_ok=True)
+    old_v1 = directory / _V1_ARRAYS
+    if old_v1.exists():
+        old_v1.unlink()
     return directory
 
 
 def load_checkpoint(directory: str | Path) -> CheckpointState:
     """Load the checkpoint in ``directory``; raises if absent/corrupt."""
     directory = Path(directory)
-    manifest_path = directory / _MANIFEST
-    arrays_path = directory / _ARRAYS
-    if not manifest_path.exists() or not arrays_path.exists():
+    manifest = _read_manifest(directory)
+    if manifest is None:
+        if (directory / _MANIFEST).exists():
+            raise IoSubsystemError(
+                f"corrupt checkpoint manifest in {directory}"
+            )
         raise IoSubsystemError(f"no checkpoint in {directory}")
-    try:
-        manifest = json.loads(manifest_path.read_text())
-    except json.JSONDecodeError as exc:
+    version = manifest.get("format_version")
+    if version not in (1, _FORMAT_VERSION):
         raise IoSubsystemError(
-            f"corrupt checkpoint manifest in {directory}: {exc}"
-        ) from exc
-    if manifest.get("format_version") != _FORMAT_VERSION:
-        raise IoSubsystemError(
-            f"unsupported checkpoint version "
-            f"{manifest.get('format_version')}"
+            f"unsupported checkpoint version {version}"
         )
+    arrays_path = _arrays_path(directory, manifest)
+    if arrays_path is None or not arrays_path.exists():
+        raise IoSubsystemError(
+            f"checkpoint manifest in {directory} references missing "
+            f"arrays"
+        )
+    if version == 1:
+        has_ub = has_sums = bool(manifest["has_pruning_state"])
+    else:
+        has_ub = bool(manifest["has_ub"])
+        has_sums = bool(manifest["has_sums"])
     with np.load(arrays_path) as data:
-        has_pruning = manifest["has_pruning_state"]
         return CheckpointState(
             iteration=int(manifest["iteration"]),
             centroids=data["centroids"].copy(),
             prev_centroids=data["prev_centroids"].copy(),
             assignment=data["assignment"].copy(),
-            ub=data["ub"].copy() if has_pruning else None,
-            sums=data["sums"].copy() if has_pruning else None,
-            counts=data["counts"].copy() if has_pruning else None,
+            ub=data["ub"].copy() if has_ub else None,
+            sums=data["sums"].copy() if has_sums else None,
+            counts=data["counts"].copy() if has_sums else None,
             n_changed=int(manifest["n_changed"]),
             params=manifest["params"],
         )
@@ -115,6 +202,8 @@ def load_checkpoint(directory: str | Path) -> CheckpointState:
 def has_checkpoint(directory: str | Path) -> bool:
     """Is there a loadable checkpoint in ``directory``?"""
     directory = Path(directory)
-    return (directory / _MANIFEST).exists() and (
-        directory / _ARRAYS
-    ).exists()
+    manifest = _read_manifest(directory)
+    if manifest is None:
+        return False
+    arrays_path = _arrays_path(directory, manifest)
+    return arrays_path is not None and arrays_path.exists()

@@ -46,6 +46,8 @@ class IoIterationStats:
     service_ns: float
     rc_refreshed: bool
     rc_admitted: int
+    io_retries: int = 0  # injected-fault re-reads (see repro.faults)
+    fault_delay_ns: float = 0.0  # fault time folded into service_ns
 
 
 class RowEngine:
@@ -65,13 +67,15 @@ class RowEngine:
         self.row_cache = row_cache
 
     def run_iteration(
-        self, iteration: int, needs_data: np.ndarray
+        self, iteration: int, needs_data: np.ndarray, observer=None
     ) -> IoIterationStats:
         """Plan and account one iteration's row fetches.
 
         ``needs_data`` is the boolean row mask from the numerics (MTI
         clause 1 cleared means no I/O request -- "this is extremely
         significant because no I/O request is made for data").
+        ``observer`` receives fault-plane events when the SAFS layer
+        carries a fault plan.
         """
         needed = np.nonzero(np.asarray(needs_data, dtype=bool))[0]
         rc = self.row_cache
@@ -83,7 +87,9 @@ class RowEngine:
             misses = needed
             rc_hits = 0
 
-        batch = self.safs.fetch_rows(misses, self.row_bytes)
+        batch = self.safs.fetch_rows(
+            misses, self.row_bytes, iteration=iteration, observer=observer
+        )
 
         refreshed = False
         admitted = 0
@@ -107,4 +113,6 @@ class RowEngine:
             service_ns=batch.service_ns,
             rc_refreshed=refreshed,
             rc_admitted=admitted,
+            io_retries=batch.io_retries,
+            fault_delay_ns=batch.fault_delay_ns,
         )

@@ -16,12 +16,13 @@ pages, and each page read hauls in unrequested neighbour rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
-from repro.errors import IoSubsystemError
+from repro.errors import IoSubsystemError, RetryExhaustedError
 from repro.sem.pagecache import PageCache
-from repro.simhw.ssd import SsdArray
+from repro.simhw.ssd import SsdArray, SsdReadResult
 
 
 @dataclass
@@ -36,10 +37,19 @@ class IoBatch:
     merged_requests: int  # SSD requests after merging adjacency runs
     bytes_read: int  # pages_from_ssd * page_bytes
     service_ns: float
+    io_retries: int = 0  # injected-fault re-reads this batch paid for
+    fault_delay_ns: float = 0.0  # fault time folded into service_ns
 
 
 class Safs:
-    """Row-request front end over (page cache + SSD array)."""
+    """Row-request front end over (page cache + SSD array).
+
+    When a :class:`~repro.faults.FaultPlan` is attached, each SSD
+    batch may suffer an injected read error (answered by the retry
+    policy's backoff + re-read loop, all charged simulated time) or a
+    slow-page latency spike; outcomes are reported through the
+    observer's ``on_fault``/``on_retry``/``on_recovery`` hooks.
+    """
 
     def __init__(
         self,
@@ -47,11 +57,19 @@ class Safs:
         *,
         page_cache_bytes: int,
         data_offset: int = 0,
+        faults: Any = None,
+        retry_policy: Any = None,
     ) -> None:
         self.ssd = ssd
         self.page_bytes = ssd.page_bytes
         self.page_cache = PageCache(page_cache_bytes, self.page_bytes)
         self.data_offset = data_offset
+        self.faults = faults
+        if retry_policy is None and faults is not None:
+            from repro.faults import DEFAULT_RETRY_POLICY
+
+            retry_policy = DEFAULT_RETRY_POLICY
+        self.retry_policy = retry_policy
 
     def pages_of_rows(
         self, rows: np.ndarray, row_bytes: int
@@ -92,11 +110,20 @@ class Safs:
         breaks = np.count_nonzero(np.diff(pages) > 1)
         return int(breaks) + 1
 
-    def fetch_rows(self, rows: np.ndarray, row_bytes: int) -> IoBatch:
+    def fetch_rows(
+        self,
+        rows: np.ndarray,
+        row_bytes: int,
+        *,
+        iteration: int = 0,
+        observer: Any = None,
+    ) -> IoBatch:
         """Fetch row data for ``rows``: page cache first, SSD for misses.
 
         Returns the exact I/O accounting; the caller holds the actual
         data (from the memmapped file), so no bytes move through here.
+        ``iteration``/``observer`` feed the fault plane when a plan is
+        attached (a batch that reads zero pages cannot fault).
         """
         rows = np.asarray(rows, dtype=np.int64)
         bytes_requested = int(rows.size) * row_bytes
@@ -106,6 +133,8 @@ class Safs:
         miss_arr = np.asarray(miss_pages, dtype=np.int64)
         n_requests = self.merge_requests(miss_arr)
         result = self.ssd.read(n_requests, len(miss_pages))
+        if self.faults is not None and result.pages_read > 0:
+            result = self._apply_faults(result, iteration, observer)
         for p in miss_pages:
             self.page_cache.admit(p)
         return IoBatch(
@@ -117,4 +146,58 @@ class Safs:
             merged_requests=n_requests,
             bytes_read=result.bytes_read,
             service_ns=result.service_ns,
+            io_retries=result.retries,
+            fault_delay_ns=result.fault_delay_ns,
         )
+
+    def _apply_faults(
+        self, result: SsdReadResult, iteration: int, observer: Any
+    ) -> SsdReadResult:
+        """Resolve one batch's injected fault, charging simulated time."""
+        kind = self.faults.ssd_fault(iteration)
+        if kind is None:
+            return result
+        if observer is None:
+            from repro.runtime.observer import RunObserver
+
+            observer = RunObserver()
+        if kind == "slow":
+            extra = result.service_ns * (
+                self.faults.spec.ssd_slow_factor - 1.0
+            )
+            observer.on_fault(
+                iteration, "ssd", "slow",
+                {"factor": self.faults.spec.ssd_slow_factor},
+            )
+            observer.on_recovery(
+                iteration, "ssd", "absorbed", {"extra_ns": extra}
+            )
+            return result.delayed(extra, 0)
+        # Read error: backoff + full re-read per attempt, until a
+        # retry succeeds or the policy budget runs out.
+        policy = self.retry_policy
+        observer.on_fault(
+            iteration, "ssd", "read_error",
+            {"requests": result.n_requests, "pages": result.pages_read},
+        )
+        delay = 0.0
+        attempt = 0
+        while True:
+            attempt += 1
+            if attempt > policy.max_retries:
+                raise RetryExhaustedError(
+                    f"SSD batch failed {policy.max_retries} retries "
+                    f"at iteration {iteration}"
+                )
+            backoff = policy.backoff(attempt)
+            delay += backoff + result.service_ns
+            observer.on_retry(iteration, "ssd", attempt, backoff)
+            if not self.faults.ssd_retry_fails(iteration):
+                break
+            observer.on_fault(
+                iteration, "ssd", "read_error", {"attempt": attempt}
+            )
+        observer.on_recovery(
+            iteration, "ssd", "retried", {"attempts": attempt}
+        )
+        return result.delayed(delay, attempt)

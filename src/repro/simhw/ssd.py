@@ -20,12 +20,35 @@ _NS_PER_S = 1e9
 
 @dataclass(frozen=True)
 class SsdReadResult:
-    """Outcome of one read batch submitted to the array."""
+    """Outcome of one read batch submitted to the array.
+
+    ``retries`` and ``fault_delay_ns`` are zero on a clean batch; an
+    injected read error or slow-page spike (see :mod:`repro.faults`)
+    surfaces here after the retry policy resolved it, with the extra
+    simulated time folded into ``service_ns``.
+    """
 
     n_requests: int
     pages_read: int
     bytes_read: int
     service_ns: float
+    retries: int = 0
+    fault_delay_ns: float = 0.0
+
+    def delayed(self, extra_ns: float, retries: int) -> "SsdReadResult":
+        """This batch with fault-recovery time charged on top."""
+        if extra_ns < 0:
+            raise IoSubsystemError(
+                f"negative fault delay {extra_ns}"
+            )
+        return SsdReadResult(
+            n_requests=self.n_requests,
+            pages_read=self.pages_read,
+            bytes_read=self.bytes_read,
+            service_ns=self.service_ns + extra_ns,
+            retries=self.retries + retries,
+            fault_delay_ns=self.fault_delay_ns + extra_ns,
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,308 @@
+"""Unit tests for the deterministic fault-injection layer.
+
+Covers the :mod:`repro.faults` vocabulary (specs, policies, plans,
+schedules), the CLI spec parsers, the SAFS retry path, and the
+dropped-allreduce charging -- everything below the crash-matrix
+integration tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, RetryExhaustedError
+from repro.faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    faulty_collective_ns,
+    parse_fault_spec,
+    parse_retry_policy,
+)
+from repro.runtime import RecordingObserver
+from repro.sem import Safs
+from repro.simhw.ssd import OCZ_INTREPID_ARRAY
+
+
+class TestFaultSpec:
+    def test_defaults_disabled(self):
+        assert not FaultSpec().any_enabled
+
+    def test_any_enabled(self):
+        assert FaultSpec(worker_crash_rate=0.1).any_enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ssd_error_rate": -0.1},
+            {"worker_crash_rate": 1.5},
+            {"ssd_error_rate": 0.7, "ssd_slow_rate": 0.7},
+            {"ssd_slow_factor": 0.5},
+            {"max_worker_crashes": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultSpec(**kwargs)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        p = RetryPolicy(backoff_ns=100.0, backoff_multiplier=3.0)
+        assert p.backoff(1) == 100.0
+        assert p.backoff(2) == 300.0
+        assert p.backoff(3) == 900.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": 0},
+            {"backoff_ns": -1.0},
+            {"backoff_multiplier": 0.5},
+            {"node_failure_mode": "panic"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+
+class TestFaultEvent:
+    def test_bad_site(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(site="gpu", iteration=0, kind="crash")
+
+    @pytest.mark.parametrize(
+        "site,kind",
+        [
+            ("worker", "fail"),      # worker only knows 'crash'
+            ("node", "failure"),     # node only knows 'fail'
+            ("checkpoint", "crash"),  # must be a named crash point
+            ("ssd", "drop"),
+        ],
+    )
+    def test_bad_kind(self, site, kind):
+        with pytest.raises(ConfigError):
+            FaultEvent(site=site, iteration=0, kind=kind)
+
+    def test_bad_times(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(site="worker", iteration=0, kind="crash", times=0)
+
+
+class TestFaultPlanDeterminism:
+    def _trace(self, seed):
+        plan = FaultPlan(
+            FaultSpec(
+                ssd_error_rate=0.2,
+                ssd_slow_rate=0.2,
+                worker_crash_rate=0.2,
+                msg_drop_rate=0.2,
+                node_failure_rate=0.2,
+            ),
+            seed=seed,
+        )
+        out = []
+        for it in range(30):
+            out.append(plan.ssd_fault(it))
+            out.append(plan.worker_crash(it))
+            out.append(plan.drop_message(it))
+            out.append(plan.node_failure(it, [0, 1, 2, 3]))
+        return out
+
+    def test_same_seed_same_trace(self):
+        assert self._trace(17) == self._trace(17)
+
+    def test_different_seed_different_trace(self):
+        assert self._trace(17) != self._trace(18)
+
+    def test_sites_are_independent_streams(self):
+        """Draining one site's stream must not shift another's."""
+        a = FaultPlan(FaultSpec(worker_crash_rate=0.3), seed=5)
+        b = FaultPlan(
+            FaultSpec(worker_crash_rate=0.3, ssd_error_rate=0.3), seed=5
+        )
+        for it in range(50):
+            b.ssd_fault(it)  # extra draws on the ssd stream only
+        crashes_a = [a.worker_crash(it) for it in range(20)]
+        crashes_b = [b.worker_crash(it) for it in range(20)]
+        assert crashes_a == crashes_b
+
+    def test_caps_bound_recoverable_faults(self):
+        plan = FaultPlan(
+            FaultSpec(worker_crash_rate=1.0, max_worker_crashes=2), seed=0
+        )
+        fired = sum(plan.worker_crash(it) for it in range(10))
+        assert fired == 2
+
+    def test_msg_drop_cap(self):
+        plan = FaultPlan(
+            FaultSpec(msg_drop_rate=1.0, max_msg_drops=3), seed=0
+        )
+        fired = sum(plan.drop_message(it) for it in range(10))
+        assert fired == 3
+
+
+class TestFaultSchedule:
+    def test_scheduled_event_is_one_shot(self):
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="worker", iteration=2, kind="crash")]
+        )
+        assert not plan.worker_crash(1)
+        assert plan.worker_crash(2)
+        # Replaying iteration 2 after recovery must not re-crash.
+        assert not plan.worker_crash(2)
+
+    def test_times_repeats_event(self):
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="ssd", iteration=0, kind="read_error",
+                        times=2)]
+        )
+        assert plan.ssd_fault(0) == "read_error"
+        assert plan.ssd_retry_fails(0)  # second firing fails the retry
+        assert not plan.ssd_retry_fails(0)
+
+    def test_node_event_targets_machine(self):
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="node", iteration=1, kind="fail", machine=2)]
+        )
+        assert plan.node_failure(0, [0, 1, 2]) is None
+        assert plan.node_failure(1, [0, 1, 2]) == 2
+
+    def test_checkpoint_crash_is_schedule_only(self):
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="checkpoint", iteration=4,
+                        kind="arrays-written")]
+        )
+        assert plan.checkpoint_crash(3) is None
+        assert plan.checkpoint_crash(4) == "arrays-written"
+        assert plan.checkpoint_crash(4) is None
+
+    def test_plans_do_not_share_schedule_state(self):
+        events = [FaultEvent(site="worker", iteration=0, kind="crash")]
+        a = FaultPlan.from_schedule(events)
+        b = FaultPlan.from_schedule(events)
+        assert a.worker_crash(0)
+        assert b.worker_crash(0)  # a's consumption must not drain b
+
+
+class TestSpecParsing:
+    def test_parse_fault_spec(self):
+        spec = parse_fault_spec(
+            "ssd_error=0.1, worker_crash=0.05, max_worker_crashes=5,"
+            "node_fail=0.02, msg_drop=0.3, max_msg_drops=2"
+        )
+        assert spec.ssd_error_rate == 0.1
+        assert spec.worker_crash_rate == 0.05
+        assert spec.max_worker_crashes == 5
+        assert spec.node_failure_rate == 0.02
+        assert spec.msg_drop_rate == 0.3
+        assert spec.max_msg_drops == 2
+
+    def test_parse_fault_spec_rejects_unknown_key(self):
+        with pytest.raises(ConfigError):
+            parse_fault_spec("cosmic_ray=0.1")
+
+    def test_parse_fault_spec_rejects_malformed(self):
+        with pytest.raises(ConfigError):
+            parse_fault_spec("ssd_error")
+
+    def test_parse_retry_policy(self):
+        p = parse_retry_policy(
+            "retries=5,backoff_ms=4,multiplier=1.5,timeout_ms=20,"
+            "node_failure=abort"
+        )
+        assert p.max_retries == 5
+        assert p.backoff_ns == 4e6
+        assert p.backoff_multiplier == 1.5
+        assert p.timeout_ns == 20e6
+        assert p.node_failure_mode == "abort"
+
+    def test_parse_retry_policy_rejects_unknown_key(self):
+        with pytest.raises(ConfigError):
+            parse_retry_policy("patience=high")
+
+
+class TestSafsRetries:
+    ROWS = np.arange(64)
+    ROW_BYTES = 256
+
+    def _fetch(self, faults=None, policy=None, observer=None):
+        safs = Safs(
+            OCZ_INTREPID_ARRAY, page_cache_bytes=0,
+            faults=faults, retry_policy=policy,
+        )
+        return safs.fetch_rows(
+            self.ROWS, self.ROW_BYTES, iteration=0, observer=observer
+        )
+
+    def test_read_error_charges_backoff_and_reread(self):
+        clean = self._fetch()
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="ssd", iteration=0, kind="read_error")]
+        )
+        rec = RecordingObserver()
+        faulty = self._fetch(faults=plan, observer=rec)
+        assert faulty.io_retries == 1
+        expected_delay = (
+            DEFAULT_RETRY_POLICY.backoff(1) + clean.service_ns
+        )
+        assert faulty.fault_delay_ns == pytest.approx(expected_delay)
+        assert faulty.service_ns == pytest.approx(
+            clean.service_ns + expected_delay
+        )
+        names = [e.name for e in rec.fault_events()]
+        assert names == ["fault", "retry", "recovery"]
+
+    def test_slow_page_multiplies_service_time(self):
+        clean = self._fetch()
+        plan = FaultPlan(FaultSpec(ssd_slow_rate=1.0, ssd_slow_factor=3.0))
+        faulty = self._fetch(faults=plan)
+        assert faulty.io_retries == 0
+        assert faulty.service_ns == pytest.approx(3.0 * clean.service_ns)
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="ssd", iteration=0, kind="read_error",
+                        times=4)]
+        )
+        with pytest.raises(RetryExhaustedError):
+            self._fetch(faults=plan, policy=RetryPolicy(max_retries=2))
+
+    def test_no_faults_no_overhead(self):
+        clean = self._fetch()
+        planned = self._fetch(faults=FaultPlan(FaultSpec(), seed=0))
+        assert planned.service_ns == clean.service_ns
+        assert planned.io_retries == 0
+
+
+class TestFaultyCollective:
+    def test_no_plan_passthrough(self):
+        obs = RecordingObserver()
+        assert faulty_collective_ns(
+            None, DEFAULT_RETRY_POLICY, 0, 123.0, obs
+        ) == 123.0
+        assert obs.fault_events() == []
+
+    def test_drop_charges_timeout_plus_retransmit(self):
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="net", iteration=0, kind="drop")]
+        )
+        policy = RetryPolicy(timeout_ns=1000.0)
+        obs = RecordingObserver()
+        total = faulty_collective_ns(plan, policy, 0, 500.0, obs)
+        assert total == pytest.approx(500.0 + 1000.0 + 500.0)
+        assert [e.name for e in obs.fault_events()] == [
+            "fault", "retry", "recovery"
+        ]
+
+    def test_drop_budget_exhaustion_raises(self):
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="net", iteration=0, kind="drop", times=5)]
+        )
+        with pytest.raises(RetryExhaustedError):
+            faulty_collective_ns(
+                plan, RetryPolicy(max_retries=2), 0, 500.0,
+                RecordingObserver(),
+            )

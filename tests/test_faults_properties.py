@@ -1,0 +1,141 @@
+"""Property-based fault tests: seeded-random plans over many seeds.
+
+The invariant under test: with *recoverable-only* faults enabled (no
+abort-mode node failures, retry budgets never exhausted), every run
+
+* terminates,
+* performs exactly the fault-free run's number of iterations (replayed
+  iterations overwrite their crashed records),
+* lands on bit-identical final centroids and assignment,
+
+and the fault trace is a pure function of the fault seed. A seeded
+loop over a fixed seed set keeps the suite deterministic in CI while
+still sweeping a meaningful slice of the plan space.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FaultPlan, FaultSpec, knord, knors
+from repro.core import init_centroids
+from repro.data import write_matrix
+from repro.runtime import RecordingObserver
+
+pytestmark = pytest.mark.faults
+
+SEEDS = range(10)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(23)
+    centers = rng.normal(scale=2.5, size=(5, 4))
+    x = np.vstack(
+        [rng.normal(loc=c, scale=1.5, size=(120, 4)) for c in centers]
+    )
+    rng.shuffle(x)
+    return x
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory, dataset):
+    path = tmp_path_factory.mktemp("faultprop") / "data.knor"
+    write_matrix(path, dataset)
+    return path
+
+
+@pytest.fixture(scope="module")
+def centroids0(dataset):
+    return init_centroids(dataset, 5, "random", seed=7)
+
+
+class TestKnorsRecoverableFaults:
+    #: Recoverable-only: retries cannot exhaust (retry failures off),
+    #: crash count is capped, no node/net sites in a SEM run.
+    SPEC = FaultSpec(
+        ssd_error_rate=0.15,
+        ssd_slow_rate=0.15,
+        worker_crash_rate=0.1,
+        max_worker_crashes=2,
+    )
+
+    @pytest.fixture(scope="class")
+    def baseline(self, dataset_path, centroids0):
+        return knors(
+            dataset_path, 5, init=centroids0, seed=7,
+            row_cache_bytes=0, page_cache_bytes=0,
+        )
+
+    def _faulty(self, dataset_path, centroids0, fault_seed):
+        rec = RecordingObserver()
+        res = knors(
+            dataset_path, 5, init=centroids0, seed=7,
+            faults=FaultPlan(self.SPEC, seed=fault_seed),
+            observers=(rec,), row_cache_bytes=0, page_cache_bytes=0,
+        )
+        return res, rec.fault_events()
+
+    @pytest.mark.parametrize("fault_seed", SEEDS)
+    def test_recoverable_faults_preserve_results(
+        self, dataset_path, centroids0, baseline, fault_seed
+    ):
+        res, _ = self._faulty(dataset_path, centroids0, fault_seed)
+        assert res.iterations == baseline.iterations
+        assert res.converged == baseline.converged
+        np.testing.assert_array_equal(res.centroids, baseline.centroids)
+        np.testing.assert_array_equal(
+            res.assignment, baseline.assignment
+        )
+        # Record stream stays continuous: one record per index.
+        assert [r.iteration for r in res.records] == list(
+            range(baseline.iterations)
+        )
+
+    @pytest.mark.parametrize("fault_seed", SEEDS)
+    def test_trace_is_pure_function_of_seed(
+        self, dataset_path, centroids0, fault_seed
+    ):
+        _, trace_a = self._faulty(dataset_path, centroids0, fault_seed)
+        _, trace_b = self._faulty(dataset_path, centroids0, fault_seed)
+        assert trace_a == trace_b
+
+    def test_faults_actually_fire_across_seed_set(
+        self, dataset_path, centroids0
+    ):
+        """Guard against vacuous passes: the sweep must inject."""
+        fired = sum(
+            len(self._faulty(dataset_path, centroids0, s)[1])
+            for s in SEEDS
+        )
+        assert fired > 0
+
+
+class TestKnordRecoverableFaults:
+    SPEC = FaultSpec(
+        worker_crash_rate=0.1,
+        max_worker_crashes=2,
+        node_failure_rate=0.1,
+        max_node_failures=1,
+        msg_drop_rate=0.1,
+        max_msg_drops=4,
+    )
+
+    @pytest.fixture(scope="class")
+    def baseline(self, dataset, centroids0):
+        return knord(dataset, 5, init=centroids0, seed=7, n_machines=4)
+
+    @pytest.mark.parametrize("fault_seed", SEEDS)
+    def test_recoverable_faults_preserve_results(
+        self, dataset, centroids0, baseline, fault_seed
+    ):
+        rec = RecordingObserver()
+        res = knord(
+            dataset, 5, init=centroids0, seed=7, n_machines=4,
+            faults=FaultPlan(self.SPEC, seed=fault_seed),
+            observers=(rec,),
+        )
+        assert res.iterations == baseline.iterations
+        np.testing.assert_array_equal(res.centroids, baseline.centroids)
+        np.testing.assert_array_equal(
+            res.assignment, baseline.assignment
+        )

@@ -81,6 +81,138 @@ class TestCheckpointFiles:
         save_checkpoint(tmp_path, make_state())
         assert not list(tmp_path.glob("*.tmp"))
 
+    def test_roundtrip_preserves_dtypes_and_shapes(self, tmp_path):
+        state = make_state()
+        save_checkpoint(tmp_path, state)
+        back = load_checkpoint(tmp_path)
+        for name in ("centroids", "prev_centroids", "assignment",
+                     "ub", "sums", "counts"):
+            want = getattr(state, name)
+            got = getattr(back, name)
+            assert got.dtype == want.dtype, name
+            assert got.shape == want.shape, name
+
+    def test_no_ub_but_sums_roundtrip(self, tmp_path):
+        """Pruning state without bounds (the v1 format conflated
+        has_ub with has_sums and silently dropped this case)."""
+        state = make_state()
+        state.ub = None
+        save_checkpoint(tmp_path, state)
+        back = load_checkpoint(tmp_path)
+        assert back.ub is None
+        np.testing.assert_array_equal(back.sums, state.sums)
+        np.testing.assert_array_equal(back.counts, state.counts)
+        assert back.counts.dtype == state.counts.dtype
+
+    def test_ub_without_sums_roundtrip(self, tmp_path):
+        state = make_state()
+        state.sums = None
+        state.counts = None
+        save_checkpoint(tmp_path, state)
+        back = load_checkpoint(tmp_path)
+        np.testing.assert_array_equal(back.ub, state.ub)
+        assert back.sums is None and back.counts is None
+
+    @pytest.mark.parametrize("drop", ["sums", "counts"])
+    def test_sums_counts_must_travel_together(self, tmp_path, drop):
+        state = make_state()
+        setattr(state, drop, None)
+        with pytest.raises(IoSubsystemError):
+            save_checkpoint(tmp_path, state)
+
+    def test_v1_checkpoint_still_loads(self, tmp_path):
+        """Back-compat: the single-npz version-1 layout."""
+        state = make_state()
+        np.savez(
+            tmp_path / "checkpoint.npz",
+            centroids=state.centroids,
+            prev_centroids=state.prev_centroids,
+            assignment=state.assignment,
+            ub=state.ub,
+            sums=state.sums,
+            counts=state.counts,
+        )
+        (tmp_path / "checkpoint.json").write_text(json.dumps({
+            "format_version": 1,
+            "iteration": state.iteration,
+            "n_changed": state.n_changed,
+            "has_pruning_state": True,
+            "params": state.params,
+        }))
+        assert has_checkpoint(tmp_path)
+        back = load_checkpoint(tmp_path)
+        assert back.iteration == state.iteration
+        np.testing.assert_array_equal(back.ub, state.ub)
+        np.testing.assert_array_equal(back.sums, state.sums)
+
+    def test_old_arrays_collected_after_save(self, tmp_path):
+        save_checkpoint(tmp_path, make_state(it=3))
+        save_checkpoint(tmp_path, make_state(it=7))
+        npz = list(tmp_path.glob("checkpoint-*.npz"))
+        assert len(npz) == 1
+
+
+class TestMidSaveCrashes:
+    """A crash at any stage of the save protocol must leave a
+    loadable checkpoint directory (satellite of the fault layer; the
+    crash points are driven by FaultPlan in the integration tests and
+    exercised directly here)."""
+
+    @pytest.mark.parametrize(
+        "crash_point", ["arrays-written", "manifest-tmp-written"]
+    )
+    def test_pre_commit_crash_keeps_previous(self, tmp_path, crash_point):
+        from repro.errors import WorkerCrashError
+
+        save_checkpoint(tmp_path, make_state(it=3))
+        with pytest.raises(WorkerCrashError):
+            save_checkpoint(
+                tmp_path, make_state(it=7), crash_point=crash_point
+            )
+        assert has_checkpoint(tmp_path)
+        back = load_checkpoint(tmp_path)
+        assert back.iteration == 3
+        np.testing.assert_array_equal(
+            back.centroids, make_state(it=3).centroids
+        )
+
+    def test_post_commit_crash_keeps_new(self, tmp_path):
+        from repro.errors import WorkerCrashError
+
+        save_checkpoint(tmp_path, make_state(it=3))
+        with pytest.raises(WorkerCrashError):
+            save_checkpoint(
+                tmp_path, make_state(it=7),
+                crash_point="committed-no-gc",
+            )
+        assert load_checkpoint(tmp_path).iteration == 7
+
+    def test_crash_on_first_save_leaves_no_checkpoint(self, tmp_path):
+        from repro.errors import WorkerCrashError
+
+        with pytest.raises(WorkerCrashError):
+            save_checkpoint(
+                tmp_path, make_state(it=3),
+                crash_point="arrays-written",
+            )
+        assert not has_checkpoint(tmp_path)
+        with pytest.raises(IoSubsystemError):
+            load_checkpoint(tmp_path)
+
+    def test_next_save_collects_crash_leftovers(self, tmp_path):
+        from repro.errors import WorkerCrashError
+
+        save_checkpoint(tmp_path, make_state(it=3))
+        with pytest.raises(WorkerCrashError):
+            save_checkpoint(
+                tmp_path, make_state(it=5),
+                crash_point="arrays-written",
+            )
+        save_checkpoint(tmp_path, make_state(it=7))
+        assert load_checkpoint(tmp_path).iteration == 7
+        assert len(list(tmp_path.glob("checkpoint-*.npz"))) == 1
+        assert not list(tmp_path.glob("*.tmp"))
+
 
 class TestKnorsRecovery:
     @pytest.mark.parametrize("pruning", ["mti", None])
