@@ -21,6 +21,9 @@ Contents
 * :mod:`repro.core.elkan` -- full Elkan TI with the O(nk) lower-bound
   matrix (the baseline MTI is measured against).
 * :mod:`repro.core.convergence` -- stopping criteria.
+* :mod:`repro.core.workspace` -- per-iteration kernel workspace
+  (cached centroid norms, reusable block buffers); pure optimization,
+  bit-identical results.
 """
 
 from repro.core.distance import (
@@ -29,7 +32,16 @@ from repro.core.distance import (
     nearest_centroid,
 )
 from repro.core.init import init_centroids
-from repro.core.centroids import cluster_sums, funnel_merge, PartialCentroids
+from repro.core.centroids import (
+    AccumScratch,
+    PartialCentroids,
+    add_block,
+    cluster_sums,
+    flat_sums,
+    funnel_merge,
+    move_rows,
+)
+from repro.core.workspace import DistanceWorkspace
 from repro.core.lloyd import lloyd, LloydResult
 from repro.core.pll import full_iteration, FullIterationResult
 from repro.core.mti import (
@@ -54,6 +66,11 @@ __all__ = [
     "cluster_sums",
     "funnel_merge",
     "PartialCentroids",
+    "AccumScratch",
+    "DistanceWorkspace",
+    "add_block",
+    "flat_sums",
+    "move_rows",
     "lloyd",
     "LloydResult",
     "full_iteration",

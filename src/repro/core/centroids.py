@@ -7,6 +7,15 @@ centroids (running sums + member counts) and merges them with a
 :func:`funnel_merge` is the pairwise reduction tree. The tree is
 deterministic (always merge neighbour pairs in index order) so results
 are bit-reproducible for a fixed thread count.
+
+Accumulation uses **flat-index bincount**: one ``np.bincount`` over the
+flattened ``(row, dim)`` index ``assign * d + dim`` instead of one
+strided ``bincount`` per dimension. ``np.bincount`` adds weights
+sequentially in input order, and the flat row-major order visits each
+``(cluster, dim)`` bucket's contributions in exactly the same row order
+as the per-dimension form did -- so the floating-point sums are
+bit-identical (asserted by the golden-value suite), while the data is
+read once, contiguously, instead of ``d`` strided passes.
 """
 
 from __future__ import annotations
@@ -16,6 +25,74 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import DatasetError
+
+
+class AccumScratch:
+    """Growable reusable buffers for flat-index accumulation.
+
+    Building the flat ``assign * d + dim`` index allocates an
+    ``(n, d)`` int64 temporary per call; hot loops (MTI's incremental
+    update runs every iteration) route through one of these to reuse
+    that memory. Results are identical with or without scratch.
+    """
+
+    def __init__(self) -> None:
+        self._base = np.empty(0, dtype=np.int64)
+        self._flat = np.empty(0, dtype=np.int64)
+        self._dims = np.empty(0, dtype=np.int64)
+
+    def flat_indices(self, assign: np.ndarray, d: int) -> np.ndarray:
+        """``assign[i] * d + j`` flattened row-major, without fresh
+        allocations once the buffers have grown to size."""
+        m = assign.shape[0]
+        need = m * d
+        if self._dims.size < d:
+            self._dims = np.arange(d, dtype=np.int64)
+        if self._base.size < m:
+            self._base = np.empty(m, dtype=np.int64)
+        if self._flat.size < need:
+            self._flat = np.empty(need, dtype=np.int64)
+        base = self._base[:m]
+        np.multiply(assign, d, out=base, dtype=np.int64)
+        np.add(
+            base[:, None],
+            self._dims[:d],
+            out=self._flat[:need].reshape(m, d),
+        )
+        return self._flat[:need]
+
+
+def _flat_indices(assign: np.ndarray, d: int) -> np.ndarray:
+    """Allocation-per-call fallback for :meth:`AccumScratch.flat_indices`."""
+    return (
+        assign.astype(np.int64)[:, None]
+        * d
+        + np.arange(d, dtype=np.int64)
+    ).ravel()
+
+
+def flat_sums(
+    x: np.ndarray,
+    assign: np.ndarray,
+    k: int,
+    *,
+    scratch: AccumScratch | None = None,
+) -> np.ndarray:
+    """Per-cluster ``(k, d)`` sums of rows via one flat-index bincount.
+
+    Bit-identical to the per-dimension ``bincount`` loop it replaced:
+    each ``(cluster, dim)`` bucket receives its contributions in the
+    same ascending-row order.
+    """
+    d = x.shape[1]
+    idx = (
+        scratch.flat_indices(assign, d)
+        if scratch is not None
+        else _flat_indices(assign, d)
+    )
+    return np.bincount(
+        idx, weights=x.ravel(), minlength=k * d
+    ).reshape(k, d)
 
 
 @dataclass
@@ -32,13 +109,24 @@ class PartialCentroids:
             counts=np.zeros(k, dtype=np.int64),
         )
 
-    def accumulate(self, x: np.ndarray, assign: np.ndarray) -> None:
+    def copy(self) -> "PartialCentroids":
+        return PartialCentroids(
+            sums=self.sums.copy(), counts=self.counts.copy()
+        )
+
+    def accumulate(
+        self,
+        x: np.ndarray,
+        assign: np.ndarray,
+        *,
+        scratch: AccumScratch | None = None,
+    ) -> None:
         """Add a block of rows to this thread's partial sums.
 
         Line 13 of Algorithm 1: ``ptC[tid][c_nearest] += v``, done
         blockwise with bincount for speed.
         """
-        add_block(self.sums, self.counts, x, assign)
+        add_block(self.sums, self.counts, x, assign, scratch=scratch)
 
     def merge_from(self, other: "PartialCentroids") -> None:
         """Fold another partial into this one (one funnel step)."""
@@ -70,26 +158,54 @@ def add_block(
     counts: np.ndarray,
     x: np.ndarray,
     assign: np.ndarray,
+    *,
+    scratch: AccumScratch | None = None,
 ) -> None:
     """Accumulate rows of ``x`` into ``sums``/``counts`` by assignment.
 
-    Implemented with one ``bincount`` per dimension: O(nd) with small
-    constants, deterministic summation order.
+    One flat-index ``bincount`` over the whole block: O(nd) with one
+    contiguous pass, deterministic per-bucket summation order.
     """
-    k, d = sums.shape
+    k = sums.shape[0]
     if x.shape[0] != assign.shape[0]:
         raise DatasetError("x and assign length mismatch")
     counts += np.bincount(assign, minlength=k).astype(np.int64)
-    for dim in range(d):
-        sums[:, dim] += np.bincount(assign, weights=x[:, dim], minlength=k)
+    sums += flat_sums(x, assign, k, scratch=scratch)
+
+
+def move_rows(
+    sums: np.ndarray,
+    counts: np.ndarray,
+    x: np.ndarray,
+    frm: np.ndarray,
+    to: np.ndarray,
+    *,
+    scratch: AccumScratch | None = None,
+) -> None:
+    """Move rows between clusters in persistent sums/counts.
+
+    The incremental centroid update of MTI and Elkan: each row in ``x``
+    leaves cluster ``frm[i]`` and joins ``to[i]``. Previously hand-
+    rolled (and triplicated) as per-dimension bincount loops inside
+    ``mti_init``/``mti_iteration``/``elkan_iteration``.
+    """
+    k = sums.shape[0]
+    sums -= flat_sums(x, frm, k, scratch=scratch)
+    sums += flat_sums(x, to, k, scratch=scratch)
+    counts -= np.bincount(frm, minlength=k)
+    counts += np.bincount(to, minlength=k)
 
 
 def cluster_sums(
-    x: np.ndarray, assign: np.ndarray, k: int
+    x: np.ndarray,
+    assign: np.ndarray,
+    k: int,
+    *,
+    scratch: AccumScratch | None = None,
 ) -> PartialCentroids:
     """Sums and counts over the whole dataset in one shot."""
     partial = PartialCentroids.zeros(k, x.shape[1])
-    partial.accumulate(x, assign)
+    partial.accumulate(x, assign, scratch=scratch)
     return partial
 
 
@@ -100,16 +216,30 @@ def funnel_merge(partials: list[PartialCentroids]) -> PartialCentroids:
     remains, merge them in parallel pairs. The simulated cost of this
     tree is charged by :meth:`repro.simhw.CostModel.reduction_ns`; here
     we perform the arithmetic itself.
+
+    The reduction never mutates its inputs: merge targets are fresh
+    accumulators, so callers may keep using (or re-merging) their
+    per-thread partials afterwards. The tree shape and per-pair
+    summation order match the historical in-place version exactly, so
+    the merged values are bit-identical.
     """
     if not partials:
         raise DatasetError("funnel_merge needs at least one partial")
     level = list(partials)
+    # Whether level[i] is an accumulator this call owns (safe to mutate)
+    # or one of the caller's input partials (must be left intact).
+    owned = [False] * len(level)
     while len(level) > 1:
         nxt: list[PartialCentroids] = []
+        nxt_owned: list[bool] = []
         for i in range(0, len(level) - 1, 2):
-            level[i].merge_from(level[i + 1])
-            nxt.append(level[i])
+            target = level[i] if owned[i] else level[i].copy()
+            target.merge_from(level[i + 1])
+            nxt.append(target)
+            nxt_owned.append(True)
         if len(level) % 2 == 1:
             nxt.append(level[-1])
+            nxt_owned.append(owned[-1])
         level = nxt
-    return level[0]
+        owned = nxt_owned
+    return level[0] if owned[0] else level[0].copy()

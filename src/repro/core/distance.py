@@ -9,13 +9,27 @@ The kernel is the textbook expanded form
 ``d(x, c)^2 = |x|^2 - 2 x.c + |c|^2`` evaluated blockwise with a GEMM,
 clamped at zero before the square root (the expansion can go slightly
 negative for near-identical vectors).
+
+Every kernel accepts optional precomputed inputs and output buffers so
+a per-iteration :class:`~repro.core.workspace.DistanceWorkspace` can
+(a) compute the centroid norms ``|c|^2`` once per iteration instead of
+once per call and (b) reuse one ``(BLOCK_ROWS, k)`` temporary across
+blocks instead of reallocating it. Both paths produce bit-identical
+values: ``-(2g)`` equals ``(-2)g`` exactly in IEEE-754, and float
+addition is commutative, so the in-place evaluation order matches the
+expression form to the last bit (asserted by the golden-value suite).
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.workspace import DistanceWorkspace
 
 #: Rows per block for distance evaluation; bounds temporary memory at
 #: roughly ``BLOCK_ROWS * k * 8`` bytes.
@@ -29,10 +43,22 @@ def _as_matrix(a: np.ndarray, name: str) -> np.ndarray:
     return arr
 
 
-def euclidean(x: np.ndarray, c: np.ndarray) -> np.ndarray:
+def euclidean(
+    x: np.ndarray,
+    c: np.ndarray,
+    *,
+    c_sq: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Pairwise Euclidean distances between rows of ``x`` and ``c``.
 
     Returns an ``(len(x), len(c))`` float64 matrix.
+
+    ``c_sq`` supplies precomputed centroid norms ``|c|^2`` (a
+    workspace computes them once per iteration); ``out`` supplies a
+    preallocated ``(len(x), len(c))`` float64 result buffer. Both are
+    pure optimizations -- the returned values are bit-identical either
+    way.
     """
     x = _as_matrix(x, "x")
     c = _as_matrix(c, "c")
@@ -41,76 +67,131 @@ def euclidean(x: np.ndarray, c: np.ndarray) -> np.ndarray:
             f"dimension mismatch: x has d={x.shape[1]}, c has d={c.shape[1]}"
         )
     x_sq = np.einsum("ij,ij->i", x, x)
-    c_sq = np.einsum("ij,ij->i", c, c)
-    sq = x_sq[:, None] - 2.0 * (x @ c.T) + c_sq[None, :]
+    if c_sq is None:
+        c_sq = np.einsum("ij,ij->i", c, c)
+    if out is None:
+        sq = x_sq[:, None] - 2.0 * (x @ c.T) + c_sq[None, :]
+    else:
+        # Same arithmetic in place: x_sq + (-2)*g + c_sq.
+        sq = np.matmul(x, c.T, out=out)
+        sq *= -2.0
+        sq += x_sq[:, None]
+        sq += c_sq[None, :]
     np.maximum(sq, 0.0, out=sq)
     return np.sqrt(sq, out=sq)
 
 
-def pairwise_centroid_distances(c: np.ndarray) -> np.ndarray:
+def pairwise_centroid_distances(
+    c: np.ndarray,
+    *,
+    c_sq: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """The O(k^2) centroid-to-centroid distance matrix MTI maintains.
 
     Symmetric with a zero diagonal; MTI stores only a triangle in the
     real system, which the memory accounting reflects, but the full
     matrix is returned here for vectorized indexing.
     """
-    return euclidean(c, c)
+    return euclidean(c, c, c_sq=c_sq, out=out)
 
 
-def half_min_inter_centroid(cc: np.ndarray) -> np.ndarray:
+def half_min_inter_centroid(
+    cc: np.ndarray,
+    *,
+    scratch: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """``s(c) = 0.5 * min_{c' != c} d(c, c')`` for every centroid.
 
     This is the clause-1 threshold (Elkan 2003, and Section 4 of the
     paper -- whose prose omits the 1/2 factor that correctness
     requires; the released knor code uses it).
+
+    The diagonal is excluded by writing ``inf`` into a copy of ``cc``
+    (``scratch`` reuses one preallocated k x k buffer) rather than
+    materializing a fresh ``np.eye`` boolean mask every iteration; the
+    off-diagonal values are untouched, so the minima are bit-identical
+    to the historical masked-add form.
     """
     k = cc.shape[0]
     if k == 1:
         # A single centroid has no neighbour; clause 1 always holds.
         return np.array([np.inf])
-    masked = cc + np.where(np.eye(k, dtype=bool), np.inf, 0.0)
-    return 0.5 * masked.min(axis=1)
+    masked = np.empty_like(cc) if scratch is None else scratch
+    np.copyto(masked, cc)
+    np.fill_diagonal(masked, np.inf)
+    if out is None:
+        return 0.5 * masked.min(axis=1)
+    masked.min(axis=1, out=out)
+    out *= 0.5
+    return out
 
 
 def nearest_centroid(
-    x: np.ndarray, c: np.ndarray, *, block_rows: int = BLOCK_ROWS
+    x: np.ndarray,
+    c: np.ndarray,
+    *,
+    block_rows: int = BLOCK_ROWS,
+    workspace: "DistanceWorkspace | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Exact nearest centroid for every row (Phase I of Lloyd's).
 
     Returns ``(assignment int32, distance float64)``. Ties break toward
     the lowest centroid index (argmin semantics), consistently across
     all algorithms.
+
+    With a ``workspace``, centroid norms come from the per-iteration
+    cache and every block writes into one preallocated distance buffer
+    instead of reallocating ``(block_rows, k)`` temporaries.
     """
     x = _as_matrix(x, "x")
     c = _as_matrix(c, "c")
     n = x.shape[0]
+    c_sq = None
+    if workspace is not None:
+        c = workspace.ensure(c)
+        c_sq = workspace.c_sq
     assign = np.empty(n, dtype=np.int32)
     mindist = np.empty(n, dtype=np.float64)
     for start in range(0, n, block_rows):
         stop = min(start + block_rows, n)
-        dist = euclidean(x[start:stop], c)
+        m = stop - start
+        out = None if workspace is None else workspace.dist_buffer(m)
+        dist = euclidean(x[start:stop], c, c_sq=c_sq, out=out)
         assign[start:stop] = np.argmin(dist, axis=1)
         mindist[start:stop] = dist[
-            np.arange(stop - start), assign[start:stop]
+            np.arange(m), assign[start:stop]
         ]
     return assign, mindist
 
 
 def rows_to_centroids(
-    x: np.ndarray, c: np.ndarray, idx: np.ndarray
+    x: np.ndarray,
+    c: np.ndarray,
+    idx: np.ndarray,
+    *,
+    c_sq: np.ndarray | None = None,
 ) -> np.ndarray:
     """Distance from each row ``x[i]`` to its *own* centroid ``c[idx[i]]``.
 
     The tightening step ``U(u)`` of MTI clause 3: one exact distance per
     row, not a full row-by-centroid matrix. Uses the same expanded form
     as :func:`euclidean` so the two paths agree to the last few ulps.
+
+    ``c_sq`` supplies precomputed centroid norms; gathering
+    ``c_sq[idx]`` is bit-identical to re-deriving the norms from the
+    gathered rows (each row's norm is an independent reduction).
     """
     x = _as_matrix(x, "x")
     sel = c[idx]
+    sel_sq = (
+        np.einsum("ij,ij->i", sel, sel) if c_sq is None else c_sq[idx]
+    )
     sq = (
         np.einsum("ij,ij->i", x, x)
         - 2.0 * np.einsum("ij,ij->i", x, sel)
-        + np.einsum("ij,ij->i", sel, sel)
+        + sel_sq
     )
     np.maximum(sq, 0.0, out=sq)
     return np.sqrt(sq, out=sq)

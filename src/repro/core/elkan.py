@@ -17,9 +17,11 @@ over-approximation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.centroids import flat_sums, move_rows
 from repro.core.distance import (
     euclidean,
     half_min_inter_centroid,
@@ -27,6 +29,9 @@ from repro.core.distance import (
     rows_to_centroids,
 )
 from repro.errors import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.workspace import DistanceWorkspace
 
 
 @dataclass
@@ -74,18 +79,28 @@ class ElkanIterationResult:
 
 
 def elkan_init(
-    x: np.ndarray, centroids: np.ndarray
+    x: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    workspace: "DistanceWorkspace | None" = None,
 ) -> tuple[ElkanState, ElkanIterationResult]:
     """Iteration 0: full distance matrix seeds ub, lb and assignments."""
     x = np.asarray(x, dtype=np.float64)
     k, d = centroids.shape
     n = x.shape[0]
-    dist = euclidean(x, centroids)
+    c_sq = None
+    if workspace is not None:
+        centroids = workspace.ensure(centroids)
+        c_sq = workspace.c_sq
+    # The full matrix becomes the persistent lb state, so it is
+    # allocated fresh rather than drawn from the workspace buffer.
+    dist = euclidean(x, centroids, c_sq=c_sq)
     assign = np.argmin(dist, axis=1).astype(np.int32)
     ub = dist[np.arange(n), assign].copy()
-    sums = np.zeros((k, d))
-    for dim in range(d):
-        sums[:, dim] = np.bincount(assign, weights=x[:, dim], minlength=k)
+    sums = flat_sums(
+        x, assign, k,
+        scratch=None if workspace is None else workspace.accum,
+    )
     counts = np.bincount(assign, minlength=k).astype(np.int64)
     state = ElkanState(
         assignment=assign, ub=ub, lb=dist, sums=sums, counts=counts
@@ -109,6 +124,8 @@ def elkan_iteration(
     centroids: np.ndarray,
     prev_centroids: np.ndarray,
     state: ElkanState,
+    *,
+    workspace: "DistanceWorkspace | None" = None,
 ) -> ElkanIterationResult:
     """One Elkan-pruned iteration; mutates ``state`` in place."""
     x = np.asarray(x, dtype=np.float64)
@@ -121,8 +138,15 @@ def elkan_iteration(
     state.ub += motion[state.assignment]
     np.maximum(state.lb - motion[None, :], 0.0, out=state.lb)
 
-    cc = pairwise_centroid_distances(centroids)
-    s = half_min_inter_centroid(cc)
+    c_sq = None
+    if workspace is not None:
+        centroids = workspace.ensure(centroids)
+        c_sq = workspace.c_sq
+        cc = workspace.pairwise()
+        s = workspace.half_min()
+    else:
+        cc = pairwise_centroid_distances(centroids)
+        s = half_min_inter_centroid(cc)
 
     assign = state.assignment
     old_assign = assign.copy()
@@ -161,7 +185,9 @@ def elkan_iteration(
             need_tight = cand & ~tight
             nt = np.nonzero(need_tight)[0]
             if nt.size:
-                ua[nt] = rows_to_centroids(xa[nt], centroids, ba[nt])
+                ua[nt] = rows_to_centroids(
+                    xa[nt], centroids, ba[nt], c_sq=c_sq
+                )
                 lba[nt, ba[nt]] = ua[nt]
                 tight[nt] = True
                 n_tightened += int(nt.size)
@@ -173,7 +199,7 @@ def elkan_iteration(
             if ci.size == 0:
                 continue
             dist_c = rows_to_centroids(
-                xa[ci], centroids, np.full(ci.size, c)
+                xa[ci], centroids, np.full(ci.size, c), c_sq=c_sq
             )
             computed += int(ci.size)
             dist_per_row[active_idx[ci]] += 1
@@ -194,18 +220,11 @@ def elkan_iteration(
     changed = np.nonzero(assign != old_assign)[0]
     n_changed = int(changed.size)
     if n_changed:
-        xc = x[changed]
-        frm = old_assign[changed]
-        to = assign[changed]
-        for dim in range(d):
-            state.sums[:, dim] -= np.bincount(
-                frm, weights=xc[:, dim], minlength=k
-            )
-            state.sums[:, dim] += np.bincount(
-                to, weights=xc[:, dim], minlength=k
-            )
-        state.counts -= np.bincount(frm, minlength=k)
-        state.counts += np.bincount(to, minlength=k)
+        move_rows(
+            state.sums, state.counts,
+            x[changed], old_assign[changed], assign[changed],
+            scratch=None if workspace is None else workspace.accum,
+        )
 
     new_centroids = centroids.copy()
     nonzero = state.counts > 0

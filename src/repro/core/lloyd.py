@@ -17,6 +17,7 @@ from repro.core.centroids import cluster_sums
 from repro.core.convergence import ConvergenceCriteria
 from repro.core.distance import nearest_centroid
 from repro.core.init import init_centroids
+from repro.core.workspace import DistanceWorkspace
 
 
 @dataclass
@@ -82,6 +83,7 @@ def lloyd(
             f"init centroids shape {centroids.shape} != ({k}, {x.shape[1]})"
         )
 
+    workspace = DistanceWorkspace(k, x.shape[1])
     assign = np.full(x.shape[0], -1, dtype=np.int32)
     mindist = np.zeros(x.shape[0])
     changed_history: list[int] = []
@@ -89,11 +91,13 @@ def lloyd(
     iterations = 0
     for _ in range(crit.max_iters):
         iterations += 1
-        new_assign, mindist = nearest_centroid(x, centroids)
+        new_assign, mindist = nearest_centroid(
+            x, centroids, workspace=workspace
+        )
         n_changed = int(np.count_nonzero(new_assign != assign))
         changed_history.append(n_changed)
         assign = new_assign
-        partial = cluster_sums(x, assign, k)
+        partial = cluster_sums(x, assign, k, scratch=workspace.accum)
         prev = centroids
         centroids = partial.finalize(prev)
         motion = np.sqrt(((centroids - prev) ** 2).sum(axis=1))

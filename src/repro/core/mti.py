@@ -33,9 +33,11 @@ elision in the semi-external module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.centroids import flat_sums, move_rows
 from repro.core.distance import (
     euclidean,
     half_min_inter_centroid,
@@ -44,6 +46,9 @@ from repro.core.distance import (
     rows_to_centroids,
 )
 from repro.errors import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.workspace import DistanceWorkspace
 
 
 @dataclass
@@ -82,9 +87,12 @@ class MtiIterationResult:
     extra: dict = field(default_factory=dict)
 
 
-def mti_init(x: np.ndarray, centroids: np.ndarray) -> tuple[
-    MtiState, MtiIterationResult
-]:
+def mti_init(
+    x: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    workspace: "DistanceWorkspace | None" = None,
+) -> tuple[MtiState, MtiIterationResult]:
     """Iteration 0: full assignment pass that seeds the MTI state.
 
     Every row costs k distance computations and a data read, exactly
@@ -93,10 +101,11 @@ def mti_init(x: np.ndarray, centroids: np.ndarray) -> tuple[
     x = np.asarray(x, dtype=np.float64)
     k, d = centroids.shape
     n = x.shape[0]
-    assign, mindist = nearest_centroid(x, centroids)
-    sums = np.zeros((k, d))
-    for dim in range(d):
-        sums[:, dim] = np.bincount(assign, weights=x[:, dim], minlength=k)
+    assign, mindist = nearest_centroid(x, centroids, workspace=workspace)
+    sums = flat_sums(
+        x, assign, k,
+        scratch=None if workspace is None else workspace.accum,
+    )
     counts = np.bincount(assign, minlength=k).astype(np.int64)
     state = MtiState(
         assignment=assign, ub=mindist.copy(), sums=sums, counts=counts
@@ -121,8 +130,15 @@ def mti_iteration(
     centroids: np.ndarray,
     prev_centroids: np.ndarray,
     state: MtiState,
+    *,
+    workspace: "DistanceWorkspace | None" = None,
 ) -> MtiIterationResult:
-    """One MTI-pruned super-phase; mutates ``state`` in place."""
+    """One MTI-pruned super-phase; mutates ``state`` in place.
+
+    With a ``workspace``, the centroid norms, pairwise matrix and
+    clause-1 thresholds are computed once and the candidate distance
+    block reuses a preallocated buffer; outputs are bit-identical.
+    """
     x = np.asarray(x, dtype=np.float64)
     n = x.shape[0]
     k = centroids.shape[0]
@@ -136,8 +152,15 @@ def mti_iteration(
     # Loosen every upper bound by its centroid's motion.
     state.ub += motion[state.assignment]
 
-    cc = pairwise_centroid_distances(centroids)
-    s = half_min_inter_centroid(cc)
+    c_sq = None
+    if workspace is not None:
+        centroids = workspace.ensure(centroids)
+        c_sq = workspace.c_sq
+        cc = workspace.pairwise()
+        s = workspace.half_min()
+    else:
+        cc = pairwise_centroid_distances(centroids)
+        s = half_min_inter_centroid(cc)
 
     assign = state.assignment
     old_assign = assign.copy()
@@ -177,7 +200,8 @@ def mti_iteration(
         if t_idx.size:
             xt = xa[t_idx]
             bt = ba[t_idx]
-            ut = rows_to_centroids(xt, centroids, bt)  # U(u): exact d(x,b)
+            # U(u): exact d(x, b).
+            ut = rows_to_centroids(xt, centroids, bt, c_sq=c_sq)
             computed += int(t_idx.size)
 
             # Clause 3 with the tightened bound.
@@ -193,7 +217,13 @@ def mti_iteration(
             new_ub_t = ut.copy()
             new_assign_t = bt.copy()
             if c_idx.size:
-                dist = euclidean(xt[c_idx], centroids)
+                dist = euclidean(
+                    xt[c_idx], centroids, c_sq=c_sq,
+                    out=(
+                        None if workspace is None
+                        else workspace.dist_buffer(c_idx.size)
+                    ),
+                )
                 cand = tight_candidate[c_idx]
                 computed += int(cand.sum())
                 # The algorithm only "sees" candidate distances plus
@@ -219,18 +249,11 @@ def mti_iteration(
     changed = np.nonzero(assign != old_assign)[0]
     n_changed = int(changed.size)
     if n_changed:
-        xc = x[changed]
-        frm = old_assign[changed]
-        to = assign[changed]
-        for dim in range(x.shape[1]):
-            state.sums[:, dim] -= np.bincount(
-                frm, weights=xc[:, dim], minlength=k
-            )
-            state.sums[:, dim] += np.bincount(
-                to, weights=xc[:, dim], minlength=k
-            )
-        state.counts -= np.bincount(frm, minlength=k)
-        state.counts += np.bincount(to, minlength=k)
+        move_rows(
+            state.sums, state.counts,
+            x[changed], old_assign[changed], assign[changed],
+            scratch=None if workspace is None else workspace.accum,
+        )
 
     new_centroids = centroids.copy()
     nonzero = state.counts > 0

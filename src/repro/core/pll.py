@@ -17,12 +17,16 @@ order matches the parallel algorithm, not a single global sum.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.centroids import PartialCentroids, funnel_merge
 from repro.core.distance import nearest_centroid
 from repro.errors import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.workspace import DistanceWorkspace
 
 
 @dataclass
@@ -43,6 +47,7 @@ def full_iteration(
     prev_assignment: np.ndarray | None = None,
     *,
     n_partitions: int = 1,
+    workspace: "DistanceWorkspace | None" = None,
 ) -> FullIterationResult:
     """Run one super-phase with pruning disabled.
 
@@ -57,6 +62,10 @@ def full_iteration(
         Number of per-thread partials to accumulate before the funnel
         merge (``T`` in Algorithm 1). Pure-numerics callers can leave
         it at 1; drivers pass the machine's thread count.
+    workspace:
+        Optional :class:`~repro.core.workspace.DistanceWorkspace`
+        supplying cached centroid norms and reusable block buffers;
+        results are bit-identical with or without it.
     """
     x = np.asarray(x, dtype=np.float64)
     k, d = centroids.shape
@@ -64,17 +73,18 @@ def full_iteration(
     if n_partitions < 1:
         raise DatasetError(f"n_partitions must be >= 1, got {n_partitions}")
 
-    assign, mindist = nearest_centroid(x, centroids)
+    assign, mindist = nearest_centroid(x, centroids, workspace=workspace)
 
     # Per-thread accumulation, partitioned exactly as Figure 1 carves
     # the dataset, then the funnel merge of MERGEPTSTRUCTS.
+    scratch = None if workspace is None else workspace.accum
     bounds = np.linspace(0, n, n_partitions + 1, dtype=int)
     partials = []
     for t in range(n_partitions):
         lo, hi = bounds[t], bounds[t + 1]
         p = PartialCentroids.zeros(k, d)
         if hi > lo:
-            p.accumulate(x[lo:hi], assign[lo:hi])
+            p.accumulate(x[lo:hi], assign[lo:hi], scratch=scratch)
         partials.append(p)
     merged = funnel_merge(partials)
     new_centroids = merged.finalize(centroids)

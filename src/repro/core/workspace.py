@@ -1,0 +1,131 @@
+"""Per-iteration kernel workspace: cached norms and reusable buffers.
+
+The distance kernels are called many times per k-means iteration with
+the *same* centroid matrix -- once per data block in Phase I, once per
+tighten/candidate pass in MTI and Elkan -- yet historically every call
+re-derived the centroid norms ``|c|^2`` and allocated a fresh
+``(block_rows, k)`` temporary. A :class:`DistanceWorkspace` hoists that
+per-iteration-constant work out of the hot loop:
+
+* ``|c|^2`` is computed once per centroid set (:meth:`ensure`);
+* the pairwise centroid matrix and the clause-1 thresholds are
+  computed at most once per centroid set (:meth:`pairwise`,
+  :meth:`half_min`);
+* one distance buffer and one k x k scratch are preallocated and
+  reused across blocks and iterations (:meth:`dist_buffer`);
+* an :class:`~repro.core.centroids.AccumScratch` carries the reusable
+  flat-index buffers for centroid accumulation.
+
+The workspace changes *when* quantities are computed, never *what* is
+computed: every cached value is produced by the exact same kernel
+expressions, so results are bit-identical with or without a workspace
+(the golden-value suite asserts ``np.array_equal``).
+
+Cache invalidation is by array identity: a new centroid array object
+triggers recomputation. The library produces a fresh centroid array
+every iteration; callers must not mutate a centroid matrix in place
+between kernel calls that share a workspace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.centroids import AccumScratch
+from repro.core.distance import (
+    BLOCK_ROWS,
+    euclidean,
+    half_min_inter_centroid,
+)
+from repro.errors import DatasetError
+
+
+class DistanceWorkspace:
+    """Reusable kernel state for one ``(k, d)`` clustering problem."""
+
+    def __init__(
+        self, k: int, d: int, *, block_rows: int = BLOCK_ROWS
+    ) -> None:
+        if k < 1 or d < 1:
+            raise DatasetError(
+                f"workspace needs k >= 1 and d >= 1, got k={k}, d={d}"
+            )
+        self.k = k
+        self.d = d
+        self.block_rows = block_rows
+        self.accum = AccumScratch()
+        self._centroids: np.ndarray | None = None
+        self._c_sq = np.empty(k, dtype=np.float64)
+        self._cc = np.empty((k, k), dtype=np.float64)
+        self._cc_scratch = np.empty((k, k), dtype=np.float64)
+        self._s = np.empty(k, dtype=np.float64)
+        self._have_cc = False
+        self._have_s = False
+        self._dist_buf = np.empty((0, k), dtype=np.float64)
+
+    # -- centroid-set cache ------------------------------------------
+
+    def ensure(self, centroids: np.ndarray) -> np.ndarray:
+        """Bind the workspace to ``centroids``, refreshing caches.
+
+        Returns the float64 view of the centroid matrix. A repeated
+        call with the same array object is free; a new object
+        recomputes ``|c|^2`` and invalidates the pairwise/threshold
+        caches.
+        """
+        c = np.asarray(centroids, dtype=np.float64)
+        if c is self._centroids:
+            return c
+        if c.shape != (self.k, self.d):
+            raise DatasetError(
+                f"centroids shape {c.shape} does not match workspace "
+                f"({self.k}, {self.d})"
+            )
+        np.einsum("ij,ij->i", c, c, out=self._c_sq)
+        self._centroids = c
+        self._have_cc = False
+        self._have_s = False
+        return c
+
+    def _require_centroids(self) -> np.ndarray:
+        if self._centroids is None:
+            raise DatasetError(
+                "workspace has no centroid set; call ensure() first"
+            )
+        return self._centroids
+
+    @property
+    def c_sq(self) -> np.ndarray:
+        """Cached centroid norms ``|c|^2`` for the bound centroid set."""
+        self._require_centroids()
+        return self._c_sq
+
+    def pairwise(self) -> np.ndarray:
+        """Cached centroid-to-centroid distance matrix (O(k^2))."""
+        c = self._require_centroids()
+        if not self._have_cc:
+            euclidean(c, c, c_sq=self._c_sq, out=self._cc)
+            self._have_cc = True
+        return self._cc
+
+    def half_min(self) -> np.ndarray:
+        """Cached clause-1 thresholds ``0.5 * min_{c' != c} d(c, c')``."""
+        if not self._have_s:
+            self._s = half_min_inter_centroid(
+                self.pairwise(), scratch=self._cc_scratch, out=self._s
+            )
+            self._have_s = True
+        return self._s
+
+    # -- block buffers ------------------------------------------------
+
+    def dist_buffer(self, m: int) -> np.ndarray:
+        """A reusable ``(m, k)`` float64 buffer for block distances.
+
+        Grows monotonically to the largest block seen; the returned
+        view aliases previous calls' views, so consume each block's
+        distances before requesting the next buffer.
+        """
+        if self._dist_buf.shape[0] < m:
+            self._dist_buf = np.empty((m, self.k), dtype=np.float64)
+        return self._dist_buf[:m]

@@ -15,6 +15,7 @@ from repro.core import (
     mti_iteration,
 )
 from repro.core.distance import rows_to_centroids
+from repro.core.workspace import DistanceWorkspace
 from repro.errors import ConfigError
 from repro.sched import (
     FifoScheduler,
@@ -90,6 +91,11 @@ class NumericsLoop:
         self._state = None
         self._assignment: np.ndarray | None = None
         self.iteration = 0
+        # Per-iteration kernel cache (centroid norms, pairwise matrix,
+        # block buffers); pure optimization, results are bit-identical.
+        self._workspace = DistanceWorkspace(
+            self._centroids0.shape[0], self._centroids0.shape[1]
+        )
 
     def reset(self) -> None:
         """Rewind to iteration 0 with the initial centroids.
@@ -122,6 +128,7 @@ class NumericsLoop:
                 self.centroids,
                 self._assignment,
                 n_partitions=self.n_partitions,
+                workspace=self._workspace,
             )
             self._assignment = res.assignment
             out = IterationNumerics(
@@ -136,7 +143,9 @@ class NumericsLoop:
             )
         elif self.iteration == 0:
             init_fn = mti_init if self.pruning == "mti" else elkan_init
-            self._state, res = init_fn(self.x, self.centroids)
+            self._state, res = init_fn(
+                self.x, self.centroids, workspace=self._workspace
+            )
             out = IterationNumerics(
                 new_centroids=res.new_centroids,
                 n_changed=res.n_changed,
@@ -152,7 +161,8 @@ class NumericsLoop:
                 mti_iteration if self.pruning == "mti" else elkan_iteration
             )
             res = iter_fn(
-                self.x, self.centroids, self.prev_centroids, self._state
+                self.x, self.centroids, self.prev_centroids, self._state,
+                workspace=self._workspace,
             )
             # MtiIterationResult and ElkanIterationResult share the
             # normalized clause field names; no per-type fallbacks.
@@ -186,7 +196,9 @@ class NumericsLoop:
         from repro.core.centroids import cluster_sums
 
         k = self.centroids.shape[0]
-        partial = cluster_sums(self.x, self.assignment, k)
+        partial = cluster_sums(
+            self.x, self.assignment, k, scratch=self._workspace.accum
+        )
         return partial.sums, partial.counts
 
     def inertia(self) -> float:

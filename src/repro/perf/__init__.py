@@ -1,0 +1,87 @@
+"""Wall-clock measurement utilities for the benchmark harness.
+
+The simulated-hardware layer charges *simulated* nanoseconds; this
+package measures the *real* interpreter-side wall clock so the repo can
+track a performance trajectory across PRs (``BENCH_kernels.json``).
+
+:func:`time_callable` is deliberately minimal: warm up, run ``repeats``
+timed passes, report best/mean/all. Best-of is the standard estimator
+for CPU-bound microbenchmarks (the minimum is the least contaminated by
+scheduler noise); the mean is kept alongside for sanity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class Timing:
+    """One measured callable: best-of-N wall-clock seconds."""
+
+    label: str
+    best_s: float
+    mean_s: float
+    repeats: int
+    samples_s: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "repeats": self.repeats,
+            "samples_s": self.samples_s,
+        }
+
+
+def time_callable(
+    fn: Callable[[], Any],
+    *,
+    label: str = "",
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Timing:
+    """Best-of-``repeats`` wall-clock timing of ``fn()``.
+
+    ``warmup`` untimed passes run first so one-time costs (lazy buffer
+    growth, BLAS thread pools, page faults on fresh arrays) do not
+    pollute the samples.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    samples: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return Timing(
+        label=label,
+        best_s=min(samples),
+        mean_s=sum(samples) / len(samples),
+        repeats=repeats,
+        samples_s=samples,
+    )
+
+
+def before_after(
+    before: Timing, after: Timing
+) -> dict[str, Any]:
+    """The JSON fragment ``BENCH_kernels.json`` records per benchmark."""
+    return {
+        "before_s": before.best_s,
+        "after_s": after.best_s,
+        "before_mean_s": before.mean_s,
+        "after_mean_s": after.mean_s,
+        "speedup": (
+            before.best_s / after.best_s if after.best_s > 0 else float("inf")
+        ),
+        "repeats": after.repeats,
+    }
+
+
+__all__ = ["Timing", "time_callable", "before_after"]

@@ -1,0 +1,281 @@
+"""Frozen pre-optimization kernels: the "before" side of the perf pass.
+
+These are verbatim copies of the interpreter-side hot paths as they
+stood before the workspace/flat-accumulation rework (PR 3). They exist
+for two reasons:
+
+* **Golden-value conformance** -- the equivalence suite
+  (``tests/test_perf_equivalence.py``) asserts the optimized kernels
+  produce ``np.array_equal`` (bit-identical, not merely allclose)
+  outputs against these references across seeds, dtypes and ragged
+  block boundaries.
+* **Before/after wall-clock** -- ``benchmarks/bench_wallclock.py``
+  times each legacy kernel against its optimized replacement and
+  records the trajectory in ``BENCH_kernels.json``.
+
+Nothing in the library proper may import from this module; it is a
+measurement fixture, not an implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mti import MtiIterationResult, MtiState
+from repro.errors import DatasetError
+
+#: Block size of the pre-change ``nearest_centroid`` (unchanged since).
+BLOCK_ROWS = 65536
+
+
+def _as_matrix(a: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DatasetError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def euclidean(x: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Pre-change pairwise distances: norms re-derived on every call."""
+    x = _as_matrix(x, "x")
+    c = _as_matrix(c, "c")
+    if x.shape[1] != c.shape[1]:
+        raise DatasetError(
+            f"dimension mismatch: x has d={x.shape[1]}, c has d={c.shape[1]}"
+        )
+    x_sq = np.einsum("ij,ij->i", x, x)
+    c_sq = np.einsum("ij,ij->i", c, c)
+    sq = x_sq[:, None] - 2.0 * (x @ c.T) + c_sq[None, :]
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq, out=sq)
+
+
+def pairwise_centroid_distances(c: np.ndarray) -> np.ndarray:
+    return euclidean(c, c)
+
+
+def half_min_inter_centroid(cc: np.ndarray) -> np.ndarray:
+    """Pre-change clause-1 threshold: fresh k x k eye/where per call."""
+    k = cc.shape[0]
+    if k == 1:
+        return np.array([np.inf])
+    masked = cc + np.where(np.eye(k, dtype=bool), np.inf, 0.0)
+    return 0.5 * masked.min(axis=1)
+
+
+def nearest_centroid(
+    x: np.ndarray, c: np.ndarray, *, block_rows: int = BLOCK_ROWS
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pre-change Phase I: per-block temporaries reallocated every block."""
+    x = _as_matrix(x, "x")
+    c = _as_matrix(c, "c")
+    n = x.shape[0]
+    assign = np.empty(n, dtype=np.int32)
+    mindist = np.empty(n, dtype=np.float64)
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        dist = euclidean(x[start:stop], c)
+        assign[start:stop] = np.argmin(dist, axis=1)
+        mindist[start:stop] = dist[
+            np.arange(stop - start), assign[start:stop]
+        ]
+    return assign, mindist
+
+
+def rows_to_centroids(
+    x: np.ndarray, c: np.ndarray, idx: np.ndarray
+) -> np.ndarray:
+    """Pre-change own-centroid distances: centroid norms re-gathered."""
+    x = _as_matrix(x, "x")
+    sel = c[idx]
+    sq = (
+        np.einsum("ij,ij->i", x, x)
+        - 2.0 * np.einsum("ij,ij->i", x, sel)
+        + np.einsum("ij,ij->i", sel, sel)
+    )
+    np.maximum(sq, 0.0, out=sq)
+    return np.sqrt(sq, out=sq)
+
+
+def add_block(
+    sums: np.ndarray,
+    counts: np.ndarray,
+    x: np.ndarray,
+    assign: np.ndarray,
+) -> None:
+    """Pre-change accumulation: one strided ``bincount`` per dimension."""
+    k, d = sums.shape
+    if x.shape[0] != assign.shape[0]:
+        raise DatasetError("x and assign length mismatch")
+    counts += np.bincount(assign, minlength=k).astype(np.int64)
+    for dim in range(d):
+        sums[:, dim] += np.bincount(assign, weights=x[:, dim], minlength=k)
+
+
+def move_rows(
+    sums: np.ndarray,
+    counts: np.ndarray,
+    x: np.ndarray,
+    frm: np.ndarray,
+    to: np.ndarray,
+) -> None:
+    """Pre-change incremental update: the hand-rolled per-dim loop that
+    was duplicated inside ``mti_iteration`` and ``elkan_iteration``."""
+    k = sums.shape[0]
+    for dim in range(x.shape[1]):
+        sums[:, dim] -= np.bincount(frm, weights=x[:, dim], minlength=k)
+        sums[:, dim] += np.bincount(to, weights=x[:, dim], minlength=k)
+    counts -= np.bincount(frm, minlength=k)
+    counts += np.bincount(to, minlength=k)
+
+
+def mti_init(
+    x: np.ndarray, centroids: np.ndarray
+) -> tuple[MtiState, MtiIterationResult]:
+    """Pre-change MTI iteration 0 (per-dim bincount seeding)."""
+    x = np.asarray(x, dtype=np.float64)
+    k, d = centroids.shape
+    n = x.shape[0]
+    assign, mindist = nearest_centroid(x, centroids)
+    sums = np.zeros((k, d))
+    for dim in range(d):
+        sums[:, dim] = np.bincount(assign, weights=x[:, dim], minlength=k)
+    counts = np.bincount(assign, minlength=k).astype(np.int64)
+    state = MtiState(
+        assignment=assign, ub=mindist.copy(), sums=sums, counts=counts
+    )
+    new_centroids = centroids.copy()
+    nonzero = counts > 0
+    new_centroids[nonzero] = sums[nonzero] / counts[nonzero, None]
+    result = MtiIterationResult(
+        new_centroids=new_centroids,
+        n_changed=n,
+        dist_per_row=np.full(n, k, dtype=np.int32),
+        needs_data=np.ones(n, dtype=bool),
+        motion=np.zeros(k),
+        tightened_rows=0,
+        computed=n * k,
+    )
+    return state, result
+
+
+def mti_iteration(
+    x: np.ndarray,
+    centroids: np.ndarray,
+    prev_centroids: np.ndarray,
+    state: MtiState,
+) -> MtiIterationResult:
+    """Pre-change MTI super-phase, byte-for-byte the old hot loop."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    k = centroids.shape[0]
+    if state.n != n:
+        raise DatasetError(
+            f"state tracks {state.n} rows but data has {n}"
+        )
+
+    motion = rows_to_centroids(centroids, prev_centroids, np.arange(k))
+    state.ub += motion[state.assignment]
+
+    cc = pairwise_centroid_distances(centroids)
+    s = half_min_inter_centroid(cc)
+
+    assign = state.assignment
+    old_assign = assign.copy()
+
+    clause1 = state.ub <= s[assign]
+    active_idx = np.nonzero(~clause1)[0]
+
+    dist_per_row = np.zeros(n, dtype=np.int32)
+    needs_data = np.zeros(n, dtype=bool)
+    needs_data[active_idx] = True
+
+    clause2_pruned = 0
+    clause3_pruned = 0
+    computed = 0
+    n_tightened = 0
+
+    if active_idx.size:
+        xa = x[active_idx]
+        ba = assign[active_idx]
+        ua = state.ub[active_idx]
+        half_cc = 0.5 * cc[ba]
+        other = np.ones((active_idx.size, k), dtype=bool)
+        other[np.arange(active_idx.size), ba] = False
+
+        loose_candidate = other & (ua[:, None] > half_cc)
+        clause2_pruned = int(other.sum() - loose_candidate.sum())
+
+        tighten_mask = loose_candidate.any(axis=1)
+        t_idx = np.nonzero(tighten_mask)[0]
+        n_tightened = int(t_idx.size)
+        if t_idx.size:
+            xt = xa[t_idx]
+            bt = ba[t_idx]
+            ut = rows_to_centroids(xt, centroids, bt)
+            computed += int(t_idx.size)
+
+            tight_candidate = loose_candidate[t_idx] & (
+                ut[:, None] > half_cc[t_idx]
+            )
+            clause3_pruned = int(
+                loose_candidate[t_idx].sum() - tight_candidate.sum()
+            )
+
+            row_has_cand = tight_candidate.any(axis=1)
+            c_idx = np.nonzero(row_has_cand)[0]
+            new_ub_t = ut.copy()
+            new_assign_t = bt.copy()
+            if c_idx.size:
+                dist = euclidean(xt[c_idx], centroids)
+                cand = tight_candidate[c_idx]
+                computed += int(cand.sum())
+                masked = np.where(cand, dist, np.inf)
+                masked[np.arange(c_idx.size), bt[c_idx]] = ut[c_idx]
+                best = np.argmin(masked, axis=1).astype(np.int32)
+                bestdist = masked[np.arange(c_idx.size), best]
+                new_assign_t[c_idx] = best
+                new_ub_t[c_idx] = bestdist
+
+            ga = active_idx[t_idx]
+            state.ub[ga] = new_ub_t
+            assign[ga] = new_assign_t
+
+            dist_per_row[ga] = 1 + tight_candidate.sum(axis=1).astype(
+                np.int32
+            )
+
+    changed = np.nonzero(assign != old_assign)[0]
+    n_changed = int(changed.size)
+    if n_changed:
+        xc = x[changed]
+        frm = old_assign[changed]
+        to = assign[changed]
+        for dim in range(x.shape[1]):
+            state.sums[:, dim] -= np.bincount(
+                frm, weights=xc[:, dim], minlength=k
+            )
+            state.sums[:, dim] += np.bincount(
+                to, weights=xc[:, dim], minlength=k
+            )
+        state.counts -= np.bincount(frm, minlength=k)
+        state.counts += np.bincount(to, minlength=k)
+
+    new_centroids = centroids.copy()
+    nonzero = state.counts > 0
+    new_centroids[nonzero] = (
+        state.sums[nonzero] / state.counts[nonzero, None]
+    )
+
+    return MtiIterationResult(
+        new_centroids=new_centroids,
+        n_changed=n_changed,
+        dist_per_row=dist_per_row,
+        needs_data=needs_data,
+        motion=motion,
+        clause1_rows=int(clause1.sum()),
+        clause2_pruned=clause2_pruned,
+        clause3_pruned=clause3_pruned,
+        tightened_rows=n_tightened,
+        computed=computed,
+    )

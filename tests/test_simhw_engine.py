@@ -170,3 +170,116 @@ def test_remote_task_loses_prefetch_overlap():
     # Remote: additive and with remote charges -> strictly larger.
     assert t_remote.span_ns > t_local.span_ns
     assert t_remote.span_ns > compute
+
+
+# -- optimized loop vs reference loop conformance -------------------
+
+
+def _trace_key(trace):
+    """Everything observable about a trace, for exact comparison."""
+    from dataclasses import asdict
+
+    return (
+        trace.thread_clocks_ns,
+        trace.span_ns,
+        trace.barrier_ns,
+        trace.reduction_ns,
+        trace.total_ns,
+        trace.total_rows,
+        trace.total_dist,
+        trace.total_bytes_local,
+        trace.total_bytes_remote,
+        trace.total_steals,
+        [asdict(e) for e in trace.executions],
+    )
+
+
+def _mixed_tasks(n_tasks, n_nodes):
+    """Non-uniform work so steals, remote streams and ties all occur."""
+    return [
+        TaskWork(
+            task_id=i,
+            n_rows=10 + (i % 7),
+            n_dist=100 + 13 * i,
+            data_bytes=640 + 64 * i,
+            state_bytes=120,
+            home_node=i % n_nodes,
+        )
+        for i in range(n_tasks)
+    ]
+
+
+@pytest.mark.parametrize("policy", [BindPolicy.NUMA_BIND,
+                                    BindPolicy.OBLIVIOUS])
+@pytest.mark.parametrize("sched_cls", [StaticScheduler,
+                                       NumaAwareScheduler])
+@pytest.mark.parametrize("n_threads", [1, 3, 8])
+def test_run_matches_reference(policy, sched_cls, n_threads):
+    """The optimized event loop is bit-identical to the kept-verbatim
+    reference loop: same event order, same simulated charges, same
+    counters -- across bind policies, schedulers and thread counts."""
+    cm = FOUR_SOCKET_XEON
+    tasks = _mixed_tasks(23, cm.topology.n_nodes)
+    engine = IterationEngine(
+        cm, bind_policy=policy, record_executions=True
+    )
+    threads = spawn_threads(cm.topology, n_threads, policy)
+    t_new = engine.run(sched_cls(), tasks, threads, d=8, k=10)
+    threads = spawn_threads(cm.topology, n_threads, policy)
+    t_ref = engine.run_reference(sched_cls(), tasks, threads, d=8, k=10)
+    assert _trace_key(t_new) == _trace_key(t_ref)
+
+
+def test_run_matches_reference_fifo_shared_queue():
+    """FIFO's single shared queue exercises the contended-lock pricing
+    and the end-of-phase single-runnable-thread drain."""
+    from repro.sched import FifoScheduler
+
+    cm = FOUR_SOCKET_XEON
+    tasks = _mixed_tasks(40, cm.topology.n_nodes)
+    engine = IterationEngine(cm, record_executions=True)
+    threads = spawn_threads(cm.topology, 6, BindPolicy.NUMA_BIND)
+    t_new = engine.run(FifoScheduler(), tasks, threads, d=12, k=7)
+    threads = spawn_threads(cm.topology, 6, BindPolicy.NUMA_BIND)
+    t_ref = engine.run_reference(
+        FifoScheduler(), tasks, threads, d=12, k=7
+    )
+    assert _trace_key(t_new) == _trace_key(t_ref)
+
+
+def test_run_matches_reference_single_bank():
+    """All data on one bank (the Figure 4 oblivious regime): every
+    thread streams remotely except the bank's own node."""
+    cm = FOUR_SOCKET_XEON
+    tasks = _mixed_tasks(16, 1)  # everything homed on node 0
+    engine = IterationEngine(
+        cm, bind_policy=BindPolicy.OBLIVIOUS, record_executions=True
+    )
+    threads = spawn_threads(cm.topology, 8, BindPolicy.OBLIVIOUS)
+    t_new = engine.run(StaticScheduler(), tasks, threads, d=8, k=10)
+    threads = spawn_threads(cm.topology, 8, BindPolicy.OBLIVIOUS)
+    t_ref = engine.run_reference(
+        StaticScheduler(), tasks, threads, d=8, k=10
+    )
+    assert _trace_key(t_new) == _trace_key(t_ref)
+
+
+def test_run_reference_rejects_double_dispatch():
+    class DoubleScheduler(StaticScheduler):
+        def next_task(self, thread):
+            decision = super().next_task(thread)
+            if decision is not None:
+                self._replay = decision
+            elif getattr(self, "_replay", None) is not None:
+                decision, self._replay = self._replay, None
+            return decision
+
+    cm = FOUR_SOCKET_XEON
+    engine = IterationEngine(cm)
+    threads = spawn_threads(cm.topology, 1, BindPolicy.NUMA_BIND)
+    with pytest.raises(SchedulerError):
+        engine.run(DoubleScheduler(), make_tasks(3), threads, d=8, k=10)
+    with pytest.raises(SchedulerError):
+        engine.run_reference(
+            DoubleScheduler(), make_tasks(3), threads, d=8, k=10
+        )
