@@ -1,0 +1,115 @@
+"""Regression guard over committed benchmark baselines.
+
+Compares a freshly produced benchmark JSON (``bench_wallclock.py`` /
+``bench_sem.py`` output) against a committed baseline of the *same
+mode* (quick vs quick, full vs full -- speedup ratios are only
+comparable within a mode) and fails when any kernel's before/after
+speedup fell more than the tolerance below its baseline.
+
+Rules:
+
+* Only ``speedup`` entries are compared, matched by their JSON path
+  (e.g. ``kernels.fetch_rows``). The ``meta`` and ``end_to_end``
+  sections are skipped -- end-to-end wall clock is too noisy to gate
+  (crash/bit-identity assertions inside the harness still guard it).
+* Baseline entries with speedup < 1.0 are informational, not gated: a
+  kernel that was never a win on that machine/size cannot "regress".
+* A kernel present in the baseline but missing from the fresh run
+  fails (coverage loss is a regression too).
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE FRESH \
+        [--tolerance 0.2]
+
+Exit code 0 when everything holds, 1 on any regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SKIP_SECTIONS = {"meta", "end_to_end"}
+
+
+def _speedup_paths(node, prefix=()):
+    """Yield (path, speedup) for every dict holding a ``speedup``."""
+    if not isinstance(node, dict):
+        return
+    if "speedup" in node and isinstance(
+        node["speedup"], (int, float)
+    ):
+        yield ".".join(prefix), float(node["speedup"])
+        return
+    for key, child in node.items():
+        if not prefix and key in SKIP_SECTIONS:
+            continue
+        yield from _speedup_paths(child, prefix + (key,))
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return a list of human-readable regression messages."""
+    base = dict(_speedup_paths(baseline))
+    new = dict(_speedup_paths(fresh))
+    problems = []
+    for path, base_speedup in sorted(base.items()):
+        if path not in new:
+            problems.append(f"{path}: missing from fresh run")
+            continue
+        fresh_speedup = new[path]
+        floor = base_speedup * (1.0 - tolerance)
+        status = "ok"
+        if base_speedup < 1.0:
+            status = "info (baseline < 1x, not gated)"
+        elif fresh_speedup < floor:
+            status = "REGRESSION"
+            problems.append(
+                f"{path}: speedup {fresh_speedup:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base_speedup:.2f}x "
+                f"- {tolerance:.0%})"
+            )
+        print(
+            f"  {path:40s} baseline {base_speedup:5.2f}x  "
+            f"fresh {fresh_speedup:5.2f}x  {status}"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("fresh", type=Path)
+    ap.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed fractional speedup drop (default 0.2 = 20%%)",
+    )
+    args = ap.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    if baseline.get("meta", {}).get("quick") != fresh.get(
+        "meta", {}
+    ).get("quick"):
+        print(
+            "warning: comparing across modes (quick vs full); "
+            "speedup ratios may not be comparable",
+            file=sys.stderr,
+        )
+
+    print(f"{args.baseline} vs {args.fresh} "
+          f"(tolerance {args.tolerance:.0%}):")
+    problems = compare(baseline, fresh, args.tolerance)
+    if problems:
+        print("\nregressions:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -217,6 +217,8 @@ def cmd_knors(args: argparse.Namespace) -> int:
         row_cache_bytes=args.row_cache_bytes,
         page_cache_bytes=args.page_cache_bytes,
         cache_update_interval=args.cache_interval,
+        io_mode=args.io_mode,
+        io_queue_depth=args.io_queue_depth,
         init=args.init, seed=args.seed,
         criteria=ConvergenceCriteria(max_iters=args.max_iters),
         checkpoint_dir=args.checkpoint_dir,
@@ -305,6 +307,20 @@ def build_parser() -> argparse.ArgumentParser:
     sem.add_argument("--row-cache-bytes", type=int, default=None)
     sem.add_argument("--page-cache-bytes", type=int, default=None)
     sem.add_argument("--cache-interval", type=int, default=5)
+    sem.add_argument(
+        "--sync-io", dest="io_mode", action="store_const",
+        const="sync", default="async",
+        help="serialized I/O accounting (max(span, service))",
+    )
+    sem.add_argument(
+        "--async-io", dest="io_mode", action="store_const",
+        const="async",
+        help="async request queue + prefetcher (default)",
+    )
+    sem.add_argument(
+        "--io-queue-depth", type=int, default=32,
+        help="outstanding requests per SSD channel (async mode)",
+    )
     sem.add_argument("--checkpoint-dir", type=Path, default=None)
     sem.add_argument("--checkpoint-interval", type=int, default=10)
     sem.add_argument("--resume", action="store_true")

@@ -7,10 +7,14 @@ path, rows are fetched from the on-disk file through a memmap, so the
 out-of-core code path actually touches storage; service times are
 modeled.
 
-Per iteration, wall time is ``max(compute span, I/O service)`` plus
-barrier and reduction: FlashGraph overlaps asynchronous I/O with
-computation, which is why knors turns compute-bound once per-iteration
-arithmetic outweighs the (cache-reduced) I/O (Section 8.8).
+I/O defaults to the asynchronous pipeline (FlashGraph's behavior):
+reads go through the SSD request queue and the prefetcher hides
+service time behind the previous iteration's compute once the row
+cache knows the active set, which is why knors turns compute-bound
+once per-iteration arithmetic outweighs the (cache-reduced) I/O
+(Section 8.8). ``io_mode="sync"`` (CLI ``--sync-io``) preserves the
+serialized ``max(compute span, I/O service)`` accounting; results and
+I/O counters are bit-identical across modes.
 
 Flag mapping to the paper's names:
 
@@ -60,7 +64,7 @@ from repro.simhw import (
     FOUR_SOCKET_XEON,
     SimMachine,
 )
-from repro.simhw.ssd import OCZ_INTREPID_ARRAY, SsdArray
+from repro.simhw.ssd import AsyncIoQueue, OCZ_INTREPID_ARRAY, SsdArray
 
 _F64 = 8
 
@@ -73,6 +77,9 @@ def knors(
     row_cache_bytes: int | None = None,
     page_cache_bytes: int | None = None,
     cache_update_interval: int = 5,
+    io_mode: str = "async",
+    io_queue_depth: int = 32,
+    io_channels: int | None = None,
     ssd: SsdArray = OCZ_INTREPID_ARRAY,
     cost_model: CostModel = FOUR_SOCKET_XEON,
     n_threads: int | None = None,
@@ -108,6 +115,17 @@ def knors(
     cache_update_interval:
         ``I_cache`` -- first row-cache refresh iteration; the gap
         doubles after each refresh. Paper setting: 5.
+    io_mode:
+        ``"async"`` (default, the paper's FlashGraph behavior) issues
+        row fetches through the SSD request queue and hides service
+        time behind the previous iteration's compute once the row
+        cache knows the active set; ``"sync"`` keeps the serialized
+        ``max(span, service)`` accounting. Numerics and cache/request
+        counters are bit-identical across modes.
+    io_queue_depth, io_channels:
+        Async queue geometry (outstanding requests per channel, and
+        channel count -- ``None`` means one per SSD). Ignored in sync
+        mode.
     ssd:
         SSD array model (default: the paper's 24-SSD chassis).
     checkpoint_dir, checkpoint_interval, resume:
@@ -145,11 +163,17 @@ def knors(
     if task_rows is None:
         task_rows = auto_task_rows(n, t)
 
+    io_queue = (
+        AsyncIoQueue(queue_depth=io_queue_depth, channels=io_channels)
+        if io_mode == "async"
+        else None
+    )
     safs = Safs(
         ssd,
         page_cache_bytes=page_cache_bytes,
         faults=faults,
         retry_policy=retry_policy,
+        io_queue=io_queue,
     )
     row_cache = (
         RowCache(
@@ -215,6 +239,7 @@ def knors(
         reduction_k=k,
         task_rows=task_rows,
         checkpoint=checkpoint,
+        io_mode=io_mode,
     )
     result = IterationLoop(
         backend,
@@ -245,6 +270,9 @@ def knors(
             "row_cache_bytes": row_cache_bytes,
             "page_cache_bytes": page_cache_bytes,
             "cache_update_interval": cache_update_interval,
+            "io_mode": io_mode,
+            "io_queue_depth": io_queue_depth if io_mode == "async" else None,
+            "io_channels": io_channels if io_mode == "async" else None,
             "scheduler": scheduler,
         },
     )

@@ -43,6 +43,7 @@ from repro.runtime import (
 from repro.sched.blocks import auto_task_rows
 from repro.sem import RowCache, RowEngine, Safs
 from repro.simhw import (
+    AsyncIoQueue,
     BindPolicy,
     CostModel,
     FOUR_SOCKET_XEON,
@@ -160,12 +161,19 @@ def run_sem(
     row_cache_bytes: int | None = None,
     page_cache_bytes: int | None = None,
     cache_update_interval: int = 5,
+    io_mode: str = "async",
+    io_queue_depth: int = 32,
     max_iters: int = 100,
     reduction_k: int = 1,
     observers: Sequence[RunObserver] = (),
 ) -> FrameworkResult:
     """Run a row algorithm semi-externally: rows stream through the
-    SAFS + row-cache stack, clause-style skipped rows issue no I/O."""
+    SAFS + row-cache stack, clause-style skipped rows issue no I/O.
+
+    ``io_mode`` defaults to ``"async"`` (matching the builtin knors
+    driver): fetches ride the SSD request queue and service time
+    overlaps compute. ``"sync"`` keeps the serialized accounting;
+    numerics and cache counters are identical across modes."""
     x, n, d = resolve_row_data(data)
 
     row_bytes = d * 8
@@ -179,7 +187,12 @@ def run_sem(
         cost_model, n_threads=n_threads, ssd=ssd
     )
     sched = make_scheduler(scheduler)
-    safs = Safs(ssd, page_cache_bytes=page_cache_bytes)
+    io_queue = (
+        AsyncIoQueue(queue_depth=io_queue_depth)
+        if io_mode == "async"
+        else None
+    )
+    safs = Safs(ssd, page_cache_bytes=page_cache_bytes, io_queue=io_queue)
     row_cache = (
         RowCache(
             row_cache_bytes, row_bytes, n,
@@ -202,6 +215,7 @@ def run_sem(
         d=d,
         reduction_k=reduction_k,
         task_rows=task_rows,
+        io_mode=io_mode,
     )
     result = IterationLoop(
         backend,

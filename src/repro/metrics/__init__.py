@@ -11,7 +11,12 @@ from repro.metrics.memory import (
     table1_bytes,
     ROUTINE_MEMORY_FORMULAS,
 )
-from repro.metrics.tables import render_table, render_series
+from repro.metrics.tables import (
+    render_cache_occupancy,
+    render_series,
+    render_table,
+    row_cache_occupancy,
+)
 from repro.metrics.export import (
     result_to_dict,
     write_json,
@@ -40,4 +45,6 @@ __all__ = [
     "ROUTINE_MEMORY_FORMULAS",
     "render_table",
     "render_series",
+    "render_cache_occupancy",
+    "row_cache_occupancy",
 ]

@@ -21,8 +21,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
 from repro.core.mti import MtiIterationResult, MtiState
-from repro.errors import DatasetError
+from repro.errors import DatasetError, IoSubsystemError, RetryExhaustedError
+from repro.simhw.ssd import SsdArray, SsdReadResult
 
 #: Block size of the pre-change ``nearest_centroid`` (unchanged since).
 BLOCK_ROWS = 65536
@@ -279,3 +284,292 @@ def mti_iteration(
         tightened_rows=n_tightened,
         computed=computed,
     )
+
+
+# ---------------------------------------------------------------------------
+# SEM cache hierarchy, frozen before the batch-LRU / vectorized-SAFS rework
+# (PR 4). Verbatim copies of repro.sem.{pagecache,safs,rowcache} as they
+# stood; the equivalence suite (tests/test_sem_perf_equivalence.py) drives
+# the same request streams through both and asserts identical hit/miss
+# tallies, eviction order and IoBatch counters.
+# ---------------------------------------------------------------------------
+
+
+class LegacyPageCache:
+    """Pre-change LRU page cache: one OrderedDict op per page probe."""
+
+    def __init__(self, capacity_bytes: int, page_bytes: int) -> None:
+        if page_bytes <= 0:
+            raise IoSubsystemError(f"page_bytes must be > 0, got {page_bytes}")
+        if capacity_bytes < 0:
+            raise IoSubsystemError("capacity_bytes must be >= 0")
+        self.page_bytes = page_bytes
+        self.capacity_pages = capacity_bytes // page_bytes
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_pages * self.page_bytes
+
+    def lookup(self, page: int) -> bool:
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def admit(self, page: int) -> None:
+        if self.capacity_pages == 0:
+            return
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            return
+        while len(self._pages) >= self.capacity_pages:
+            self._pages.popitem(last=False)
+        self._pages[page] = None
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def contains(self, page: int) -> bool:
+        return page in self._pages
+
+    def pages_lru_order(self) -> list[int]:
+        """Resident pages, least-recently-used first (for conformance)."""
+        return list(self._pages.keys())
+
+
+@dataclass
+class LegacyIoBatch:
+    """Pre-change IoBatch (field-for-field the old dataclass)."""
+
+    rows_requested: int
+    bytes_requested: int
+    pages_needed: int
+    page_cache_hits: int
+    pages_from_ssd: int
+    merged_requests: int
+    bytes_read: int
+    service_ns: float
+    io_retries: int = 0
+    fault_delay_ns: float = 0.0
+
+
+class LegacySafs:
+    """Pre-change SAFS front end: per-page list-comprehension fetch path,
+    matrix-expansion ``pages_of_rows`` and re-sorting ``merge_requests``."""
+
+    def __init__(
+        self,
+        ssd: SsdArray,
+        *,
+        page_cache_bytes: int,
+        data_offset: int = 0,
+        faults: Any = None,
+        retry_policy: Any = None,
+    ) -> None:
+        self.ssd = ssd
+        self.page_bytes = ssd.page_bytes
+        self.page_cache = LegacyPageCache(page_cache_bytes, self.page_bytes)
+        self.data_offset = data_offset
+        self.faults = faults
+        if retry_policy is None and faults is not None:
+            from repro.faults import DEFAULT_RETRY_POLICY
+
+            retry_policy = DEFAULT_RETRY_POLICY
+        self.retry_policy = retry_policy
+
+    def pages_of_rows(
+        self, rows: np.ndarray, row_bytes: int
+    ) -> np.ndarray:
+        if row_bytes <= 0:
+            raise IoSubsystemError(f"row_bytes must be > 0, got {row_bytes}")
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self.data_offset + rows * row_bytes
+        ends = starts + row_bytes - 1
+        first = starts // self.page_bytes
+        last = ends // self.page_bytes
+        max_span = int((last - first).max()) + 1
+        pages = first[:, None] + np.arange(max_span)[None, :]
+        mask = pages <= last[:, None]
+        return np.unique(pages[mask])
+
+    @staticmethod
+    def merge_requests(pages: np.ndarray) -> int:
+        if pages.size == 0:
+            return 0
+        pages = np.sort(np.asarray(pages, dtype=np.int64))
+        breaks = np.count_nonzero(np.diff(pages) > 1)
+        return int(breaks) + 1
+
+    def fetch_rows(
+        self,
+        rows: np.ndarray,
+        row_bytes: int,
+        *,
+        iteration: int = 0,
+        observer: Any = None,
+    ) -> LegacyIoBatch:
+        rows = np.asarray(rows, dtype=np.int64)
+        bytes_requested = int(rows.size) * row_bytes
+        pages = self.pages_of_rows(rows, row_bytes)
+        miss_pages = [p for p in pages.tolist() if not self.page_cache.lookup(p)]
+        hits = int(pages.size) - len(miss_pages)
+        miss_arr = np.asarray(miss_pages, dtype=np.int64)
+        n_requests = self.merge_requests(miss_arr)
+        result = self.ssd.read(n_requests, len(miss_pages))
+        if self.faults is not None and result.pages_read > 0:
+            result = self._apply_faults(result, iteration, observer)
+        for p in miss_pages:
+            self.page_cache.admit(p)
+        return LegacyIoBatch(
+            rows_requested=int(rows.size),
+            bytes_requested=bytes_requested,
+            pages_needed=int(pages.size),
+            page_cache_hits=hits,
+            pages_from_ssd=len(miss_pages),
+            merged_requests=n_requests,
+            bytes_read=result.bytes_read,
+            service_ns=result.service_ns,
+            io_retries=result.retries,
+            fault_delay_ns=result.fault_delay_ns,
+        )
+
+    def _apply_faults(
+        self, result: SsdReadResult, iteration: int, observer: Any
+    ) -> SsdReadResult:
+        kind = self.faults.ssd_fault(iteration)
+        if kind is None:
+            return result
+        if observer is None:
+            from repro.runtime.observer import RunObserver
+
+            observer = RunObserver()
+        if kind == "slow":
+            extra = result.service_ns * (
+                self.faults.spec.ssd_slow_factor - 1.0
+            )
+            observer.on_fault(
+                iteration, "ssd", "slow",
+                {"factor": self.faults.spec.ssd_slow_factor},
+            )
+            observer.on_recovery(
+                iteration, "ssd", "absorbed", {"extra_ns": extra}
+            )
+            return result.delayed(extra, 0)
+        policy = self.retry_policy
+        observer.on_fault(
+            iteration, "ssd", "read_error",
+            {"requests": result.n_requests, "pages": result.pages_read},
+        )
+        delay = 0.0
+        attempt = 0
+        while True:
+            attempt += 1
+            if attempt > policy.max_retries:
+                raise RetryExhaustedError(
+                    f"SSD batch failed {policy.max_retries} retries "
+                    f"at iteration {iteration}"
+                )
+            backoff = policy.backoff(attempt)
+            delay += backoff + result.service_ns
+            observer.on_retry(iteration, "ssd", attempt, backoff)
+            if not self.faults.ssd_retry_fails(iteration):
+                break
+            observer.on_fault(
+                iteration, "ssd", "read_error", {"attempt": attempt}
+            )
+        observer.on_recovery(
+            iteration, "ssd", "retried", {"attempts": attempt}
+        )
+        return result.delayed(delay, attempt)
+
+
+class LegacyRowCache:
+    """Pre-change row cache: Python loop over partitions in ``refresh``,
+    floor-divided per-partition quota (capacity remainder dropped)."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        row_bytes: int,
+        n_rows: int,
+        *,
+        n_partitions: int = 1,
+        update_interval: int = 5,
+    ) -> None:
+        if row_bytes <= 0:
+            raise IoSubsystemError(f"row_bytes must be > 0, got {row_bytes}")
+        if n_rows <= 0:
+            raise IoSubsystemError(f"n_rows must be > 0, got {n_rows}")
+        if n_partitions <= 0:
+            raise IoSubsystemError("n_partitions must be > 0")
+        if update_interval <= 0:
+            raise IoSubsystemError("update_interval must be > 0")
+        self.capacity_rows = max(0, capacity_bytes) // row_bytes
+        self.row_bytes = row_bytes
+        self.n_rows = n_rows
+        self.n_partitions = n_partitions
+        self.update_interval = update_interval
+        self._cached = np.zeros(n_rows, dtype=bool)
+        self._next_refresh = update_interval
+        self._gap = update_interval
+        self.hits = 0
+        self.misses = 0
+        self.refreshes = 0
+        self._bounds = np.linspace(
+            0, n_rows, n_partitions + 1, dtype=np.int64
+        )
+
+    @property
+    def cached_rows(self) -> int:
+        return int(self._cached.sum())
+
+    def lookup(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        mask = self._cached[rows]
+        self.hits += int(mask.sum())
+        self.misses += int(rows.size - mask.sum())
+        return mask
+
+    def should_refresh(self, iteration: int) -> bool:
+        return iteration == self._next_refresh
+
+    def refresh(self, iteration: int, active_rows: np.ndarray) -> int:
+        if not self.should_refresh(iteration):
+            raise IoSubsystemError(
+                f"refresh called at iteration {iteration}, scheduled at "
+                f"{self._next_refresh}"
+            )
+        self._cached[:] = False
+        active_rows = np.asarray(active_rows, dtype=np.int64)
+        per_part = self.capacity_rows // self.n_partitions
+        admitted = 0
+        for p in range(self.n_partitions):
+            lo, hi = self._bounds[p], self._bounds[p + 1]
+            mine = active_rows[(active_rows >= lo) & (active_rows < hi)]
+            take = mine[:per_part]
+            self._cached[take] = True
+            admitted += int(take.size)
+        self.refreshes += 1
+        self._gap *= 2
+        self._next_refresh = iteration + self._gap
+        return admitted
+
+    def fast_forward(self, iteration: int) -> None:
+        while self._next_refresh <= iteration:
+            self._next_refresh += self._gap * 2
+            self._gap *= 2
+
+    def clear(self) -> None:
+        self._cached[:] = False
+        self._gap = self.update_interval
+        self._next_refresh = self.update_interval

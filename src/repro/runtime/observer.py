@@ -3,9 +3,16 @@
 Every execution backend reports the same event stream while an
 :class:`~repro.runtime.loop.IterationLoop` drives it:
 
-``on_run_start`` → (``on_iteration_start`` → [``on_io``] →
-``on_task_trace``\\* → [``on_collective``] → ``on_iteration_end`` →
-[``on_checkpoint``])\\* → ``on_run_end``
+``on_run_start`` → (``on_iteration_start`` → [``on_io_issue`` →
+``on_io``] → ``on_task_trace``\\* → [``on_io_complete``] →
+[``on_collective``] → ``on_iteration_end`` → [``on_checkpoint``])\\* →
+``on_run_end``
+
+The bracketed I/O triple is the SEM backend's: ``on_io_issue`` marks
+the iteration's reads entering the request queue (before compute),
+``on_io`` carries the planned accounting, and ``on_io_complete`` lands
+after the compute trace with the overlap split (how much service time
+the prefetcher hid vs how long compute blocked).
 
 Fault injection (:mod:`repro.faults`) adds a second family that can
 appear anywhere inside an iteration: ``on_fault`` (a fault fired),
@@ -42,8 +49,23 @@ class RunObserver:
     def on_iteration_start(self, iteration: int) -> None:
         """An iteration's numerics are about to execute."""
 
+    def on_io_issue(self, iteration: int, rows: int, pages: int,
+                    prefetched: bool) -> None:
+        """A SEM backend submitted an iteration's reads to the queue.
+
+        ``prefetched`` is True when the prefetcher issued (part of) the
+        batch ahead of the compute front against banked overlap credit;
+        always False in ``--sync-io`` mode.
+        """
+
     def on_io(self, iteration: int, io: Any) -> None:
         """A SEM backend planned its row fetches (``IoIterationStats``)."""
+
+    def on_io_complete(self, iteration: int, service_ns: float,
+                       hidden_ns: float, blocked_ns: float) -> None:
+        """The iteration's reads were serviced. ``hidden_ns`` overlapped
+        with compute; ``blocked_ns`` is what compute waited behind
+        (``hidden + blocked == service``; sync mode hides nothing)."""
 
     def on_task_trace(self, iteration: int, trace: Any,
                       machine_index: int = 0) -> None:
@@ -93,9 +115,17 @@ class ObserverChain(RunObserver):
         for o in self.observers:
             o.on_iteration_start(iteration)
 
+    def on_io_issue(self, iteration, rows, pages, prefetched):
+        for o in self.observers:
+            o.on_io_issue(iteration, rows, pages, prefetched)
+
     def on_io(self, iteration, io):
         for o in self.observers:
             o.on_io(iteration, io)
+
+    def on_io_complete(self, iteration, service_ns, hidden_ns, blocked_ns):
+        for o in self.observers:
+            o.on_io_complete(iteration, service_ns, hidden_ns, blocked_ns)
 
     def on_task_trace(self, iteration, trace, machine_index=0):
         for o in self.observers:
@@ -164,9 +194,17 @@ class RecordingObserver(RunObserver):
     def on_iteration_start(self, iteration):
         self._rec("iteration_start", iteration)
 
+    def on_io_issue(self, iteration, rows, pages, prefetched):
+        self._rec("io_issue", iteration, rows=rows, pages=pages,
+                  prefetched=prefetched)
+
     def on_io(self, iteration, io):
         self._rec("io", iteration, bytes_read=io.bytes_read,
                   service_ns=io.service_ns)
+
+    def on_io_complete(self, iteration, service_ns, hidden_ns, blocked_ns):
+        self._rec("io_complete", iteration, service_ns=service_ns,
+                  hidden_ns=hidden_ns, blocked_ns=blocked_ns)
 
     def on_task_trace(self, iteration, trace, machine_index=0):
         self._rec("task_trace", iteration, machine_index=machine_index,
@@ -228,11 +266,26 @@ class PrintObserver(RunObserver):
     def on_run_start(self, n_rows, max_iters, meta=None):
         self._emit(f"[trace] run start: n={n_rows} max_iters={max_iters}")
 
+    def on_io_issue(self, iteration, rows, pages, prefetched):
+        mode = "prefetch" if prefetched else "demand"
+        self._emit(
+            f"[trace] it={iteration} io issue: rows={rows} "
+            f"pages={pages} ({mode})"
+        )
+
     def on_io(self, iteration, io):
         self._emit(
             f"[trace] it={iteration} io: rows={io.rows_needed} "
             f"rc_hits={io.row_cache_hits} read={io.bytes_read}B "
             f"service={io.service_ns / 1e6:.3f}ms"
+        )
+
+    def on_io_complete(self, iteration, service_ns, hidden_ns, blocked_ns):
+        self._emit(
+            f"[trace] it={iteration} io complete: "
+            f"service={service_ns / 1e6:.3f}ms "
+            f"hidden={hidden_ns / 1e6:.3f}ms "
+            f"blocked={blocked_ns / 1e6:.3f}ms"
         )
 
     def on_task_trace(self, iteration, trace, machine_index=0):

@@ -48,6 +48,8 @@ class IoIterationStats:
     rc_admitted: int
     io_retries: int = 0  # injected-fault re-reads (see repro.faults)
     fault_delay_ns: float = 0.0  # fault time folded into service_ns
+    service_async_ns: float = 0.0  # service through the async queue
+    prefetchable: bool = False  # active set known before this fetch?
 
 
 class RowEngine:
@@ -79,6 +81,10 @@ class RowEngine:
         """
         needed = np.nonzero(np.asarray(needs_data, dtype=bool))[0]
         rc = self.row_cache
+        # The prefetcher can only issue ahead of the compute front once
+        # a refresh has revealed an active set -- judged on the state
+        # *entering* this iteration, before any refresh below.
+        prefetchable = rc is not None and rc.populated
         if rc is not None and needed.size:
             hit_mask = rc.lookup(needed)
             misses = needed[~hit_mask]
@@ -115,4 +121,6 @@ class RowEngine:
             rc_admitted=admitted,
             io_retries=batch.io_retries,
             fault_delay_ns=batch.fault_delay_ns,
+            service_async_ns=batch.service_async_ns,
+            prefetchable=prefetchable,
         )

@@ -4,17 +4,28 @@ SAFS "creates and manages a page cache that pins frequently touched
 pages in memory" (Section 2). The cache is consulted *after* the row
 cache and *before* the SSD array. Capacity is expressed in bytes and
 rounded down to whole pages.
+
+The cache is an **array-based batch LRU**: residency is a sorted int64
+key vector with a parallel last-touch stamp vector drawn from one
+monotonic clock, so a whole iteration's page probe resolves as one
+``searchsorted`` and eviction as one ``argpartition`` -- no per-page
+Python-level dict traffic. Semantics are provably identical to the
+classic OrderedDict LRU (``repro.perf.legacy.LegacyPageCache``): the
+resident set is always the ``capacity`` most-recently-stamped distinct
+pages, and stamps are assigned in probe/admit argument order exactly as
+sequential operations would, so hit/miss tallies, contents and eviction
+order all match element-for-element.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import numpy as np
 
 from repro.errors import IoSubsystemError
 
 
 class PageCache:
-    """LRU page cache keyed by page index."""
+    """Batch LRU page cache keyed by page index."""
 
     def __init__(self, capacity_bytes: int, page_bytes: int) -> None:
         if page_bytes <= 0:
@@ -23,42 +34,109 @@ class PageCache:
             raise IoSubsystemError("capacity_bytes must be >= 0")
         self.page_bytes = page_bytes
         self.capacity_pages = capacity_bytes // page_bytes
-        self._pages: OrderedDict[int, None] = OrderedDict()
+        self._keys = np.empty(0, dtype=np.int64)  # sorted resident pages
+        self._stamps = np.empty(0, dtype=np.int64)  # parallel last-touch
+        self._clock = 0
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._pages)
+        return int(self._keys.size)
 
     @property
     def capacity_bytes(self) -> int:
         return self.capacity_pages * self.page_bytes
 
+    def _find(self, pages: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(insertion positions, hit mask) for ``pages`` in ``_keys``."""
+        pos = np.searchsorted(self._keys, pages)
+        inb = pos < self._keys.size
+        hit = np.zeros(pages.size, dtype=bool)
+        hit[inb] = self._keys[pos[inb]] == pages[inb]
+        return pos, hit
+
+    def lookup_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Probe many pages at once; hits refresh recency in probe order.
+
+        Returns the boolean hit mask. Equivalent to calling
+        ``lookup`` element-by-element: each hit is restamped at its
+        position in the argument, so a page probed twice keeps the
+        recency of its *last* probe.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return np.zeros(0, dtype=bool)
+        pos, hit = self._find(pages)
+        n_hits = int(np.count_nonzero(hit))
+        self.hits += n_hits
+        self.misses += int(pages.size) - n_hits
+        if n_hits:
+            # Fancy assignment applies in argument order, so duplicate
+            # probes of one page leave its last (most recent) stamp.
+            self._stamps[pos[hit]] = self._clock + np.arange(n_hits)
+            self._clock += n_hits
+        return hit
+
+    def admit_batch(self, pages: np.ndarray) -> None:
+        """Insert pages read from SSD, evicting LRU pages as needed.
+
+        Equivalent to calling ``admit`` element-by-element: every page
+        ends up stamped at its last position in the argument (present
+        pages are merely restamped), then the lowest-stamped overflow
+        is evicted. The sequential loop interleaves its evictions with
+        the inserts, but the survivors -- the ``capacity`` highest
+        stamps -- are the same either way.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if self.capacity_pages == 0 or pages.size == 0:
+            if pages.size:
+                self._clock += int(pages.size)
+            return
+        # Stamp by last occurrence: reverse + unique keeps, for each
+        # distinct page, its first index in the reversed view == its
+        # last position in the batch.
+        rev = pages[::-1]
+        uniq, rev_idx = np.unique(rev, return_index=True)
+        last_pos = int(pages.size) - 1 - rev_idx
+        new_stamps = self._clock + last_pos
+        self._clock += int(pages.size)
+
+        pos, present = self._find(uniq)
+        self._stamps[pos[present]] = new_stamps[present]
+        absent = ~present
+        if absent.any():
+            self._keys = np.insert(self._keys, pos[absent], uniq[absent])
+            self._stamps = np.insert(
+                self._stamps, pos[absent], new_stamps[absent]
+            )
+        excess = int(self._keys.size) - self.capacity_pages
+        if excess > 0:
+            evict = np.argpartition(self._stamps, excess - 1)[:excess]
+            keep = np.ones(self._keys.size, dtype=bool)
+            keep[evict] = False
+            self._keys = self._keys[keep]
+            self._stamps = self._stamps[keep]
+
     def lookup(self, page: int) -> bool:
         """Probe one page; a hit refreshes its recency."""
-        if page in self._pages:
-            self._pages.move_to_end(page)
-            self.hits += 1
-            return True
-        self.misses += 1
-        return False
+        return bool(self.lookup_batch(np.array([page], dtype=np.int64))[0])
 
     def admit(self, page: int) -> None:
         """Insert a page read from SSD, evicting LRU pages as needed."""
-        if self.capacity_pages == 0:
-            return
-        if page in self._pages:
-            self._pages.move_to_end(page)
-            return
-        while len(self._pages) >= self.capacity_pages:
-            self._pages.popitem(last=False)
-        self._pages[page] = None
+        self.admit_batch(np.array([page], dtype=np.int64))
 
     def clear(self) -> None:
         """Drop everything (the benches do this between runs, matching
         the paper's "we drop all caches between runs")."""
-        self._pages.clear()
+        self._keys = np.empty(0, dtype=np.int64)
+        self._stamps = np.empty(0, dtype=np.int64)
 
     def contains(self, page: int) -> bool:
         """Non-mutating membership probe (for tests)."""
-        return page in self._pages
+        pos = int(np.searchsorted(self._keys, page))
+        return pos < self._keys.size and int(self._keys[pos]) == page
+
+    def pages_lru_order(self) -> list[int]:
+        """Resident pages, least-recently-used first (for conformance)."""
+        order = np.argsort(self._stamps, kind="stable")
+        return self._keys[order].tolist()

@@ -12,9 +12,18 @@ reproduced from the paper:
   to the next refresh doubles -- 5, 10, 20, 40... Row activation
   patterns stabilize as centroids root themselves, so a stale cache
   still hits ("nearly a 100% cache hit rate", Figure 7).
-* *Capacity-bounded*: a user-defined byte budget, split evenly across
-  partitions; within a refresh each partition admits its active rows
-  in row order until full.
+* *Capacity-bounded*: a user-defined byte budget split across
+  partitions -- the first ``capacity_rows % n_partitions`` partitions
+  hold one extra row, so no capacity is dropped to rounding; within a
+  refresh each partition admits its active rows in row order until its
+  quota fills.
+
+Refresh is a single vectorized pass (partition ids by ``searchsorted``,
+rank-within-partition against the quota vector) rather than a Python
+loop over partitions. The refresh also marks the cache *populated*,
+which the async I/O pipeline uses as its prefetch gate: once an active
+set is known, the next iterations' fetches are predictable enough to
+issue ahead of the compute front.
 """
 
 from __future__ import annotations
@@ -55,6 +64,7 @@ class RowCache:
         self.hits = 0
         self.misses = 0
         self.refreshes = 0
+        self.populated = False  # has an active set ever been admitted?
         # Partition boundaries (FlashGraph partitions the matrix evenly).
         self._bounds = np.linspace(
             0, n_rows, n_partitions + 1, dtype=np.int64
@@ -67,6 +77,21 @@ class RowCache:
     @property
     def cached_bytes(self) -> int:
         return self.cached_rows * self.row_bytes
+
+    def partition_quotas(self) -> np.ndarray:
+        """Per-partition admission quota; the ``capacity % partitions``
+        remainder goes to the first partitions, one row each."""
+        base, rem = divmod(self.capacity_rows, self.n_partitions)
+        quotas = np.full(self.n_partitions, base, dtype=np.int64)
+        quotas[:rem] += 1
+        return quotas
+
+    def partition_occupancy(self) -> np.ndarray:
+        """Rows currently cached per partition (Figure 7-style skew)."""
+        csum = np.concatenate(
+            ([0], np.cumsum(self._cached, dtype=np.int64))
+        )
+        return csum[self._bounds[1:]] - csum[self._bounds[:-1]]
 
     def lookup(self, rows: np.ndarray) -> np.ndarray:
         """Hit mask for the requested rows; updates hit/miss tallies."""
@@ -84,7 +109,9 @@ class RowCache:
         """Flush and repopulate from this iteration's active rows.
 
         Each partition admits its own active rows, in row order, until
-        its share of the capacity is exhausted. Returns rows admitted.
+        its quota is exhausted. Returns rows admitted. One vectorized
+        pass: partition ids via ``searchsorted`` on the bounds, then a
+        rank-within-partition comparison against the quota vector.
         """
         if not self.should_refresh(iteration):
             raise IoSubsystemError(
@@ -93,15 +120,24 @@ class RowCache:
             )
         self._cached[:] = False
         active_rows = np.asarray(active_rows, dtype=np.int64)
-        per_part = self.capacity_rows // self.n_partitions
         admitted = 0
-        for p in range(self.n_partitions):
-            lo, hi = self._bounds[p], self._bounds[p + 1]
-            mine = active_rows[(active_rows >= lo) & (active_rows < hi)]
-            take = mine[:per_part]
+        if active_rows.size:
+            quotas = self.partition_quotas()
+            part = (
+                np.searchsorted(self._bounds, active_rows, side="right") - 1
+            )
+            # Stable sort groups by partition while keeping each
+            # partition's rows in their original (row) order.
+            order = np.argsort(part, kind="stable")
+            sorted_part = part[order]
+            counts = np.bincount(sorted_part, minlength=self.n_partitions)
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            rank = np.arange(active_rows.size) - starts[sorted_part]
+            take = active_rows[order[rank < quotas[sorted_part]]]
             self._cached[take] = True
-            admitted += int(take.size)
+            admitted = int(take.size)
         self.refreshes += 1
+        self.populated = True
         self._gap *= 2
         self._next_refresh = iteration + self._gap
         return admitted
@@ -119,3 +155,4 @@ class RowCache:
         self._cached[:] = False
         self._gap = self.update_interval
         self._next_refresh = self.update_interval
+        self.populated = False

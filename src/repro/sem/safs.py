@@ -6,11 +6,20 @@ Responsibilities modeled (Section 2 and 6.2.1):
 * consult the page cache;
 * **merge** requests for adjacent pages into larger SSD reads,
   amortizing access cost;
-* charge the SSD array for the merged reads.
+* charge the SSD array for the merged reads -- synchronously, or
+  through an async request queue (:class:`~repro.simhw.ssd.AsyncIoQueue`)
+  that amortizes per-request cost across the array's channels.
 
 The req-vs-read gap of Figure 6 falls out of the geometry: MTI prunes
 rows "in a near-random fashion", so a few requested rows can dirty many
 pages, and each page read hauls in unrequested neighbour rows.
+
+The whole fetch path is vectorized: page resolution is chunked range
+expansion over int64 arrays, cache probes and admissions are single
+batch calls into the array-based LRU, and request merging is one
+``diff`` over the (already sorted) miss vector. Counters are
+bit-identical to the pre-vectorization path frozen in
+``repro.perf.legacy.LegacySafs``.
 """
 
 from __future__ import annotations
@@ -22,12 +31,25 @@ import numpy as np
 
 from repro.errors import IoSubsystemError, RetryExhaustedError
 from repro.sem.pagecache import PageCache
-from repro.simhw.ssd import SsdArray, SsdReadResult
+from repro.simhw.ssd import AsyncIoQueue, SsdArray, SsdReadResult
+
+#: Ceiling on the size (cells) of one ``pages_of_rows`` expansion
+#: temporary. When rows span many pages (row_bytes >= page_bytes) the
+#: naive rows x span matrix is O(rows x span) = O(total data) -- far
+#: larger than the O(distinct pages) output -- so the expansion walks
+#: the rows in chunks of at most this many cells.
+_EXPAND_CELLS = 1 << 20
 
 
 @dataclass
 class IoBatch:
-    """Exact outcome of one iteration's row-data fetch."""
+    """Exact outcome of one iteration's row-data fetch.
+
+    ``service_async_ns`` is the batch's service time through the async
+    request queue (equal to ``service_ns`` when no queue is attached);
+    fault-recovery delay is folded into both, computed once from the
+    sync service time so fault accounting is mode-independent.
+    """
 
     rows_requested: int
     bytes_requested: int  # what the algorithm asked for (row bytes)
@@ -39,6 +61,7 @@ class IoBatch:
     service_ns: float
     io_retries: int = 0  # injected-fault re-reads this batch paid for
     fault_delay_ns: float = 0.0  # fault time folded into service_ns
+    service_async_ns: float = 0.0  # async-queue service incl. fault time
 
 
 class Safs:
@@ -59,12 +82,14 @@ class Safs:
         data_offset: int = 0,
         faults: Any = None,
         retry_policy: Any = None,
+        io_queue: AsyncIoQueue | None = None,
     ) -> None:
         self.ssd = ssd
         self.page_bytes = ssd.page_bytes
         self.page_cache = PageCache(page_cache_bytes, self.page_bytes)
         self.data_offset = data_offset
         self.faults = faults
+        self.io_queue = io_queue
         if retry_policy is None and faults is not None:
             from repro.faults import DEFAULT_RETRY_POLICY
 
@@ -74,11 +99,15 @@ class Safs:
     def pages_of_rows(
         self, rows: np.ndarray, row_bytes: int
     ) -> np.ndarray:
-        """Distinct page indices covering the given rows.
+        """Distinct page indices covering the given rows, sorted.
 
         Rows are contiguous on disk (row-major layout), so row ``i``
         spans bytes ``[i*row_bytes, (i+1)*row_bytes)`` after the
-        header offset.
+        header offset. Single-page rows (the common geometry:
+        row_bytes << page_bytes) reduce to one ``unique``; rows that
+        span pages expand first..last ranges in bounded chunks so the
+        temporary never exceeds ``_EXPAND_CELLS`` cells even when
+        row_bytes >= page_bytes.
         """
         if row_bytes <= 0:
             raise IoSubsystemError(f"row_bytes must be > 0, got {row_bytes}")
@@ -89,12 +118,21 @@ class Safs:
         ends = starts + row_bytes - 1
         first = starts // self.page_bytes
         last = ends // self.page_bytes
-        # Rows rarely span more than 2 pages (row_bytes << page_bytes in
-        # every experiment); expand ranges generically anyway.
         max_span = int((last - first).max()) + 1
-        pages = first[:, None] + np.arange(max_span)[None, :]
-        mask = pages <= last[:, None]
-        return np.unique(pages[mask])
+        if max_span == 1:
+            return np.unique(first)
+        chunk_rows = max(1, _EXPAND_CELLS // max_span)
+        span_cols = np.arange(max_span, dtype=np.int64)
+        parts = []
+        for lo in range(0, rows.size, chunk_rows):
+            f = first[lo : lo + chunk_rows]
+            ls = last[lo : lo + chunk_rows]
+            pages = f[:, None] + span_cols[None, :]
+            mask = pages <= ls[:, None]
+            parts.append(np.unique(pages[mask]))
+        if len(parts) == 1:
+            return parts[0]
+        return np.unique(np.concatenate(parts))
 
     @staticmethod
     def merge_requests(pages: np.ndarray) -> int:
@@ -102,11 +140,13 @@ class Safs:
 
         SAFS merges I/O "when requests are made for data located near
         one another on disk"; a run of consecutive pages becomes one
-        request.
+        request. ``pages`` must be sorted ascending -- every caller
+        passes ``np.unique`` output (``pages_of_rows`` or its
+        cache-miss subset, which preserves order), so no re-sort.
         """
+        pages = np.asarray(pages, dtype=np.int64)
         if pages.size == 0:
             return 0
-        pages = np.sort(np.asarray(pages, dtype=np.int64))
         breaks = np.count_nonzero(np.diff(pages) > 1)
         return int(breaks) + 1
 
@@ -128,26 +168,32 @@ class Safs:
         rows = np.asarray(rows, dtype=np.int64)
         bytes_requested = int(rows.size) * row_bytes
         pages = self.pages_of_rows(rows, row_bytes)
-        miss_pages = [p for p in pages.tolist() if not self.page_cache.lookup(p)]
-        hits = int(pages.size) - len(miss_pages)
-        miss_arr = np.asarray(miss_pages, dtype=np.int64)
-        n_requests = self.merge_requests(miss_arr)
-        result = self.ssd.read(n_requests, len(miss_pages))
+        hit_mask = self.page_cache.lookup_batch(pages)
+        miss_pages = pages[~hit_mask]
+        hits = int(pages.size) - int(miss_pages.size)
+        n_requests = self.merge_requests(miss_pages)
+        result = self.ssd.read(n_requests, int(miss_pages.size))
+        if self.io_queue is not None:
+            async_clean_ns = self.ssd.read_async(
+                n_requests, int(miss_pages.size), self.io_queue
+            ).service_ns
+        else:
+            async_clean_ns = result.service_ns
         if self.faults is not None and result.pages_read > 0:
             result = self._apply_faults(result, iteration, observer)
-        for p in miss_pages:
-            self.page_cache.admit(p)
+        self.page_cache.admit_batch(miss_pages)
         return IoBatch(
             rows_requested=int(rows.size),
             bytes_requested=bytes_requested,
             pages_needed=int(pages.size),
             page_cache_hits=hits,
-            pages_from_ssd=len(miss_pages),
+            pages_from_ssd=int(miss_pages.size),
             merged_requests=n_requests,
             bytes_read=result.bytes_read,
             service_ns=result.service_ns,
             io_retries=result.retries,
             fault_delay_ns=result.fault_delay_ns,
+            service_async_ns=async_clean_ns + result.fault_delay_ns,
         )
 
     def _apply_faults(

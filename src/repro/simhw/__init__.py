@@ -26,6 +26,8 @@ from repro.simhw.memory import (
 )
 from repro.simhw.thread import SimThread
 from repro.simhw.engine import (
+    AsyncIoTimeline,
+    IoPlacement,
     IterationEngine,
     IterationTrace,
     ScheduleDecision,
@@ -33,7 +35,7 @@ from repro.simhw.engine import (
     TaskWork,
 )
 from repro.simhw.machine import SimMachine
-from repro.simhw.ssd import SsdArray, SsdReadResult
+from repro.simhw.ssd import AsyncIoQueue, SsdArray, SsdReadResult
 
 __all__ = [
     "NumaTopology",
@@ -47,11 +49,14 @@ __all__ = [
     "MemoryManager",
     "SimThread",
     "SimMachine",
+    "AsyncIoTimeline",
+    "IoPlacement",
     "IterationEngine",
     "IterationTrace",
     "ScheduleDecision",
     "TaskExecution",
     "TaskWork",
+    "AsyncIoQueue",
     "SsdArray",
     "SsdReadResult",
 ]

@@ -530,3 +530,83 @@ class IterationEngine:
                 c.steals_local_node + c.steals_remote_node for c in totals
             ),
         )
+
+
+@dataclass(frozen=True)
+class IoPlacement:
+    """Where one iteration's I/O service time lands relative to compute.
+
+    ``hidden_ns`` was absorbed by the prefetcher ahead of the compute
+    front (issued early against banked overlap credit); ``blocked_ns``
+    is what compute must still wait behind. ``hidden + blocked`` always
+    equals the batch's async service time, so the I/O *work* charged is
+    never altered -- only its overlap with compute.
+    """
+
+    service_ns: float
+    hidden_ns: float
+    blocked_ns: float
+    prefetched: bool
+
+
+class AsyncIoTimeline:
+    """Cross-iteration overlap ledger for the async I/O pipeline.
+
+    The row-cache refresh tells the prefetcher which rows are *active*;
+    from then on the engine knows iteration ``i+1``'s fetch set before
+    iteration ``i``'s compute finishes, so SAFS can issue those reads
+    under the running compute. The ledger models that without moving
+    any real state: each iteration banks *credit* equal to the compute
+    time its I/O did not consume (``wall - blocked``), and the next
+    prefetchable batch may hide up to that much service time.
+
+    Iteration 0 (and every iteration until the row cache has been
+    populated once) has no known-ahead active set, so nothing hides and
+    the accounting degenerates to the sync formula
+    ``max(span, service) + barrier + reduction``.
+
+    The ledger is pure timing plane: it never touches cache contents or
+    hit/miss counters, so numerics and I/O tallies stay bit-identical
+    to ``--sync-io`` by construction.
+    """
+
+    def __init__(self) -> None:
+        self.credit_ns = 0.0
+        self.hidden_total_ns = 0.0
+        self.blocked_total_ns = 0.0
+
+    def reset(self) -> None:
+        """Forget banked credit (crash recovery restarts the pipeline
+        cold, matching the caches)."""
+        self.credit_ns = 0.0
+
+    def plan(self, service_ns: float, *, prefetchable: bool) -> IoPlacement:
+        """Split a batch's service time into hidden and blocked parts."""
+        if service_ns < 0:
+            raise SchedulerError(f"negative service time {service_ns}")
+        hidden = min(service_ns, self.credit_ns) if prefetchable else 0.0
+        return IoPlacement(
+            service_ns=service_ns,
+            hidden_ns=hidden,
+            blocked_ns=service_ns - hidden,
+            prefetched=hidden > 0.0,
+        )
+
+    def commit(
+        self,
+        placement: IoPlacement,
+        span_ns: float,
+        barrier_ns: float,
+        reduction_ns: float,
+    ) -> float:
+        """Account one iteration; returns its simulated wall time.
+
+        Compute waits only behind the blocked remainder; the wall time
+        the iteration still spends computing (``wall - blocked``) is
+        banked as prefetch credit for the next iteration's reads.
+        """
+        wall = max(span_ns, placement.blocked_ns) + barrier_ns + reduction_ns
+        self.credit_ns = wall - placement.blocked_ns
+        self.hidden_total_ns += placement.hidden_ns
+        self.blocked_total_ns += placement.blocked_ns
+        return wall

@@ -127,6 +127,58 @@ def test_sem_event_order_with_checkpoint(small, tmp_path):
     ]
 
 
+@pytest.mark.parametrize("io_mode", ["sync", "async"])
+def test_sem_io_event_order(small, io_mode):
+    """Every SEM iteration brackets its I/O: issue -> io -> compute
+    trace -> complete, in both I/O modes."""
+    rec = RecordingObserver()
+    res = knors(small, 4, seed=0, io_mode=io_mode,
+                criteria=ConvergenceCriteria(max_iters=4),
+                observers=[rec])
+    names = rec.names()
+    assert names[0] == "run_start"
+    assert names[-1] == "run_end"
+    per_iter = names[1:-1]
+    stride = 6
+    assert len(per_iter) == stride * res.iterations
+    for i in range(res.iterations):
+        assert per_iter[stride * i: stride * (i + 1)] == [
+            "iteration_start", "io_issue", "io", "task_trace",
+            "io_complete", "iteration_end",
+        ]
+
+
+def test_sem_io_complete_accounting(small):
+    """Sync mode hides nothing; async mode conserves service time
+    (hidden + blocked == service) and only prefetches once the row
+    cache has been populated by its first refresh."""
+    sync_rec, async_rec = RecordingObserver(), RecordingObserver()
+    crit = ConvergenceCriteria(max_iters=8)
+    knors(small, 4, seed=0, io_mode="sync", criteria=crit,
+          observers=[sync_rec])
+    # No page cache for the async run, so every iteration keeps
+    # issuing real reads for the prefetcher to hide.
+    knors(small, 4, seed=0, io_mode="async", criteria=crit,
+          page_cache_bytes=0, observers=[async_rec])
+
+    for e in (e for e in sync_rec.events if e.name == "io_complete"):
+        assert e.payload["hidden_ns"] == 0.0
+        assert e.payload["blocked_ns"] == e.payload["service_ns"]
+    for e in (e for e in sync_rec.events if e.name == "io_issue"):
+        assert e.payload["prefetched"] is False
+
+    for e in (e for e in async_rec.events if e.name == "io_complete"):
+        assert e.payload["hidden_ns"] + e.payload["blocked_ns"] == \
+            pytest.approx(e.payload["service_ns"])
+    issues = [e for e in async_rec.events if e.name == "io_issue"]
+    # The row cache refreshes at iteration 5; before that the
+    # prefetcher has no active set and cannot issue early.
+    assert all(not e.payload["prefetched"]
+               for e in issues if e.iteration <= 5)
+    assert any(e.payload["prefetched"]
+               for e in issues if e.iteration > 5)
+
+
 def test_distributed_event_order(small):
     rec = RecordingObserver()
     res = knord(small, 4, seed=0, n_machines=3,

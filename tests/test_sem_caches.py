@@ -55,6 +55,35 @@ class TestPageCache:
         pc.admit(1)
         assert len(pc) == 1
 
+    def test_capacity_zero_batch_ops(self):
+        pc = PageCache(0, 4096)
+        pages = np.array([1, 2, 3], dtype=np.int64)
+        pc.admit_batch(pages)
+        assert len(pc) == 0
+        np.testing.assert_array_equal(
+            pc.lookup_batch(pages), [False, False, False]
+        )
+        assert pc.misses == 3
+        assert pc.pages_lru_order() == []
+
+    def test_exact_eviction_order_interleaved(self):
+        """pages_lru_order tracks recency through mixed batch lookups
+        and admissions, and eviction takes exactly the LRU tail."""
+        pc = PageCache(4 * 4096, 4096)
+        pc.admit_batch(np.array([10, 20, 30, 40]))
+        assert pc.pages_lru_order() == [10, 20, 30, 40]
+        # A batch hit restamps the hit pages, in argument order.
+        pc.lookup_batch(np.array([30, 10]))
+        assert pc.pages_lru_order() == [20, 40, 30, 10]
+        # Admitting two new pages evicts the two least recent (20, 40).
+        pc.admit_batch(np.array([50, 60]))
+        assert pc.pages_lru_order() == [30, 10, 50, 60]
+        assert not pc.contains(20)
+        assert not pc.contains(40)
+        # Re-admitting a resident page only refreshes it.
+        pc.admit_batch(np.array([30]))
+        assert pc.pages_lru_order() == [10, 50, 60, 30]
+
 
 class TestSafs:
     def make(self, cache_pages=16):
@@ -202,6 +231,64 @@ class TestRowCache:
                     n_partitions=full["n_partitions"],
                     update_interval=full["update_interval"],
                 )
+
+    def test_quota_remainder_distributed(self):
+        """capacity % partitions is not dropped: 10 rows over 4
+        partitions gives quotas 3, 3, 2, 2."""
+        rc = RowCache(10 * 64, 64, 400, n_partitions=4)
+        np.testing.assert_array_equal(
+            rc.partition_quotas(), [3, 3, 2, 2]
+        )
+        admitted = rc.refresh(5, np.arange(400))
+        assert admitted == 10
+        assert rc.cached_rows == 10
+
+    def test_partition_occupancy(self):
+        rc = RowCache(8 * 64, 64, 400, n_partitions=4)
+        # Activity only in partitions 0 ([0,100)) and 2 ([200,300)).
+        rc.refresh(5, np.array([0, 1, 2, 250]))
+        np.testing.assert_array_equal(
+            rc.partition_occupancy(), [2, 0, 1, 0]
+        )
+        assert rc.partition_occupancy().sum() == rc.cached_rows
+
+    def test_occupancy_metrics_export(self):
+        from repro.metrics import (
+            render_cache_occupancy,
+            row_cache_occupancy,
+        )
+
+        rc = RowCache(8 * 64, 64, 400, n_partitions=4)
+        rc.refresh(5, np.array([0, 1, 250]))
+        snap = row_cache_occupancy(rc)
+        assert snap["partitions"] == 4
+        assert snap["occupancy"] == [2, 0, 1, 0]
+        assert snap["total_rows"] == 3
+        assert snap["skew"] == pytest.approx(2 / 0.75)
+        table = render_cache_occupancy(rc, title="rc")
+        assert "partition" in table and "quota" in table
+
+    def test_fast_forward_matches_executed_schedule(self):
+        """Skipping refreshes via fast_forward lands on the same next
+        scheduled iteration as actually executing them."""
+        for upto in (5, 15, 35, 36, 74, 75, 200):
+            executed = RowCache(1 << 20, 64, 1000, update_interval=5)
+            it = executed.update_interval
+            while it <= upto:
+                executed.refresh(it, np.arange(10))
+                it = executed._next_refresh
+            skipped = RowCache(1 << 20, 64, 1000, update_interval=5)
+            skipped.fast_forward(upto)
+            assert skipped._next_refresh == executed._next_refresh
+            assert skipped._gap == executed._gap
+
+    def test_populated_flag(self):
+        rc = RowCache(1 << 20, 64, 1000)
+        assert not rc.populated
+        rc.refresh(5, np.arange(10))
+        assert rc.populated
+        rc.clear()
+        assert not rc.populated
 
     @settings(max_examples=30, deadline=None)
     @given(

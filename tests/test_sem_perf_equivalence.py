@@ -1,0 +1,256 @@
+"""The SEM perf rework must be a pure speedup: the batch-LRU page
+cache, vectorized SAFS fetch path and vectorized row-cache refresh are
+compared against the frozen pre-change implementations in
+``repro.perf.legacy``, and the async I/O pipeline against ``--sync-io``
+accounting -- every counter bit-identical, only simulated time moves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.sem.safs as safs_mod
+from repro import knors
+from repro.core import ConvergenceCriteria
+from repro.faults import FaultPlan, FaultSpec
+from repro.perf.legacy import (
+    LegacyPageCache,
+    LegacyRowCache,
+    LegacySafs,
+)
+from repro.sem import PageCache, RowCache, Safs
+from repro.simhw.ssd import OCZ_INTREPID_ARRAY
+
+
+def _cache_state(cache):
+    return (cache.hits, cache.misses, len(cache),
+            cache.pages_lru_order())
+
+
+def _drive_pair(legacy, batch, streams):
+    """Run identical page streams through both caches, checking state
+    after every batch (not just at the end)."""
+    for pages in streams:
+        miss = [p for p in pages.tolist() if not legacy.lookup(p)]
+        for p in miss:
+            legacy.admit(p)
+        hit = batch.lookup_batch(pages)
+        batch.admit_batch(pages[~hit])
+        assert _cache_state(legacy) == _cache_state(batch)
+
+
+class TestPageCacheEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("capacity_pages", [1, 7, 64, 500])
+    def test_random_streams(self, seed, capacity_pages):
+        rng = np.random.default_rng(seed)
+        streams = [
+            np.unique(rng.integers(0, 800, size=rng.integers(1, 400)))
+            for _ in range(12)
+        ]
+        _drive_pair(
+            LegacyPageCache(capacity_pages * 4096, 4096),
+            PageCache(capacity_pages * 4096, 4096),
+            streams,
+        )
+
+    def test_interleaved_single_ops(self):
+        """Per-page lookup/admit (the scalar wrappers) match too."""
+        rng = np.random.default_rng(9)
+        legacy = LegacyPageCache(5 * 4096, 4096)
+        batch = PageCache(5 * 4096, 4096)
+        for _ in range(600):
+            p = int(rng.integers(0, 20))
+            if rng.random() < 0.5:
+                assert legacy.lookup(p) == batch.lookup(p)
+            else:
+                legacy.admit(p)
+                batch.admit(p)
+            assert _cache_state(legacy) == _cache_state(batch)
+
+    def test_duplicate_pages_in_one_admit(self):
+        """Within one batch the *last* occurrence sets recency, exactly
+        like admitting the pages one by one."""
+        legacy = LegacyPageCache(3 * 4096, 4096)
+        batch = PageCache(3 * 4096, 4096)
+        pages = [1, 2, 1, 3, 2, 1]
+        for p in pages:
+            legacy.admit(p)
+        batch.admit_batch(np.array(pages, dtype=np.int64))
+        assert _cache_state(legacy) == _cache_state(batch)
+
+
+def _batch_tuple(b):
+    return (b.rows_requested, b.bytes_requested, b.pages_needed,
+            b.page_cache_hits, b.pages_from_ssd, b.merged_requests,
+            b.bytes_read, b.service_ns, b.io_retries, b.fault_delay_ns)
+
+
+class TestSafsEquivalence:
+    ROW_BYTES = [8, 64, 512, 3000, 4096, 5000]
+
+    @pytest.mark.parametrize("row_bytes", ROW_BYTES)
+    def test_fetch_rows_counters(self, row_bytes):
+        rng = np.random.default_rng(17)
+        n_rows = 20_000
+        legacy = LegacySafs(OCZ_INTREPID_ARRAY,
+                            page_cache_bytes=256 * 4096)
+        new = Safs(OCZ_INTREPID_ARRAY, page_cache_bytes=256 * 4096)
+        for it in range(4):
+            rows = np.unique(rng.integers(0, n_rows, size=3_000))
+            a = legacy.fetch_rows(rows, row_bytes, iteration=it)
+            b = new.fetch_rows(rows, row_bytes, iteration=it)
+            assert _batch_tuple(a) == _batch_tuple(b)
+            # No queue attached: async service collapses to sync.
+            assert b.service_async_ns == b.service_ns
+
+    @pytest.mark.parametrize("row_bytes", ROW_BYTES)
+    def test_pages_of_rows(self, row_bytes):
+        rng = np.random.default_rng(23)
+        legacy = LegacySafs(OCZ_INTREPID_ARRAY, page_cache_bytes=0)
+        new = Safs(OCZ_INTREPID_ARRAY, page_cache_bytes=0)
+        rows = np.unique(rng.integers(0, 50_000, size=2_000))
+        np.testing.assert_array_equal(
+            legacy.pages_of_rows(rows, row_bytes),
+            new.pages_of_rows(rows, row_bytes),
+        )
+
+    def test_pages_of_rows_chunked_expansion(self, monkeypatch):
+        """Page-spanning rows through a tiny chunk budget: the chunked
+        walk must agree with the legacy full-matrix expansion."""
+        monkeypatch.setattr(safs_mod, "_EXPAND_CELLS", 16)
+        legacy = LegacySafs(OCZ_INTREPID_ARRAY, page_cache_bytes=0)
+        new = Safs(OCZ_INTREPID_ARRAY, page_cache_bytes=0)
+        rng = np.random.default_rng(5)
+        for row_bytes in (4096, 5000, 9000, 20_000):
+            rows = np.unique(rng.integers(0, 500, size=120))
+            np.testing.assert_array_equal(
+                legacy.pages_of_rows(rows, row_bytes),
+                new.pages_of_rows(rows, row_bytes),
+            )
+
+    def test_merge_requests_sorted_contract(self):
+        rng = np.random.default_rng(3)
+        pages = np.unique(rng.integers(0, 10_000, size=4_000))
+        assert Safs.merge_requests(pages) == \
+            LegacySafs.merge_requests(pages)
+
+    @pytest.mark.parametrize("fault_seed", [0, 3, 11])
+    def test_fetch_rows_with_faults(self, fault_seed):
+        spec = FaultSpec(ssd_error_rate=0.4, ssd_slow_rate=0.4)
+        rng = np.random.default_rng(31)
+
+        def run(cls):
+            safs = cls(OCZ_INTREPID_ARRAY,
+                       page_cache_bytes=64 * 4096,
+                       faults=FaultPlan(spec, seed=fault_seed))
+            rng_local = np.random.default_rng(31)
+            return [
+                _batch_tuple(safs.fetch_rows(
+                    np.unique(rng_local.integers(0, 8_000, size=1_500)),
+                    512, iteration=it,
+                ))
+                for it in range(6)
+            ]
+
+        assert run(LegacySafs) == run(Safs)
+
+
+class TestRowCacheEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("n_parts", [1, 4, 16])
+    def test_refresh_matches_legacy(self, seed, n_parts):
+        # Capacity divisible by partitions: the remainder fix is a
+        # no-op, so legacy and vectorized admit identical row sets.
+        n_rows, cap_rows = 50_000, 8 * n_parts * 100
+        rng = np.random.default_rng(seed)
+        legacy = LegacyRowCache(cap_rows * 8, 8, n_rows,
+                                n_partitions=n_parts)
+        new = RowCache(cap_rows * 8, 8, n_rows, n_partitions=n_parts)
+        it = legacy.update_interval
+        for _ in range(4):
+            active = np.unique(rng.integers(0, n_rows, size=20_000))
+            assert legacy.refresh(it, active) == new.refresh(it, active)
+            np.testing.assert_array_equal(legacy._cached, new._cached)
+            assert legacy._next_refresh == new._next_refresh
+            it = new._next_refresh
+
+    def test_empty_partitions(self):
+        """More partitions than rows: searchsorted on repeated bounds
+        must still land every row in the right partition."""
+        legacy = LegacyRowCache(10 * 8, 8, 6, n_partitions=10)
+        new = RowCache(10 * 8, 8, 6, n_partitions=10)
+        active = np.arange(6)
+        assert legacy.refresh(5, active) == new.refresh(5, active)
+        np.testing.assert_array_equal(legacy._cached, new._cached)
+
+
+def _io_digest(res):
+    return [
+        (r.cache_hits, r.cache_misses, r.io_requests,
+         r.bytes_requested, r.bytes_read, r.rows_active)
+        for r in res.records
+    ]
+
+
+class TestAsyncSyncConformance:
+    """The tentpole invariant: identical numerics and counters across
+    I/O modes; only simulated time moves, and only downward."""
+
+    def _pair(self, x, **kw):
+        crit = ConvergenceCriteria(max_iters=10)
+        sync = knors(x, 4, seed=0, criteria=crit, io_mode="sync", **kw)
+        asyn = knors(x, 4, seed=0, criteria=crit, io_mode="async", **kw)
+        return sync, asyn
+
+    def _assert_identical(self, sync, asyn):
+        np.testing.assert_array_equal(sync.assignment, asyn.assignment)
+        np.testing.assert_array_equal(sync.centroids, asyn.centroids)
+        assert sync.iterations == asyn.iterations
+        assert sync.converged == asyn.converged
+        assert _io_digest(sync) == _io_digest(asyn)
+
+    def test_clean_run(self, blobs):
+        sync, asyn = self._pair(blobs)
+        self._assert_identical(sync, asyn)
+        assert asyn.sim_seconds <= sync.sim_seconds
+
+    @pytest.mark.parametrize("pruning", [None, "mti"])
+    def test_pruning_modes(self, blobs, pruning):
+        sync, asyn = self._pair(blobs, pruning=pruning)
+        self._assert_identical(sync, asyn)
+        assert asyn.sim_seconds <= sync.sim_seconds
+
+    def test_async_strictly_faster_when_io_bound(self):
+        """On an I/O-heavy configuration the pipeline must actually
+        hide service time, not just tie (the Figure 6-7 claim)."""
+        rng = np.random.default_rng(4)
+        centers = rng.normal(scale=8.0, size=(8, 16))
+        x = centers[rng.integers(8, size=8_000)] \
+            + rng.normal(size=(8_000, 16))
+        crit = ConvergenceCriteria(max_iters=8)
+        init = x[rng.choice(8_000, size=8, replace=False)].copy()
+        sync = knors(x, 8, init=init, criteria=crit, io_mode="sync")
+        asyn = knors(x, 8, init=init, criteria=crit, io_mode="async")
+        self._assert_identical(sync, asyn)
+        assert asyn.sim_seconds < sync.sim_seconds
+
+    @pytest.mark.parametrize("fault_seed", [1, 7])
+    def test_fault_runs_stay_identical(self, blobs, fault_seed):
+        """Fault delay is computed from the sync service time, so
+        injected faults cannot desynchronize the two modes."""
+        spec = FaultSpec(ssd_error_rate=0.2, ssd_slow_rate=0.2)
+        sync, asyn = self._pair(
+            blobs, faults=FaultPlan(spec, seed=fault_seed)
+        )
+        self._assert_identical(sync, asyn)
+        assert asyn.sim_seconds <= sync.sim_seconds
+
+    def test_queue_depth_one_matches_sync_time(self, blobs):
+        """A depth-1 queue amortizes nothing; with no amortization and
+        a cold prefetcher the first iteration's wall matches sync."""
+        crit = ConvergenceCriteria(max_iters=3)
+        sync = knors(blobs, 4, seed=0, criteria=crit, io_mode="sync")
+        asyn = knors(blobs, 4, seed=0, criteria=crit, io_mode="async",
+                     io_queue_depth=1)
+        assert asyn.records[0].sim_ns == sync.records[0].sim_ns
