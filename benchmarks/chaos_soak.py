@@ -1,0 +1,207 @@
+"""Seeded chaos soak: randomized multi-fault plans vs two invariants.
+
+Each plan draws a random fault mix (SSD errors, crashes, corruption,
+stragglers, drops...) from ``default_rng([master_seed, plan_index])``
+and runs knors or knord under it. Exactly two outcomes are legal:
+
+1. The run completes -- then its centroids and assignment must be
+   **bit-identical** to the fault-free ground truth, and every injected
+   corruption must have been detected (``detection_recall == 1.0``).
+2. The run aborts -- then the exception must be a typed
+   :class:`~repro.errors.KnorError`.
+
+Anything else (wrong numbers, partial detection, a bare ``Exception``)
+is a violation; the script reports all of them in a JSON artifact and
+exits non-zero if any occurred. ``pytest -m chaos`` drives the same
+plan generator through :mod:`tests.test_chaos_soak`.
+
+Usage::
+
+    python benchmarks/chaos_soak.py            # 60 plans
+    python benchmarks/chaos_soak.py --quick    # 12 plans (CI smoke)
+    python benchmarks/chaos_soak.py --seeds 200 --master-seed 7
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import FaultPlan, knord, knors  # noqa: E402
+from repro.core import init_centroids  # noqa: E402
+from repro.data import write_matrix  # noqa: E402
+from repro.errors import KnorError  # noqa: E402
+from repro.faults import FaultSpec  # noqa: E402
+from repro.metrics import ResilienceObserver  # noqa: E402
+
+K = 6
+N_MACHINES = 4
+KNORS_KW = dict(row_cache_bytes=1 << 20, page_cache_bytes=1 << 20)
+
+
+def make_dataset(master_seed):
+    """Deterministic overlapping blobs (~600 x 5), plus centroids."""
+    rng = np.random.default_rng(master_seed)
+    centers = rng.normal(scale=2.5, size=(K, 5))
+    x = np.vstack(
+        [rng.normal(loc=c, scale=1.6, size=(100, 5)) for c in centers]
+    )
+    rng.shuffle(x)
+    return x, init_centroids(x, K, "random", seed=3)
+
+
+def draw_spec(rng, backend):
+    """One randomized multi-fault mix for the given backend."""
+    u = rng.random
+    if backend == "knors":
+        spec = dict(
+            ssd_error_rate=round(float(u() * 0.25), 3),
+            ssd_slow_rate=round(float(u() * 0.2), 3),
+            worker_crash_rate=round(float(u() * 0.15), 3),
+            corruption_page_rate=round(float(u() * 0.25), 3),
+            corruption_cache_rate=round(float(u() * 0.25), 3),
+            straggler_rate=round(float(u() * 0.2), 3),
+        )
+    else:
+        spec = dict(
+            node_failure_rate=round(float(u() * 0.1), 3),
+            msg_drop_rate=round(float(u() * 0.25), 3),
+            corruption_msg_rate=round(float(u() * 0.25), 3),
+            straggler_rate=round(float(u() * 0.2), 3),
+            straggler_factor=8.0,
+        )
+    # One plan in five is sabotaged: repairs always fail, so any
+    # corruption that fires MUST surface as a typed abort.
+    if u() < 0.2:
+        spec["corruption_repair_fail_rate"] = 1.0
+    return spec
+
+
+def run_plan(i, master_seed, dataset, centroids, path, workdir):
+    """Run one chaos plan; return its JSON-ready record."""
+    rng = np.random.default_rng([master_seed, i])
+    backend = "knors" if i % 2 == 0 else "knord"
+    spec_kw = draw_spec(rng, backend)
+    plan = FaultPlan(FaultSpec(**spec_kw), seed=int(rng.integers(2**31)))
+    res = ResilienceObserver()
+    checkpointed = backend == "knors" and i % 4 == 0
+    record = {
+        "plan": i,
+        "backend": backend,
+        "spec": spec_kw,
+        "checkpointed": checkpointed,
+    }
+    try:
+        if backend == "knors":
+            kw = dict(KNORS_KW)
+            if checkpointed:
+                ck = Path(workdir) / f"ck-{i}"
+                kw.update(checkpoint_dir=ck, checkpoint_interval=2)
+            result = knors(
+                path, K, init=centroids, seed=3, faults=plan,
+                observers=(res,), **kw,
+            )
+        else:
+            result = knord(
+                dataset, K, init=centroids, seed=3,
+                n_machines=N_MACHINES, faults=plan, observers=(res,),
+            )
+    except KnorError as exc:
+        record["outcome"] = "aborted"
+        record["error"] = type(exc).__name__
+        record["counters"] = res.counters.as_dict()
+        return record, None
+    except Exception as exc:  # noqa: BLE001 -- untyped escape = violation
+        record["outcome"] = "untyped-error"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["counters"] = res.counters.as_dict()
+        return record, f"plan {i}: untyped exception {record['error']}"
+    record["outcome"] = "completed"
+    record["counters"] = res.counters.as_dict()
+    return record, result
+
+
+def check_completed(record, result, truth):
+    """Invariants for a completed run; returns a violation or None."""
+    i = record["plan"]
+    c = record["counters"]
+    if not (
+        np.array_equal(result.centroids, truth.centroids)
+        and np.array_equal(result.assignment, truth.assignment)
+        and result.iterations == truth.iterations
+    ):
+        return f"plan {i}: completed run diverged from fault-free truth"
+    if c["detection_recall"] != 1.0:
+        return (
+            f"plan {i}: detection recall {c['detection_recall']} "
+            f"({c['corruptions_detected']}/{c['corruptions_injected']})"
+        )
+    return None
+
+
+def soak(n_plans, master_seed, workdir):
+    """Run the full soak; returns the report dict."""
+    dataset, centroids = make_dataset(master_seed)
+    path = str(write_matrix(Path(workdir) / "chaos.knor", dataset))
+    truth = {
+        "knors": knors(path, K, init=centroids, seed=3, **KNORS_KW),
+        "knord": knord(dataset, K, init=centroids, seed=3,
+                       n_machines=N_MACHINES),
+    }
+    plans, violations = [], []
+    for i in range(n_plans):
+        record, result = run_plan(
+            i, master_seed, dataset, centroids, path, workdir
+        )
+        if record["outcome"] == "untyped-error":
+            violations.append(result)
+        elif record["outcome"] == "completed":
+            bad = check_completed(record, result, truth[record["backend"]])
+            if bad:
+                violations.append(bad)
+        plans.append(record)
+    n_done = sum(1 for p in plans if p["outcome"] == "completed")
+    n_abort = sum(1 for p in plans if p["outcome"] == "aborted")
+    return {
+        "master_seed": master_seed,
+        "n_plans": n_plans,
+        "completed": n_done,
+        "aborted": n_abort,
+        "violations": violations,
+        "plans": plans,
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seeds", type=int, default=60,
+                    help="number of chaos plans (default 60)")
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke: 12 plans")
+    ap.add_argument("--master-seed", type=int, default=0)
+    ap.add_argument("--out", default="CHAOS_soak.json")
+    args = ap.parse_args(argv)
+    n_plans = 12 if args.quick else args.seeds
+
+    with tempfile.TemporaryDirectory() as workdir:
+        report = soak(n_plans, args.master_seed, workdir)
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"chaos soak: {report['n_plans']} plans, "
+        f"{report['completed']} completed bit-identical, "
+        f"{report['aborted']} typed aborts, "
+        f"{len(report['violations'])} violations -> {args.out}"
+    )
+    for v in report["violations"]:
+        print(f"VIOLATION: {v}", file=sys.stderr)
+    return 1 if report["violations"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,12 +70,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "collectives) to stderr",
     )
     parser.add_argument(
+        "--empty-cluster", choices=["drop", "reseed", "error"],
+        default="drop",
+        help="policy when a cluster loses all members: keep the "
+        "previous centroid (drop, default), reseed from the farthest "
+        "point (unpruned only), or abort (error)",
+    )
+    parser.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="inject seeded faults, e.g. "
-        "'ssd_error=0.1,worker_crash=0.05,node_fail=0.02' "
+        "'ssd_error=0.1,worker_crash=0.05,corrupt_page=0.05' "
         "(keys: ssd_error, ssd_slow, ssd_slow_factor, ssd_retry_fail, "
         "worker_crash, max_worker_crashes, node_fail, "
-        "max_node_failures, msg_drop, max_msg_drops)",
+        "max_node_failures, msg_drop, max_msg_drops, corrupt_page, "
+        "corrupt_cache, corrupt_msg, corrupt_repair_fail, "
+        "max_corruptions, straggler, straggler_factor, max_stragglers)",
     )
     parser.add_argument(
         "--fault-seed", type=int, default=0,
@@ -182,6 +191,7 @@ def cmd_convert(args: argparse.Namespace) -> int:
     path = convert_to_knor(
         args.src, args.output, fmt=args.format,
         delimiter=args.delimiter, skip_header=args.skip_header,
+        allow_nonfinite=args.allow_nonfinite,
     )
     mf = MatrixFile(path)
     print(f"wrote {path}: n={mf.n} d={mf.d}")
@@ -201,6 +211,7 @@ def cmd_knori(args: argparse.Namespace) -> int:
         criteria=ConvergenceCriteria(max_iters=args.max_iters),
         observers=_observers(args),
         faults=plan,
+        empty_cluster=args.empty_cluster,
     )
     _finish(result, args.out,
             quality_data=x if args.quality else None,
@@ -227,6 +238,7 @@ def cmd_knors(args: argparse.Namespace) -> int:
         observers=_observers(args),
         faults=plan,
         retry_policy=policy,
+        empty_cluster=args.empty_cluster,
     )
     qd = (
         MatrixFile(args.matrix).read_rows(None) if args.quality else None
@@ -254,6 +266,7 @@ def cmd_knord(args: argparse.Namespace) -> int:
         observers=_observers(args),
         faults=plan,
         retry_policy=policy,
+        empty_cluster=args.empty_cluster,
     )
     _finish(result, args.out,
             quality_data=x if args.quality else None,
@@ -291,6 +304,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="inferred from suffix when omitted")
     conv.add_argument("--delimiter", default=",")
     conv.add_argument("--skip-header", type=int, default=0)
+    conv.add_argument(
+        "--allow-nonfinite", action="store_true",
+        help="accept NaN/inf rows instead of rejecting the matrix",
+    )
     conv.set_defaults(func=cmd_convert)
 
     im = sub.add_parser("knori", help="in-memory clustering")

@@ -41,6 +41,11 @@ from repro.core.centroids import (
     funnel_merge,
     move_rows,
 )
+from repro.core.empty import (
+    EMPTY_CLUSTER_POLICIES,
+    check_empty_cluster_policy,
+    reseed_empty_clusters,
+)
 from repro.core.workspace import DistanceWorkspace
 from repro.core.lloyd import lloyd, LloydResult
 from repro.core.pll import full_iteration, FullIterationResult
@@ -84,4 +89,7 @@ __all__ = [
     "elkan_iteration",
     "ElkanIterationResult",
     "ConvergenceCriteria",
+    "EMPTY_CLUSTER_POLICIES",
+    "check_empty_cluster_policy",
+    "reseed_empty_clusters",
 ]

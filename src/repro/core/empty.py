@@ -1,0 +1,87 @@
+"""Empty-cluster recovery policies.
+
+When no point chooses a centroid, the library has historically kept the
+centroid in place (knor's default, here called ``"drop"`` -- the
+cluster is dropped from this update but survives with its old mean).
+Two further policies are offered:
+
+* ``"reseed"``: knor-style farthest-point reseeding. Each empty
+  centroid jumps to the point currently farthest from its assigned
+  centroid -- the point most poorly served by the clustering -- which
+  both revives the cluster and caps the objective's worst term. Ties
+  break to the lowest row index and a point is used for at most one
+  reseed, so the outcome is deterministic.
+* ``"error"``: raise :class:`~repro.errors.EmptyClusterError`. For
+  pipelines where a vanished cluster means the ``k`` was wrong and the
+  run should fail loudly instead of silently returning fewer real
+  clusters.
+
+Reseeding perturbs the iteration's numerics (a centroid moves, a point
+changes membership), so it only composes with the unpruned algorithm;
+the pruned algorithms' bound structures (MTI upper bounds, Elkan's
+bound matrix) would be invalidated by a teleporting centroid. Drivers
+enforce that combination with :class:`~repro.errors.ConfigError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Accepted values for the ``empty_cluster`` driver parameter.
+EMPTY_CLUSTER_POLICIES = ("drop", "reseed", "error")
+
+
+def check_empty_cluster_policy(policy: str) -> str:
+    """Validate an ``empty_cluster`` argument and pass it through."""
+    if policy not in EMPTY_CLUSTER_POLICIES:
+        raise ConfigError(
+            f"empty_cluster must be one of {EMPTY_CLUSTER_POLICIES}, "
+            f"got {policy!r}"
+        )
+    return policy
+
+
+def reseed_empty_clusters(
+    x: np.ndarray,
+    centroids: np.ndarray,
+    assignment: np.ndarray,
+    mindist: np.ndarray,
+    counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[int]]:
+    """Reseed every empty cluster from the current farthest point.
+
+    Empty clusters are processed in ascending cluster order; each takes
+    the unused point with the largest distance to its assigned centroid
+    (``np.argmax`` ties break to the lowest index). The point's old
+    cluster loses a member, the revived cluster gains one, and the
+    point's distance-to-centroid drops to zero (it *is* the centroid).
+
+    Returns ``(centroids, assignment, mindist, counts, reseeded)`` --
+    fresh arrays, inputs untouched -- where ``reseeded`` lists the
+    cluster ids that were revived.
+    """
+    out = np.array(centroids, dtype=np.float64, copy=True)
+    assign = np.array(assignment, copy=True)
+    md = np.array(mindist, dtype=np.float64, copy=True)
+    cnt = np.array(counts, copy=True)
+    if md.shape[0] != assign.shape[0]:
+        raise ConfigError(
+            f"mindist has {md.shape[0]} rows, assignment "
+            f"{assign.shape[0]}"
+        )
+    scores = md.copy()
+    reseeded: list[int] = []
+    for c in np.nonzero(cnt == 0)[0]:
+        p = int(np.argmax(scores))
+        if not np.isfinite(scores[p]) and scores[p] < 0:
+            break  # every point already spent on an earlier reseed
+        out[c] = x[p]
+        cnt[int(assign[p])] -= 1
+        cnt[c] += 1
+        assign[p] = c
+        md[p] = 0.0
+        scores[p] = -np.inf
+        reseeded.append(int(c))
+    return out, assign, md, cnt, reseeded

@@ -16,8 +16,13 @@ import numpy as np
 from repro.core.centroids import cluster_sums
 from repro.core.convergence import ConvergenceCriteria
 from repro.core.distance import nearest_centroid
+from repro.core.empty import (
+    check_empty_cluster_policy,
+    reseed_empty_clusters,
+)
 from repro.core.init import init_centroids
 from repro.core.workspace import DistanceWorkspace
+from repro.errors import EmptyClusterError
 
 
 @dataclass
@@ -48,6 +53,7 @@ def lloyd(
     init: str | np.ndarray = "random",
     seed: int = 0,
     criteria: ConvergenceCriteria | None = None,
+    empty_cluster: str = "drop",
 ) -> LloydResult:
     """Cluster ``x`` into ``k`` clusters with serial Lloyd's.
 
@@ -59,6 +65,12 @@ def lloyd(
     criteria:
         Stopping rules; defaults to exact convergence capped at 100
         iterations.
+    empty_cluster:
+        Policy when a cluster loses all members (see
+        :mod:`repro.core.empty`): ``"drop"`` keeps the previous
+        centroid, ``"reseed"`` revives it from the farthest point,
+        ``"error"`` raises
+        :class:`~repro.errors.EmptyClusterError`.
 
     Examples
     --------
@@ -74,6 +86,7 @@ def lloyd(
     """
     x = np.asarray(x, dtype=np.float64)
     crit = criteria or ConvergenceCriteria()
+    check_empty_cluster_policy(empty_cluster)
     if isinstance(init, np.ndarray):
         centroids = np.array(init, dtype=np.float64, copy=True)
     else:
@@ -94,12 +107,23 @@ def lloyd(
         new_assign, mindist = nearest_centroid(
             x, centroids, workspace=workspace
         )
-        n_changed = int(np.count_nonzero(new_assign != assign))
-        changed_history.append(n_changed)
+        prev_assign = assign
         assign = new_assign
         partial = cluster_sums(x, assign, k, scratch=workspace.accum)
         prev = centroids
         centroids = partial.finalize(prev)
+        if empty_cluster != "drop" and not (partial.counts > 0).all():
+            empty = np.nonzero(partial.counts == 0)[0]
+            if empty_cluster == "error":
+                raise EmptyClusterError(
+                    f"clusters {empty.tolist()} lost all members at "
+                    f"iteration {iterations} (empty_cluster='error')"
+                )
+            centroids, assign, mindist, _, _ = reseed_empty_clusters(
+                x, centroids, assign, mindist, partial.counts
+            )
+        n_changed = int(np.count_nonzero(assign != prev_assign))
+        changed_history.append(n_changed)
         motion = np.sqrt(((centroids - prev) ** 2).sum(axis=1))
         if crit.converged(x.shape[0], n_changed, motion):
             converged = True

@@ -23,7 +23,11 @@ import numpy as np
 
 from repro.core.centroids import PartialCentroids, funnel_merge
 from repro.core.distance import nearest_centroid
-from repro.errors import DatasetError
+from repro.core.empty import (
+    check_empty_cluster_policy,
+    reseed_empty_clusters,
+)
+from repro.errors import DatasetError, EmptyClusterError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.workspace import DistanceWorkspace
@@ -39,6 +43,9 @@ class FullIterationResult:
     n_changed: int
     dist_per_row: np.ndarray  # (n,) int32 -- always k here
     needs_data: np.ndarray  # (n,) bool -- always True here
+    #: Cluster ids revived by the ``reseed`` empty-cluster policy this
+    #: iteration (empty unless the policy fired).
+    reseeded: tuple[int, ...] = ()
 
 
 def full_iteration(
@@ -48,6 +55,7 @@ def full_iteration(
     *,
     n_partitions: int = 1,
     workspace: "DistanceWorkspace | None" = None,
+    empty_cluster: str = "drop",
 ) -> FullIterationResult:
     """Run one super-phase with pruning disabled.
 
@@ -66,12 +74,19 @@ def full_iteration(
         Optional :class:`~repro.core.workspace.DistanceWorkspace`
         supplying cached centroid norms and reusable block buffers;
         results are bit-identical with or without it.
+    empty_cluster:
+        Policy when a cluster loses all members (see
+        :mod:`repro.core.empty`): ``"drop"`` keeps the previous
+        centroid (the historical behavior), ``"reseed"`` revives the
+        cluster from the farthest point, ``"error"`` raises
+        :class:`~repro.errors.EmptyClusterError`.
     """
     x = np.asarray(x, dtype=np.float64)
     k, d = centroids.shape
     n = x.shape[0]
     if n_partitions < 1:
         raise DatasetError(f"n_partitions must be >= 1, got {n_partitions}")
+    check_empty_cluster_policy(empty_cluster)
 
     assign, mindist = nearest_centroid(x, centroids, workspace=workspace)
 
@@ -89,6 +104,20 @@ def full_iteration(
     merged = funnel_merge(partials)
     new_centroids = merged.finalize(centroids)
 
+    reseeded: list[int] = []
+    if empty_cluster != "drop" and not (merged.counts > 0).all():
+        empty = np.nonzero(merged.counts == 0)[0]
+        if empty_cluster == "error":
+            raise EmptyClusterError(
+                f"clusters {empty.tolist()} lost all members "
+                f"(empty_cluster='error')"
+            )
+        new_centroids, assign, mindist, _, reseeded = (
+            reseed_empty_clusters(
+                x, new_centroids, assign, mindist, merged.counts
+            )
+        )
+
     if prev_assignment is None:
         n_changed = n
     else:
@@ -101,4 +130,5 @@ def full_iteration(
         n_changed=n_changed,
         dist_per_row=np.full(n, k, dtype=np.int32),
         needs_data=np.ones(n, dtype=bool),
+        reseeded=tuple(reseeded),
     )

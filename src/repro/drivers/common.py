@@ -15,8 +15,9 @@ from repro.core import (
     mti_iteration,
 )
 from repro.core.distance import rows_to_centroids
+from repro.core.empty import check_empty_cluster_policy
 from repro.core.workspace import DistanceWorkspace
-from repro.errors import ConfigError
+from repro.errors import ConfigError, EmptyClusterError
 from repro.sched import (
     FifoScheduler,
     NumaAwareScheduler,
@@ -79,9 +80,17 @@ class NumericsLoop:
         pruning: str | None,
         *,
         n_partitions: int = 1,
+        empty_cluster: str = "drop",
     ) -> None:
         self.x = x
         self.pruning = check_pruning(pruning)
+        self.empty_cluster = check_empty_cluster_policy(empty_cluster)
+        if empty_cluster == "reseed" and self.pruning is not None:
+            raise ConfigError(
+                "empty_cluster='reseed' teleports centroids, which "
+                "invalidates the pruned algorithms' bound structures; "
+                "use pruning=None or empty_cluster in ('drop', 'error')"
+            )
         self.n_partitions = n_partitions
         self._centroids0 = np.array(
             centroids0, dtype=np.float64, copy=True
@@ -129,6 +138,7 @@ class NumericsLoop:
                 self._assignment,
                 n_partitions=self.n_partitions,
                 workspace=self._workspace,
+                empty_cluster=self.empty_cluster,
             )
             self._assignment = res.assignment
             out = IterationNumerics(
@@ -176,6 +186,14 @@ class NumericsLoop:
                 clause3_pruned=res.clause3_pruned,
                 motion=res.motion,
             )
+        if self.pruning is not None and self.empty_cluster == "error":
+            counts = self._state.counts
+            if not (counts > 0).all():
+                empty = np.nonzero(counts == 0)[0]
+                raise EmptyClusterError(
+                    f"clusters {empty.tolist()} lost all members at "
+                    f"iteration {self.iteration} (empty_cluster='error')"
+                )
         self.prev_centroids = self.centroids
         self.centroids = out.new_centroids
         self.iteration += 1

@@ -66,6 +66,7 @@ def knord(
     observers: Sequence[RunObserver] = (),
     faults: "FaultPlan | None" = None,
     retry_policy: "RetryPolicy | None" = None,
+    empty_cluster: str = "drop",
 ) -> RunResult:
     """Distributed NUMA-optimized k-means on a simulated cluster.
 
@@ -89,7 +90,15 @@ def knord(
         :class:`~repro.faults.RetryPolicy`. Node failures either
         degrade (reshard onto survivors; bit-identical results) or
         abort per ``retry_policy.node_failure_mode``; dropped
-        allreduce messages charge timeout + retransmission.
+        allreduce messages charge timeout + retransmission. Slow
+        nodes (``straggler`` site) are flagged by per-machine EWMA
+        and their shards re-shard onto healthy machines; corrupted
+        allreduce payloads are CRC32-detected and retransmitted.
+    empty_cluster:
+        ``"drop"`` (keep the previous centroid, the default) or
+        ``"error"`` (abort when a cluster's *global* count hits
+        zero). ``"reseed"`` is not offered distributed -- it would
+        need a second collective to agree on the farthest point.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2:
@@ -97,8 +106,17 @@ def knord(
     pruning = check_pruning(pruning)
     if pruning == "elkan":
         raise ConfigError("knord supports pruning='mti' or None")
+    if empty_cluster == "reseed":
+        raise ConfigError(
+            "knord supports empty_cluster='drop' or 'error'; reseeding "
+            "needs a second collective to pick a global farthest point"
+        )
     crit = default_criteria(criteria)
     n, d = x.shape
+    if k > n:
+        raise DatasetError(
+            f"k={k} clusters cannot exceed the n={n} data rows"
+        )
 
     if cluster is None:
         cluster = Cluster.build(
@@ -113,7 +131,9 @@ def knord(
         raise DatasetError(f"n={n} rows cannot shard over {p} machines")
 
     centroids0 = resolve_init(x, k, init, seed)
-    sharded = ShardedKmeans(x, centroids0, pruning, p, k)
+    sharded = ShardedKmeans(
+        x, centroids0, pruning, p, k, empty_cluster=empty_cluster
+    )
     schedulers = [make_scheduler(scheduler) for _ in range(p)]
     # Per-machine memory accounting (machines are identical; report
     # machine 0, flagged per-machine in params).

@@ -71,6 +71,7 @@ def knori(
     machine: SimMachine | None = None,
     observers: Sequence[RunObserver] = (),
     faults: "FaultPlan | None" = None,
+    empty_cluster: str = "drop",
 ) -> RunResult:
     """In-memory NUMA-optimized k-means on a simulated machine.
 
@@ -107,7 +108,13 @@ def knori(
         Optional :class:`~repro.faults.FaultPlan`. Worker crashes are
         answered by a deterministic from-scratch rerun (the paper
         offers no in-memory checkpointing); results stay bit-identical
-        to a fault-free run.
+        to a fault-free run. Straggler injections slow simulated
+        threads and engage EWMA-based detection plus work rebalancing
+        (simulated time only, numerics untouched).
+    empty_cluster:
+        Policy when a cluster loses all members: ``"drop"`` (keep the
+        previous centroid, the default), ``"reseed"`` (revive from the
+        farthest point; unpruned algorithm only), or ``"error"``.
 
     Returns
     -------
@@ -119,6 +126,10 @@ def knori(
     if x.ndim != 2:
         raise DatasetError(f"x must be 2-D, got shape {x.shape}")
     n, d = x.shape
+    if k > n:
+        raise DatasetError(
+            f"k={k} clusters cannot exceed the n={n} data rows"
+        )
     pruning = check_pruning(pruning)
     crit = default_criteria(criteria)
 
@@ -133,7 +144,8 @@ def knori(
     register_inmemory_memory(machine, n, d, k, pruning)
 
     loop = NumericsLoop(
-        x, centroids0, pruning, n_partitions=machine.n_threads
+        x, centroids0, pruning, n_partitions=machine.n_threads,
+        empty_cluster=empty_cluster,
     )
     backend = InMemoryBackend(
         machine,
@@ -143,6 +155,7 @@ def knori(
         d=d,
         reduction_k=k,
         task_rows=task_rows,
+        faults=faults,
     )
     result = IterationLoop(
         backend, criteria=crit, observers=observers, faults=faults

@@ -95,6 +95,7 @@ def knors(
     observers: Sequence[RunObserver] = (),
     faults: "FaultPlan | None" = None,
     retry_policy: "RetryPolicy | None" = None,
+    empty_cluster: str = "drop",
 ) -> RunResult:
     """Semi-external-memory k-means over an SSD-resident matrix.
 
@@ -143,9 +144,25 @@ def knors(
         pages are absorbed by the retry policy (charged simulated
         time); worker and mid-checkpoint crashes resume from the
         newest checkpoint (or rerun from scratch without one) with
-        bit-identical results.
+        bit-identical results. Injected corruptions (SSD pages, row
+        cache lines, checkpoints, allreduce payloads) are detected by
+        CRC32 verification, quarantined and repaired from a clean
+        source -- or abort with
+        :class:`~repro.errors.CorruptionError` when repair exhausts
+        the retry budget. Stragglers slow simulated threads and engage
+        EWMA detection plus rebalancing (simulated time only).
+    empty_cluster:
+        Policy when a cluster loses all members: ``"drop"`` (keep the
+        previous centroid, the default), ``"reseed"`` (revive from the
+        farthest point; unpruned algorithm only), or ``"error"``.
     """
     x, n, d = resolve_row_data(data)
+    if k > n:
+        from repro.errors import DatasetError
+
+        raise DatasetError(
+            f"k={k} clusters cannot exceed the n={n} data rows"
+        )
     pruning = check_pruning(pruning)
     crit = default_criteria(criteria)
     row_bytes = d * _F64
@@ -194,7 +211,10 @@ def knors(
     )
 
     centroids0 = resolve_init(np.asarray(x), k, init, seed)
-    loop = NumericsLoop(x, centroids0, pruning, n_partitions=t)
+    loop = NumericsLoop(
+        x, centroids0, pruning, n_partitions=t,
+        empty_cluster=empty_cluster,
+    )
 
     start_it = 0
     if resume and checkpoint_dir is not None and has_checkpoint(
@@ -240,6 +260,7 @@ def knors(
         task_rows=task_rows,
         checkpoint=checkpoint,
         io_mode=io_mode,
+        faults=faults,
     )
     result = IterationLoop(
         backend,

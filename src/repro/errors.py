@@ -35,6 +35,10 @@ class ConvergenceError(KnorError):
     """An iterative routine failed to make progress (e.g. k > n)."""
 
 
+class EmptyClusterError(ConvergenceError):
+    """A cluster lost all members under ``empty_cluster="error"``."""
+
+
 class CommunicatorError(KnorError):
     """Misuse of the simulated MPI communicator."""
 
@@ -60,3 +64,13 @@ class NodeFailureError(FaultError):
 class RetryExhaustedError(FaultError):
     """A retried operation (SSD read, allreduce retransmit) kept
     failing past the :class:`~repro.faults.RetryPolicy` budget."""
+
+
+class CorruptionError(FaultError):
+    """Detected data corruption that could not be repaired.
+
+    Raised when a CRC32 verification failed (SSD page, cached row,
+    checkpoint array, or allreduce payload) and the quarantine +
+    re-read repair loop exhausted its :class:`~repro.faults.RetryPolicy`
+    budget -- or when no clean source exists to re-read from. The
+    library aborts rather than cluster on garbage."""

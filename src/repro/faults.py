@@ -23,6 +23,15 @@ site         injected fault
 ``node``     permanent machine loss in a distributed run
              (re-shard-and-continue or clean abort, per policy)
 ``net``      dropped allreduce transmission (timeout + retransmit)
+``corruption``  flipped bytes in a simulated SSD page, a
+             DRAM-resident cached row, a checkpoint array or an
+             in-flight allreduce payload -- always *detected* by the
+             CRC32 integrity layer (:mod:`repro.resilience`), then
+             quarantined and re-read/retransmitted, or aborted with
+             :class:`~repro.errors.CorruptionError`
+``straggler``  a thread or machine that keeps running but slower by
+             ``straggler_factor`` (detected by EWMA, answered by
+             work re-partitioning; timing-plane only)
 ===========  ====================================================
 
 Two construction modes:
@@ -56,8 +65,10 @@ import numpy as np
 from repro.errors import ConfigError
 
 #: Injection sites, in stream-index order (the order is part of the
-#: on-disk meaning of a fault seed -- do not reorder).
-SITES = ("ssd", "worker", "checkpoint", "node", "net")
+#: on-disk meaning of a fault seed -- do not reorder; new sites are
+#: appended so existing seeds keep their meaning).
+SITES = ("ssd", "worker", "checkpoint", "node", "net", "corruption",
+         "straggler")
 
 #: Crash points accepted inside ``save_checkpoint``.
 CHECKPOINT_CRASH_POINTS = (
@@ -88,11 +99,29 @@ class FaultSpec:
     max_node_failures: int = 1
     msg_drop_rate: float = 0.0
     max_msg_drops: int = 8
+    #: Corruption rates: flipped bytes in an SSD page batch, a cached
+    #: row, or an allreduce payload (checkpoint corruption is
+    #: schedule-only, like checkpoint crashes).
+    corruption_page_rate: float = 0.0
+    corruption_cache_rate: float = 0.0
+    corruption_msg_rate: float = 0.0
+    #: Chance that the re-read/retransmission of corrupted data is
+    #: corrupt again.
+    corruption_repair_fail_rate: float = 0.0
+    max_corruptions: int = 8
+    #: Chance per iteration that one thread/machine starts straggling.
+    straggler_rate: float = 0.0
+    #: Execution-time multiplier of a straggling thread/machine.
+    straggler_factor: float = 4.0
+    max_stragglers: int = 2
 
     def __post_init__(self) -> None:
         for name in (
             "ssd_error_rate", "ssd_slow_rate", "ssd_retry_fail_rate",
             "worker_crash_rate", "node_failure_rate", "msg_drop_rate",
+            "corruption_page_rate", "corruption_cache_rate",
+            "corruption_msg_rate", "corruption_repair_fail_rate",
+            "straggler_rate",
         ):
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
@@ -105,8 +134,14 @@ class FaultSpec:
             raise ConfigError(
                 f"ssd_slow_factor must be >= 1, got {self.ssd_slow_factor}"
             )
+        if self.straggler_factor < 1.0:
+            raise ConfigError(
+                f"straggler_factor must be >= 1, got "
+                f"{self.straggler_factor}"
+            )
         for name in (
-            "max_worker_crashes", "max_node_failures", "max_msg_drops"
+            "max_worker_crashes", "max_node_failures", "max_msg_drops",
+            "max_corruptions", "max_stragglers",
         ):
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be >= 0")
@@ -118,6 +153,8 @@ class FaultSpec:
             for f in (
                 "ssd_error_rate", "ssd_slow_rate", "worker_crash_rate",
                 "node_failure_rate", "msg_drop_rate",
+                "corruption_page_rate", "corruption_cache_rate",
+                "corruption_msg_rate", "straggler_rate",
             )
         )
 
@@ -159,8 +196,30 @@ class RetryPolicy:
             )
 
     def backoff(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based), ns."""
+        """Backoff before retry number ``attempt`` (1-based), ns.
+
+        ``attempt=0`` means "no retry happened" and charges exactly
+        0.0, so exhaustion accounting stays a pure function of the
+        fault seed across backends (the naive exponential would
+        charge ``backoff_ns / multiplier`` there -- a float that
+        differs between sites that start counting at 0 vs. 1).
+        """
+        if attempt < 0:
+            raise ConfigError(
+                f"retry attempt must be >= 0, got {attempt}"
+            )
+        if attempt == 0:
+            return 0.0
         return self.backoff_ns * self.backoff_multiplier ** (attempt - 1)
+
+    def schedule(self, n: int | None = None) -> tuple[float, ...]:
+        """The backoff schedule for attempts ``1..n`` (defaults to the
+        full retry budget). A pinned, deterministic tuple: the total
+        delay of an exhausted retry loop is ``sum(schedule())`` plus
+        the per-site service charges, independent of which site
+        retried."""
+        n = self.max_retries if n is None else n
+        return tuple(self.backoff(i) for i in range(1, n + 1))
 
 
 #: The drivers' default policy when faults are enabled.
@@ -174,9 +233,12 @@ class FaultEvent:
     ``site`` is one of :data:`SITES`; ``kind`` names the fault within
     the site (``read_error`` / ``slow`` for ssd, ``crash`` for worker,
     a :data:`CHECKPOINT_CRASH_POINTS` entry for checkpoint, ``fail``
-    for node, ``drop`` for net). ``machine`` targets a node failure;
+    for node, ``drop`` for net, ``page`` / ``cache`` / ``message`` /
+    ``checkpoint`` for corruption, ``slow`` for straggler).
+    ``machine`` targets a node failure or a straggling thread/machine;
     ``times`` repeats the event (a ``read_error`` with ``times=2``
-    also fails the first retry).
+    also fails the first retry; a corruption with ``times=2`` also
+    corrupts the first re-read).
     """
 
     site: str
@@ -191,6 +253,8 @@ class FaultEvent:
         "checkpoint": CHECKPOINT_CRASH_POINTS,
         "node": ("fail",),
         "net": ("drop",),
+        "corruption": ("page", "cache", "message", "checkpoint"),
+        "straggler": ("slow",),
     }
 
     def __post_init__(self) -> None:
@@ -230,6 +294,21 @@ class FaultPlan:
         self.worker_crashes = 0
         self.node_failures = 0
         self.msg_drops = 0
+        self.corruptions = 0
+        self.stragglers = 0
+        #: Can this plan ever produce a straggler / corruption? The
+        #: backends gate the detection machinery (EWMA tracking, CRC
+        #: verification) on these so plans without those sites keep
+        #: byte-identical event traces with older code.
+        self.straggler_enabled = self.spec.straggler_rate > 0.0 or any(
+            ev.site == "straggler" for ev in self._schedule
+        )
+        self.corruption_enabled = (
+            self.spec.corruption_page_rate > 0.0
+            or self.spec.corruption_cache_rate > 0.0
+            or self.spec.corruption_msg_rate > 0.0
+            or any(ev.site == "corruption" for ev in self._schedule)
+        )
 
     @classmethod
     def from_schedule(cls, events: list[FaultEvent]) -> "FaultPlan":
@@ -345,6 +424,96 @@ class FaultPlan:
             return True
         return False
 
+    # -- corruption site ----------------------------------------------
+
+    def _corruption(self, iteration: int, kind: str, rate: float) -> bool:
+        if self._take("corruption", iteration, kind) is not None:
+            self.corruptions += 1
+            return True
+        if rate == 0.0 or self.corruptions >= self.spec.max_corruptions:
+            return False
+        if self._draw("corruption") < rate:
+            self.corruptions += 1
+            return True
+        return False
+
+    def page_corruption(self, iteration: int) -> bool:
+        """Is one page of the current SSD read batch corrupted?"""
+        return self._corruption(
+            iteration, "page", self.spec.corruption_page_rate
+        )
+
+    def cache_corruption(self, iteration: int) -> bool:
+        """Is one DRAM-resident cached row corrupted this iteration?"""
+        return self._corruption(
+            iteration, "cache", self.spec.corruption_cache_rate
+        )
+
+    def message_corruption(self, iteration: int) -> bool:
+        """Is the current allreduce payload corrupted in flight?"""
+        return self._corruption(
+            iteration, "message", self.spec.corruption_msg_rate
+        )
+
+    def checkpoint_corruption(self, iteration: int) -> bool:
+        """Are this iteration's checkpoint arrays corrupted on disk?
+
+        Schedule-only, like :meth:`checkpoint_crash`: flipping real
+        bytes in a just-committed file is a surgical test fixture.
+        """
+        if self._take("corruption", iteration, "checkpoint") is not None:
+            self.corruptions += 1
+            return True
+        return False
+
+    def corruption_repair_fails(self, iteration: int, kind: str) -> bool:
+        """Is the re-read/retransmission of corrupted data bad too?"""
+        if self._take("corruption", iteration, kind) is not None:
+            return True
+        if self.spec.corruption_repair_fail_rate == 0.0:
+            return False
+        return (
+            self._draw("corruption")
+            < self.spec.corruption_repair_fail_rate
+        )
+
+    def corruption_offset(self, nbytes: int) -> int:
+        """Deterministic byte offset for a flip (corruption stream)."""
+        return int(self._rng["corruption"].integers(nbytes))
+
+    # -- straggler site -----------------------------------------------
+
+    def straggler(
+        self, iteration: int, candidates: list[int]
+    ) -> tuple[int, float] | None:
+        """``(victim, slow_factor)`` if a worker starts straggling.
+
+        ``candidates`` lists the healthy thread/machine ids still
+        running at full speed; the victim is drawn from the straggler
+        stream, so the choice is a pure function of the fault seed.
+        """
+        ev = self._take("straggler", iteration, "slow")
+        if ev is not None:
+            self.stragglers += 1
+            victim = (
+                ev.machine if ev.machine is not None else candidates[0]
+            )
+            if victim not in candidates:
+                return None
+            return victim, self.spec.straggler_factor
+        spec = self.spec
+        if (
+            spec.straggler_rate == 0.0
+            or self.stragglers >= spec.max_stragglers
+            or not candidates
+        ):
+            return None
+        if self._draw("straggler") < spec.straggler_rate:
+            self.stragglers += 1
+            idx = int(self._rng["straggler"].integers(len(candidates)))
+            return candidates[idx], spec.straggler_factor
+        return None
+
 
 def faulty_collective_ns(
     plan: FaultPlan | None,
@@ -352,16 +521,20 @@ def faulty_collective_ns(
     iteration: int,
     base_ns: float,
     observer,
+    *,
+    payload: "np.ndarray | None" = None,
 ) -> float:
-    """Charge dropped-allreduce timeouts and retransmissions.
+    """Charge dropped/corrupted-allreduce timeouts and retransmissions.
 
     Each drop costs the detection timeout plus a full retransmission
     of the collective; the reduced *values* are unaffected (the
     arithmetic already happened in-process, deterministically).
-    Raises :class:`~repro.errors.RetryExhaustedError` past the
-    policy's retry budget.
+    A corrupted in-flight ``payload`` is detected by a real CRC32
+    check of the tampered bytes, then retransmitted under the same
+    budget. Raises :class:`~repro.errors.RetryExhaustedError` /
+    :class:`~repro.errors.CorruptionError` past the policy's budget.
     """
-    from repro.errors import RetryExhaustedError
+    from repro.errors import CorruptionError, RetryExhaustedError
 
     if plan is None:
         return base_ns
@@ -383,6 +556,48 @@ def faulty_collective_ns(
         observer.on_recovery(
             iteration, "net", "retransmit", {"attempts": attempt}
         )
+    if plan.message_corruption(iteration):
+        from repro.resilience.integrity import crc32_bytes, flip_byte
+
+        clean = (
+            np.ascontiguousarray(payload).tobytes()
+            if payload is not None
+            else int(iteration).to_bytes(8, "little", signed=True)
+        )
+        crc = crc32_bytes(clean)
+        bad = 0
+        while True:
+            bad += 1
+            offset = plan.corruption_offset(len(clean))
+            detected = crc32_bytes(flip_byte(clean, offset)) != crc
+            if not detected:  # unreachable: CRC32 catches 1-byte flips
+                raise CorruptionError(
+                    "allreduce payload corruption escaped the CRC32 "
+                    f"check at iteration {iteration}"
+                )
+            observer.on_fault(
+                iteration, "corruption", "message",
+                {"attempt": bad, "offset": offset},
+            )
+            observer.on_corruption(
+                iteration, "net-payload",
+                {"offset": offset, "attempt": bad},
+            )
+            if bad > policy.max_retries:
+                raise CorruptionError(
+                    f"allreduce payload corrupt {bad} times at "
+                    f"iteration {iteration} (retry budget "
+                    f"{policy.max_retries})"
+                )
+            total += policy.timeout_ns + base_ns
+            observer.on_retry(
+                iteration, "corruption", bad, policy.timeout_ns
+            )
+            if not plan.corruption_repair_fails(iteration, "message"):
+                break
+        observer.on_recovery(
+            iteration, "corruption", "retransmit", {"attempts": bad}
+        )
     return total
 
 
@@ -399,6 +614,14 @@ _SPEC_KEYS = {
     "max_node_failures": "max_node_failures",
     "msg_drop": "msg_drop_rate",
     "max_msg_drops": "max_msg_drops",
+    "corrupt_page": "corruption_page_rate",
+    "corrupt_cache": "corruption_cache_rate",
+    "corrupt_msg": "corruption_msg_rate",
+    "corrupt_repair_fail": "corruption_repair_fail_rate",
+    "max_corruptions": "max_corruptions",
+    "straggler": "straggler_rate",
+    "straggler_factor": "straggler_factor",
+    "max_stragglers": "max_stragglers",
 }
 
 _POLICY_KEYS = {
@@ -428,7 +651,8 @@ def parse_fault_spec(text: str) -> FaultSpec:
     """Parse the CLI's ``--faults`` spec, e.g.
     ``"ssd_error=0.05,worker_crash=0.1,msg_drop=0.02"``."""
     int_fields = {
-        "max_worker_crashes", "max_node_failures", "max_msg_drops"
+        "max_worker_crashes", "max_node_failures", "max_msg_drops",
+        "max_corruptions", "max_stragglers",
     }
     kwargs: dict = {}
     for key, value in _pairs(text, "--faults"):

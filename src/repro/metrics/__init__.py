@@ -29,6 +29,10 @@ from repro.metrics.quality import (
     normalized_mutual_info,
     silhouette_score,
 )
+from repro.metrics.resilience import (
+    ResilienceCounters,
+    ResilienceObserver,
+)
 
 __all__ = [
     "adjusted_rand_index",
@@ -47,4 +51,6 @@ __all__ = [
     "render_series",
     "render_cache_occupancy",
     "row_cache_occupancy",
+    "ResilienceCounters",
+    "ResilienceObserver",
 ]

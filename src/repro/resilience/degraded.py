@@ -1,0 +1,164 @@
+"""Straggler detection: per-worker iteration-time EWMA.
+
+A straggler is a worker (simulated thread or machine) that keeps
+producing correct results but slower -- thermal throttling, a sick
+SSD, a noisy neighbor. Crashes are easy to see; stragglers silently
+stretch every barrier, so knor-scale deployments watch per-worker
+iteration times and re-partition work away from the slow ones.
+
+:class:`StragglerDetector` keeps an exponentially weighted moving
+average of each worker's per-iteration time and flags a worker on
+either of two criteria:
+
+* **cluster-relative** -- its EWMA exceeds ``threshold`` times the
+  median EWMA of the healthy workers (homogeneous fleets: a knord
+  machine running hot against its identical peers);
+* **self-relative** -- its EWMA exceeds ``threshold`` times the best
+  EWMA it has itself ever posted (heterogeneous fleets: a
+  NUMA-local thread is legitimately faster than a remote one, so
+  the only fair baseline is the worker's own demonstrated speed --
+  the thermal-throttling signature).
+
+Detection is pure arithmetic over observed simulated times:
+deterministic, observer-passive, and free of numeric side effects.
+The *response* belongs to the caller: the in-memory/SEM backends let
+the work-stealing scheduler drain a slow thread's queue and report
+the resulting re-partition; knord moves shards off a flagged machine
+and continues at reduced capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class StragglerDetector:
+    """Flag workers whose EWMA iteration time exceeds the median.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of workers (threads or machines) observed per round.
+    alpha:
+        EWMA smoothing factor in (0, 1]; higher reacts faster.
+    threshold:
+        A worker is flagged when ``ewma > threshold * median(ewma)``.
+        Must exceed 1; the default 2.0 ignores ordinary NUMA skew.
+    warmup:
+        Rounds observed before any flagging (the first EWMAs are raw
+        samples and would misread ordinary imbalance as straggling).
+    mode:
+        Which criteria flag: ``"both"`` (default), ``"self"`` or
+        ``"cluster"``. Heterogeneous fleets -- threads inside one
+        NUMA machine, where a 4-row remainder block or a remote-bank
+        thread legitimately posts a very different per-row time --
+        should use ``"self"``: a worker is only ever compared against
+        its own demonstrated speed.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        alpha: float = 0.3,
+        threshold: float = 2.0,
+        warmup: int = 2,
+        mode: str = "both",
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        if threshold <= 1.0:
+            raise ConfigError(
+                f"threshold must be > 1, got {threshold}"
+            )
+        if warmup < 0:
+            raise ConfigError(f"warmup must be >= 0, got {warmup}")
+        if mode not in ("both", "self", "cluster"):
+            raise ConfigError(
+                f"mode must be 'both', 'self' or 'cluster', got {mode!r}"
+            )
+        self.mode = mode
+        self.n_workers = n_workers
+        self.alpha = alpha
+        self.threshold = threshold
+        self.warmup = warmup
+        self.ewma = np.zeros(n_workers)
+        #: Lowest EWMA each worker has posted -- its demonstrated
+        #: healthy speed, the self-relative baseline.
+        self.best = np.full(n_workers, np.inf)
+        self.rounds = 0
+        self.flagged: set[int] = set()
+
+    def observe(self, times_ns) -> list[int]:
+        """Fold one round of per-worker times; return newly flagged ids.
+
+        ``times_ns`` holds each worker's busy time for the iteration
+        (simulated ns); workers that did no work this round report
+        ``0`` and are left out of the baseline (an idle worker says
+        nothing about how fast the busy ones are). Already-flagged
+        workers stay flagged -- a straggler that recovers re-earns
+        trust only through a caller reset -- and are excluded from the
+        healthy median so one slow worker cannot drag the baseline up
+        to meet itself.
+        """
+        times = np.asarray(times_ns, dtype=np.float64)
+        if times.shape != (self.n_workers,):
+            raise ConfigError(
+                f"expected {self.n_workers} worker times, got "
+                f"shape {times.shape}"
+            )
+        # A zero sample is "no observation" (idle worker), not
+        # "infinitely fast": it must neither seed nor decay the EWMA.
+        active = times > 0.0
+        fresh_worker = active & (self.ewma == 0.0)
+        tracked = active & ~fresh_worker
+        self.ewma[fresh_worker] = times[fresh_worker]
+        self.ewma[tracked] += self.alpha * (
+            times[tracked] - self.ewma[tracked]
+        )
+        np.minimum(
+            self.best,
+            np.where(active, self.ewma, np.inf),
+            out=self.best,
+        )
+        self.rounds += 1
+        if self.rounds <= self.warmup:
+            return []
+        healthy = [
+            w
+            for w in range(self.n_workers)
+            if w not in self.flagged and self.ewma[w] > 0.0
+        ]
+        if len(healthy) < 2:
+            return []
+        baseline = float(np.median(self.ewma[healthy]))
+        if baseline <= 0.0:
+            return []
+        use_cluster = self.mode in ("both", "cluster")
+        use_self = self.mode in ("both", "self")
+        fresh = [
+            w
+            for w in healthy
+            if (
+                use_cluster
+                and self.ewma[w] > self.threshold * baseline
+            )
+            or (
+                use_self
+                and np.isfinite(self.best[w])
+                and self.ewma[w] > self.threshold * self.best[w]
+            )
+        ]
+        self.flagged.update(fresh)
+        return fresh
+
+    def reset(self) -> None:
+        """Forget all history (e.g. after a crash-recovery restart)."""
+        self.ewma[:] = 0.0
+        self.best[:] = np.inf
+        self.rounds = 0
+        self.flagged.clear()

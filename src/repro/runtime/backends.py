@@ -81,7 +81,15 @@ class ExecutionBackend(Protocol):
 
 
 class InMemoryBackend:
-    """Section 5 substrate: scheduler + engine on one NUMA machine."""
+    """Section 5 substrate: scheduler + engine on one NUMA machine.
+
+    With a straggler-capable fault plan attached, a thread may start
+    running ``straggler_factor`` slower (timing plane only). A
+    per-thread EWMA (:class:`~repro.resilience.StragglerDetector`)
+    flags it; the work-stealing scheduler is what re-partitions the
+    slow thread's queue onto healthy threads, and the backend surfaces
+    that re-partition via ``on_straggler`` / ``on_rebalance``.
+    """
 
     def __init__(
         self,
@@ -93,6 +101,7 @@ class InMemoryBackend:
         d: int,
         reduction_k: int,
         task_rows: int,
+        faults: Any = None,
     ) -> None:
         self.machine = machine
         self.scheduler = scheduler
@@ -101,9 +110,87 @@ class InMemoryBackend:
         self.d = d
         self.reduction_k = reduction_k
         self.task_rows = task_rows
+        self.faults = faults
+        self._straggler_detector = None
+        if (
+            faults is not None
+            and getattr(faults, "straggler_enabled", False)
+            and len(machine.threads) >= 2
+        ):
+            from repro.resilience import StragglerDetector
 
-    def _replay(self, stats: StepStats) -> Any:
+            # Threads inside a machine are heterogeneous (NUMA-local
+            # vs remote banks, remainder blocks): only self-relative
+            # drift is a fair straggler signal.
+            self._straggler_detector = StragglerDetector(
+                len(machine.threads), mode="self"
+            )
+
+    def _inject_straggler(
+        self, iteration: int, observer: RunObserver
+    ) -> None:
+        threads = self.machine.threads
+        candidates = [
+            th.thread_id for th in threads if th.slow_factor == 1.0
+        ]
+        hit = self.faults.straggler(iteration, candidates)
+        if hit is None:
+            return
+        tid, factor = hit
+        threads[tid].slow_factor = factor
+        observer.on_fault(
+            iteration, "straggler", "slow",
+            {"thread": tid, "factor": factor},
+        )
+
+    def _observe_stragglers(
+        self, iteration: int, trace: Any, observer: RunObserver
+    ) -> None:
+        # Work stealing balances per-thread *clocks* (a slow thread
+        # simply runs fewer tasks), so the observable straggler signal
+        # is throughput -- time per row processed: a 4x-slow thread
+        # shows 4x cost per row no matter how the scheduler
+        # rebalances or how task sizes vary.
+        det = self._straggler_detector
+        threads = self.machine.threads
+        clocks = np.asarray(trace.thread_clocks_ns, dtype=np.float64)
+        rows = np.array(
+            [th.counters.rows_processed for th in threads],
+            dtype=np.float64,
+        )
+        per_row = np.divide(
+            clocks, rows, out=np.zeros_like(clocks), where=rows > 0
+        )
+        fresh = det.observe(per_row)
+        if not fresh:
+            return
+        for tid in fresh:
+            observer.on_straggler(
+                iteration, "thread", tid,
+                {"ewma_ns": float(det.ewma[tid])},
+            )
+        flagged = sorted(det.flagged)
+        on_flagged = sum(threads[t].counters.tasks_run for t in flagged)
+        total = sum(th.counters.tasks_run for th in threads)
+        observer.on_rebalance(
+            iteration, "thread",
+            {"flagged": flagged, "tasks_on_flagged": on_flagged,
+             "total_tasks": total, "steals": trace.total_steals},
+        )
+        observer.on_recovery(
+            iteration, "straggler", "rebalanced",
+            {"threads": [int(t) for t in fresh]},
+        )
+
+    def _replay(
+        self,
+        stats: StepStats,
+        iteration: int = 0,
+        observer: RunObserver | None = None,
+    ) -> Any:
         """Price one iteration's work on the machine."""
+        if self._straggler_detector is not None and observer is not None:
+            self._inject_straggler(iteration, observer)
         tasks = build_task_blocks(
             self.n_rows,
             self.d,
@@ -113,16 +200,19 @@ class InMemoryBackend:
             task_rows=self.task_rows,
             state_bytes_per_row=stats.state_bytes,
         )
-        return self.machine.engine.run(
+        trace = self.machine.engine.run(
             self.scheduler, tasks, self.machine.threads,
             d=self.d, k=self.reduction_k,
         )
+        if self._straggler_detector is not None and observer is not None:
+            self._observe_stragglers(iteration, trace, observer)
+        return trace
 
     def run_iteration(
         self, iteration: int, observer: RunObserver
     ) -> IterationOutcome:
         stats = self.source.step(iteration)
-        trace = self._replay(stats)
+        trace = self._replay(stats, iteration, observer)
         observer.on_task_trace(iteration, trace)
         record = IterationRecord(
             iteration=iteration,
@@ -204,6 +294,16 @@ class CheckpointHook:
             ),
             crash_point=crash_point,
         )
+        if self.faults is not None and self.faults.checkpoint_corruption(
+            iteration
+        ):
+            from repro.sem.checkpoint import corrupt_checkpoint
+
+            offset = corrupt_checkpoint(self.directory)
+            observer.on_fault(
+                iteration, "corruption", "checkpoint",
+                {"offset": offset},
+            )
         observer.on_checkpoint(iteration, self.directory)
 
 
@@ -236,11 +336,12 @@ class SemBackend(InMemoryBackend):
         task_rows: int,
         checkpoint: CheckpointHook | None = None,
         io_mode: str = "sync",
+        faults: Any = None,
     ) -> None:
         super().__init__(
             machine, scheduler, source,
             n_rows=n_rows, d=d, reduction_k=reduction_k,
-            task_rows=task_rows,
+            task_rows=task_rows, faults=faults,
         )
         if io_mode not in ("sync", "async"):
             from repro.errors import ConfigError
@@ -273,7 +374,7 @@ class SemBackend(InMemoryBackend):
             placement.prefetched if placement is not None else False,
         )
         observer.on_io(iteration, io)
-        trace = self._replay(stats)
+        trace = self._replay(stats, iteration, observer)
         observer.on_task_trace(iteration, trace)
         if placement is not None:
             # Compute waits only behind the service time the prefetcher
@@ -329,15 +430,37 @@ class SemBackend(InMemoryBackend):
         The caches restart cold either way -- cache state is pure
         timing, so the replayed numerics stay bit-identical.
         """
-        from repro.sem.checkpoint import has_checkpoint, load_checkpoint
+        from repro.errors import CorruptionError
+        from repro.sem.checkpoint import (
+            discard_checkpoint,
+            has_checkpoint,
+            load_checkpoint,
+        )
 
         loop = getattr(self.source, "loop", None)
+        ckpt = None
         if (
             self.checkpoint is not None
             and loop is not None
             and has_checkpoint(self.checkpoint.directory)
         ):
-            ckpt = load_checkpoint(self.checkpoint.directory)
+            try:
+                ckpt = load_checkpoint(self.checkpoint.directory)
+            except CorruptionError as exc:
+                # The checkpoint's CRC32s do not match its arrays:
+                # quarantine it (never restore garbage) and fall back
+                # to a from-scratch rerun -- slower, still
+                # bit-identical.
+                observer.on_corruption(
+                    iteration, "checkpoint", {"error": str(exc)}
+                )
+                discarded = discard_checkpoint(self.checkpoint.directory)
+                observer.on_quarantine(
+                    iteration, "checkpoint",
+                    str(self.checkpoint.directory),
+                    {"files_removed": discarded},
+                )
+        if ckpt is not None:
             loop.restore_state(
                 {
                     "iteration": ckpt.iteration,
@@ -380,13 +503,20 @@ class ShardedKmeans:
         pruning: str | None,
         n_shards: int,
         k: int,
+        *,
+        empty_cluster: str = "drop",
     ) -> None:
+        from repro.core.empty import check_empty_cluster_policy
         from repro.drivers.common import NumericsLoop
 
         n = x.shape[0]
         self.x = x
         self.k = k
         self.pruning = pruning
+        # A shard legitimately holds zero members of some clusters, so
+        # the policy applies to the *global* counts at the allreduce;
+        # shard loops always run with the permissive default.
+        self.empty_cluster = check_empty_cluster_policy(empty_cluster)
         self._centroids0 = np.array(
             centroids0, dtype=np.float64, copy=True
         )
@@ -448,6 +578,14 @@ class ShardedKmeans:
         payload = red_sums.value.nbytes + red_counts.value.nbytes + 8
         allreduce_ns = comm.allreduce_ns(payload)
         counts = red_counts.value
+        if self.empty_cluster == "error" and not (counts > 0).all():
+            from repro.errors import EmptyClusterError
+
+            empty = np.nonzero(counts == 0)[0]
+            raise EmptyClusterError(
+                f"clusters {empty.tolist()} lost all members globally "
+                f"(empty_cluster='error')"
+            )
         new_centroids = self.centroids.copy()
         nonzero = counts > 0
         new_centroids[nonzero] = (
@@ -480,6 +618,14 @@ class DistributedBackend:
       :class:`~repro.errors.NodeFailureError`.
     * **dropped allreduce transmissions** -- each drop charges the
       detection timeout plus a full retransmission.
+
+    The resilience layer adds two degraded modes: a **slow node**
+    (``straggler`` site) keeps executing its shards at
+    ``straggler_factor`` cost until the per-machine EWMA flags it and
+    its shards are re-sharded onto healthy machines -- the cluster
+    runs at reduced capacity instead of waiting on the slow node --
+    and a **corrupted allreduce payload** (``corruption`` site) is
+    CRC32-detected and retransmitted under the retry budget.
     """
 
     def __init__(
@@ -512,6 +658,20 @@ class DistributedBackend:
         #: Which machine executes each shard (reassigned on failure).
         self.shard_owner = list(range(sharded.n_shards))
         self.failed: set[int] = set()
+        #: Machines running slow (machine -> factor), and the EWMA
+        #: detector that flags them for re-sharding.
+        self.slowed: dict[int, float] = {}
+        self._machine_detector = None
+        if (
+            faults is not None
+            and getattr(faults, "straggler_enabled", False)
+            and cluster.n_machines >= 2
+        ):
+            from repro.resilience import StragglerDetector
+
+            self._machine_detector = StragglerDetector(
+                cluster.n_machines
+            )
 
     def _alive(self) -> list[int]:
         return [
@@ -537,6 +697,10 @@ class DistributedBackend:
                 + ("" if survivors else " (no survivors)")
             )
         self.failed.add(victim)
+        if self._machine_detector is not None:
+            # A dead machine must not dilute the healthy-median
+            # baseline the straggler detector compares against.
+            self._machine_detector.flagged.add(victim)
         moved = [
             s for s, owner in enumerate(self.shard_owner)
             if owner == victim
@@ -549,11 +713,91 @@ class DistributedBackend:
              "survivors": len(survivors)},
         )
 
+    def _maybe_straggle_node(
+        self, iteration: int, observer: RunObserver
+    ) -> None:
+        """Consult the plan for a machine starting to run slow."""
+        candidates = [
+            m for m in self._alive() if m not in self.slowed
+        ]
+        hit = self.faults.straggler(iteration, candidates)
+        if hit is None:
+            return
+        victim, factor = hit
+        self.slowed[victim] = factor
+        for th in self.cluster.machines[victim].threads:
+            th.slow_factor = factor
+        observer.on_fault(
+            iteration, "straggler", "slow",
+            {"machine": victim, "factor": factor},
+        )
+
+    def _observe_machines(
+        self,
+        iteration: int,
+        machine_ns: dict[int, float],
+        observer: RunObserver,
+    ) -> None:
+        """EWMA-track per-machine times; re-shard off flagged machines.
+
+        A flagged machine keeps running (it is slow, not dead): its
+        shards move to the least-loaded healthy machines and the
+        cluster continues at reduced capacity. Ownership is pure
+        timing -- the shard-ordered numerics and the allreduce tree
+        are untouched, so results stay bit-identical.
+        """
+        det = self._machine_detector
+        # Normalize by shards owned: a survivor that adopted a failed
+        # machine's shard runs 2x the work serially -- that is load,
+        # not sickness, and must not read as straggling.
+        owned = np.zeros(det.n_workers)
+        for o in self.shard_owner:
+            owned[o] += 1
+        times = np.zeros(det.n_workers)
+        for mi, t in machine_ns.items():
+            times[mi] = t / max(1.0, owned[mi])
+        fresh = det.observe(times)
+        if not fresh:
+            return
+        for mi in fresh:
+            observer.on_straggler(
+                iteration, "machine", mi,
+                {"ewma_ns": float(det.ewma[mi])},
+            )
+        healthy = [
+            m for m in self._alive() if m not in det.flagged
+        ]
+        if not healthy:
+            return
+        moves = []
+        for mi in fresh:
+            owned = [
+                s for s, o in enumerate(self.shard_owner) if o == mi
+            ]
+            for s in owned:
+                target = min(
+                    (sum(1 for o in self.shard_owner if o == m), m)
+                    for m in healthy
+                )[1]
+                self.shard_owner[s] = target
+                moves.append((int(s), int(mi), int(target)))
+        if moves:
+            observer.on_rebalance(
+                iteration, "machine", {"moves": moves}
+            )
+            observer.on_recovery(
+                iteration, "straggler", "resharded",
+                {"machines": [int(m) for m in fresh],
+                 "shards": len(moves)},
+            )
+
     def run_iteration(
         self, iteration: int, observer: RunObserver
     ) -> IterationOutcome:
         if self.faults is not None:
             self._maybe_fail_node(iteration, observer)
+            if self._machine_detector is not None:
+                self._maybe_straggle_node(iteration, observer)
         shard_sums: list[np.ndarray] = []
         shard_counts: list[np.ndarray] = []
         n_changed = 0
@@ -603,6 +847,9 @@ class DistributedBackend:
             busy.append(trace.busy_fraction)
             n_changed += stats.n_changed
 
+        if self._machine_detector is not None:
+            self._observe_machines(iteration, machine_ns, observer)
+
         _, payload, wire, allreduce_ns = (
             self.sharded.reduce_and_broadcast(
                 self.cluster.comm, shard_sums, shard_counts
@@ -614,6 +861,7 @@ class DistributedBackend:
             allreduce_ns = faulty_collective_ns(
                 self.faults, self.retry_policy, iteration,
                 allreduce_ns, observer,
+                payload=self.sharded.centroids,
             )
         observer.on_collective(iteration, payload, wire, allreduce_ns)
 
@@ -710,6 +958,7 @@ class PureMpiBackend:
             allreduce_ns = faulty_collective_ns(
                 self.faults, self.retry_policy, iteration,
                 allreduce_ns, observer,
+                payload=self.sharded.centroids,
             )
         observer.on_collective(iteration, payload, wire, allreduce_ns)
 

@@ -22,6 +22,14 @@ checkpoint was restored, shards were reassigned). Every ``on_fault``
 from a recoverable fault is eventually followed by an ``on_recovery``
 for the same site.
 
+The resilience layer (:mod:`repro.resilience`) extends that family:
+``on_corruption`` (a CRC32 verification failed -- corruption was
+*detected*, never silently clustered on), ``on_quarantine`` (the bad
+page/row/checkpoint was fenced off pending a clean re-read),
+``on_straggler`` (a thread or machine's EWMA iteration time crossed
+the slowdown threshold) and ``on_rebalance`` (work was re-partitioned
+onto healthy workers).
+
 Benchmarks, the CLI's ``--trace`` flag, and future profilers all ride
 this one mechanism instead of scraping ``IterationRecord`` lists after
 the fact. Observers are passive: nothing they return can alter the
@@ -97,6 +105,26 @@ class RunObserver:
                     detail: dict | None = None) -> None:
         """A fault was answered (retried, resumed, re-sharded...)."""
 
+    def on_corruption(self, iteration: int, where: str,
+                      detail: dict | None = None) -> None:
+        """A CRC32 check failed: corruption was detected at ``where``
+        (``ssd-page``, ``cache-line``, ``checkpoint``,
+        ``net-payload``) before any numerics consumed the bytes."""
+
+    def on_quarantine(self, iteration: int, where: str, what: Any,
+                      detail: dict | None = None) -> None:
+        """A corrupt resource (page, cached row, checkpoint) was
+        fenced off; a clean copy will be re-read or the run aborts."""
+
+    def on_straggler(self, iteration: int, scope: str, worker: int,
+                     detail: dict | None = None) -> None:
+        """A worker's EWMA iteration time crossed the slowdown
+        threshold (``scope`` is ``thread`` or ``machine``)."""
+
+    def on_rebalance(self, iteration: int, scope: str,
+                     detail: dict | None = None) -> None:
+        """Work was re-partitioned away from degraded workers."""
+
     def on_run_end(self, iterations: int, converged: bool) -> None:
         """The loop finished (converged or hit the iteration cap)."""
 
@@ -154,6 +182,22 @@ class ObserverChain(RunObserver):
     def on_recovery(self, iteration, site, action, detail=None):
         for o in self.observers:
             o.on_recovery(iteration, site, action, detail)
+
+    def on_corruption(self, iteration, where, detail=None):
+        for o in self.observers:
+            o.on_corruption(iteration, where, detail)
+
+    def on_quarantine(self, iteration, where, what, detail=None):
+        for o in self.observers:
+            o.on_quarantine(iteration, where, what, detail)
+
+    def on_straggler(self, iteration, scope, worker, detail=None):
+        for o in self.observers:
+            o.on_straggler(iteration, scope, worker, detail)
+
+    def on_rebalance(self, iteration, scope, detail=None):
+        for o in self.observers:
+            o.on_rebalance(iteration, scope, detail)
 
     def on_run_end(self, iterations, converged):
         for o in self.observers:
@@ -232,6 +276,22 @@ class RecordingObserver(RunObserver):
         self._rec("recovery", iteration, site=site, action=action,
                   detail=detail or {})
 
+    def on_corruption(self, iteration, where, detail=None):
+        self._rec("corruption", iteration, where=where,
+                  detail=detail or {})
+
+    def on_quarantine(self, iteration, where, what, detail=None):
+        self._rec("quarantine", iteration, where=where, what=what,
+                  detail=detail or {})
+
+    def on_straggler(self, iteration, scope, worker, detail=None):
+        self._rec("straggler", iteration, scope=scope, worker=worker,
+                  detail=detail or {})
+
+    def on_rebalance(self, iteration, scope, detail=None):
+        self._rec("rebalance", iteration, scope=scope,
+                  detail=detail or {})
+
     def on_run_end(self, iterations, converged):
         self._rec("run_end", None, iterations=iterations,
                   converged=converged)
@@ -248,7 +308,8 @@ class RecordingObserver(RunObserver):
         """
         return [
             e for e in self.events
-            if e.name in ("fault", "retry", "recovery")
+            if e.name in ("fault", "retry", "recovery", "corruption",
+                          "quarantine", "straggler", "rebalance")
         ]
 
 
@@ -324,6 +385,31 @@ class PrintObserver(RunObserver):
         extra = f" {detail}" if detail else ""
         self._emit(
             f"[fault] it={iteration} {site}: recovered via {action}{extra}"
+        )
+
+    def on_corruption(self, iteration, where, detail=None):
+        extra = f" {detail}" if detail else ""
+        self._emit(
+            f"[fault] it={iteration} corruption detected at "
+            f"{where}{extra}"
+        )
+
+    def on_quarantine(self, iteration, where, what, detail=None):
+        self._emit(
+            f"[fault] it={iteration} quarantined {where} {what}"
+        )
+
+    def on_straggler(self, iteration, scope, worker, detail=None):
+        extra = f" {detail}" if detail else ""
+        self._emit(
+            f"[fault] it={iteration} straggling {scope} "
+            f"{worker}{extra}"
+        )
+
+    def on_rebalance(self, iteration, scope, detail=None):
+        extra = f" {detail}" if detail else ""
+        self._emit(
+            f"[fault] it={iteration} rebalanced {scope} work{extra}"
         )
 
     def on_run_end(self, iterations, converged):

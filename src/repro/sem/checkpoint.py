@@ -7,7 +7,7 @@ footprint: assignments, MTI upper bounds, the persistent per-cluster
 sums/counts, current/previous centroids and the iteration counter. Row
 data never needs checkpointing -- it is already durable on SSD.
 
-Durability protocol (format version 2): each save writes its arrays to
+Durability protocol (format version 3): each save writes its arrays to
 a fresh sequence-numbered ``checkpoint-<seq>.npz`` (never overwriting
 the arrays a live manifest references), then commits by atomically
 renaming the manifest over ``checkpoint.json``. The manifest rename is
@@ -18,6 +18,14 @@ crashes at each point via :mod:`repro.faults`). Version 1 checkpoints
 (single ``checkpoint.npz``, renamed arrays-then-manifest) remain
 loadable; version 1's window where an old manifest could pair with
 newly renamed arrays is what the redesign closes.
+
+Format version 3 adds integrity checksums: the manifest records a
+CRC32 of the whole arrays file plus one CRC32 per stored array.
+:func:`load_checkpoint` verifies the file checksum before parsing and
+every array checksum after, raising
+:class:`~repro.errors.CorruptionError` on any mismatch -- a flipped
+bit on the simulated SSD is always *detected*, never silently resumed
+from. Versions 1 and 2 (no checksums) still load.
 
 The paper disables checkpointing during performance evaluation
 (Section 8.5), and so do the benches; the integration and fault tests
@@ -32,11 +40,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import IoSubsystemError, WorkerCrashError
+from repro.errors import CorruptionError, IoSubsystemError, WorkerCrashError
+from repro.resilience.integrity import array_crc32, crc32_bytes
 
 _MANIFEST = "checkpoint.json"
 _V1_ARRAYS = "checkpoint.npz"
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
 
 
 @dataclass
@@ -70,7 +79,7 @@ def _arrays_path(directory: Path, manifest: dict) -> Path | None:
     version = manifest.get("format_version")
     if version == 1:
         return directory / _V1_ARRAYS
-    if version == _FORMAT_VERSION:
+    if version in (2, _FORMAT_VERSION):
         name = manifest.get("arrays")
         if not name or "/" in str(name):
             return None
@@ -116,6 +125,8 @@ def save_checkpoint(
         arrays["counts"] = state.counts
     with open(directory / arrays_name, "wb") as fh:
         np.savez(fh, **arrays)
+    file_crc = crc32_bytes((directory / arrays_name).read_bytes())
+    array_crcs = {name: array_crc32(arr) for name, arr in arrays.items()}
     if crash_point == "arrays-written":
         raise WorkerCrashError(
             "injected crash: arrays written, manifest not committed"
@@ -128,6 +139,8 @@ def save_checkpoint(
                 "format_version": _FORMAT_VERSION,
                 "seq": seq,
                 "arrays": arrays_name,
+                "file_crc32": file_crc,
+                "array_crc32": array_crcs,
                 "iteration": state.iteration,
                 "n_changed": state.n_changed,
                 "has_ub": state.ub is not None,
@@ -170,7 +183,7 @@ def load_checkpoint(directory: str | Path) -> CheckpointState:
             )
         raise IoSubsystemError(f"no checkpoint in {directory}")
     version = manifest.get("format_version")
-    if version not in (1, _FORMAT_VERSION):
+    if version not in (1, 2, _FORMAT_VERSION):
         raise IoSubsystemError(
             f"unsupported checkpoint version {version}"
         )
@@ -180,13 +193,21 @@ def load_checkpoint(directory: str | Path) -> CheckpointState:
             f"checkpoint manifest in {directory} references missing "
             f"arrays"
         )
+    if version == _FORMAT_VERSION:
+        file_crc = crc32_bytes(arrays_path.read_bytes())
+        want = int(manifest["file_crc32"])
+        if file_crc != want:
+            raise CorruptionError(
+                f"checkpoint arrays file {arrays_path.name} failed CRC32 "
+                f"(stored {want:#010x}, computed {file_crc:#010x})"
+            )
     if version == 1:
         has_ub = has_sums = bool(manifest["has_pruning_state"])
     else:
         has_ub = bool(manifest["has_ub"])
         has_sums = bool(manifest["has_sums"])
     with np.load(arrays_path) as data:
-        return CheckpointState(
+        state = CheckpointState(
             iteration=int(manifest["iteration"]),
             centroids=data["centroids"].copy(),
             prev_centroids=data["prev_centroids"].copy(),
@@ -197,6 +218,18 @@ def load_checkpoint(directory: str | Path) -> CheckpointState:
             n_changed=int(manifest["n_changed"]),
             params=manifest["params"],
         )
+    if version == _FORMAT_VERSION:
+        for name, want_crc in manifest["array_crc32"].items():
+            arr = getattr(state, name, None)
+            if arr is None:
+                continue
+            got = array_crc32(arr)
+            if got != int(want_crc):
+                raise CorruptionError(
+                    f"checkpoint array {name!r} failed CRC32 "
+                    f"(stored {int(want_crc):#010x}, computed {got:#010x})"
+                )
+    return state
 
 
 def has_checkpoint(directory: str | Path) -> bool:
@@ -207,3 +240,49 @@ def has_checkpoint(directory: str | Path) -> bool:
         return False
     arrays_path = _arrays_path(directory, manifest)
     return arrays_path is not None and arrays_path.exists()
+
+
+def corrupt_checkpoint(directory: str | Path) -> int:
+    """Flip one byte mid-file in the committed arrays file.
+
+    Fault-injection helper for the ``corruption``/``checkpoint`` site:
+    simulates a bit flip on the durable medium after the save
+    committed. Returns the byte offset that was flipped so the event
+    can report it. Raises :class:`~repro.errors.IoSubsystemError` when
+    there is no checkpoint to corrupt.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    if manifest is None:
+        raise IoSubsystemError(f"no checkpoint to corrupt in {directory}")
+    arrays_path = _arrays_path(directory, manifest)
+    if arrays_path is None or not arrays_path.exists():
+        raise IoSubsystemError(f"no checkpoint arrays in {directory}")
+    size = arrays_path.stat().st_size
+    offset = size // 2
+    with open(arrays_path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+    return offset
+
+
+def discard_checkpoint(directory: str | Path) -> int:
+    """Quarantine a corrupt checkpoint: remove all its files.
+
+    Returns the number of files removed. After a discard the directory
+    reports no checkpoint, so recovery falls back to a from-scratch
+    restart -- slower in simulated time, but never resumes from bad
+    state.
+    """
+    directory = Path(directory)
+    removed = 0
+    candidates = [directory / _MANIFEST, directory / (_MANIFEST + ".tmp"),
+                  directory / _V1_ARRAYS]
+    candidates.extend(directory.glob("checkpoint-*.npz"))
+    for path in candidates:
+        if path.exists():
+            path.unlink()
+            removed += 1
+    return removed

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import CorruptionError
 from repro.sem.rowcache import RowCache
 from repro.sem.safs import Safs
 
@@ -90,8 +91,20 @@ class RowEngine:
             misses = needed[~hit_mask]
             rc_hits = int(hit_mask.sum())
         else:
+            hit_mask = np.zeros(0, dtype=bool)
             misses = needed
             rc_hits = 0
+
+        if (
+            rc is not None
+            and rc_hits > 0
+            and self.safs.faults is not None
+            and getattr(self.safs.faults, "corruption_enabled", False)
+            and self.safs.faults.cache_corruption(iteration)
+        ):
+            misses, rc_hits = self._quarantine_cache_line(
+                iteration, needed[hit_mask], misses, rc_hits, observer
+            )
 
         batch = self.safs.fetch_rows(
             misses, self.row_bytes, iteration=iteration, observer=observer
@@ -124,3 +137,54 @@ class RowEngine:
             service_async_ns=batch.service_async_ns,
             prefetchable=prefetchable,
         )
+
+    def _quarantine_cache_line(
+        self,
+        iteration: int,
+        hit_rows: np.ndarray,
+        misses: np.ndarray,
+        rc_hits: int,
+        observer,
+    ) -> tuple[np.ndarray, int]:
+        """Detect an injected DRAM cache-line corruption and repair it.
+
+        One deterministic cached row arrives with a flipped byte; its
+        CRC32 always catches the flip. The poisoned line is evicted
+        from the row cache and the row rejoins this iteration's miss
+        list, so its repair -- a re-read through the clean SSD path --
+        is charged as ordinary I/O in the same fetch.
+        """
+        rc = self.row_cache
+        victim = int(hit_rows[iteration % hit_rows.size])
+        clean = self.safs.integrity.verify_row(victim, corrupted=True)
+        if clean:
+            raise CorruptionError(
+                f"row {victim} cache corruption escaped CRC32 "
+                f"verification at iteration {iteration}"
+            )
+        if observer is None:
+            from repro.runtime.observer import RunObserver
+
+            observer = RunObserver()
+        observer.on_fault(
+            iteration, "corruption", "cache", {"row": victim}
+        )
+        observer.on_corruption(
+            iteration, "cache-line", {"row": victim}
+        )
+        evicted = rc.evict(np.array([victim], dtype=np.int64))
+        observer.on_quarantine(
+            iteration, "cache-line", f"row-{victim}", {"evicted": evicted}
+        )
+        # Reroute the row through SAFS with this iteration's misses
+        # (``misses`` is sorted ascending; keep it that way). The hit
+        # tallied by the lookup above is undone: the line was poison,
+        # the row really came from SSD.
+        pos = int(np.searchsorted(misses, victim))
+        misses = np.insert(misses, pos, victim)
+        rc.hits -= 1
+        rc.misses += 1
+        observer.on_recovery(
+            iteration, "corruption", "reread", {"row": victim}
+        )
+        return misses, rc_hits - 1

@@ -131,6 +131,26 @@ class PageCache:
         self._keys = np.empty(0, dtype=np.int64)
         self._stamps = np.empty(0, dtype=np.int64)
 
+    def discard_batch(self, pages: np.ndarray) -> int:
+        """Quarantine: evict ``pages`` without touching hit/miss tallies.
+
+        Used by the integrity layer when a resident page fails its
+        checksum -- the poisoned copy must leave the cache so the next
+        access re-reads a clean one from SSD. Returns how many of the
+        requested pages were actually resident.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0 or self._keys.size == 0:
+            return 0
+        pos, hit = self._find(np.unique(pages))
+        if not hit.any():
+            return 0
+        keep = np.ones(self._keys.size, dtype=bool)
+        keep[pos[hit]] = False
+        self._keys = self._keys[keep]
+        self._stamps = self._stamps[keep]
+        return int(np.count_nonzero(hit))
+
     def contains(self, page: int) -> bool:
         """Non-mutating membership probe (for tests)."""
         pos = int(np.searchsorted(self._keys, page))

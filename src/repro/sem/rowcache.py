@@ -150,6 +150,22 @@ class RowCache:
             self._next_refresh += self._gap * 2
             self._gap *= 2
 
+    def evict(self, rows: np.ndarray) -> int:
+        """Quarantine: drop ``rows`` without touching hit/miss tallies
+        or the refresh schedule.
+
+        Used by the integrity layer when a cached row's DRAM copy fails
+        its checksum -- the poisoned line leaves the cache so the row
+        is re-fetched through the clean SSD path. Returns how many of
+        the requested rows were actually cached.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return 0
+        was = int(self._cached[rows].sum())
+        self._cached[rows] = False
+        return was
+
     def clear(self) -> None:
         """Drop contents and reset the refresh schedule."""
         self._cached[:] = False

@@ -29,7 +29,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import IoSubsystemError, RetryExhaustedError
+from repro.errors import CorruptionError, IoSubsystemError, RetryExhaustedError
+from repro.resilience.integrity import PageIntegrity
 from repro.sem.pagecache import PageCache
 from repro.simhw.ssd import AsyncIoQueue, SsdArray, SsdReadResult
 
@@ -90,6 +91,7 @@ class Safs:
         self.data_offset = data_offset
         self.faults = faults
         self.io_queue = io_queue
+        self.integrity = PageIntegrity()
         if retry_policy is None and faults is not None:
             from repro.faults import DEFAULT_RETRY_POLICY
 
@@ -181,6 +183,14 @@ class Safs:
             async_clean_ns = result.service_ns
         if self.faults is not None and result.pages_read > 0:
             result = self._apply_faults(result, iteration, observer)
+        if (
+            self.faults is not None
+            and getattr(self.faults, "corruption_enabled", False)
+            and pages.size > 0
+        ):
+            result = self._apply_corruption(
+                result, pages, hit_mask, iteration, observer
+            )
         self.page_cache.admit_batch(miss_pages)
         return IoBatch(
             rows_requested=int(rows.size),
@@ -247,3 +257,85 @@ class Safs:
             iteration, "ssd", "retried", {"attempts": attempt}
         )
         return result.delayed(delay, attempt)
+
+    def _apply_corruption(
+        self,
+        result: SsdReadResult,
+        pages: np.ndarray,
+        hit_mask: np.ndarray,
+        iteration: int,
+        observer: Any,
+    ) -> SsdReadResult:
+        """Detect and repair an injected page corruption.
+
+        One deterministic victim page in the batch arrives with a
+        flipped byte; per-page CRC32 verification *always* catches it
+        (a single-byte flip cannot collide). The poisoned copy is
+        quarantined -- discarded from the page cache if resident,
+        withheld from admission otherwise -- and repaired by re-reading
+        the page from a clean device, charging backoff plus one-page
+        service per attempt. A repair that keeps failing past the
+        retry budget raises :class:`~repro.errors.CorruptionError`:
+        the run aborts rather than clustering on bad bytes.
+        """
+        if not self.faults.page_corruption(iteration):
+            return result
+        if observer is None:
+            from repro.runtime.observer import RunObserver
+
+            observer = RunObserver()
+        policy = self.retry_policy
+        victim_idx = int(iteration % pages.size)
+        victim = int(pages[victim_idx])
+        resident = bool(hit_mask[victim_idx])
+        reread_ns = self.ssd.read(1, 1).service_ns
+        delay = 0.0
+        bad = 0
+        while True:
+            bad += 1
+            all_clean = self.integrity.verify_pages(
+                pages, corrupt_page=victim
+            )
+            if all_clean:
+                raise CorruptionError(
+                    f"page {victim} corruption escaped CRC32 "
+                    f"verification at iteration {iteration}"
+                )
+            observer.on_fault(
+                iteration, "corruption", "page",
+                {"page": victim, "attempt": bad, "resident": resident},
+            )
+            observer.on_corruption(
+                iteration, "ssd-page", {"page": victim, "attempt": bad}
+            )
+            if bad == 1:
+                discarded = 0
+                if resident:
+                    discarded = self.page_cache.discard_batch(
+                        np.array([victim], dtype=np.int64)
+                    )
+                observer.on_quarantine(
+                    iteration, "ssd-page", f"page-{victim}",
+                    {
+                        "discarded": discarded,
+                        "action": (
+                            "evicted" if resident else "admission-withheld"
+                        ),
+                    },
+                )
+            if bad > policy.max_retries:
+                raise CorruptionError(
+                    f"page {victim} still corrupt after "
+                    f"{policy.max_retries} re-reads at iteration "
+                    f"{iteration}"
+                )
+            backoff = policy.backoff(bad)
+            delay += backoff + reread_ns
+            observer.on_retry(iteration, "corruption", bad, backoff)
+            if not self.faults.corruption_repair_fails(iteration, "page"):
+                break
+        observer.on_recovery(
+            iteration, "corruption", "reread",
+            {"page": victim, "attempts": bad},
+        )
+        return result.delayed(delay, bad)

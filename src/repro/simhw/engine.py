@@ -304,7 +304,14 @@ class IterationEngine:
             else:
                 task_ns = compute_ns + mem_ns
             start = thread.clock_ns
-            thread.clock_ns = start + (lock_ns + task_ns)
+            # Straggler plane: an injected slowdown stretches this
+            # thread's execution. Guarded so the fault-free arithmetic
+            # is untouched (bit-identical clean runs).
+            sf = thread.slow_factor
+            if sf != 1.0:
+                thread.clock_ns = start + (lock_ns + task_ns) * sf
+            else:
+                thread.clock_ns = start + (lock_ns + task_ns)
 
             c.tasks_run += 1
             c.rows_processed += task.n_rows
@@ -477,7 +484,11 @@ class IterationEngine:
                 compute_ns, mem_ns, overlap=overlap and not remote
             )
             start = thread.clock_ns
-            thread.advance(lock_ns + task_ns)
+            # Same straggler stretch as the fast path (conformance).
+            if thread.slow_factor != 1.0:
+                thread.advance((lock_ns + task_ns) * thread.slow_factor)
+            else:
+                thread.advance(lock_ns + task_ns)
 
             c = thread.counters
             c.tasks_run += 1

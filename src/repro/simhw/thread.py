@@ -59,6 +59,12 @@ class SimThread:
     node: int
     clock_ns: float = 0.0
     counters: ThreadCounters = field(default_factory=ThreadCounters)
+    #: Execution-time multiplier; != 1.0 only while an injected
+    #: straggler fault is active (a throttled core, a sick SSD behind
+    #: this worker). Scales task + lock time in the engine; never
+    #: touched on the fault-free path, so clean runs stay
+    #: bit-identical.
+    slow_factor: float = 1.0
 
     def advance(self, ns: float) -> None:
         """Move this thread's private clock forward."""

@@ -1,0 +1,111 @@
+"""Chaos soak as a pytest suite (``pytest -m chaos``).
+
+Drives the same plan generator as ``benchmarks/chaos_soak.py`` and
+asserts its two invariants plan-by-plan, so a failure names the exact
+seed that produced it. CI runs this with ``-p no:randomly``; every
+plan is derived from ``default_rng([master_seed, plan_index])`` so the
+suite is deterministic regardless of ordering.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import chaos_soak  # noqa: E402
+
+from repro.errors import KnorError  # noqa: E402
+
+pytestmark = pytest.mark.chaos
+
+MASTER_SEED = 0
+N_PLANS = 50  # acceptance floor: >= 50 seeded plans
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    """Dataset, centroids, matrix file, and fault-free ground truths."""
+    workdir = tmp_path_factory.mktemp("chaos")
+    dataset, centroids = chaos_soak.make_dataset(MASTER_SEED)
+    path = str(
+        chaos_soak.write_matrix(workdir / "chaos.knor", dataset)
+    )
+    truth = {
+        "knors": chaos_soak.knors(
+            path, chaos_soak.K, init=centroids, seed=3,
+            **chaos_soak.KNORS_KW,
+        ),
+        "knord": chaos_soak.knord(
+            dataset, chaos_soak.K, init=centroids, seed=3,
+            n_machines=chaos_soak.N_MACHINES,
+        ),
+    }
+    return dict(
+        dataset=dataset, centroids=centroids, path=path,
+        workdir=workdir, truth=truth,
+    )
+
+
+@pytest.mark.parametrize("plan_index", range(N_PLANS))
+def test_chaos_plan(world, plan_index):
+    """One randomized plan: bit-identical completion or typed abort."""
+    record, result = chaos_soak.run_plan(
+        plan_index, MASTER_SEED, world["dataset"], world["centroids"],
+        world["path"], world["workdir"],
+    )
+    assert record["outcome"] != "untyped-error", record["error"]
+    if record["outcome"] == "aborted":
+        # The typed-error invariant: run_plan only classifies
+        # KnorError subclasses as 'aborted'.
+        assert record["error"]
+        return
+    truth = world["truth"][record["backend"]]
+    np.testing.assert_array_equal(result.centroids, truth.centroids)
+    np.testing.assert_array_equal(result.assignment, truth.assignment)
+    assert result.iterations == truth.iterations
+    c = record["counters"]
+    assert c["detection_recall"] == 1.0, (
+        f"missed corruption: {c['corruptions_detected']}"
+        f"/{c['corruptions_injected']}"
+    )
+
+
+def test_soak_report_shape(tmp_path):
+    """The JSON artifact the CI job uploads has the pinned schema."""
+    report = chaos_soak.soak(6, MASTER_SEED, str(tmp_path))
+    assert report["n_plans"] == 6
+    assert report["completed"] + report["aborted"] == 6
+    assert report["violations"] == []
+    assert len(report["plans"]) == 6
+    for p in report["plans"]:
+        assert p["backend"] in ("knors", "knord")
+        assert "detection_recall" in p["counters"]
+
+
+def test_soak_is_deterministic(tmp_path):
+    """Same master seed => byte-identical report (minus tmp paths)."""
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    a = chaos_soak.soak(8, 123, str(tmp_path / "a"))
+    b = chaos_soak.soak(8, 123, str(tmp_path / "b"))
+    assert a["plans"] == b["plans"]
+
+
+def test_unrecoverable_plans_abort_typed(tmp_path):
+    """Force repair failure on a corrupting plan: typed abort only."""
+    dataset, centroids = chaos_soak.make_dataset(7)
+    path = str(chaos_soak.write_matrix(tmp_path / "m.knor", dataset))
+    plan = chaos_soak.FaultPlan(
+        chaos_soak.FaultSpec(
+            corruption_page_rate=0.5, corruption_repair_fail_rate=1.0
+        ),
+        seed=1,
+    )
+    with pytest.raises(KnorError):
+        chaos_soak.knors(
+            path, chaos_soak.K, init=centroids, seed=3, faults=plan,
+            **chaos_soak.KNORS_KW,
+        )

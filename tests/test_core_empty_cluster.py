@@ -1,0 +1,224 @@
+"""Empty-cluster policies: drop (historical), reseed, error.
+
+``drop`` keeps the vanished cluster's previous centroid -- the
+behaviour every existing numerics test pins. ``reseed`` teleports the
+centroid to the farthest point (knor-style, deterministic) and only
+composes with the unpruned algorithm. ``error`` aborts with
+:class:`EmptyClusterError` the moment a cluster loses all members.
+"""
+
+import numpy as np
+import pytest
+
+from repro import knord, knori, knors
+from repro.core import (
+    EMPTY_CLUSTER_POLICIES,
+    check_empty_cluster_policy,
+    full_iteration,
+    lloyd,
+    reseed_empty_clusters,
+)
+from repro.errors import ConfigError, EmptyClusterError, FaultError
+
+
+def forced_empty_setup():
+    """Data plus centroids where cluster 2 captures no points."""
+    rng = np.random.default_rng(5)
+    x = np.vstack([
+        rng.normal(loc=(-4.0, 0.0), scale=0.3, size=(20, 2)),
+        rng.normal(loc=(4.0, 0.0), scale=0.3, size=(20, 2)),
+    ])
+    centroids = np.array([
+        [-4.0, 0.0],
+        [4.0, 0.0],
+        [1e6, 1e6],  # nobody's nearest centroid, ever
+    ])
+    return x, centroids
+
+
+class TestPolicyValidation:
+    def test_known_policies_pass_through(self):
+        for p in EMPTY_CLUSTER_POLICIES:
+            assert check_empty_cluster_policy(p) == p
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            check_empty_cluster_policy("panic")
+
+
+class TestReseedUnit:
+    def test_reseeds_from_farthest_point(self):
+        x, centroids = forced_empty_setup()
+        assign = np.where(x[:, 0] < 0, 0, 1).astype(np.int64)
+        mindist = np.linalg.norm(x - centroids[assign], axis=1)
+        counts = np.bincount(assign, minlength=3)
+        out, new_assign, md, cnt, reseeded = reseed_empty_clusters(
+            x, centroids, assign, mindist, counts
+        )
+        assert reseeded == [2]
+        far = int(np.argmax(mindist))
+        assert np.array_equal(out[2], x[far])
+        assert new_assign[far] == 2
+        assert md[far] == 0.0
+        assert cnt.sum() == counts.sum()
+        assert cnt[2] == 1
+
+    def test_ties_break_to_lowest_index(self):
+        x = np.array([[0.0], [2.0], [2.0]])
+        centroids = np.array([[0.0], [50.0]])
+        assign = np.zeros(3, dtype=np.int64)
+        mindist = np.abs(x[:, 0] - 0.0)
+        counts = np.array([3, 0])
+        out, new_assign, _, _, reseeded = reseed_empty_clusters(
+            x, centroids, assign, mindist, counts
+        )
+        assert reseeded == [1]
+        assert new_assign.tolist() == [0, 1, 0]  # row 1, not row 2
+
+    def test_each_point_used_once(self):
+        # Two empty clusters, one distant point: the second reseed
+        # must pick the *next* farthest point, not reuse the first.
+        x = np.array([[0.0], [1.0], [10.0], [9.0]])
+        centroids = np.array([[0.0], [70.0], [80.0]])
+        assign = np.zeros(4, dtype=np.int64)
+        mindist = np.abs(x[:, 0] - 0.0)
+        counts = np.array([4, 0, 0])
+        out, new_assign, _, cnt, reseeded = reseed_empty_clusters(
+            x, centroids, assign, mindist, counts
+        )
+        assert reseeded == [1, 2]
+        assert out[1, 0] == 10.0
+        assert out[2, 0] == 9.0
+        assert cnt.tolist() == [2, 1, 1]
+
+    def test_inputs_untouched(self):
+        x, centroids = forced_empty_setup()
+        assign = np.where(x[:, 0] < 0, 0, 1).astype(np.int64)
+        mindist = np.linalg.norm(x - centroids[assign], axis=1)
+        counts = np.bincount(assign, minlength=3)
+        snap = (
+            centroids.copy(), assign.copy(),
+            mindist.copy(), counts.copy(),
+        )
+        reseed_empty_clusters(x, centroids, assign, mindist, counts)
+        assert np.array_equal(centroids, snap[0])
+        assert np.array_equal(assign, snap[1])
+        assert np.array_equal(mindist, snap[2])
+        assert np.array_equal(counts, snap[3])
+
+
+class TestFullIterationPolicies:
+    def test_drop_keeps_previous_centroid(self):
+        x, centroids = forced_empty_setup()
+        r = full_iteration(x, centroids)  # default drop
+        assert np.array_equal(r.new_centroids[2], centroids[2])
+        assert r.reseeded == ()
+
+    def test_error_raises_naming_cluster(self):
+        x, centroids = forced_empty_setup()
+        with pytest.raises(EmptyClusterError, match="2"):
+            full_iteration(x, centroids, empty_cluster="error")
+
+    def test_reseed_revives_cluster(self):
+        x, centroids = forced_empty_setup()
+        r = full_iteration(x, centroids, empty_cluster="reseed")
+        assert r.reseeded == (2,)
+        assert (np.bincount(r.assignment, minlength=3) > 0).all()
+        assert not np.array_equal(r.new_centroids[2], centroids[2])
+
+    def test_invalid_policy_rejected(self):
+        x, centroids = forced_empty_setup()
+        with pytest.raises(ConfigError):
+            full_iteration(x, centroids, empty_cluster="panic")
+
+
+class TestLloydPolicies:
+    def test_drop_matches_default(self):
+        x, centroids = forced_empty_setup()
+        a = lloyd(x, 3, init=centroids)
+        b = lloyd(x, 3, init=centroids, empty_cluster="drop")
+        assert np.array_equal(a.centroids, b.centroids)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_error_raises(self):
+        x, centroids = forced_empty_setup()
+        with pytest.raises(EmptyClusterError):
+            lloyd(x, 3, init=centroids, empty_cluster="error")
+
+    def test_reseed_ends_with_k_nonempty_clusters(self):
+        x, centroids = forced_empty_setup()
+        r = lloyd(x, 3, init=centroids, empty_cluster="reseed")
+        assert (np.bincount(r.assignment, minlength=3) > 0).all()
+        assert r.converged
+
+
+class TestDriverPolicies:
+    def _xc(self):
+        return forced_empty_setup()
+
+    def test_knori_error_policy_raises(self):
+        x, centroids = self._xc()
+        with pytest.raises(EmptyClusterError):
+            knori(
+                x, 3, init=centroids, pruning=None,
+                empty_cluster="error",
+            )
+
+    def test_knori_reseed_unpruned_identical_to_lloyd_membership(self):
+        x, centroids = self._xc()
+        r = knori(
+            x, 3, init=centroids, pruning=None,
+            empty_cluster="reseed",
+        )
+        assert (np.bincount(r.assignment, minlength=3) > 0).all()
+
+    def test_knori_reseed_refused_with_pruning(self):
+        x, centroids = self._xc()
+        with pytest.raises(ConfigError):
+            knori(x, 3, init=centroids, pruning="mti",
+                  empty_cluster="reseed")
+
+    def test_knori_pruned_error_policy_raises(self):
+        x, centroids = self._xc()
+        with pytest.raises(EmptyClusterError):
+            knori(x, 3, init=centroids, pruning="mti",
+                  empty_cluster="error")
+
+    def test_knors_error_policy_raises(self, tmp_path):
+        from repro.data import write_matrix
+
+        x, centroids = self._xc()
+        path = str(write_matrix(tmp_path / "m.knor", x))
+        with pytest.raises(EmptyClusterError):
+            knors(path, 3, init=centroids, pruning=None,
+                  empty_cluster="error")
+
+    def test_knord_reseed_refused(self):
+        x, centroids = self._xc()
+        with pytest.raises(ConfigError):
+            knord(x, 3, init=centroids, n_machines=2,
+                  empty_cluster="reseed")
+
+    def test_knord_error_policy_raises_on_global_count(self):
+        x, centroids = self._xc()
+        with pytest.raises(EmptyClusterError):
+            knord(x, 3, init=centroids, pruning=None, n_machines=2,
+                  empty_cluster="error")
+
+    def test_knord_drop_tolerates_local_zeros(self):
+        # Shards legitimately have locally-empty clusters (the data
+        # is contiguously sharded); drop must not confuse local with
+        # global emptiness.
+        rng = np.random.default_rng(7)
+        x = np.vstack([
+            rng.normal(loc=(-4.0, 0.0), scale=0.3, size=(30, 2)),
+            rng.normal(loc=(4.0, 0.0), scale=0.3, size=(30, 2)),
+        ])
+        r = knord(x, 2, init="random", seed=1, n_machines=2,
+                  empty_cluster="error")
+        assert (np.bincount(r.assignment, minlength=2) > 0).all()
+
+    def test_empty_cluster_error_is_not_a_fault(self):
+        # The typed hierarchy: EmptyClusterError signals wrong k, not
+        # an injected fault -- it must not be caught by fault handling.
+        assert not issubclass(EmptyClusterError, FaultError)

@@ -106,3 +106,79 @@ class TestConvert:
         assert main([
             "knori", str(out), "-k", "2", "--max-iters", "5",
         ]) == 0
+
+
+class TestNonFiniteRejection:
+    """NaN/inf cells poison every distance they touch; the loaders
+    refuse them by default and name the offending rows."""
+
+    @pytest.fixture()
+    def dirty_npy(self, tmp_path):
+        x = np.arange(12, dtype=np.float64).reshape(4, 3)
+        x[1, 2] = np.nan
+        x[3, 0] = np.inf
+        p = tmp_path / "dirty.npy"
+        np.save(p, x)
+        return p
+
+    def test_npy_rejected_naming_rows(self, dirty_npy):
+        with pytest.raises(DatasetError, match=r"\[1, 3\]"):
+            load_npy(dirty_npy)
+
+    def test_npy_allow_nonfinite_escape(self, dirty_npy):
+        x = load_npy(dirty_npy, allow_nonfinite=True)
+        assert np.isnan(x[1, 2])
+        assert np.isinf(x[3, 0])
+
+    def test_csv_rejected(self, tmp_path):
+        p = tmp_path / "dirty.csv"
+        p.write_text("1.0,2.0\nnan,4.0\n5.0,inf\n")
+        with pytest.raises(DatasetError, match="NaN/inf"):
+            load_csv(p)
+
+    def test_csv_allow_nonfinite_escape(self, tmp_path):
+        p = tmp_path / "dirty.csv"
+        p.write_text("1.0,2.0\nnan,4.0\n")
+        x = load_csv(p, allow_nonfinite=True)
+        assert np.isnan(x[1, 0])
+
+    def test_error_caps_row_listing(self, tmp_path):
+        x = np.full((20, 2), np.nan)
+        p = tmp_path / "allbad.npy"
+        np.save(p, x)
+        with pytest.raises(DatasetError, match=r"\+12 more"):
+            load_npy(p)
+
+    def test_convert_passes_flag_through(self, dirty_npy, tmp_path):
+        out = tmp_path / "dirty.knor"
+        with pytest.raises(DatasetError):
+            convert_to_knor(dirty_npy, out)
+        convert_to_knor(dirty_npy, out, allow_nonfinite=True)
+        assert np.isnan(read_matrix(out)[1, 2])
+
+    def test_cli_flag(self, dirty_npy, tmp_path):
+        out = tmp_path / "dirty.knor"
+        assert main(["convert", str(dirty_npy), "-o", str(out)]) == 2
+        assert main([
+            "convert", str(dirty_npy), "-o", str(out),
+            "--allow-nonfinite",
+        ]) == 0
+
+
+class TestKTooLarge:
+    """k > n is a dataset-shape mistake, not a numerics fault: every
+    driver raises the same typed error before touching simulated
+    hardware."""
+
+    def test_drivers_reject_k_gt_n(self, tmp_path):
+        from repro import knord, knori, knors
+        from repro.data import write_matrix
+
+        x = np.arange(10, dtype=np.float64).reshape(5, 2)
+        with pytest.raises(DatasetError, match="k=7"):
+            knori(x, 7)
+        with pytest.raises(DatasetError, match="k=7"):
+            knord(x, 7, n_machines=2)
+        path = write_matrix(tmp_path / "m.knor", x)
+        with pytest.raises(DatasetError, match="k=7"):
+            knors(str(path), 7)

@@ -54,6 +54,28 @@ class TestRetryPolicy:
         assert p.backoff(2) == 300.0
         assert p.backoff(3) == 900.0
 
+    def test_backoff_zero_attempts_is_exactly_zero(self):
+        # attempt=0 means "no retry happened": the charge must be an
+        # exact 0.0, not backoff_ns / multiplier, so exhaustion
+        # accounting is identical across sites that count from 0 or 1.
+        assert RetryPolicy().backoff(0) == 0.0
+        assert RetryPolicy(
+            backoff_ns=100.0, backoff_multiplier=3.0
+        ).backoff(0) == 0.0
+
+    def test_backoff_negative_attempt_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy().backoff(-1)
+
+    def test_schedule_is_pinned(self):
+        # The exhaustion schedule is part of the determinism contract:
+        # every backend charges exactly these delays, in this order.
+        assert DEFAULT_RETRY_POLICY.schedule() == (2e6, 4e6, 8e6)
+        p = RetryPolicy(backoff_ns=100.0, backoff_multiplier=3.0)
+        assert p.schedule() == (100.0, 300.0, 900.0)
+        assert p.schedule(1) == (100.0,)
+        assert sum(p.schedule()) == 1300.0
+
     @pytest.mark.parametrize(
         "kwargs",
         [

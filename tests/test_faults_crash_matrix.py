@@ -25,15 +25,18 @@ pytestmark = pytest.mark.faults
 
 CRASH_ITERATIONS = (0, 2, 5)
 
-#: fault site -> the site whose on_recovery answers it. A mid-save
+#: fault site -> the site(s) whose on_recovery answers it. A mid-save
 #: checkpoint crash surfaces as a worker crash, so the worker site
-#: recovers it.
+#: recovers it; a corrupted *checkpoint* is likewise only discovered
+#: (and quarantined) during worker-crash recovery.
 RECOVERY_SITE = {
     "ssd": "ssd",
     "worker": "worker",
     "checkpoint": "worker",
     "node": "node",
     "net": "net",
+    "corruption": ("corruption", "worker"),
+    "straggler": "straggler",
 }
 
 
@@ -68,8 +71,10 @@ def assert_well_ordered(events):
         if ev.name != "fault":
             continue
         want = RECOVERY_SITE[ev.payload["site"]]
+        if isinstance(want, str):
+            want = (want,)
         assert any(
-            later.name == "recovery" and later.payload["site"] == want
+            later.name == "recovery" and later.payload["site"] in want
             for later in events[i + 1:]
         ), f"fault at {ev.payload['site']} never recovered"
 
@@ -104,6 +109,25 @@ class TestKnoriMatrix:
             observers=(rec,),
         )
         assert_matches(baseline, faulty, rec.fault_events())
+
+    def test_thread_straggler(self, dataset, centroids0, baseline):
+        """A slowed thread is EWMA-flagged and its queue drains to
+        healthy threads; numerics never notice."""
+        from repro.faults import FaultSpec
+
+        plan = FaultPlan(FaultSpec(), schedule=[
+            FaultEvent(site="straggler", iteration=1, kind="slow",
+                       machine=2),
+        ])
+        rec = RecordingObserver()
+        faulty = knori(
+            dataset, 6, init=centroids0, seed=3, faults=plan,
+            observers=(rec,),
+        )
+        assert_matches(baseline, faulty, rec.fault_events())
+        assert any(
+            e.name == "straggler" for e in rec.fault_events()
+        )
 
 
 # -- knors ---------------------------------------------------------------
@@ -184,6 +208,73 @@ class TestKnorsMatrix:
         )
         assert_matches(baseline, faulty, rec.fault_events())
 
+    @pytest.mark.parametrize("crash_it", CRASH_ITERATIONS)
+    def test_page_corruption(
+        self, dataset_path, centroids0, baseline, crash_it
+    ):
+        """A corrupted device page is CRC-caught, quarantined, and
+        re-read: time moves, numbers do not."""
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="corruption", iteration=crash_it,
+                        kind="page")]
+        )
+        rec = RecordingObserver()
+        faulty = knors(
+            dataset_path, 6, init=centroids0, seed=3, faults=plan,
+            observers=(rec,), **self.KW,
+        )
+        assert_matches(baseline, faulty, rec.fault_events())
+        assert any(
+            e.name == "quarantine" for e in rec.fault_events()
+        )
+
+    @pytest.mark.parametrize("crash_it", (6, 7))
+    def test_cache_line_corruption(
+        self, dataset_path, centroids0, crash_it
+    ):
+        """A corrupted DRAM-cached row is evicted and re-fetched
+        through the clean SSD path. Cache *hits* first appear at
+        iteration 6 here (the refresh admits the active set at 5), so
+        earlier cells have no resident line to corrupt."""
+        kw = dict(row_cache_bytes=1 << 20, page_cache_bytes=1 << 20)
+        baseline = knors(
+            dataset_path, 6, init=centroids0, seed=3, **kw
+        )
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="corruption", iteration=crash_it,
+                        kind="cache")]
+        )
+        rec = RecordingObserver()
+        faulty = knors(
+            dataset_path, 6, init=centroids0, seed=3, faults=plan,
+            observers=(rec,), **kw,
+        )
+        assert_matches(baseline, faulty, rec.fault_events())
+
+    def test_checkpoint_corruption(
+        self, dataset_path, centroids0, baseline, tmp_path
+    ):
+        """Corrupt the saved checkpoint, then crash: recovery must
+        CRC-fail the load, quarantine it, and replay from scratch."""
+        plan = FaultPlan.from_schedule([
+            FaultEvent(site="corruption", iteration=3,
+                       kind="checkpoint"),
+            FaultEvent(site="worker", iteration=4, kind="crash"),
+        ])
+        rec = RecordingObserver()
+        faulty = knors(
+            dataset_path, 6, init=centroids0, seed=3, faults=plan,
+            observers=(rec,), checkpoint_dir=tmp_path / "ck",
+            checkpoint_interval=2, **self.KW,
+        )
+        assert_matches(baseline, faulty, rec.fault_events())
+        quarantined = [
+            e for e in rec.fault_events() if e.name == "quarantine"
+        ]
+        assert any(
+            e.payload["where"] == "checkpoint" for e in quarantined
+        )
+
 
 # -- knord ---------------------------------------------------------------
 
@@ -257,6 +348,100 @@ class TestKnordMatrix:
         base = {r.iteration: r.allreduce_ns for r in baseline.records}
         fl = {r.iteration: r.allreduce_ns for r in faulty.records}
         assert fl[crash_it] > base[crash_it]
+
+    @pytest.mark.parametrize("crash_it", CRASH_ITERATIONS)
+    def test_message_corruption(
+        self, dataset, centroids0, baseline, crash_it
+    ):
+        """A bit-flipped allreduce payload is CRC-caught and
+        retransmitted; the merged sums stay exact."""
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="corruption", iteration=crash_it,
+                        kind="message")]
+        )
+        rec = RecordingObserver()
+        faulty = knord(
+            dataset, 6, init=centroids0, seed=3,
+            n_machines=self.N_MACHINES, faults=plan, observers=(rec,),
+        )
+        assert_matches(baseline, faulty, rec.fault_events())
+        base = {r.iteration: r.allreduce_ns for r in baseline.records}
+        fl = {r.iteration: r.allreduce_ns for r in faulty.records}
+        assert fl[crash_it] > base[crash_it]
+
+    def test_machine_straggler_resharded(
+        self, dataset, centroids0, baseline
+    ):
+        """A machine slowed 8x is flagged against the fleet median and
+        its shard moves to a healthy machine (factor 4 hides inside
+        the fixed reduction overhead, so the matrix pins 8)."""
+        from repro.faults import FaultSpec
+
+        plan = FaultPlan(
+            FaultSpec(straggler_factor=8.0),
+            schedule=[FaultEvent(site="straggler", iteration=1,
+                                 kind="slow", machine=1)],
+        )
+        rec = RecordingObserver()
+        faulty = knord(
+            dataset, 6, init=centroids0, seed=3,
+            n_machines=self.N_MACHINES, faults=plan, observers=(rec,),
+        )
+        assert_matches(baseline, faulty, rec.fault_events())
+        rebalances = [
+            e for e in rec.fault_events()
+            if e.name == "rebalance"
+            and e.payload.get("scope") == "machine"
+        ]
+        assert rebalances
+        moves = rebalances[0].payload["detail"]["moves"]
+        assert all(src == 1 and dst != 1 for _, src, dst in moves)
+
+
+# -- async I/O checkpoint restore (satellite d) ---------------------------
+
+
+class TestAsyncCheckpointRestore:
+    """Worker crashes under ``io_mode="async"``: recovery must reset
+    the prefetch-credit ledger so the resumed run cannot hide I/O
+    behind credit earned before the crash."""
+
+    KW = dict(
+        row_cache_bytes=1 << 20, page_cache_bytes=1 << 20,
+        io_mode="async",
+    )
+
+    @pytest.fixture(scope="class")
+    def baseline(self, dataset_path, centroids0):
+        return knors(dataset_path, 6, init=centroids0, seed=3, **self.KW)
+
+    @pytest.mark.parametrize("crash_it", CRASH_ITERATIONS)
+    def test_crash_restore_resets_prefetch_credit(
+        self, dataset_path, centroids0, baseline, tmp_path, crash_it
+    ):
+        plan = FaultPlan.from_schedule(
+            [FaultEvent(site="worker", iteration=crash_it, kind="crash")]
+        )
+        rec = RecordingObserver()
+        faulty = knors(
+            dataset_path, 6, init=centroids0, seed=3, faults=plan,
+            observers=(rec,), checkpoint_dir=tmp_path / "ck",
+            checkpoint_interval=2, **self.KW,
+        )
+        assert_matches(baseline, faulty, rec.fault_events())
+        # The first I/O after recovery starts with an empty credit
+        # ledger: nothing can be hidden behind pre-crash prefetches.
+        events = rec.events
+        rec_idx = next(
+            i for i, e in enumerate(events)
+            if e.name == "recovery" and e.payload["site"] == "worker"
+        )
+        first_io = next(
+            (e for e in events[rec_idx + 1:] if e.name == "io_complete"),
+            None,
+        )
+        assert first_io is not None
+        assert first_io.payload["hidden_ns"] == 0.0
 
 
 # -- pure MPI baseline ---------------------------------------------------
