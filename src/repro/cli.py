@@ -97,6 +97,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "'retries=5,backoff_ms=4,node_failure=abort' (keys: retries, "
         "backoff_ms, multiplier, timeout_ms, node_failure)",
     )
+    parser.add_argument(
+        "--algorithm",
+        choices=["kmeans", "gmm", "spherical", "semisupervised",
+                 "yinyang"],
+        default="kmeans",
+        help="MM algorithm to run on this backend (default: kmeans, "
+        "which uses the classic driver path; anything else rides the "
+        "MM plane and ignores --pruning/--empty-cluster)",
+    )
+    parser.add_argument(
+        "--labels", type=Path, default=None, metavar="NPY",
+        help="length-n .npy label array for --algorithm "
+        "semisupervised (ints in [0, k), -1 = unlabeled)",
+    )
 
 
 def _pruning(value: str) -> str | None:
@@ -198,10 +212,45 @@ def cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_mm(args: argparse.Namespace, backend: str,
+            **backend_kwargs) -> RunResult:
+    """Route a non-kmeans ``--algorithm`` through the MM plane."""
+    from repro.extensions import run_algorithm
+
+    x = MatrixFile(args.matrix).read_rows(None)
+    labels = np.load(args.labels) if args.labels is not None else None
+    algorithm_kwargs: dict = {"seed": args.seed}
+    if args.algorithm != "semisupervised":
+        # Semisupervised seeding is label-driven; no init method.
+        algorithm_kwargs["init"] = args.init
+    if args.algorithm == "gmm":
+        algorithm_kwargs["max_iters"] = args.max_iters
+    else:
+        algorithm_kwargs["criteria"] = ConvergenceCriteria(
+            max_iters=args.max_iters
+        )
+    return run_algorithm(
+        args.algorithm, x, args.k,
+        backend=backend,
+        labels=labels,
+        algorithm_kwargs=algorithm_kwargs,
+        observers=_observers(args),
+        **backend_kwargs,
+    )
+
+
 def cmd_knori(args: argparse.Namespace) -> int:
     """Run in-memory clustering on a .knor matrix."""
-    x = MatrixFile(args.matrix).read_rows(None)
     plan, _ = _fault_plan(args)
+    if args.algorithm != "kmeans":
+        result = _run_mm(
+            args, "inmemory",
+            n_threads=args.threads, scheduler=args.scheduler,
+            faults=plan,
+        )
+        _finish(result, args.out, json_path=args.json)
+        return 0
+    x = MatrixFile(args.matrix).read_rows(None)
     result = knori(
         x, args.k,
         pruning=_pruning(args.pruning),
@@ -222,6 +271,26 @@ def cmd_knori(args: argparse.Namespace) -> int:
 def cmd_knors(args: argparse.Namespace) -> int:
     """Run semi-external clustering on a .knor matrix."""
     plan, policy = _fault_plan(args)
+    if args.algorithm != "kmeans":
+        result = _run_mm(
+            args, "sem",
+            row_cache_bytes=args.row_cache_bytes,
+            page_cache_bytes=args.page_cache_bytes,
+            cache_update_interval=args.cache_interval,
+            io_mode=args.io_mode,
+            io_queue_depth=args.io_queue_depth,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_interval=args.checkpoint_interval,
+            resume=args.resume,
+            faults=plan,
+            retry_policy=policy,
+        )
+        _finish(result, args.out, json_path=args.json)
+        print(
+            f"I/O: requested {result.total_bytes_requested / 1e6:.1f} "
+            f"MB, read {result.total_bytes_read / 1e6:.1f} MB from SSD"
+        )
+        return 0
     result = knors(
         args.matrix, args.k,
         pruning=_pruning(args.pruning),
@@ -253,10 +322,19 @@ def cmd_knors(args: argparse.Namespace) -> int:
 
 def cmd_knord(args: argparse.Namespace) -> int:
     """Run distributed clustering on a .knor matrix."""
+    plan, policy = _fault_plan(args)
+    if args.algorithm != "kmeans":
+        result = _run_mm(
+            args, "distributed",
+            n_machines=args.machines,
+            faults=plan,
+            retry_policy=policy,
+        )
+        _finish(result, args.out, json_path=args.json)
+        return 0
     if args.pruning == "elkan":
         raise KnorError("knord supports --pruning mti|none")
     x = MatrixFile(args.matrix).read_rows(None)
-    plan, policy = _fault_plan(args)
     result = knord(
         x, args.k,
         n_machines=args.machines,

@@ -24,21 +24,40 @@ The "later phases" targets are implemented too:
   triangle-inequality block-pruned.
 * :func:`agglomerative` -- hierarchical clustering with
   single/complete/average/ward linkage (Lance-Williams).
+
+Each clustering variant above also ships as an MM plane port
+(clusterNOR's generalization, see :mod:`repro.runtime.mm`):
+:class:`GmmMM`, :class:`SphericalMM`, :class:`SemisupervisedMM` and
+:class:`YinyangMM` are bit-identical re-expressions of the standalone
+loops that inherit all three execution backends, faults/recovery,
+checkpoints and the observer bus. :data:`MM_ALGORITHMS` /
+:func:`make_mm_algorithm` / :func:`run_algorithm` dispatch by name
+(kNN and agglomerative stay standalone -- their reductions are not
+additive, see :mod:`repro.extensions.registry`).
 """
 
-from repro.extensions.spherical import spherical_kmeans
-from repro.extensions.semisupervised import semisupervised_kmeanspp
+from repro.extensions.spherical import SphericalMM, spherical_kmeans
+from repro.extensions.semisupervised import (
+    SemisupervisedMM,
+    semisupervised_kmeanspp,
+)
 from repro.extensions.yinyang import (
+    YinyangMM,
     YinyangState,
     yinyang_init,
     yinyang_iteration,
     yinyang_kmeans,
 )
-from repro.extensions.gmm import GmmResult, gmm_em
+from repro.extensions.gmm import GmmMM, GmmResult, gmm_em
 from repro.extensions.knn import KnnResult, knn_brute, knn_pruned
 from repro.extensions.agglomerative import (
     AgglomerativeResult,
     agglomerative,
+)
+from repro.extensions.registry import (
+    MM_ALGORITHMS,
+    make_mm_algorithm,
+    run_algorithm,
 )
 
 __all__ = [
@@ -55,4 +74,11 @@ __all__ = [
     "knn_pruned",
     "AgglomerativeResult",
     "agglomerative",
+    "GmmMM",
+    "SphericalMM",
+    "SemisupervisedMM",
+    "YinyangMM",
+    "MM_ALGORITHMS",
+    "make_mm_algorithm",
+    "run_algorithm",
 ]

@@ -21,6 +21,34 @@ from repro.errors import ConvergenceError, DatasetError
 _LOG_2PI = float(np.log(2.0 * np.pi))
 
 
+def _check_rows_finite(x: np.ndarray) -> None:
+    """Reject NaN/inf cells, naming the offending rows (the loader's
+    contract: a non-finite cell poisons every density it touches)."""
+    finite = np.isfinite(x).all(axis=1)
+    if finite.all():
+        return
+    bad = np.nonzero(~finite)[0]
+    shown = bad[:8].tolist()
+    more = f" (+{bad.size - 8} more)" if bad.size > 8 else ""
+    raise DatasetError(
+        f"gmm: {bad.size} rows contain NaN/inf (rows {shown}{more}); "
+        "clean the data before fitting"
+    )
+
+
+def _validate_gmm_inputs(x: np.ndarray, k: int, max_iters: int) -> None:
+    n = x.shape[0]
+    if k > n:
+        raise DatasetError(
+            f"k={k} components cannot exceed the n={n} data rows"
+        )
+    if k < 1:
+        raise ConvergenceError(f"k={k} invalid for n={n}")
+    if max_iters < 1:
+        raise ConvergenceError("max_iters must be >= 1")
+    _check_rows_finite(x)
+
+
 @dataclass
 class GmmResult:
     """Outcome of an EM run."""
@@ -59,6 +87,31 @@ def _log_prob(
     return out
 
 
+def _init_model(
+    x: np.ndarray,
+    k: int,
+    init: str | np.ndarray,
+    seed: int,
+    var_floor: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Initial (means, variances, weights), shared by both entry
+    points."""
+    n, d = x.shape
+    if isinstance(init, np.ndarray):
+        means = np.array(init, dtype=np.float64, copy=True)
+        if means.shape != (k, d):
+            raise DatasetError(
+                f"init means shape {means.shape} != ({k}, {d})"
+            )
+    else:
+        means = init_centroids(x, k, init, seed=seed)
+    variances = np.tile(
+        np.maximum(x.var(axis=0), var_floor), (k, 1)
+    )
+    weights = np.full(k, 1.0 / k)
+    return means, variances, weights
+
+
 def gmm_em(
     x: np.ndarray,
     k: int,
@@ -87,23 +140,11 @@ def gmm_em(
     if x.ndim != 2:
         raise DatasetError(f"x must be 2-D, got shape {x.shape}")
     n, d = x.shape
-    if k < 1 or k > n:
-        raise ConvergenceError(f"k={k} invalid for n={n}")
-    if max_iters < 1:
-        raise ConvergenceError("max_iters must be >= 1")
+    _validate_gmm_inputs(x, k, max_iters)
 
-    if isinstance(init, np.ndarray):
-        means = np.array(init, dtype=np.float64, copy=True)
-        if means.shape != (k, d):
-            raise DatasetError(
-                f"init means shape {means.shape} != ({k}, {d})"
-            )
-    else:
-        means = init_centroids(x, k, init, seed=seed)
-    variances = np.tile(
-        np.maximum(x.var(axis=0), var_floor), (k, 1)
+    means, variances, weights = _init_model(
+        x, k, init, seed, var_floor
     )
-    weights = np.full(k, 1.0 / k)
 
     ll_history: list[float] = []
     resp = np.zeros((n, k))
@@ -147,3 +188,141 @@ def gmm_em(
         iterations=iterations,
         converged=converged,
     )
+
+
+class GmmMM:
+    """Diagonal-covariance EM as an MM algorithm.
+
+    *Majorize* is the E-step plus the weighted reductions -- per-row
+    responsibilities voting into additive accumulators ``nk`` (soft
+    counts), ``wsum`` (weighted sums) and ``wsq`` (weighted squared
+    sums). *Minimize* is the M-step closed form over the reduced
+    accumulators. Numerics replay :func:`gmm_em` operation for
+    operation, so the MM run is bit-identical to the standalone loop
+    (pinned by the MM plane suite).
+    """
+
+    name = "gmm"
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        k: int,
+        *,
+        init: str | np.ndarray = "kmeans++",
+        seed: int = 0,
+        max_iters: int = 100,
+        tol: float = 1e-6,
+        var_floor: float = 1e-6,
+    ) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+        self.x = x
+        self.n_rows, self.d = x.shape
+        self.k = k
+        _validate_gmm_inputs(x, k, max_iters)
+        self.max_iters = max_iters
+        self.tol = tol
+        self.var_floor = var_floor
+        self._model0 = _init_model(x, k, init, seed, var_floor)
+        # nk rides as one extra slot beside the 2k d-length vectors.
+        self.reduction_slots = 2 * k + 1
+        self.state_bytes_per_row = 8 * k  # one responsibility row
+        self.reset()
+
+    def reset(self) -> None:
+        means, variances, weights = self._model0
+        self.means = means.copy()
+        self.variances = variances.copy()
+        self.weights = weights.copy()
+        self.resp = np.zeros((self.n_rows, self.k))
+        self.ll_history: list[float] = []
+        self.iteration = 0
+        self._assignment = np.full(self.n_rows, -1, dtype=np.int32)
+        self._pending_ll: float | None = None
+
+    def majorize(self):
+        from repro.runtime.mm import MMStep
+
+        n, k = self.n_rows, self.k
+        logp = _log_prob(self.x, self.means, self.variances,
+                         self.weights)
+        m = logp.max(axis=1, keepdims=True)
+        log_norm = m[:, 0] + np.log(np.exp(logp - m).sum(axis=1))
+        self.resp = np.exp(logp - log_norm[:, None])
+        self._pending_ll = float(log_norm.mean())
+
+        new_assign = np.argmax(self.resp, axis=1).astype(np.int32)
+        n_changed = int(np.count_nonzero(new_assign != self._assignment))
+        self._assignment = new_assign
+        return MMStep(
+            dist_per_row=np.full(n, k, dtype=np.int32),
+            needs_data=np.ones(n, dtype=bool),
+            n_changed=n_changed,
+            payload={
+                "nk": self.resp.sum(axis=0),
+                "wsum": self.resp.T @ self.x,
+                "wsq": self.resp.T @ (self.x**2),
+            },
+        )
+
+    def minimize(self, payload: dict[str, np.ndarray]) -> None:
+        nk = np.maximum(payload["nk"], 1e-12)
+        self.means = payload["wsum"] / nk[:, None]
+        self.variances = np.maximum(
+            payload["wsq"] / nk[:, None] - self.means**2,
+            self.var_floor,
+        )
+        self.weights = nk / self.n_rows
+        assert self._pending_ll is not None
+        self.ll_history.append(self._pending_ll)
+        self._pending_ll = None
+        self.iteration += 1
+
+    def converged(self) -> bool:
+        return len(self.ll_history) >= 2 and (
+            self.ll_history[-1] - self.ll_history[-2] < self.tol
+        )
+
+    def export_state(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "means": self.means,
+            "variances": self.variances,
+            "weights": self.weights,
+            "resp": self.resp,
+            "assignment": self._assignment,
+            "ll_history": np.asarray(self.ll_history, dtype=np.float64),
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        self.iteration = int(snap["iteration"])
+        self.means = np.array(snap["means"], dtype=np.float64)
+        self.variances = np.array(snap["variances"], dtype=np.float64)
+        self.weights = np.array(snap["weights"], dtype=np.float64)
+        self.resp = np.array(snap["resp"], dtype=np.float64)
+        self._assignment = np.array(snap["assignment"], dtype=np.int32)
+        self.ll_history = [float(v) for v in snap["ll_history"]]
+        self._pending_ll = None
+
+    @property
+    def model_array(self) -> np.ndarray:
+        return self.means
+
+    def result(self, loop_result, *, memory_breakdown=None,
+               extra_params=None):
+        return loop_result.as_run_result(
+            algorithm="mm-gmm",
+            centroids=self.means,
+            assignment=np.argmax(self.resp, axis=1).astype(np.int32),
+            inertia=float(-self.ll_history[-1]),
+            memory_breakdown=memory_breakdown,
+            params={
+                "n": self.n_rows, "d": self.d, "k": self.k,
+                "algorithm": self.name, "tol": self.tol,
+                "var_floor": self.var_floor,
+                "log_likelihood": self.ll_history[-1],
+                **(extra_params or {}),
+            },
+        )

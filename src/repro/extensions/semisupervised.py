@@ -21,6 +21,52 @@ from repro.errors import ConvergenceError, DatasetError
 from repro.metrics import IterationRecord, RunResult
 
 
+def _validate_labels(x: np.ndarray, k: int, labels: np.ndarray) -> None:
+    if x.ndim != 2:
+        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+    if labels.shape != (x.shape[0],):
+        raise DatasetError(
+            f"labels shape {labels.shape} != ({x.shape[0]},)"
+        )
+    if labels.max(initial=-1) >= k:
+        raise DatasetError("labels must lie in [0, k) or be -1")
+    if not (labels >= 0).any():
+        raise ConvergenceError(
+            "semisupervised_kmeanspp needs at least one labeled point"
+        )
+
+
+def _seed_centroids(
+    x: np.ndarray, k: int, labels: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Labeled class means first, then D^2-weighted draws for the
+    clusters no label covers."""
+    n, d = x.shape
+    centroids = np.zeros((k, d))
+    seeded = np.zeros(k, dtype=bool)
+    for c in range(k):
+        members = x[labels == c]
+        if members.shape[0]:
+            centroids[c] = members.mean(axis=0)
+            seeded[c] = True
+    # D^2 draw for unseeded clusters against everything placed so far.
+    placed = centroids[seeded]
+    if placed.shape[0] == 0:  # unreachable given _validate_labels
+        raise ConvergenceError("no labeled seeds")
+    d2 = euclidean(x, placed).min(axis=1) ** 2
+    for c in np.nonzero(~seeded)[0]:
+        total = d2.sum()
+        idx = (
+            int(rng.choice(n, p=d2 / total))
+            if total > 0
+            else int(rng.integers(0, n))
+        )
+        centroids[c] = x[idx]
+        new_d = euclidean(x, x[idx : idx + 1])[:, 0] ** 2
+        np.minimum(d2, new_d, out=d2)
+    return centroids
+
+
 def semisupervised_kmeanspp(
     x: np.ndarray,
     k: int,
@@ -40,45 +86,11 @@ def semisupervised_kmeanspp(
     """
     x = np.asarray(x, dtype=np.float64)
     labels = np.asarray(labels)
-    if x.ndim != 2:
-        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
-    if labels.shape != (x.shape[0],):
-        raise DatasetError(
-            f"labels shape {labels.shape} != ({x.shape[0]},)"
-        )
-    if labels.max(initial=-1) >= k:
-        raise DatasetError("labels must lie in [0, k) or be -1")
-    if not (labels >= 0).any():
-        raise ConvergenceError(
-            "semisupervised_kmeanspp needs at least one labeled point"
-        )
+    _validate_labels(x, k, labels)
     crit = criteria or ConvergenceCriteria()
     n, d = x.shape
     rng = np.random.default_rng(seed)
-
-    # --- seeding ------------------------------------------------------
-    centroids = np.zeros((k, d))
-    seeded = np.zeros(k, dtype=bool)
-    for c in range(k):
-        members = x[labels == c]
-        if members.shape[0]:
-            centroids[c] = members.mean(axis=0)
-            seeded[c] = True
-    # D^2 draw for unseeded clusters against everything placed so far.
-    placed = centroids[seeded]
-    if placed.shape[0] == 0:  # unreachable given the check above
-        raise ConvergenceError("no labeled seeds")
-    d2 = euclidean(x, placed).min(axis=1) ** 2
-    for c in np.nonzero(~seeded)[0]:
-        total = d2.sum()
-        idx = (
-            int(rng.choice(n, p=d2 / total))
-            if total > 0
-            else int(rng.integers(0, n))
-        )
-        centroids[c] = x[idx]
-        new_d = euclidean(x, x[idx : idx + 1])[:, 0] ** 2
-        np.minimum(d2, new_d, out=d2)
+    centroids = _seed_centroids(x, k, labels, rng)
 
     # --- anchored Lloyd's ---------------------------------------------
     anchored = labels >= 0
@@ -124,3 +136,129 @@ def semisupervised_kmeanspp(
             "n_labeled": int(anchored.sum()),
         },
     )
+
+
+class SemisupervisedMM:
+    """Seeded, label-anchored k-means as an MM algorithm.
+
+    *Majorize*: nearest-centroid assignment with anchored labels plus
+    per-cluster sums/counts (the additive accumulator). *Minimize*:
+    divide on the non-empty clusters. Replays
+    :func:`semisupervised_kmeanspp` operation for operation
+    (bit-identical, same ``seed``).
+    """
+
+    name = "semisupervised"
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        k: int,
+        labels: np.ndarray,
+        *,
+        seed: int = 0,
+        criteria: ConvergenceCriteria | None = None,
+    ) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        labels = np.asarray(labels)
+        _validate_labels(x, k, labels)
+        self.x = x
+        self.labels = labels
+        self.n_rows, self.d = x.shape
+        self.k = k
+        self.crit = criteria or ConvergenceCriteria()
+        self.max_iters = self.crit.max_iters
+        self.anchored = labels >= 0
+        rng = np.random.default_rng(seed)
+        self._centroids0 = _seed_centroids(x, k, labels, rng)
+        self.reduction_slots = k
+        self.state_bytes_per_row = 12  # int32 assignment + f64 mindist
+        self.reset()
+
+    def reset(self) -> None:
+        self.centroids = self._centroids0.copy()
+        self.assignment = np.full(self.n_rows, -1, dtype=np.int32)
+        self.mindist = np.zeros(self.n_rows)
+        self.iteration = 0
+        self._last_n_changed: int | None = None
+
+    def majorize(self):
+        from repro.runtime.mm import MMStep
+
+        n, k, d = self.n_rows, self.k, self.d
+        new_assign, self.mindist = nearest_centroid(
+            self.x, self.centroids
+        )
+        new_assign[self.anchored] = self.labels[self.anchored]
+        n_changed = int(
+            np.count_nonzero(new_assign != self.assignment)
+        )
+        self.assignment = new_assign
+        self._last_n_changed = n_changed
+        sums = np.zeros((k, d))
+        for dim in range(d):
+            sums[:, dim] = np.bincount(
+                self.assignment, weights=self.x[:, dim], minlength=k
+            )
+        counts = np.bincount(self.assignment, minlength=k)
+        return MMStep(
+            dist_per_row=np.full(n, k, dtype=np.int32),
+            needs_data=np.ones(n, dtype=bool),
+            n_changed=n_changed,
+            payload={
+                "sums": sums,
+                "counts": counts.astype(np.float64),
+            },
+        )
+
+    def minimize(self, payload: dict[str, np.ndarray]) -> None:
+        sums, counts = payload["sums"], payload["counts"]
+        centroids = self.centroids.copy()
+        nz = counts > 0
+        # Exact-integer f64 counts: the divide is bit-identical to the
+        # legacy int64 divide.
+        centroids[nz] = sums[nz] / counts[nz, None]
+        self.centroids = centroids
+        self.iteration += 1
+
+    def converged(self) -> bool:
+        if self._last_n_changed is None:
+            return False
+        return self.crit.converged(self.n_rows, self._last_n_changed)
+
+    def export_state(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "centroids": self.centroids,
+            "assignment": self.assignment,
+            "mindist": self.mindist,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        self.iteration = int(snap["iteration"])
+        self.centroids = np.array(snap["centroids"], dtype=np.float64)
+        self.assignment = np.array(snap["assignment"], dtype=np.int32)
+        self.mindist = np.array(snap["mindist"], dtype=np.float64)
+        self._last_n_changed = None
+
+    @property
+    def model_array(self) -> np.ndarray:
+        return self.centroids
+
+    def result(self, loop_result, *, memory_breakdown=None,
+               extra_params=None):
+        return loop_result.as_run_result(
+            algorithm="mm-semisupervised",
+            centroids=self.centroids,
+            assignment=self.assignment.copy(),
+            inertia=float(
+                (self.mindist[~self.anchored] ** 2).sum()
+            ),
+            memory_breakdown=memory_breakdown,
+            params={
+                "n": self.n_rows, "d": self.d, "k": self.k,
+                "n_labeled": int(self.anchored.sum()),
+                "algorithm": self.name,
+                **(extra_params or {}),
+            },
+        )

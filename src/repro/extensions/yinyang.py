@@ -315,3 +315,169 @@ def yinyang_kmeans(
             "n": x.shape[0], "d": x.shape[1], "k": k, "t": state.t,
         },
     )
+
+
+class YinyangMM:
+    """Yinyang k-means as an MM algorithm.
+
+    Iteration 0 is the seeding pass (:func:`yinyang_init`, every row
+    touched); later iterations run the pruned
+    :func:`yinyang_iteration`, whose ``dist_per_row`` feeds straight
+    into the hardware plane -- and whose zero rows become real I/O
+    savings on the SEM backend via ``needs_data``. The accumulator
+    payload is the incrementally-maintained per-cluster sums/counts.
+    Numerics replay :func:`yinyang_kmeans` exactly (bit-identical,
+    including iteration counts).
+    """
+
+    name = "yinyang"
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        k: int,
+        *,
+        t: int | None = None,
+        init: str | np.ndarray = "random",
+        seed: int = 0,
+        criteria: ConvergenceCriteria | None = None,
+    ) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+        if k > x.shape[0]:
+            raise DatasetError(
+                f"k={k} clusters cannot exceed the n={x.shape[0]} "
+                "data rows"
+            )
+        self.x = x
+        self.n_rows, self.d = x.shape
+        self.k = k
+        self.t_requested = t
+        self.seed = seed
+        self.crit = criteria or ConvergenceCriteria()
+        self.max_iters = self.crit.max_iters
+        if isinstance(init, np.ndarray):
+            self._centroids0 = np.array(init, dtype=np.float64,
+                                        copy=True)
+        else:
+            self._centroids0 = init_centroids(x, k, init, seed=seed)
+        self.reduction_slots = k
+        # Bounds matrix + ub + assignment; refined to the actual t
+        # after iteration 0 (empty groups may collapse).
+        t_est = t if t is not None else max(1, k // 10)
+        self.state_bytes_per_row = 4 + 8 * (1 + t_est)
+        self.reset()
+
+    def reset(self) -> None:
+        self.state: YinyangState | None = None
+        self.prev = self._centroids0
+        self.cur = self._centroids0.copy()
+        self.iteration = 0
+        self._last: YinyangIterationResult | None = None
+
+    def majorize(self):
+        from repro.runtime.mm import MMStep
+
+        n = self.n_rows
+        if self.state is None:
+            self.state, r = yinyang_init(
+                self.x, self.cur, t=self.t_requested, seed=self.seed,
+            )
+            self.state_bytes_per_row = 4 + 8 * (1 + self.state.t)
+            needs_data = np.ones(n, dtype=bool)
+        else:
+            r = yinyang_iteration(
+                self.x, self.cur, self.prev, self.state
+            )
+            needs_data = r.dist_per_row > 0
+        self.prev, self.cur = self.cur, r.new_centroids
+        self._last = r
+        self.iteration += 1
+        return MMStep(
+            dist_per_row=r.dist_per_row,
+            needs_data=needs_data,
+            n_changed=r.n_changed,
+            payload={
+                "sums": self.state.sums.copy(),
+                "counts": self.state.counts.astype(np.float64),
+            },
+            motion=r.motion,
+            clause1_rows=r.global_filtered,
+        )
+
+    def minimize(self, payload: dict[str, np.ndarray]) -> None:
+        """No-op: :func:`yinyang_iteration` installs the centroids
+        from the same sums/counts (bit-identical divide)."""
+
+    def converged(self) -> bool:
+        # The seeding pass never converges (the legacy loop only
+        # checks from the first pruned iteration onward).
+        if self._last is None or self.iteration <= 1:
+            return False
+        return self.crit.converged(
+            self.n_rows, self._last.n_changed, self._last.motion
+        )
+
+    def export_state(self) -> dict:
+        if self.state is None:
+            raise DatasetError(
+                "yinyang state not initialized; nothing to export"
+            )
+        return {
+            "iteration": self.iteration,
+            "cur": self.cur,
+            "prev": self.prev,
+            "assignment": self.state.assignment,
+            "ub": self.state.ub,
+            "lb": self.state.lb,
+            "group_of": self.state.group_of,
+            "sums": self.state.sums,
+            "counts": self.state.counts,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        self.iteration = int(snap["iteration"])
+        self.cur = np.array(snap["cur"], dtype=np.float64)
+        self.prev = np.array(snap["prev"], dtype=np.float64)
+        lb = np.array(snap["lb"], dtype=np.float64)
+        group_of = np.array(snap["group_of"], dtype=np.int64)
+        t = lb.shape[1]
+        groups = [np.nonzero(group_of == g)[0] for g in range(t)]
+        self.state = YinyangState(
+            assignment=np.array(snap["assignment"], dtype=np.int32),
+            ub=np.array(snap["ub"], dtype=np.float64),
+            lb=lb,
+            group_of=group_of,
+            groups=groups,
+            sums=np.array(snap["sums"], dtype=np.float64),
+            counts=np.array(snap["counts"], dtype=np.int64),
+        )
+        self.state_bytes_per_row = 4 + 8 * (1 + t)
+        self._last = None
+
+    @property
+    def model_array(self) -> np.ndarray:
+        return self.cur
+
+    def result(self, loop_result, *, memory_breakdown=None,
+               extra_params=None):
+        assert self.state is not None
+        dist = rows_to_centroids(self.x, self.cur,
+                                 self.state.assignment)
+        breakdown = dict(memory_breakdown or {})
+        breakdown["yinyang_bounds"] = (
+            self.state.lb.nbytes + self.state.ub.nbytes
+        )
+        return loop_result.as_run_result(
+            algorithm="mm-yinyang",
+            centroids=self.cur,
+            assignment=self.state.assignment.copy(),
+            inertia=float((dist**2).sum()),
+            memory_breakdown=breakdown,
+            params={
+                "n": self.n_rows, "d": self.d, "k": self.k,
+                "t": self.state.t, "algorithm": self.name,
+                **(extra_params or {}),
+            },
+        )

@@ -19,6 +19,15 @@ package factors that skeleton out once:
 ``knori()``, ``knors()``, ``knord()``, the generalized framework's
 ``run_numa``/``run_sem``, and ``baselines.mpi_lloyd`` are thin
 parameter-translation shims over these pieces.
+
+On top of the skeleton sits the **MM algorithm plane**
+(:mod:`repro.runtime.mm`): any algorithm expressible as a per-row
+*majorize* phase plus a global additive *minimize* reduction
+(:class:`MMAlgorithm`) inherits all three backends, fault recovery,
+v4 checkpoints and the observer bus via ``run_mm_inmemory`` /
+``run_mm_sem`` / ``run_mm_distributed``. k-means itself is the first
+implementation (:class:`KmeansMM`); the extension zoo supplies the
+rest (see :mod:`repro.extensions`).
 """
 
 from repro.runtime.backends import (
@@ -30,11 +39,25 @@ from repro.runtime.backends import (
     PureMpiBackend,
     SemBackend,
     ShardedKmeans,
+    ShardedProgram,
 )
 from repro.runtime.loop import IterationLoop, LoopResult
+from repro.runtime.mm import (
+    KmeansMM,
+    MMAlgorithm,
+    MMCheckpointHook,
+    MMShardedProgram,
+    MMSource,
+    MMStep,
+    run_mm,
+    run_mm_distributed,
+    run_mm_inmemory,
+    run_mm_sem,
+)
 from repro.runtime.memory import (
     register_distributed_memory,
     register_inmemory_memory,
+    register_mm_memory,
     register_sem_memory,
     state_bytes_per_row,
 )
@@ -61,8 +84,14 @@ __all__ = [
     "InMemoryBackend",
     "IterationLoop",
     "IterationOutcome",
+    "KmeansMM",
     "KmeansSource",
     "LoopResult",
+    "MMAlgorithm",
+    "MMCheckpointHook",
+    "MMShardedProgram",
+    "MMSource",
+    "MMStep",
     "NumericsSource",
     "ObserverChain",
     "PrintObserver",
@@ -72,12 +101,18 @@ __all__ = [
     "RunObserver",
     "SemBackend",
     "ShardedKmeans",
+    "ShardedProgram",
     "StepStats",
     "TraceEvent",
     "chain_observers",
     "register_distributed_memory",
     "register_inmemory_memory",
+    "register_mm_memory",
     "register_sem_memory",
     "resolve_row_data",
+    "run_mm",
+    "run_mm_distributed",
+    "run_mm_inmemory",
+    "run_mm_sem",
     "state_bytes_per_row",
 ]

@@ -13,11 +13,22 @@ the convergence check needs. Three substrates implement the protocol:
   SSD request queue and hides service time behind the previous
   iteration's compute (prefetch credit); optional checkpoint hook.
 * :class:`DistributedBackend` -- a simulated cluster (knord): each
-  machine drives its own per-shard numerics loop, partial centroid
-  sums meet in a real tree-summed allreduce, every machine recomputes
-  identical global centroids (decentralized, Section 7).
-  :class:`PureMpiBackend` reuses the same sharded numerics with the
-  paper's NUMA-oblivious per-rank cost model (Section 8.9 baseline).
+  machine drives its own shard of a :class:`ShardedProgram`, whose
+  named accumulator payloads meet in a real tree-summed allreduce,
+  every machine recomputing the identical global model
+  (decentralized, Section 7). :class:`PureMpiBackend` reuses the same
+  sharded program with the paper's NUMA-oblivious per-rank cost model
+  (Section 8.9 baseline).
+
+The distributed collective is algorithm-agnostic (clusterNOR's MM
+frame): a shard contributes a ``dict[str, ndarray]`` of additive
+accumulators -- centroid sums + counts for k-means, weighted
+sums/squared sums for GMM, ... -- and the backend reduces each named
+array in insertion order, charges one latency for the combined
+payload, then hands the reduced accumulators to the program's
+``minimize`` hook. :class:`ShardedKmeans` is the first such program;
+:class:`~repro.runtime.mm.MMShardedProgram` adapts any
+``MMAlgorithm``.
 
 The exact numerics, counters and simulated costs are byte-identical to
 the pre-runtime per-driver loops; only the orchestration moved here.
@@ -306,6 +317,51 @@ class CheckpointHook:
             )
         observer.on_checkpoint(iteration, self.directory)
 
+    def try_restore(
+        self, iteration: int, observer: RunObserver
+    ) -> int | None:
+        """Restore the newest checkpoint into the loop, if loadable.
+
+        Returns the iteration to resume at, or ``None`` when no usable
+        checkpoint exists. A checkpoint whose CRC32s do not match its
+        arrays is quarantined (never restored) and recovery falls back
+        to the caller's from-scratch path -- slower, still
+        bit-identical.
+        """
+        from repro.errors import CorruptionError
+        from repro.sem.checkpoint import (
+            discard_checkpoint,
+            has_checkpoint,
+            load_checkpoint,
+        )
+
+        if not has_checkpoint(self.directory):
+            return None
+        try:
+            ckpt = load_checkpoint(self.directory)
+        except CorruptionError as exc:
+            observer.on_corruption(
+                iteration, "checkpoint", {"error": str(exc)}
+            )
+            discarded = discard_checkpoint(self.directory)
+            observer.on_quarantine(
+                iteration, "checkpoint", str(self.directory),
+                {"files_removed": discarded},
+            )
+            return None
+        self.loop.restore_state(
+            {
+                "iteration": ckpt.iteration,
+                "centroids": ckpt.centroids,
+                "prev_centroids": ckpt.prev_centroids,
+                "assignment": ckpt.assignment,
+                "ub": ckpt.ub,
+                "sums": ckpt.sums,
+                "counts": ckpt.counts,
+            }
+        )
+        return ckpt.iteration
+
 
 class SemBackend(InMemoryBackend):
     """Section 6 substrate: InMemory compute overlapped with the
@@ -429,51 +485,16 @@ class SemBackend(InMemoryBackend):
 
         The caches restart cold either way -- cache state is pure
         timing, so the replayed numerics stay bit-identical.
-        """
-        from repro.errors import CorruptionError
-        from repro.sem.checkpoint import (
-            discard_checkpoint,
-            has_checkpoint,
-            load_checkpoint,
-        )
 
-        loop = getattr(self.source, "loop", None)
-        ckpt = None
-        if (
-            self.checkpoint is not None
-            and loop is not None
-            and has_checkpoint(self.checkpoint.directory)
-        ):
-            try:
-                ckpt = load_checkpoint(self.checkpoint.directory)
-            except CorruptionError as exc:
-                # The checkpoint's CRC32s do not match its arrays:
-                # quarantine it (never restore garbage) and fall back
-                # to a from-scratch rerun -- slower, still
-                # bit-identical.
-                observer.on_corruption(
-                    iteration, "checkpoint", {"error": str(exc)}
-                )
-                discarded = discard_checkpoint(self.checkpoint.directory)
-                observer.on_quarantine(
-                    iteration, "checkpoint",
-                    str(self.checkpoint.directory),
-                    {"files_removed": discarded},
-                )
-        if ckpt is not None:
-            loop.restore_state(
-                {
-                    "iteration": ckpt.iteration,
-                    "centroids": ckpt.centroids,
-                    "prev_centroids": ckpt.prev_centroids,
-                    "assignment": ckpt.assignment,
-                    "ub": ckpt.ub,
-                    "sums": ckpt.sums,
-                    "counts": ckpt.counts,
-                }
-            )
-            resume_at = ckpt.iteration
-        else:
+        The restore itself is delegated to the checkpoint hook's
+        ``try_restore`` (the hook knows its own on-disk format:
+        kmeans v3 state or the generic MM v4 arrays), which keeps this
+        backend algorithm-agnostic.
+        """
+        resume_at = None
+        if self.checkpoint is not None:
+            resume_at = self.checkpoint.try_restore(iteration, observer)
+        if resume_at is None:
             resume_at = super().recover(iteration, observer)
         rc = getattr(self.io_engine, "row_cache", None)
         if rc is not None:
@@ -487,7 +508,52 @@ class SemBackend(InMemoryBackend):
         return resume_at
 
 
-class ShardedKmeans:
+class ShardedProgram:
+    """A sharded MM program: the algorithm side of the distributed
+    backends, generalized over named accumulator payloads.
+
+    Subclasses provide the numerics:
+
+    * ``n_rows`` / ``n_shards`` / ``shard_rows()`` -- row geometry;
+    * ``step(si)`` -- shard ``si``'s :class:`StepStats` for this
+      iteration;
+    * ``payload(si)`` -- shard ``si``'s additive accumulator
+      contribution, a ``dict[str, ndarray]`` with identical keys and
+      shapes across shards;
+    * ``minimize(reduced)`` -- fold the reduced accumulators into the
+      global model (broadcast is implicit: every simulated machine
+      recomputes the same model, Section 7);
+    * ``reset()`` -- rewind to iteration 0 (crash recovery);
+    * ``model_array`` -- the model as one ndarray (the collective's
+      corruption-CRC payload).
+
+    The collective itself lives here and is algorithm-agnostic: one
+    tree-summed allreduce per named array, in payload insertion order,
+    then a single latency charge sized by the combined payload.
+    """
+
+    def reduce_and_broadcast(
+        self, comm: Any, payloads: list[dict[str, np.ndarray]]
+    ) -> tuple[int, int, float]:
+        """Allreduce every named accumulator and update the model.
+
+        Returns ``(payload_bytes, wire_bytes, allreduce_ns)``.
+        """
+        reduced: dict[str, np.ndarray] = {}
+        wire = 0
+        # +8: the iteration header rides along with the accumulators.
+        payload_bytes = 8
+        for key in payloads[0]:
+            red = comm.allreduce_sum([p[key] for p in payloads])
+            reduced[key] = red.value
+            wire += red.bytes_on_wire
+            payload_bytes += red.value.nbytes
+        allreduce_ns = comm.allreduce_ns(payload_bytes)
+        self.minimize(reduced)
+        return payload_bytes, wire, allreduce_ns
+
+
+class ShardedKmeans(ShardedProgram):
     """Per-shard :class:`NumericsLoop` fleet with a shared global view.
 
     Each shard's loop owns that shard's persistent pruning state; after
@@ -511,6 +577,7 @@ class ShardedKmeans:
 
         n = x.shape[0]
         self.x = x
+        self.n_rows = n
         self.k = k
         self.pruning = pruning
         # A shard legitimately holds zero members of some clusters, so
@@ -557,27 +624,19 @@ class ShardedKmeans:
             clause3_pruned=num.clause3_pruned,
         )
 
-    def partials(self, mi: int) -> tuple[np.ndarray, np.ndarray]:
-        """Shard ``mi``'s centroid sums and (float) counts."""
-        sums, counts = self.loops[mi].partial_sums_counts()
-        return sums, counts.astype(np.float64)
+    def payload(self, mi: int) -> dict[str, np.ndarray]:
+        """Shard ``mi``'s accumulators: centroid sums + float counts.
 
-    def reduce_and_broadcast(
-        self,
-        comm: Any,
-        shard_sums: list[np.ndarray],
-        shard_counts: list[np.ndarray],
-    ) -> tuple[np.ndarray, int, int, float]:
-        """Allreduce partials, recompute and install global centroids.
-
-        Returns ``(new_centroids, payload_bytes, wire_bytes,
-        allreduce_ns)``.
+        Key order is the wire order (sums first, then counts), which
+        preserves the pre-generalization collective byte-for-byte.
         """
-        red_sums = comm.allreduce_sum(shard_sums)
-        red_counts = comm.allreduce_sum(shard_counts)
-        payload = red_sums.value.nbytes + red_counts.value.nbytes + 8
-        allreduce_ns = comm.allreduce_ns(payload)
-        counts = red_counts.value
+        sums, counts = self.loops[mi].partial_sums_counts()
+        return {"sums": sums, "counts": counts.astype(np.float64)}
+
+    def minimize(self, reduced: dict[str, np.ndarray]) -> None:
+        """Recompute and install the global centroids from the
+        reduced accumulators (the k-means M-step)."""
+        counts = reduced["counts"]
         if self.empty_cluster == "error" and not (counts > 0).all():
             from repro.errors import EmptyClusterError
 
@@ -589,13 +648,15 @@ class ShardedKmeans:
         new_centroids = self.centroids.copy()
         nonzero = counts > 0
         new_centroids[nonzero] = (
-            red_sums.value[nonzero] / counts[nonzero, None]
+            reduced["sums"][nonzero] / counts[nonzero, None]
         )
         self.centroids = new_centroids
         for loop in self.loops:
             loop.centroids = new_centroids
-        wire = red_sums.bytes_on_wire + red_counts.bytes_on_wire
-        return new_centroids, payload, wire, allreduce_ns
+
+    @property
+    def model_array(self) -> np.ndarray:
+        return self.centroids
 
     @property
     def assignment(self) -> np.ndarray:
@@ -632,7 +693,7 @@ class DistributedBackend:
         self,
         cluster: Any,
         schedulers: list[Any],
-        sharded: ShardedKmeans,
+        sharded: ShardedProgram,
         *,
         d: int,
         k: int,
@@ -644,7 +705,7 @@ class DistributedBackend:
         self.cluster = cluster
         self.schedulers = schedulers
         self.sharded = sharded
-        self.n_rows = sharded.x.shape[0]
+        self.n_rows = sharded.n_rows
         self.d = d
         self.k = k
         self.task_rows = task_rows
@@ -798,8 +859,7 @@ class DistributedBackend:
             self._maybe_fail_node(iteration, observer)
             if self._machine_detector is not None:
                 self._maybe_straggle_node(iteration, observer)
-        shard_sums: list[np.ndarray] = []
-        shard_counts: list[np.ndarray] = []
+        payloads: list[dict[str, np.ndarray]] = []
         n_changed = 0
         machine_ns: dict[int, float] = {}
         dist_total = 0
@@ -807,18 +867,17 @@ class DistributedBackend:
         steals = 0
         busy: list[float] = []
         motion: np.ndarray | None = None
+        shard_rows = self.sharded.shard_rows()
 
         for si in range(self.sharded.n_shards):
             stats = self.sharded.step(si)
             if stats.motion is not None:
                 motion = stats.motion
-            sums, counts = self.sharded.partials(si)
-            shard_sums.append(sums)
-            shard_counts.append(counts)
+            payloads.append(self.sharded.payload(si))
 
             mi = self.shard_owner[si]
             machine = self.cluster.machines[mi]
-            sn = self.sharded.shards[si].shape[0]
+            sn = shard_rows[si]
             tasks = build_task_blocks(
                 sn,
                 self.d,
@@ -850,9 +909,9 @@ class DistributedBackend:
         if self._machine_detector is not None:
             self._observe_machines(iteration, machine_ns, observer)
 
-        _, payload, wire, allreduce_ns = (
+        payload, wire, allreduce_ns = (
             self.sharded.reduce_and_broadcast(
-                self.cluster.comm, shard_sums, shard_counts
+                self.cluster.comm, payloads
             )
         )
         if self.faults is not None:
@@ -861,7 +920,7 @@ class DistributedBackend:
             allreduce_ns = faulty_collective_ns(
                 self.faults, self.retry_policy, iteration,
                 allreduce_ns, observer,
-                payload=self.sharded.centroids,
+                payload=self.sharded.model_array,
             )
         observer.on_collective(iteration, payload, wire, allreduce_ns)
 
@@ -899,7 +958,7 @@ class PureMpiBackend:
     def __init__(
         self,
         comm: Any,
-        sharded: ShardedKmeans,
+        sharded: ShardedProgram,
         *,
         dist_col_ns: float,
         row_overhead_ns: float,
@@ -909,7 +968,7 @@ class PureMpiBackend:
     ) -> None:
         self.comm = comm
         self.sharded = sharded
-        self.n_rows = sharded.x.shape[0]
+        self.n_rows = sharded.n_rows
         self.dist_col_ns = dist_col_ns
         self.row_overhead_ns = row_overhead_ns
         self.numa_penalty = numa_penalty
@@ -923,21 +982,19 @@ class PureMpiBackend:
     def run_iteration(
         self, iteration: int, observer: RunObserver
     ) -> IterationOutcome:
-        shard_sums: list[np.ndarray] = []
-        shard_counts: list[np.ndarray] = []
+        payloads: list[dict[str, np.ndarray]] = []
         n_changed = 0
         rank_ns: list[float] = []
         dist_total = 0
         motion: np.ndarray | None = None
+        shard_rows = self.sharded.shard_rows()
 
         for ri in range(self.sharded.n_shards):
             stats = self.sharded.step(ri)
             if stats.motion is not None:
                 motion = stats.motion
-            sums, counts = self.sharded.partials(ri)
-            shard_sums.append(sums)
-            shard_counts.append(counts)
-            sn = self.sharded.shards[ri].shape[0]
+            payloads.append(self.sharded.payload(ri))
+            sn = shard_rows[ri]
             n_dist = int(stats.dist_per_row.sum())
             # Single-threaded rank, unpinned: NUMA penalty, no SMT.
             rank_ns.append(
@@ -947,10 +1004,8 @@ class PureMpiBackend:
             dist_total += n_dist
             n_changed += stats.n_changed
 
-        _, payload, wire, allreduce_ns = (
-            self.sharded.reduce_and_broadcast(
-                self.comm, shard_sums, shard_counts
-            )
+        payload, wire, allreduce_ns = (
+            self.sharded.reduce_and_broadcast(self.comm, payloads)
         )
         if self.faults is not None:
             from repro.faults import faulty_collective_ns
@@ -958,7 +1013,7 @@ class PureMpiBackend:
             allreduce_ns = faulty_collective_ns(
                 self.faults, self.retry_policy, iteration,
                 allreduce_ns, observer,
-                payload=self.sharded.centroids,
+                payload=self.sharded.model_array,
             )
         observer.on_collective(iteration, payload, wire, allreduce_ns)
 

@@ -89,6 +89,59 @@ def _alloc_pruning_bounds(
         )
 
 
+def register_mm_memory(
+    machine: SimMachine,
+    n: int,
+    d: int,
+    *,
+    state_bytes_per_row: int,
+    model_slots: int,
+    resident_rows: bool = True,
+    row_cache_bytes: int = 0,
+    page_cache_bytes: int = 0,
+) -> None:
+    """Generic MM algorithm layout: row data (unless semi-external),
+    O(n) per-row algorithm state, and the global + per-thread model
+    copies (``model_slots`` d-length f64 vectors, the same funnel
+    width the reduction is priced with)."""
+    mem = machine.memory
+    data_policy = (
+        AllocPolicy.OBLIVIOUS
+        if machine.bind_policy is BindPolicy.OBLIVIOUS
+        else AllocPolicy.PARTITIONED
+    )
+    if resident_rows:
+        mem.alloc(
+            "row_data", n * d * _F64, data_policy, component="data"
+        )
+    mem.alloc(
+        "mm_row_state", n * state_bytes_per_row, data_policy,
+        component="mm_state",
+    )
+    mem.alloc(
+        "global_model", model_slots * d * _F64,
+        AllocPolicy.INTERLEAVE, component="model",
+    )
+    for th in machine.threads:
+        mem.alloc(
+            f"thread{th.thread_id}_model",
+            model_slots * d * _F64,
+            AllocPolicy.NUMA_BIND,
+            component="per_thread_model",
+            home_node=th.node,
+        )
+    if row_cache_bytes > 0:
+        mem.alloc(
+            "row_cache", row_cache_bytes, AllocPolicy.PARTITIONED,
+            component="row_cache",
+        )
+    if page_cache_bytes > 0:
+        mem.alloc(
+            "page_cache", page_cache_bytes, AllocPolicy.INTERLEAVE,
+            component="page_cache",
+        )
+
+
 def register_inmemory_memory(
     machine: SimMachine, n: int, d: int, k: int, pruning: str | None
 ) -> None:

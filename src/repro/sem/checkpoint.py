@@ -27,6 +27,17 @@ every array checksum after, raising
 bit on the simulated SSD is always *detected*, never silently resumed
 from. Versions 1 and 2 (no checksums) still load.
 
+Format version 4 generalizes the *contents* without touching the
+protocol: instead of the fixed kmeans field set, a v4 checkpoint
+stores an arbitrary dict of named arrays plus scalar state and the
+owning algorithm's name (the MM plane: GMM saves means/variances/
+weights/ll_history, Yinyang saves its group bounds, ...). The
+durability protocol -- sequence-numbered arrays file, CRC32s, atomic
+manifest rename as the sole commit point, GC -- is byte-for-byte the
+v3 one, so every crash-point guarantee carries over. The two loaders
+reject each other's manifests with a clear error rather than
+misparsing them.
+
 The paper disables checkpointing during performance evaluation
 (Section 8.5), and so do the benches; the integration and fault tests
 exercise crash/recovery.
@@ -46,6 +57,7 @@ from repro.resilience.integrity import array_crc32, crc32_bytes
 _MANIFEST = "checkpoint.json"
 _V1_ARRAYS = "checkpoint.npz"
 _FORMAT_VERSION = 3
+_MM_FORMAT_VERSION = 4
 
 
 @dataclass
@@ -79,7 +91,7 @@ def _arrays_path(directory: Path, manifest: dict) -> Path | None:
     version = manifest.get("format_version")
     if version == 1:
         return directory / _V1_ARRAYS
-    if version in (2, _FORMAT_VERSION):
+    if version in (2, _FORMAT_VERSION, _MM_FORMAT_VERSION):
         name = manifest.get("arrays")
         if not name or "/" in str(name):
             return None
@@ -183,6 +195,13 @@ def load_checkpoint(directory: str | Path) -> CheckpointState:
             )
         raise IoSubsystemError(f"no checkpoint in {directory}")
     version = manifest.get("format_version")
+    if version == _MM_FORMAT_VERSION:
+        raise IoSubsystemError(
+            f"checkpoint in {directory} is a generic MM (v4) "
+            f"checkpoint for algorithm "
+            f"{manifest.get('algorithm')!r}; load it with "
+            f"load_mm_checkpoint"
+        )
     if version not in (1, 2, _FORMAT_VERSION):
         raise IoSubsystemError(
             f"unsupported checkpoint version {version}"
@@ -266,6 +285,163 @@ def corrupt_checkpoint(directory: str | Path) -> int:
         fh.seek(offset)
         fh.write(bytes([byte[0] ^ 0xFF]))
     return offset
+
+
+@dataclass
+class MMCheckpointState:
+    """A format-v4 checkpoint: any MM algorithm's resumable state.
+
+    ``arrays`` holds the O(n)/O(k) ndarray state under
+    algorithm-chosen names; ``scalars`` holds JSON-representable
+    scalar state (floats/ints/lists). ``iteration`` is the index to
+    resume at.
+    """
+
+    iteration: int
+    algorithm: str
+    arrays: dict[str, np.ndarray]
+    scalars: dict
+    n_changed: int
+    params: dict
+
+
+def save_mm_checkpoint(
+    directory: str | Path,
+    state: MMCheckpointState,
+    *,
+    crash_point: str | None = None,
+) -> Path:
+    """Atomically persist a generic MM checkpoint (format v4).
+
+    Identical durability protocol to :func:`save_checkpoint`
+    (sequence-numbered arrays file, whole-file + per-array CRC32s,
+    atomic manifest rename as the sole commit point, then GC), so the
+    same injected ``crash_point`` stages hold the same guarantees.
+    """
+    if not state.arrays:
+        raise IoSubsystemError(
+            "an MM checkpoint must carry at least one array"
+        )
+    for name in state.arrays:
+        if "/" in name:
+            raise IoSubsystemError(
+                f"MM checkpoint array name {name!r} must not contain '/'"
+            )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    previous = _read_manifest(directory)
+    seq = (previous.get("seq", 0) if previous else 0) + 1
+    arrays_name = f"checkpoint-{seq:08d}.npz"
+
+    with open(directory / arrays_name, "wb") as fh:
+        np.savez(fh, **state.arrays)
+    file_crc = crc32_bytes((directory / arrays_name).read_bytes())
+    array_crcs = {
+        name: array_crc32(np.ascontiguousarray(arr))
+        for name, arr in state.arrays.items()
+    }
+    if crash_point == "arrays-written":
+        raise WorkerCrashError(
+            "injected crash: arrays written, manifest not committed"
+        )
+
+    tmp_manifest = directory / (_MANIFEST + ".tmp")
+    tmp_manifest.write_text(
+        json.dumps(
+            {
+                "format_version": _MM_FORMAT_VERSION,
+                "seq": seq,
+                "arrays": arrays_name,
+                "file_crc32": file_crc,
+                "array_crc32": array_crcs,
+                "algorithm": state.algorithm,
+                "iteration": state.iteration,
+                "n_changed": state.n_changed,
+                "scalars": state.scalars,
+                "params": state.params,
+            }
+        )
+    )
+    if crash_point == "manifest-tmp-written":
+        raise WorkerCrashError(
+            "injected crash: between manifest tmp-write and rename"
+        )
+
+    # The single atomic commit point.
+    tmp_manifest.replace(directory / _MANIFEST)
+    if crash_point == "committed-no-gc":
+        raise WorkerCrashError(
+            "injected crash: committed, stale arrays not collected"
+        )
+
+    for path in directory.glob("checkpoint-*.npz"):
+        if path.name != arrays_name:
+            path.unlink(missing_ok=True)
+    return directory
+
+
+def load_mm_checkpoint(directory: str | Path) -> MMCheckpointState:
+    """Load a format-v4 MM checkpoint; raises if absent/corrupt.
+
+    Rejects kmeans-format (v1-v3) checkpoints with a clear error
+    instead of misreading them, mirroring :func:`load_checkpoint`'s
+    rejection of v4.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    if manifest is None:
+        if (directory / _MANIFEST).exists():
+            raise IoSubsystemError(
+                f"corrupt checkpoint manifest in {directory}"
+            )
+        raise IoSubsystemError(f"no checkpoint in {directory}")
+    version = manifest.get("format_version")
+    if version in (1, 2, _FORMAT_VERSION):
+        raise IoSubsystemError(
+            f"checkpoint in {directory} is a kmeans (v{version}) "
+            f"checkpoint; load it with load_checkpoint"
+        )
+    if version != _MM_FORMAT_VERSION:
+        raise IoSubsystemError(
+            f"unsupported checkpoint version {version}"
+        )
+    arrays_path = _arrays_path(directory, manifest)
+    if arrays_path is None or not arrays_path.exists():
+        raise IoSubsystemError(
+            f"checkpoint manifest in {directory} references missing "
+            f"arrays"
+        )
+    file_crc = crc32_bytes(arrays_path.read_bytes())
+    want = int(manifest["file_crc32"])
+    if file_crc != want:
+        raise CorruptionError(
+            f"checkpoint arrays file {arrays_path.name} failed CRC32 "
+            f"(stored {want:#010x}, computed {file_crc:#010x})"
+        )
+    arrays: dict[str, np.ndarray] = {}
+    with np.load(arrays_path) as data:
+        for name in data.files:
+            arrays[name] = data[name].copy()
+    for name, want_crc in manifest["array_crc32"].items():
+        if name not in arrays:
+            raise CorruptionError(
+                f"checkpoint array {name!r} listed in the manifest "
+                f"is missing from {arrays_path.name}"
+            )
+        got = array_crc32(arrays[name])
+        if got != int(want_crc):
+            raise CorruptionError(
+                f"checkpoint array {name!r} failed CRC32 "
+                f"(stored {int(want_crc):#010x}, computed {got:#010x})"
+            )
+    return MMCheckpointState(
+        iteration=int(manifest["iteration"]),
+        algorithm=str(manifest.get("algorithm", "")),
+        arrays=arrays,
+        scalars=dict(manifest.get("scalars", {})),
+        n_changed=int(manifest["n_changed"]),
+        params=manifest.get("params", {}),
+    )
 
 
 def discard_checkpoint(directory: str | Path) -> int:
