@@ -19,6 +19,46 @@ from repro.errors import ConfigError, DatasetError
 from repro.metrics import IterationRecord, RunResult
 
 
+def minibatch_update(
+    centroids: np.ndarray,
+    counts: np.ndarray,
+    batch: np.ndarray,
+    assign: np.ndarray,
+) -> None:
+    """Fold one assigned batch into ``centroids`` in place with
+    Sculley's per-center learning rates (``eta = 1 / count_seen``).
+
+    Bit-identical to the reference per-row loop (frozen as
+    :func:`repro.perf.legacy.minibatch_update`): the recurrence is
+    order-dependent *within* a center but centers never interact, so
+    pass ``r`` applies every center's ``r``-th batch member
+    simultaneously. A stable argsort keeps each center's members in
+    batch order, and the flat bincount/rank-within-group indexing is
+    the same idiom as the PR 3 accumulation kernels. The Python-level
+    loop shrinks from ``len(batch)`` iterations to the largest
+    per-center member count (roughly ``batch/k`` on balanced data).
+    """
+    k = counts.shape[0]
+    assign = np.asarray(assign, dtype=np.int64)
+    if assign.size == 0:
+        return
+    order = np.argsort(assign, kind="stable")
+    grouped = assign[order]
+    sizes = np.bincount(grouped, minlength=k)
+    starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    rank = np.arange(assign.size, dtype=np.int64) - starts[grouped]
+    for r in range(int(sizes.max())):
+        sel = rank == r
+        centers = grouped[sel]
+        rows = batch[order[sel]]
+        counts[centers] += 1
+        eta = 1.0 / counts[centers]
+        centroids[centers] = (
+            (1.0 - eta)[:, None] * centroids[centers]
+            + eta[:, None] * rows
+        )
+
+
 def minibatch_kmeans(
     x: np.ndarray,
     k: int,
@@ -55,13 +95,7 @@ def minibatch_kmeans(
         batch_idx = rng.integers(0, n, size=min(batch_size, n))
         batch = x[batch_idx]
         assign, _ = nearest_centroid(batch, centroids)
-        # Per-center gradient step with learning rate 1/seen.
-        for c in np.unique(assign):
-            members = batch[assign == c]
-            for row in members:
-                counts[c] += 1
-                eta = 1.0 / counts[c]
-                centroids[c] = (1.0 - eta) * centroids[c] + eta * row
+        minibatch_update(centroids, counts, batch, assign)
         records.append(
             IterationRecord(
                 iteration=step,

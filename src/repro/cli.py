@@ -100,7 +100,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--algorithm",
         choices=["kmeans", "gmm", "spherical", "semisupervised",
-                 "yinyang"],
+                 "yinyang", "minibatch"],
         default="kmeans",
         help="MM algorithm to run on this backend (default: kmeans, "
         "which uses the classic driver path; anything else rides the "
@@ -110,6 +110,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--labels", type=Path, default=None, metavar="NPY",
         help="length-n .npy label array for --algorithm "
         "semisupervised (ints in [0, k), -1 = unlabeled)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="rows sampled per step for --algorithm minibatch "
+        "(default: 1024)",
     )
 
 
@@ -229,6 +234,8 @@ def _run_mm(args: argparse.Namespace, backend: str,
         algorithm_kwargs["criteria"] = ConvergenceCriteria(
             max_iters=args.max_iters
         )
+    if args.algorithm == "minibatch":
+        algorithm_kwargs["batch_size"] = args.batch_size
     return run_algorithm(
         args.algorithm, x, args.k,
         backend=backend,
@@ -352,6 +359,77 @@ def cmd_knord(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Fit a streaming model, then serve assignment queries under
+    seeded open-loop traffic and report latency percentiles."""
+    import json as _json
+
+    from repro.runtime import run_mm_inmemory
+    from repro.serve import MiniBatchMM, ServePlane
+    from repro.simhw import ArrivalProcess
+
+    plan, policy = _fault_plan(args)
+    x = MatrixFile(args.matrix).read_rows(None)
+    algorithm = MiniBatchMM(
+        x, args.k,
+        batch_size=args.batch_size,
+        n_steps=args.train_steps,
+        init=args.init,
+        seed=args.seed,
+    )
+    fit = run_mm_inmemory(algorithm, observers=_observers(args))
+    print(fit.summary())
+
+    plane = ServePlane(
+        x, fit.centroids,
+        counts=algorithm.counts,
+        row_cache_bytes=args.row_cache_bytes,
+        page_cache_bytes=args.page_cache_bytes,
+        max_batch=args.max_batch,
+        batch_window_ns=args.batch_window_us * 1e3,
+        observers=_observers(args),
+        faults=plan,
+        retry_policy=policy,
+    )
+    result = plane.serve(ArrivalProcess(
+        n_arrivals=args.queries,
+        rate_qps=args.qps,
+        seed=args.arrival_seed,
+        skew=args.skew,
+        ingest_fraction=args.ingest_fraction,
+    ))
+    p = result.percentiles
+    print(
+        f"served {result.n_queries} queries + {result.n_ingested} "
+        f"ingests in {result.n_batches} batches "
+        f"({result.sim_seconds:.4f} simulated s)"
+    )
+    print(
+        f"query latency: p50={p['p50'] / 1e6:.3f}ms "
+        f"p99={p['p99'] / 1e6:.3f}ms p999={p['p999'] / 1e6:.3f}ms"
+    )
+    print(
+        f"I/O: {result.row_cache_hits} row-cache hits, "
+        f"{result.rows_requested} rows requested, "
+        f"{result.bytes_read / 1e6:.1f} MB from SSD"
+    )
+    if args.json is not None:
+        args.json.write_text(
+            _json.dumps(result.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
+    if args.out is not None:
+        np.savez(
+            args.out,
+            centroids=result.centroids,
+            assignments=result.assignments,
+            rows=result.rows,
+            latency_ns=result.latency_ns,
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the repro-kmeans argument parser."""
     parser = argparse.ArgumentParser(
@@ -425,6 +503,76 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(dist)
     dist.add_argument("--machines", type=int, default=4)
     dist.set_defaults(func=cmd_knord)
+
+    srv = sub.add_parser(
+        "serve",
+        help="streaming ingest + assignment queries under simulated "
+        "open-loop user traffic",
+    )
+    srv.add_argument("matrix", help="input .knor matrix file")
+    srv.add_argument("-k", type=int, required=True,
+                     help="number of clusters")
+    srv.add_argument("--init", default="random",
+                     help="random|forgy|kmeans++|kmeans|| "
+                     "(default: random)")
+    srv.add_argument("--seed", type=int, default=0,
+                     help="model seed (init + batch sampling)")
+    srv.add_argument(
+        "--train-steps", type=int, default=50,
+        help="mini-batch steps to fit the model before serving",
+    )
+    srv.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="rows per training mini-batch (default: 1024)",
+    )
+    srv.add_argument(
+        "--queries", type=int, default=100_000,
+        help="arrivals in the traffic trace (default: 100000)",
+    )
+    srv.add_argument(
+        "--qps", type=float, default=50_000.0,
+        help="open-loop arrival rate, queries/simulated-second",
+    )
+    srv.add_argument(
+        "--skew", type=float, default=3.0,
+        help="row-popularity skew; higher concentrates traffic on "
+        "hot rows (default: 3.0)",
+    )
+    srv.add_argument(
+        "--ingest-fraction", type=float, default=0.0,
+        help="fraction of arrivals that are streaming ingests folded "
+        "into the centroids (default: 0 = query-only)",
+    )
+    srv.add_argument(
+        "--arrival-seed", type=int, default=0,
+        help="traffic seed; latency percentiles are a pure function "
+        "of it (default: 0)",
+    )
+    srv.add_argument(
+        "--max-batch", type=int, default=256,
+        help="max concurrent queries per dispatch batch",
+    )
+    srv.add_argument(
+        "--batch-window-us", type=float, default=50.0,
+        help="batching window in simulated microseconds",
+    )
+    srv.add_argument("--row-cache-bytes", type=int, default=None)
+    srv.add_argument("--page-cache-bytes", type=int, default=None)
+    srv.add_argument(
+        "--out", type=Path, default=None,
+        help="write centroids/assignments/latencies to this .npz",
+    )
+    srv.add_argument(
+        "--json", type=Path, default=None,
+        help="write the latency/IO rollup as JSON",
+    )
+    srv.add_argument("--trace", action="store_true",
+                     help="stream serve-plane events to stderr")
+    srv.add_argument("--faults", default=None, metavar="SPEC",
+                     help="seeded fault spec (see the batch commands)")
+    srv.add_argument("--fault-seed", type=int, default=0)
+    srv.add_argument("--retry-policy", default=None, metavar="SPEC")
+    srv.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -30,7 +30,8 @@ Each clustering variant above also ships as an MM plane port
 :class:`GmmMM`, :class:`SphericalMM`, :class:`SemisupervisedMM` and
 :class:`YinyangMM` are bit-identical re-expressions of the standalone
 loops that inherit all three execution backends, faults/recovery,
-checkpoints and the observer bus. :data:`MM_ALGORITHMS` /
+checkpoints and the observer bus, joined by the serving plane's
+streaming :class:`~repro.serve.MiniBatchMM`. :data:`MM_ALGORITHMS` /
 :func:`make_mm_algorithm` / :func:`run_algorithm` dispatch by name
 (kNN and agglomerative stay standalone -- their reductions are not
 additive, see :mod:`repro.extensions.registry`).

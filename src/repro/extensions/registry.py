@@ -28,6 +28,7 @@ from repro.extensions.gmm import GmmMM
 from repro.extensions.semisupervised import SemisupervisedMM
 from repro.extensions.spherical import SphericalMM
 from repro.extensions.yinyang import YinyangMM
+from repro.serve.ingest import MiniBatchMM
 
 MM_ALGORITHMS: dict[str, type] = {
     "kmeans": KmeansMM,
@@ -35,6 +36,7 @@ MM_ALGORITHMS: dict[str, type] = {
     "spherical": SphericalMM,
     "semisupervised": SemisupervisedMM,
     "yinyang": YinyangMM,
+    "minibatch": MiniBatchMM,
 }
 
 

@@ -33,6 +33,11 @@ from repro.metrics.resilience import (
     ResilienceCounters,
     ResilienceObserver,
 )
+from repro.metrics.latency import (
+    DEFAULT_QUANTILES,
+    latency_percentiles,
+    latency_summary,
+)
 
 __all__ = [
     "adjusted_rand_index",
@@ -53,4 +58,7 @@ __all__ = [
     "row_cache_occupancy",
     "ResilienceCounters",
     "ResilienceObserver",
+    "DEFAULT_QUANTILES",
+    "latency_percentiles",
+    "latency_summary",
 ]

@@ -134,6 +134,22 @@ def move_rows(
     counts += np.bincount(to, minlength=k)
 
 
+def minibatch_update(
+    centroids: np.ndarray,
+    counts: np.ndarray,
+    batch: np.ndarray,
+    assign: np.ndarray,
+) -> None:
+    """Pre-change Sculley mini-batch update: a Python loop over every
+    batch row, grouped per center via ``np.unique`` boolean masks."""
+    for c in np.unique(assign):
+        members = batch[assign == c]
+        for row in members:
+            counts[c] += 1
+            eta = 1.0 / counts[c]
+            centroids[c] = (1.0 - eta) * centroids[c] + eta * row
+
+
 def mti_init(
     x: np.ndarray, centroids: np.ndarray
 ) -> tuple[MtiState, MtiIterationResult]:

@@ -125,6 +125,18 @@ class RunObserver:
                      detail: dict | None = None) -> None:
         """Work was re-partitioned away from degraded workers."""
 
+    def on_query(self, batch: int, queries: int, latency_ns: float,
+                 detail: dict | None = None) -> None:
+        """The serving plane answered a batch of assignment queries;
+        ``latency_ns`` is the batch's worst arrival-to-completion
+        latency and ``batch`` the serve-plane batch index (the
+        serving analog of an iteration number)."""
+
+    def on_ingest(self, batch: int, rows: int,
+                  detail: dict | None = None) -> None:
+        """The serving plane folded ``rows`` streamed arrivals into
+        the model via the mini-batch update."""
+
     def on_run_end(self, iterations: int, converged: bool) -> None:
         """The loop finished (converged or hit the iteration cap)."""
 
@@ -198,6 +210,14 @@ class ObserverChain(RunObserver):
     def on_rebalance(self, iteration, scope, detail=None):
         for o in self.observers:
             o.on_rebalance(iteration, scope, detail)
+
+    def on_query(self, batch, queries, latency_ns, detail=None):
+        for o in self.observers:
+            o.on_query(batch, queries, latency_ns, detail)
+
+    def on_ingest(self, batch, rows, detail=None):
+        for o in self.observers:
+            o.on_ingest(batch, rows, detail)
 
     def on_run_end(self, iterations, converged):
         for o in self.observers:
@@ -291,6 +311,13 @@ class RecordingObserver(RunObserver):
     def on_rebalance(self, iteration, scope, detail=None):
         self._rec("rebalance", iteration, scope=scope,
                   detail=detail or {})
+
+    def on_query(self, batch, queries, latency_ns, detail=None):
+        self._rec("query", batch, queries=queries,
+                  latency_ns=latency_ns, detail=detail or {})
+
+    def on_ingest(self, batch, rows, detail=None):
+        self._rec("ingest", batch, rows=rows, detail=detail or {})
 
     def on_run_end(self, iterations, converged):
         self._rec("run_end", None, iterations=iterations,
@@ -410,6 +437,17 @@ class PrintObserver(RunObserver):
         extra = f" {detail}" if detail else ""
         self._emit(
             f"[fault] it={iteration} rebalanced {scope} work{extra}"
+        )
+
+    def on_query(self, batch, queries, latency_ns, detail=None):
+        self._emit(
+            f"[serve] batch={batch} answered {queries} queries "
+            f"(worst latency {latency_ns / 1e6:.3f}ms)"
+        )
+
+    def on_ingest(self, batch, rows, detail=None):
+        self._emit(
+            f"[serve] batch={batch} ingested {rows} rows"
         )
 
     def on_run_end(self, iterations, converged):

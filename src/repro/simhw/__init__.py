@@ -35,6 +35,11 @@ from repro.simhw.engine import (
     TaskWork,
 )
 from repro.simhw.machine import SimMachine
+from repro.simhw.serving import (
+    ArrivalProcess,
+    ArrivalTrace,
+    OpenLoopBatcher,
+)
 from repro.simhw.ssd import AsyncIoQueue, SsdArray, SsdReadResult
 
 __all__ = [
@@ -59,4 +64,7 @@ __all__ = [
     "AsyncIoQueue",
     "SsdArray",
     "SsdReadResult",
+    "ArrivalProcess",
+    "ArrivalTrace",
+    "OpenLoopBatcher",
 ]
