@@ -58,8 +58,16 @@ def mpi_lloyd(
     observers: Sequence[RunObserver] = (),
     faults: "FaultPlan | None" = None,
     retry_policy: "RetryPolicy | None" = None,
+    kernel: str = "blocked",
+    allreduce: str = "tree",
 ) -> RunResult:
-    """Pure-MPI ||Lloyd's (``pruning=None`` gives the paper's MPI-)."""
+    """Pure-MPI ||Lloyd's (``pruning=None`` gives the paper's MPI-).
+
+    ``kernel`` selects the per-rank distance kernel strategy exactly
+    as in :func:`repro.drivers.knori`. ``allreduce`` must stay
+    ``"tree"``: the rectangular schedule needs a one-rank-per-machine
+    grid, which the flat one-rank-per-core space does not have.
+    """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2:
         raise DatasetError(f"x must be 2-D, got shape {x.shape}")
@@ -75,7 +83,10 @@ def mpi_lloyd(
     comm = SimComm(n_ranks, network)
 
     centroids0 = resolve_init(x, k, init, seed)
-    sharded = ShardedKmeans(x, centroids0, pruning, n_ranks, k)
+    sharded = ShardedKmeans(
+        x, centroids0, pruning, n_ranks, k,
+        kernel=kernel, allreduce=allreduce,
+    )
     backend = PureMpiBackend(
         comm,
         sharded,
@@ -104,5 +115,6 @@ def mpi_lloyd(
             "n_machines": n_machines,
             "ranks_per_machine": rpm,
             "pruning": pruning,
+            "kernel": sharded.kernel,
         },
     )

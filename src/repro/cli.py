@@ -116,6 +116,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="rows sampled per step for --algorithm minibatch "
         "(default: 1024)",
     )
+    parser.add_argument(
+        "--kernel", choices=["blocked", "gemm"], default="blocked",
+        help="distance kernel strategy: blocked (default, bit-exact "
+        "reference) or gemm (norm-caching GEMM expansion; identical "
+        "assignments, ULP-equivalent distances; kmeans and minibatch "
+        "algorithms only)",
+    )
 
 
 def _pruning(value: str) -> str | None:
@@ -220,11 +227,22 @@ def cmd_convert(args: argparse.Namespace) -> int:
 def _run_mm(args: argparse.Namespace, backend: str,
             **backend_kwargs) -> RunResult:
     """Route a non-kmeans ``--algorithm`` through the MM plane."""
+    from repro.errors import ConfigError
     from repro.extensions import run_algorithm
 
+    kernel = getattr(args, "kernel", "blocked")
+    if kernel != "blocked" and args.algorithm != "minibatch":
+        # Only the DistanceWorkspace-backed algorithms have a gemm
+        # path; the rest would silently ignore the flag.
+        raise ConfigError(
+            f"--kernel={kernel} is supported for --algorithm kmeans "
+            f"or minibatch, not {args.algorithm!r}"
+        )
     x = MatrixFile(args.matrix).read_rows(None)
     labels = np.load(args.labels) if args.labels is not None else None
     algorithm_kwargs: dict = {"seed": args.seed}
+    if args.algorithm == "minibatch":
+        algorithm_kwargs["kernel"] = kernel
     if args.algorithm != "semisupervised":
         # Semisupervised seeding is label-driven; no init method.
         algorithm_kwargs["init"] = args.init
@@ -268,6 +286,7 @@ def cmd_knori(args: argparse.Namespace) -> int:
         observers=_observers(args),
         faults=plan,
         empty_cluster=args.empty_cluster,
+        kernel=args.kernel,
     )
     _finish(result, args.out,
             quality_data=x if args.quality else None,
@@ -315,6 +334,7 @@ def cmd_knors(args: argparse.Namespace) -> int:
         faults=plan,
         retry_policy=policy,
         empty_cluster=args.empty_cluster,
+        kernel=args.kernel,
     )
     qd = (
         MatrixFile(args.matrix).read_rows(None) if args.quality else None
@@ -334,6 +354,7 @@ def cmd_knord(args: argparse.Namespace) -> int:
         result = _run_mm(
             args, "distributed",
             n_machines=args.machines,
+            allreduce=args.allreduce,
             faults=plan,
             retry_policy=policy,
         )
@@ -352,6 +373,8 @@ def cmd_knord(args: argparse.Namespace) -> int:
         faults=plan,
         retry_policy=policy,
         empty_cluster=args.empty_cluster,
+        kernel=args.kernel,
+        allreduce=args.allreduce,
     )
     _finish(result, args.out,
             quality_data=x if args.quality else None,
@@ -376,6 +399,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         n_steps=args.train_steps,
         init=args.init,
         seed=args.seed,
+        kernel=args.kernel,
     )
     fit = run_mm_inmemory(algorithm, observers=_observers(args))
     print(fit.summary())
@@ -390,6 +414,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         observers=_observers(args),
         faults=plan,
         retry_policy=policy,
+        kernel=args.kernel,
     )
     result = plane.serve(ArrivalProcess(
         n_arrivals=args.queries,
@@ -502,6 +527,14 @@ def build_parser() -> argparse.ArgumentParser:
     dist = sub.add_parser("knord", help="distributed clustering")
     _add_common(dist)
     dist.add_argument("--machines", type=int, default=4)
+    dist.add_argument(
+        "--allreduce", choices=["tree", "rect"], default="tree",
+        help="collective schedule for the centroid reduction: tree "
+        "(default, best of binomial-tree/ring) or rect "
+        "(communication-avoiding rectangular schedule -- fewer, "
+        "larger messages; wins when latency dominates). Results are "
+        "bit-identical; only the modeled time/wire bytes differ",
+    )
     dist.set_defaults(func=cmd_knord)
 
     srv = sub.add_parser(
@@ -524,6 +557,11 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--batch-size", type=int, default=1024,
         help="rows per training mini-batch (default: 1024)",
+    )
+    srv.add_argument(
+        "--kernel", choices=["blocked", "gemm"], default="blocked",
+        help="distance kernel strategy for training and query "
+        "assignment (see the batch commands)",
     )
     srv.add_argument(
         "--queries", type=int, default=100_000,

@@ -89,12 +89,15 @@ def elkan_init(
     k, d = centroids.shape
     n = x.shape[0]
     c_sq = None
+    x_sq = None
     if workspace is not None:
         centroids = workspace.ensure(centroids)
         c_sq = workspace.c_sq
+        if workspace.kernel == "gemm":
+            x_sq = workspace.x_sq(x)
     # The full matrix becomes the persistent lb state, so it is
     # allocated fresh rather than drawn from the workspace buffer.
-    dist = euclidean(x, centroids, c_sq=c_sq)
+    dist = euclidean(x, centroids, c_sq=c_sq, x_sq=x_sq)
     assign = np.argmin(dist, axis=1).astype(np.int32)
     ub = dist[np.arange(n), assign].copy()
     sums = flat_sums(
@@ -139,11 +142,16 @@ def elkan_iteration(
     np.maximum(state.lb - motion[None, :], 0.0, out=state.lb)
 
     c_sq = None
+    x_sq_full = None
     if workspace is not None:
         centroids = workspace.ensure(centroids)
         c_sq = workspace.c_sq
         cc = workspace.pairwise()
         s = workspace.half_min()
+        if workspace.kernel == "gemm":
+            # Cached per-array row norms feed the per-centroid column
+            # passes; gathered norms are bit-identical to inline ones.
+            x_sq_full = workspace.x_sq(x)
     else:
         cc = pairwise_centroid_distances(centroids)
         s = half_min_inter_centroid(cc)
@@ -186,7 +194,11 @@ def elkan_iteration(
             nt = np.nonzero(need_tight)[0]
             if nt.size:
                 ua[nt] = rows_to_centroids(
-                    xa[nt], centroids, ba[nt], c_sq=c_sq
+                    xa[nt], centroids, ba[nt], c_sq=c_sq,
+                    x_sq=(
+                        None if x_sq_full is None
+                        else x_sq_full[active_idx[nt]]
+                    ),
                 )
                 lba[nt, ba[nt]] = ua[nt]
                 tight[nt] = True
@@ -199,7 +211,11 @@ def elkan_iteration(
             if ci.size == 0:
                 continue
             dist_c = rows_to_centroids(
-                xa[ci], centroids, np.full(ci.size, c), c_sq=c_sq
+                xa[ci], centroids, np.full(ci.size, c), c_sq=c_sq,
+                x_sq=(
+                    None if x_sq_full is None
+                    else x_sq_full[active_idx[ci]]
+                ),
             )
             computed += int(ci.size)
             dist_per_row[active_idx[ci]] += 1

@@ -54,6 +54,7 @@ def lloyd(
     seed: int = 0,
     criteria: ConvergenceCriteria | None = None,
     empty_cluster: str = "drop",
+    kernel: str = "blocked",
 ) -> LloydResult:
     """Cluster ``x`` into ``k`` clusters with serial Lloyd's.
 
@@ -65,6 +66,9 @@ def lloyd(
     criteria:
         Stopping rules; defaults to exact convergence capped at 100
         iterations.
+    kernel:
+        Distance kernel strategy (``"blocked"`` | ``"gemm"``, see
+        :mod:`repro.core.distance`).
     empty_cluster:
         Policy when a cluster loses all members (see
         :mod:`repro.core.empty`): ``"drop"`` keeps the previous
@@ -96,7 +100,7 @@ def lloyd(
             f"init centroids shape {centroids.shape} != ({k}, {x.shape[1]})"
         )
 
-    workspace = DistanceWorkspace(k, x.shape[1])
+    workspace = DistanceWorkspace(k, x.shape[1], kernel=kernel)
     assign = np.full(x.shape[0], -1, dtype=np.int32)
     mindist = np.zeros(x.shape[0])
     changed_history: list[int] = []

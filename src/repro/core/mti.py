@@ -153,11 +153,17 @@ def mti_iteration(
     state.ub += motion[state.assignment]
 
     c_sq = None
+    x_sq_full = None
     if workspace is not None:
         centroids = workspace.ensure(centroids)
         c_sq = workspace.c_sq
         cc = workspace.pairwise()
         s = workspace.half_min()
+        if workspace.kernel == "gemm":
+            # The gemm strategy's per-array norm cache feeds the
+            # tighten and candidate passes; gathered norms are
+            # bit-identical to inline per-row reductions.
+            x_sq_full = workspace.x_sq(x)
     else:
         cc = pairwise_centroid_distances(centroids)
         s = half_min_inter_centroid(cc)
@@ -200,8 +206,12 @@ def mti_iteration(
         if t_idx.size:
             xt = xa[t_idx]
             bt = ba[t_idx]
+            ga = active_idx[t_idx]  # global row indices
             # U(u): exact d(x, b).
-            ut = rows_to_centroids(xt, centroids, bt, c_sq=c_sq)
+            ut = rows_to_centroids(
+                xt, centroids, bt, c_sq=c_sq,
+                x_sq=None if x_sq_full is None else x_sq_full[ga],
+            )
             computed += int(t_idx.size)
 
             # Clause 3 with the tightened bound.
@@ -223,6 +233,10 @@ def mti_iteration(
                         None if workspace is None
                         else workspace.dist_buffer(c_idx.size)
                     ),
+                    x_sq=(
+                        None if x_sq_full is None
+                        else x_sq_full[ga[c_idx]]
+                    ),
                 )
                 cand = tight_candidate[c_idx]
                 computed += int(cand.sum())
@@ -237,7 +251,6 @@ def mti_iteration(
                 new_ub_t[c_idx] = bestdist
 
             # Write back tightened bounds and any reassignments.
-            ga = active_idx[t_idx]  # global row indices
             state.ub[ga] = new_ub_t
             assign[ga] = new_assign_t
 

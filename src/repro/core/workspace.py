@@ -25,6 +25,13 @@ Cache invalidation is by array identity: a new centroid array object
 triggers recomputation. The library produces a fresh centroid array
 every iteration; callers must not mutate a centroid matrix in place
 between kernel calls that share a workspace.
+
+The workspace also carries the selected **kernel strategy**
+(``kernel="blocked" | "gemm"``, see :mod:`repro.core.distance`): under
+``"gemm"`` it additionally caches the pre-scaled ``(-2 C)^T`` per
+centroid set and the squared row norms ``|x|^2`` per data array
+(:meth:`x_sq`), so a shard's norms are computed once for the whole
+run rather than once per assignment pass.
 """
 
 from __future__ import annotations
@@ -34,17 +41,30 @@ import numpy as np
 from repro.core.centroids import AccumScratch
 from repro.core.distance import (
     BLOCK_ROWS,
+    check_kernel,
     euclidean,
     half_min_inter_centroid,
+    row_norms,
 )
 from repro.errors import DatasetError
+
+#: Data arrays whose row norms one workspace keeps alive at once. One
+#: slot serves the batch drivers (one shard per loop); a few extra
+#: keep the serve plane's rotating query batches from thrashing the
+#: resident shard's entry.
+X_SQ_CACHE_SLOTS = 4
 
 
 class DistanceWorkspace:
     """Reusable kernel state for one ``(k, d)`` clustering problem."""
 
     def __init__(
-        self, k: int, d: int, *, block_rows: int = BLOCK_ROWS
+        self,
+        k: int,
+        d: int,
+        *,
+        block_rows: int = BLOCK_ROWS,
+        kernel: str = "blocked",
     ) -> None:
         if k < 1 or d < 1:
             raise DatasetError(
@@ -53,6 +73,7 @@ class DistanceWorkspace:
         self.k = k
         self.d = d
         self.block_rows = block_rows
+        self.kernel = check_kernel(kernel)
         self.accum = AccumScratch()
         self._centroids: np.ndarray | None = None
         self._c_sq = np.empty(k, dtype=np.float64)
@@ -61,7 +82,10 @@ class DistanceWorkspace:
         self._s = np.empty(k, dtype=np.float64)
         self._have_cc = False
         self._have_s = False
+        self._neg2ct: np.ndarray | None = None
         self._dist_buf = np.empty((0, k), dtype=np.float64)
+        # id(x) -> (x, |x|^2); the strong ref pins the id against reuse.
+        self._x_sq_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     # -- centroid-set cache ------------------------------------------
 
@@ -81,10 +105,11 @@ class DistanceWorkspace:
                 f"centroids shape {c.shape} does not match workspace "
                 f"({self.k}, {self.d})"
             )
-        np.einsum("ij,ij->i", c, c, out=self._c_sq)
+        row_norms(c, out=self._c_sq)
         self._centroids = c
         self._have_cc = False
         self._have_s = False
+        self._neg2ct = None
         return c
 
     def _require_centroids(self) -> np.ndarray:
@@ -116,6 +141,43 @@ class DistanceWorkspace:
             )
             self._have_s = True
         return self._s
+
+    @property
+    def neg2ct(self) -> np.ndarray:
+        """Cached pre-scaled centroid transpose ``(-2 C)^T`` (d, k).
+
+        The gemm strategy's GEMM operand: scaling by -2 is exact in
+        IEEE-754 and the ``.T`` view preserves the BLAS memory layout
+        of ``c.T``, so ``x @ neg2ct`` is bit-identical to
+        ``-2 * (x @ c.T)`` while skipping the separate ``*= -2`` pass
+        over the ``(m, k)`` buffer.
+        """
+        c = self._require_centroids()
+        if self._neg2ct is None:
+            self._neg2ct = (c * -2.0).T
+        return self._neg2ct
+
+    # -- per-data-array cache -----------------------------------------
+
+    def x_sq(self, x: np.ndarray) -> np.ndarray:
+        """Cached squared row norms ``|x|^2``, keyed by array identity.
+
+        A batch driver calls this with the same shard array every
+        iteration, so the norms are computed once per run. The cache
+        holds strong references (an id stays valid while its entry
+        lives) and is capped at :data:`X_SQ_CACHE_SLOTS` entries,
+        evicting oldest-first, so the serve plane's fresh per-batch
+        gather arrays cannot grow it without bound.
+        """
+        key = id(x)
+        hit = self._x_sq_cache.get(key)
+        if hit is not None and hit[0] is x:
+            return hit[1]
+        norms = row_norms(x)
+        if len(self._x_sq_cache) >= X_SQ_CACHE_SLOTS:
+            self._x_sq_cache.pop(next(iter(self._x_sq_cache)))
+        self._x_sq_cache[key] = (x, norms)
+        return norms
 
     # -- block buffers ------------------------------------------------
 

@@ -10,7 +10,20 @@ reductions over in-process rank buffers while charging modeled time.
 """
 
 from repro.dist.network import NetworkModel, TEN_GBE
-from repro.dist.mpi import SimComm
+from repro.dist.mpi import (
+    ALLREDUCE_MODES,
+    SimComm,
+    check_allreduce,
+    rect_grid,
+)
 from repro.dist.cluster import Cluster
 
-__all__ = ["NetworkModel", "TEN_GBE", "SimComm", "Cluster"]
+__all__ = [
+    "ALLREDUCE_MODES",
+    "NetworkModel",
+    "TEN_GBE",
+    "SimComm",
+    "Cluster",
+    "check_allreduce",
+    "rect_grid",
+]

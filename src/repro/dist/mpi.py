@@ -10,6 +10,25 @@ cheaper one, as a tuned MPI library would select:
   full-buffer message;
 * ring reduce-scatter + allgather: ``2 * (P - 1)`` rounds of a
   ``1/P``-sized message (bandwidth-optimal for large buffers).
+
+Communication-avoiding mode
+---------------------------
+
+``mode="rect"`` selects a rectangular (1.5D) schedule instead: the
+ranks are arranged on an ``r x c`` grid (``r = floor(sqrt(P))``) and
+the reduction runs as recursive doubling down the columns followed by
+recursive doubling along the rows, every message carrying the *full*
+payload. That trades replicated partial traffic (more bytes on the
+wire) for fewer rounds -- ``ceil(log2 r) + ceil(log2 c)`` versus the
+tree's ``2 ceil(log2 P)`` or the ring's ``2 (P - 1)`` -- so it wins
+when the alpha (latency) term dominates, i.e. small ``k * d`` payloads
+on high-latency links, and loses to the ring once payloads grow
+bandwidth-bound. The cost model charges the replication honestly:
+``bytes_on_wire = nbytes * P * rounds`` under ``"rect"``.
+
+The reduced *values* are computed by the same deterministic
+binary-tree pairing under every mode; only the charged time and wire
+bytes differ.
 """
 
 from __future__ import annotations
@@ -20,7 +39,35 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dist.network import NetworkModel, TEN_GBE
-from repro.errors import CommunicatorError
+from repro.errors import CommunicatorError, ConfigError
+
+#: Accepted allreduce schedules. ``"tree"`` is the legacy default
+#: (best of binomial-tree and ring, as a tuned MPI would pick);
+#: ``"rect"`` is the communication-avoiding rectangular schedule.
+ALLREDUCE_MODES = ("tree", "rect")
+
+
+def check_allreduce(mode: str) -> str:
+    """Validate an ``allreduce`` argument and pass it through."""
+    if mode not in ALLREDUCE_MODES:
+        raise ConfigError(
+            f"allreduce must be one of {ALLREDUCE_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def rect_grid(p: int) -> tuple[int, int]:
+    """The ``(r, c)`` process grid of the rectangular schedule.
+
+    ``r = floor(sqrt(p))`` rows, ``c = ceil(p / r)`` columns -- the
+    most-square grid that covers ``p`` ranks (the last column may be
+    ragged; ragged ranks still pay the full round count).
+    """
+    if p < 1:
+        raise CommunicatorError(f"grid needs p >= 1 ranks, got {p}")
+    r = max(1, math.isqrt(p))
+    c = math.ceil(p / r)
+    return r, c
 
 
 @dataclass
@@ -54,10 +101,27 @@ class SimComm:
         chunk = math.ceil(nbytes / p)
         return 2 * (p - 1) * self.network.message_ns(chunk)
 
-    def allreduce_ns(self, nbytes: int) -> float:
+    def _rect_ns(self, nbytes: int) -> float:
+        r, c = rect_grid(self.n_ranks)
+        rounds = self._rect_rounds(r, c)
+        return rounds * self.network.message_ns(nbytes)
+
+    @staticmethod
+    def _rect_rounds(r: int, c: int) -> int:
+        rounds = 0
+        if r > 1:
+            rounds += math.ceil(math.log2(r))
+        if c > 1:
+            rounds += math.ceil(math.log2(c))
+        return rounds
+
+    def allreduce_ns(self, nbytes: int, mode: str = "tree") -> float:
         """Modeled time of an allreduce over ``nbytes`` per rank."""
+        check_allreduce(mode)
         if self.n_ranks == 1:
             return 0.0
+        if mode == "rect":
+            return self._rect_ns(nbytes)
         return min(self._tree_ns(nbytes), self._ring_ns(nbytes))
 
     def bcast_ns(self, nbytes: int) -> float:
@@ -83,14 +147,17 @@ class SimComm:
     # -- collectives with real arithmetic ------------------------------
 
     def allreduce_sum(
-        self, contributions: list[np.ndarray]
+        self, contributions: list[np.ndarray], mode: str = "tree"
     ) -> CollectiveResult:
         """Sum one array per rank; every rank gets the total.
 
         The reduction tree is the deterministic binary pairing used by
         the in-node funnel merge, so distributed results match a
         single-machine run's summation order for P a power of two.
+        ``mode`` selects the charged schedule (see module docstring);
+        the summed value is identical under every mode.
         """
+        check_allreduce(mode)
         if len(contributions) != self.n_ranks:
             raise CommunicatorError(
                 f"expected {self.n_ranks} contributions, got "
@@ -111,8 +178,15 @@ class SimComm:
             level = nxt
         total = level[0]
         nbytes = total.nbytes
+        if mode == "rect" and self.n_ranks > 1:
+            # Every rank forwards the full payload each round; the
+            # replication is what buys the fewer rounds.
+            rounds = self._rect_rounds(*rect_grid(self.n_ranks))
+            wire = nbytes * self.n_ranks * rounds
+        else:
+            wire = nbytes * max(0, self.n_ranks - 1)
         return CollectiveResult(
             value=total,
-            sim_ns=self.allreduce_ns(nbytes),
-            bytes_on_wire=nbytes * max(0, self.n_ranks - 1),
+            sim_ns=self.allreduce_ns(nbytes, mode=mode),
+            bytes_on_wire=wire,
         )

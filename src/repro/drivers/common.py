@@ -81,6 +81,7 @@ class NumericsLoop:
         *,
         n_partitions: int = 1,
         empty_cluster: str = "drop",
+        kernel: str = "blocked",
     ) -> None:
         self.x = x
         self.pruning = check_pruning(pruning)
@@ -101,10 +102,14 @@ class NumericsLoop:
         self._assignment: np.ndarray | None = None
         self.iteration = 0
         # Per-iteration kernel cache (centroid norms, pairwise matrix,
-        # block buffers); pure optimization, results are bit-identical.
+        # block buffers); with kernel="blocked" a pure optimization
+        # (bit-identical results), with kernel="gemm" ULP-equivalent
+        # distances and identical assignments (see repro.core.distance).
         self._workspace = DistanceWorkspace(
-            self._centroids0.shape[0], self._centroids0.shape[1]
+            self._centroids0.shape[0], self._centroids0.shape[1],
+            kernel=kernel,
         )
+        self.kernel = self._workspace.kernel
 
     def reset(self) -> None:
         """Rewind to iteration 0 with the initial centroids.

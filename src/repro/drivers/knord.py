@@ -67,6 +67,8 @@ def knord(
     faults: "FaultPlan | None" = None,
     retry_policy: "RetryPolicy | None" = None,
     empty_cluster: str = "drop",
+    kernel: str = "blocked",
+    allreduce: str = "tree",
 ) -> RunResult:
     """Distributed NUMA-optimized k-means on a simulated cluster.
 
@@ -99,6 +101,16 @@ def knord(
         ``"error"`` (abort when a cluster's *global* count hits
         zero). ``"reseed"`` is not offered distributed -- it would
         need a second collective to agree on the farthest point.
+    kernel:
+        Per-shard distance kernel strategy (``"blocked"`` | ``"gemm"``,
+        see :func:`repro.drivers.knori`).
+    allreduce:
+        Collective schedule for the centroid reduction: ``"tree"``
+        (the default two-phase reduce+broadcast timing) or ``"rect"``
+        (communication-avoiding rectangular/1.5D schedule -- fewer,
+        larger messages; see :mod:`repro.dist.mpi`). Reduced values
+        are bit-identical across schedules; only the charged network
+        time and wire bytes differ.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2:
@@ -132,7 +144,8 @@ def knord(
 
     centroids0 = resolve_init(x, k, init, seed)
     sharded = ShardedKmeans(
-        x, centroids0, pruning, p, k, empty_cluster=empty_cluster
+        x, centroids0, pruning, p, k, empty_cluster=empty_cluster,
+        kernel=kernel, allreduce=allreduce,
     )
     schedulers = [make_scheduler(scheduler) for _ in range(p)]
     # Per-machine memory accounting (machines are identical; report
@@ -173,5 +186,7 @@ def knord(
             "pruning": pruning,
             "scheduler": scheduler,
             "memory_scope": "per_machine",
+            "kernel": sharded.kernel,
+            "allreduce": sharded.allreduce,
         },
     )

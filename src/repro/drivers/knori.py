@@ -72,6 +72,7 @@ def knori(
     observers: Sequence[RunObserver] = (),
     faults: "FaultPlan | None" = None,
     empty_cluster: str = "drop",
+    kernel: str = "blocked",
 ) -> RunResult:
     """In-memory NUMA-optimized k-means on a simulated machine.
 
@@ -115,6 +116,11 @@ def knori(
         Policy when a cluster loses all members: ``"drop"`` (keep the
         previous centroid, the default), ``"reseed"`` (revive from the
         farthest point; unpruned algorithm only), or ``"error"``.
+    kernel:
+        Distance kernel strategy: ``"blocked"`` (default, the bit-exact
+        reference) or ``"gemm"`` (norm-caching GEMM expansion;
+        identical assignments, ULP-equivalent distances -- see
+        :mod:`repro.core.distance`).
 
     Returns
     -------
@@ -145,7 +151,7 @@ def knori(
 
     loop = NumericsLoop(
         x, centroids0, pruning, n_partitions=machine.n_threads,
-        empty_cluster=empty_cluster,
+        empty_cluster=empty_cluster, kernel=kernel,
     )
     backend = InMemoryBackend(
         machine,
@@ -179,5 +185,6 @@ def knori(
             "bind_policy": machine.bind_policy.value,
             "scheduler": scheduler,
             "task_rows": task_rows,
+            "kernel": loop.kernel,
         },
     )

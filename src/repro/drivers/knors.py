@@ -96,6 +96,7 @@ def knors(
     faults: "FaultPlan | None" = None,
     retry_policy: "RetryPolicy | None" = None,
     empty_cluster: str = "drop",
+    kernel: str = "blocked",
 ) -> RunResult:
     """Semi-external-memory k-means over an SSD-resident matrix.
 
@@ -155,6 +156,10 @@ def knors(
         Policy when a cluster loses all members: ``"drop"`` (keep the
         previous centroid, the default), ``"reseed"`` (revive from the
         farthest point; unpruned algorithm only), or ``"error"``.
+    kernel:
+        Distance kernel strategy (``"blocked"`` | ``"gemm"``, see
+        :func:`repro.drivers.knori`). Clause-1 I/O elision is
+        unaffected: both strategies produce identical assignments.
     """
     x, n, d = resolve_row_data(data)
     if k > n:
@@ -213,7 +218,7 @@ def knors(
     centroids0 = resolve_init(np.asarray(x), k, init, seed)
     loop = NumericsLoop(
         x, centroids0, pruning, n_partitions=t,
-        empty_cluster=empty_cluster,
+        empty_cluster=empty_cluster, kernel=kernel,
     )
 
     start_it = 0
@@ -295,5 +300,6 @@ def knors(
             "io_queue_depth": io_queue_depth if io_mode == "async" else None,
             "io_channels": io_channels if io_mode == "async" else None,
             "scheduler": scheduler,
+            "kernel": loop.kernel,
         },
     )

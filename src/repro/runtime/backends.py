@@ -529,8 +529,14 @@ class ShardedProgram:
 
     The collective itself lives here and is algorithm-agnostic: one
     tree-summed allreduce per named array, in payload insertion order,
-    then a single latency charge sized by the combined payload.
+    then a single latency charge sized by the combined payload. The
+    ``allreduce`` class attribute selects the charged schedule
+    (``"tree"`` | ``"rect"``, see :mod:`repro.dist.mpi`); reduced
+    values are bit-identical across schedules.
     """
+
+    #: Collective schedule; subclasses/instances may override.
+    allreduce = "tree"
 
     def reduce_and_broadcast(
         self, comm: Any, payloads: list[dict[str, np.ndarray]]
@@ -539,16 +545,17 @@ class ShardedProgram:
 
         Returns ``(payload_bytes, wire_bytes, allreduce_ns)``.
         """
+        mode = getattr(self, "allreduce", "tree")
         reduced: dict[str, np.ndarray] = {}
         wire = 0
         # +8: the iteration header rides along with the accumulators.
         payload_bytes = 8
         for key in payloads[0]:
-            red = comm.allreduce_sum([p[key] for p in payloads])
+            red = comm.allreduce_sum([p[key] for p in payloads], mode=mode)
             reduced[key] = red.value
             wire += red.bytes_on_wire
             payload_bytes += red.value.nbytes
-        allreduce_ns = comm.allreduce_ns(payload_bytes)
+        allreduce_ns = comm.allreduce_ns(payload_bytes, mode=mode)
         self.minimize(reduced)
         return payload_bytes, wire, allreduce_ns
 
@@ -571,8 +578,12 @@ class ShardedKmeans(ShardedProgram):
         k: int,
         *,
         empty_cluster: str = "drop",
+        kernel: str = "blocked",
+        allreduce: str = "tree",
     ) -> None:
+        from repro.core.distance import check_kernel
         from repro.core.empty import check_empty_cluster_policy
+        from repro.dist.mpi import check_allreduce
         from repro.drivers.common import NumericsLoop
 
         n = x.shape[0]
@@ -584,6 +595,8 @@ class ShardedKmeans(ShardedProgram):
         # the policy applies to the *global* counts at the allreduce;
         # shard loops always run with the permissive default.
         self.empty_cluster = check_empty_cluster_policy(empty_cluster)
+        self.kernel = check_kernel(kernel)
+        self.allreduce = check_allreduce(allreduce)
         self._centroids0 = np.array(
             centroids0, dtype=np.float64, copy=True
         )
@@ -593,7 +606,10 @@ class ShardedKmeans(ShardedProgram):
             for i in range(n_shards)
         ]
         self.loops = [
-            NumericsLoop(shard, centroids0, pruning, n_partitions=1)
+            NumericsLoop(
+                shard, centroids0, pruning, n_partitions=1,
+                kernel=kernel,
+            )
             for shard in self.shards
         ]
         self.centroids = self._centroids0.copy()
@@ -966,6 +982,14 @@ class PureMpiBackend:
         faults: Any = None,
         retry_policy: Any = None,
     ) -> None:
+        if getattr(sharded, "allreduce", "tree") != "tree":
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                "the pure-MPI baseline supports allreduce='tree' only: "
+                "its flat one-rank-per-core space has no "
+                "one-rank-per-machine grid for the rectangular schedule"
+            )
         self.comm = comm
         self.sharded = sharded
         self.n_rows = sharded.n_rows

@@ -177,7 +177,15 @@ class MMShardedProgram(ShardedProgram):
     records only ever report their totals.
     """
 
-    def __init__(self, algorithm: MMAlgorithm, n_shards: int) -> None:
+    def __init__(
+        self,
+        algorithm: MMAlgorithm,
+        n_shards: int,
+        *,
+        allreduce: str = "tree",
+    ) -> None:
+        from repro.dist.mpi import check_allreduce
+
         n = algorithm.n_rows
         if n < n_shards:
             raise DatasetError(
@@ -185,6 +193,7 @@ class MMShardedProgram(ShardedProgram):
             )
         self.algorithm = algorithm
         self.n_rows = n
+        self.allreduce = check_allreduce(allreduce)
         self.bounds = np.linspace(0, n, n_shards + 1, dtype=np.int64)
         self._step: MMStep | None = None
 
@@ -389,6 +398,7 @@ class KmeansMM:
         seed: int = 0,
         criteria: Any = None,
         empty_cluster: str = "drop",
+        kernel: str = "blocked",
     ) -> None:
         from repro.drivers.common import (
             NumericsLoop,
@@ -414,7 +424,7 @@ class KmeansMM:
         centroids0 = resolve_init(x, k, init, seed)
         self.loop = NumericsLoop(
             x, centroids0, pruning, n_partitions=1,
-            empty_cluster=empty_cluster,
+            empty_cluster=empty_cluster, kernel=kernel,
         )
         self.reduction_slots = k
         self.state_bytes_per_row = state_bytes_per_row(
@@ -479,6 +489,7 @@ class KmeansMM:
             params={
                 "n": self.n_rows, "d": self.d, "k": self.k,
                 "pruning": self.loop.pruning, "algorithm": self.name,
+                "kernel": self.loop.kernel,
                 **(extra_params or {}),
             },
         )
@@ -718,10 +729,12 @@ def run_mm_distributed(
     observers: Sequence[RunObserver] = (),
     faults: Any = None,
     retry_policy: Any = None,
+    allreduce: str = "tree",
 ) -> RunResult:
     """Run an MM algorithm on a simulated cluster (knord's substrate:
-    per-shard machine replay + tree-summed allreduce of the
-    algorithm's accumulator payload)."""
+    per-shard machine replay + allreduce of the algorithm's
+    accumulator payload; ``allreduce`` picks the charged schedule,
+    ``"tree"`` or ``"rect"``, see :mod:`repro.dist.mpi`)."""
     from repro.dist import Cluster, TEN_GBE
     from repro.drivers.common import make_scheduler
     from repro.runtime.backends import DistributedBackend
@@ -736,7 +749,7 @@ def run_mm_distributed(
             network=network or TEN_GBE,
         )
     p = cluster.n_machines
-    program = MMShardedProgram(algorithm, p)
+    program = MMShardedProgram(algorithm, p, allreduce=allreduce)
     from repro.runtime.memory import register_mm_memory
 
     for machine, shard_n in zip(cluster.machines,
@@ -774,6 +787,7 @@ def run_mm_distributed(
             "threads_per_machine": cluster.machines[0].n_threads,
             "scheduler": scheduler,
             "memory_scope": "per_machine",
+            "allreduce": program.allreduce,
         },
     )
 

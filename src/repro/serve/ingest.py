@@ -61,6 +61,7 @@ class MiniBatchMM:
         init: str | np.ndarray = "random",
         seed: int = 0,
         criteria: Any = None,
+        kernel: str = "blocked",
     ) -> None:
         from repro.drivers.common import resolve_init
 
@@ -94,7 +95,8 @@ class MiniBatchMM:
         self.reduction_slots = k
         self.state_bytes_per_row = 4  # int32 last-seen assignment
         self._centroids0 = resolve_init(x, k, init, seed)
-        self._workspace = DistanceWorkspace(k, d)
+        self._workspace = DistanceWorkspace(k, d, kernel=kernel)
+        self.kernel = self._workspace.kernel
         self.centroids = self._centroids0.copy()
         self.counts = np.zeros(k, dtype=np.int64)
         self.assignment = np.full(n, -1, dtype=np.int32)

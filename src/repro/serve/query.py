@@ -126,6 +126,7 @@ class ServePlane:
         observers: Sequence[RunObserver] = (),
         faults: Any = None,
         retry_policy: Any = None,
+        kernel: str = "blocked",
     ) -> None:
         from repro.drivers.common import make_scheduler
         from repro.runtime.memory import register_mm_memory
@@ -210,7 +211,8 @@ class ServePlane:
             row_cache_bytes=row_cache_bytes,
             page_cache_bytes=page_cache_bytes,
         )
-        self.workspace = DistanceWorkspace(k, d)
+        self.workspace = DistanceWorkspace(k, d, kernel=kernel)
+        self.kernel = self.workspace.kernel
         self.observer = chain_observers(tuple(observers))
         self.batch_index = 0
 
@@ -338,5 +340,6 @@ class ServePlane:
                 "max_batch": self.max_batch,
                 "batch_window_ns": self.batch_window_ns,
                 "T": self.machine.n_threads,
+                "kernel": self.kernel,
             },
         )

@@ -1,0 +1,222 @@
+"""The communication-avoiding allreduce schedule (``tree`` vs ``rect``).
+
+The contract mirrors the kernel-strategy suite's: the schedule changes
+*charged time and wire traffic only*. ``allreduce_sum`` runs the same
+deterministic binary-tree pairing under every mode, so summed values
+-- and therefore every downstream centroid, assignment and iteration
+count -- are bit-identical; what moves is ``sim_ns`` (fewer,
+full-payload rounds) and ``bytes_on_wire`` (the replication those
+rounds cost, charged honestly). The crossover is deterministic from
+the network model: rect wins latency-dominated small payloads, the
+ring's pipelined chunks win bandwidth-dominated large ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConvergenceCriteria, knord
+from repro.baselines.mpi_pure import mpi_lloyd
+from repro.dist import (
+    ALLREDUCE_MODES,
+    NetworkModel,
+    SimComm,
+    check_allreduce,
+    rect_grid,
+)
+from repro.errors import CommunicatorError, ConfigError
+from repro.runtime.mm import KmeansMM, run_mm_distributed
+
+CRIT = ConvergenceCriteria(max_iters=20)
+
+
+class TestRectGrid:
+    @pytest.mark.parametrize("p,expected", [
+        (1, (1, 1)),
+        (2, (1, 2)),
+        (4, (2, 2)),
+        (6, (2, 3)),
+        (12, (3, 4)),
+        (16, (4, 4)),
+    ])
+    def test_grid_shapes(self, p, expected):
+        r, c = rect_grid(p)
+        assert (r, c) == expected
+        assert r * c >= p  # the grid covers every rank
+
+    def test_invalid_p(self):
+        with pytest.raises(CommunicatorError):
+            rect_grid(0)
+
+    @pytest.mark.parametrize("r,c,rounds", [
+        (1, 1, 0),
+        (1, 2, 1),
+        (2, 2, 2),
+        (2, 3, 3),
+        (4, 4, 4),
+    ])
+    def test_round_count(self, r, c, rounds):
+        assert SimComm._rect_rounds(r, c) == rounds
+
+
+class TestMode:
+    def test_modes_tuple(self):
+        assert ALLREDUCE_MODES == ("tree", "rect")
+
+    @pytest.mark.parametrize("mode", ALLREDUCE_MODES)
+    def test_check_passthrough(self, mode):
+        assert check_allreduce(mode) == mode
+
+    def test_check_rejects(self):
+        with pytest.raises(ConfigError, match="allreduce"):
+            check_allreduce("butterfly")
+
+    def test_allreduce_ns_rejects(self):
+        with pytest.raises(ConfigError):
+            SimComm(4).allreduce_ns(1024, mode="butterfly")
+
+    def test_allreduce_sum_rejects(self):
+        with pytest.raises(ConfigError):
+            SimComm(2).allreduce_sum([np.ones(2)] * 2, mode="butterfly")
+
+
+class TestTiming:
+    def test_single_rank_free_in_every_mode(self):
+        comm = SimComm(1)
+        assert comm.allreduce_ns(10**6, mode="tree") == 0.0
+        assert comm.allreduce_ns(10**6, mode="rect") == 0.0
+
+    def test_rect_formula(self):
+        net = NetworkModel(latency_ns=1000, bandwidth=1e9)
+        comm = SimComm(16, net)
+        rounds = SimComm._rect_rounds(*rect_grid(16))  # 4 x 4 -> 4
+        assert comm.allreduce_ns(4096, mode="rect") == pytest.approx(
+            rounds * net.message_ns(4096)
+        )
+
+    def test_tree_default_unchanged(self):
+        """The legacy best-of-tree-and-ring charge is byte-for-byte
+        what mode="tree" (and the default) returns."""
+        comm = SimComm(16)
+        for nbytes in (64, 4096, 10**7):
+            legacy = min(comm._tree_ns(nbytes), comm._ring_ns(nbytes))
+            assert comm.allreduce_ns(nbytes) == legacy
+            assert comm.allreduce_ns(nbytes, mode="tree") == legacy
+
+    def test_rect_wins_small_payloads(self):
+        """Latency-dominated regime: ceil(log2 r) + ceil(log2 c)
+        rounds beat the tree's 2 ceil(log2 P)."""
+        comm = SimComm(16)
+        small = 8 * 10 * 64  # a k=10, d=64 centroid payload
+        assert comm.allreduce_ns(small, mode="rect") < comm.allreduce_ns(
+            small, mode="tree"
+        )
+
+    def test_ring_wins_large_payloads(self):
+        """Bandwidth-dominated regime: the ring moves 1/P chunks per
+        round; rect pays full-payload rounds and loses."""
+        comm = SimComm(16)
+        big = 64 * 1024 * 1024
+        assert comm.allreduce_ns(big, mode="tree") < comm.allreduce_ns(
+            big, mode="rect"
+        )
+
+    def test_crossover_exists(self):
+        """Sweeping payloads crosses from rect-wins to tree-wins."""
+        comm = SimComm(16)
+        sizes = [2**e for e in range(6, 28)]
+        verdicts = [
+            comm.allreduce_ns(s, mode="rect") < comm.allreduce_ns(s, mode="tree")
+            for s in sizes
+        ]
+        assert verdicts[0] and not verdicts[-1]
+
+
+class TestValuesIdentical:
+    @pytest.mark.parametrize("p", [2, 4, 6, 16])
+    def test_sum_bit_identical_across_modes(self, p):
+        rng = np.random.default_rng(p)
+        parts = [rng.normal(size=(5, 3)) for _ in range(p)]
+        comm = SimComm(p)
+        rt = comm.allreduce_sum(parts, mode="tree")
+        rr = comm.allreduce_sum(parts, mode="rect")
+        np.testing.assert_array_equal(rt.value, rr.value)
+        assert rt.sim_ns != rr.sim_ns
+
+    def test_rect_wire_charge(self):
+        """rect replicates: nbytes * P * rounds on the wire, vs the
+        tree's nbytes * (P - 1)."""
+        p = 16
+        comm = SimComm(p)
+        parts = [np.ones((4, 2)) for _ in range(p)]
+        nbytes = parts[0].nbytes
+        rounds = SimComm._rect_rounds(*rect_grid(p))
+        rt = comm.allreduce_sum(parts, mode="tree")
+        rr = comm.allreduce_sum(parts, mode="rect")
+        assert rt.bytes_on_wire == nbytes * (p - 1)
+        assert rr.bytes_on_wire == nbytes * p * rounds
+        assert rr.bytes_on_wire > rt.bytes_on_wire
+
+
+class TestEndToEnd:
+    def test_knord_rect_matches_tree(self, overlapping):
+        rt = knord(overlapping, 6, n_machines=4, seed=1, criteria=CRIT)
+        rr = knord(overlapping, 6, n_machines=4, seed=1, criteria=CRIT,
+                   allreduce="rect")
+        np.testing.assert_array_equal(rt.assignment, rr.assignment)
+        np.testing.assert_array_equal(rt.centroids, rr.centroids)
+        assert rt.iterations == rr.iterations
+        assert rt.params["allreduce"] == "tree"
+        assert rr.params["allreduce"] == "rect"
+        # The schedule swap shows up only in the charged accounting.
+        for rec_t, rec_r in zip(rt.records, rr.records):
+            assert rec_r.network_bytes > rec_t.network_bytes
+            assert rec_r.allreduce_ns != rec_t.allreduce_ns
+
+    def test_knord_rect_saves_latency_at_small_k(self, overlapping):
+        """A k=6, d=8 payload is latency-dominated on 10 GbE: the
+        rectangular schedule's fewer rounds must charge less."""
+        rt = knord(overlapping, 6, n_machines=4, seed=1, criteria=CRIT)
+        rr = knord(overlapping, 6, n_machines=4, seed=1, criteria=CRIT,
+                   allreduce="rect")
+        assert sum(r.allreduce_ns for r in rr.records) < sum(
+            r.allreduce_ns for r in rt.records
+        )
+
+    def test_knord_rejects_bad_mode(self, overlapping):
+        with pytest.raises(ConfigError):
+            knord(overlapping, 4, allreduce="butterfly", criteria=CRIT)
+
+    def test_mpi_lloyd_rejects_rect(self, overlapping):
+        """The pure-MPI baseline's flat one-rank-per-core space has no
+        one-rank-per-machine grid; rect is a typed configuration
+        error, not a silent fallback."""
+        with pytest.raises(ConfigError, match="tree"):
+            mpi_lloyd(overlapping, 4, n_machines=2, ranks_per_machine=4,
+                      allreduce="rect", criteria=CRIT)
+
+    def test_mpi_lloyd_tree_still_runs(self, overlapping):
+        res = mpi_lloyd(overlapping, 4, n_machines=2, ranks_per_machine=4,
+                        allreduce="tree", criteria=CRIT)
+        assert res.iterations >= 1
+
+    def test_mm_distributed_rect(self, overlapping):
+        rt = run_mm_distributed(
+            KmeansMM(overlapping, 6, seed=1, criteria=CRIT), n_machines=4
+        )
+        rr = run_mm_distributed(
+            KmeansMM(overlapping, 6, seed=1, criteria=CRIT), n_machines=4,
+            allreduce="rect",
+        )
+        np.testing.assert_array_equal(rt.assignment, rr.assignment)
+        np.testing.assert_array_equal(rt.centroids, rr.centroids)
+        assert rr.params["allreduce"] == "rect"
+        assert rt.params["allreduce"] == "tree"
+
+    def test_mm_distributed_rejects_bad_mode(self, overlapping):
+        with pytest.raises(ConfigError):
+            run_mm_distributed(
+                KmeansMM(overlapping, 6, seed=1, criteria=CRIT),
+                n_machines=4, allreduce="butterfly",
+            )

@@ -15,8 +15,9 @@ from repro.baselines import (
     naive_parallel_lloyd,
     time_serial_iteration,
 )
+from repro.baselines.gemm import SERIAL_STRATEGIES
 from repro.core import init_centroids
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DatasetError
 
 CRIT = ConvergenceCriteria(max_iters=20)
 
@@ -43,6 +44,27 @@ class TestSerialStrategies:
     def test_unknown_strategy(self, overlapping):
         with pytest.raises(Exception):
             time_serial_iteration(overlapping, 5, "quantum")
+
+    def test_unknown_strategy_typed_and_validated_first(self):
+        """Satellite regression: the strategy check runs before any
+        work -- with k too large to even initialize centroids, a bad
+        strategy must still fail as DatasetError, never as the
+        downstream init error."""
+        tiny = np.zeros((2, 2))
+        with pytest.raises(DatasetError, match="unknown strategy"):
+            time_serial_iteration(tiny, 100, "quantum")
+
+    def test_known_strategies_exported(self):
+        assert SERIAL_STRATEGIES == ("iterative", "gemm")
+
+    def test_gemm_hoists_row_norms(self, overlapping):
+        """The hoisted x_sq path gives the same assignment stream as
+        lloyd (norms are iteration-invariant and per-row exact)."""
+        c0 = init_centroids(overlapping, 5, "random", seed=3)
+        ge = gemm_kmeans(overlapping, 5, init=c0, criteria=CRIT)
+        ref = lloyd(overlapping, 5, init=c0, criteria=CRIT)
+        np.testing.assert_array_equal(ge.assignment, ref.assignment)
+        assert ge.iterations == ref.iterations
 
 
 class TestNaiveParallel:

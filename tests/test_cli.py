@@ -109,3 +109,58 @@ def test_bad_dataset_name_rejected(tmp_path):
     with pytest.raises(SystemExit):
         main(["gen", "--dataset", "mnist", "-o",
               str(tmp_path / "x.knor")])
+
+
+def test_kernel_gemm_matches_blocked(small_matrix, tmp_path):
+    runs = {}
+    for kernel in ("blocked", "gemm"):
+        out = tmp_path / f"{kernel}.npz"
+        assert main([
+            "knori", str(small_matrix), "-k", "5", "--seed", "1",
+            "--max-iters", "15", "--kernel", kernel, "--out", str(out),
+        ]) == 0
+        runs[kernel] = np.load(out)
+    np.testing.assert_array_equal(
+        runs["blocked"]["assignment"], runs["gemm"]["assignment"]
+    )
+
+
+def test_kernel_accepted_everywhere(small_matrix, capsys):
+    assert main([
+        "knors", str(small_matrix), "-k", "4", "--max-iters", "6",
+        "--kernel", "gemm",
+    ]) == 0
+    assert main([
+        "knord", str(small_matrix), "-k", "4", "--max-iters", "6",
+        "--kernel", "gemm",
+    ]) == 0
+    assert main([
+        "knori", str(small_matrix), "-k", "4", "--max-iters", "6",
+        "--algorithm", "minibatch", "--kernel", "gemm",
+    ]) == 0
+    capsys.readouterr()
+
+
+def test_kernel_rejected_for_mm_only_algorithms(small_matrix, capsys):
+    rc = main([
+        "knori", str(small_matrix), "-k", "4", "--max-iters", "5",
+        "--algorithm", "gmm", "--kernel", "gemm",
+    ])
+    assert rc == 2
+    assert "kernel" in capsys.readouterr().err
+
+
+def test_knord_allreduce_rect(small_matrix, capsys):
+    assert main([
+        "knord", str(small_matrix), "-k", "4", "--max-iters", "6",
+        "--allreduce", "rect",
+    ]) == 0
+    assert "knord" in capsys.readouterr().out
+
+
+def test_serve_kernel_flag(small_matrix, capsys):
+    assert main([
+        "serve", str(small_matrix), "-k", "4", "--train-steps", "5",
+        "--queries", "400", "--kernel", "gemm",
+    ]) == 0
+    capsys.readouterr()
