@@ -1,0 +1,60 @@
+"""Interpreter-peak smoke gate for the memory plane.
+
+Compares the ``tracemalloc.peak_bytes`` of a fresh ``bench_mem.py``
+run against the committed baseline of the same mode and fails when the
+peak grew more than the tolerance (default 20%). This is the guard
+against silent allocation creep in the knori hot path: a change that
+starts holding an extra copy of the data, or leaks workspace buffers
+across iterations, moves this number immediately.
+
+Shrinking peaks are fine (and should be re-baselined to lock them in).
+
+Usage::
+
+    python benchmarks/check_mem_peak.py BASELINE FRESH [--tolerance 0.2]
+
+Exit code 0 when the peak holds, 1 on growth past tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("fresh", type=Path)
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    help="allowed fractional growth (default: 0.2)")
+    args = ap.parse_args(argv)
+
+    base = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    try:
+        b = int(base["tracemalloc"]["peak_bytes"])
+        f = int(fresh["tracemalloc"]["peak_bytes"])
+    except KeyError as exc:
+        print(f"missing tracemalloc.peak_bytes: {exc}", file=sys.stderr)
+        return 1
+    if base.get("meta", {}).get("quick") != fresh.get("meta", {}).get(
+        "quick"
+    ):
+        print("baseline and fresh runs are different modes "
+              "(quick vs full); peaks are not comparable",
+              file=sys.stderr)
+        return 1
+
+    growth = (f - b) / b
+    status = "ok" if growth <= args.tolerance else "REGRESSION"
+    print(f"interpreter peak: baseline {b / 1e6:.2f} MB, fresh "
+          f"{f / 1e6:.2f} MB ({growth:+.1%}, tolerance "
+          f"+{args.tolerance:.0%}) {status}")
+    return 0 if growth <= args.tolerance else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,8 +27,14 @@ import numpy as np
 from repro.core import ConvergenceCriteria
 from repro.core.distance import rows_to_centroids
 from repro.dist import NetworkModel, SimComm, TEN_GBE
-from repro.drivers.common import check_pruning, default_criteria, resolve_init
+from repro.drivers.common import (
+    check_pruning,
+    default_criteria,
+    resolve_init,
+    resolve_memory_manager,
+)
 from repro.errors import ConfigError, DatasetError
+from repro.mem import MemoryManager, use_manager
 from repro.metrics import RunResult
 from repro.runtime import (
     IterationLoop,
@@ -60,6 +66,8 @@ def mpi_lloyd(
     retry_policy: "RetryPolicy | None" = None,
     kernel: str = "blocked",
     allreduce: str = "tree",
+    mem: str | MemoryManager | None = None,
+    mem_budget_bytes: int | None = None,
 ) -> RunResult:
     """Pure-MPI ||Lloyd's (``pruning=None`` gives the paper's MPI-).
 
@@ -67,6 +75,10 @@ def mpi_lloyd(
     as in :func:`repro.drivers.knori`. ``allreduce`` must stay
     ``"tree"``: the rectangular schedule needs a one-rank-per-machine
     grid, which the flat one-rank-per-core space does not have.
+    ``mem``/``mem_budget_bytes`` select the memory manager for the
+    per-rank workspaces and allreduce staging, as in
+    :func:`repro.drivers.knori`; results are bit-identical across
+    managers.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2:
@@ -83,23 +95,25 @@ def mpi_lloyd(
     comm = SimComm(n_ranks, network)
 
     centroids0 = resolve_init(x, k, init, seed)
-    sharded = ShardedKmeans(
-        x, centroids0, pruning, n_ranks, k,
-        kernel=kernel, allreduce=allreduce,
-    )
-    backend = PureMpiBackend(
-        comm,
-        sharded,
-        dist_col_ns=cost_model.dist_base_ns
-        + cost_model.dist_per_dim_ns * d,
-        row_overhead_ns=cost_model.row_overhead_ns,
-        numa_penalty=MPI_NUMA_PENALTY,
-        faults=faults,
-        retry_policy=retry_policy,
-    )
-    result = IterationLoop(
-        backend, criteria=crit, observers=observers, faults=faults
-    ).run()
+    manager = resolve_memory_manager(mem, mem_budget_bytes, observers)
+    with use_manager(manager):
+        sharded = ShardedKmeans(
+            x, centroids0, pruning, n_ranks, k,
+            kernel=kernel, allreduce=allreduce,
+        )
+        backend = PureMpiBackend(
+            comm,
+            sharded,
+            dist_col_ns=cost_model.dist_base_ns
+            + cost_model.dist_per_dim_ns * d,
+            row_overhead_ns=cost_model.row_overhead_ns,
+            numa_penalty=MPI_NUMA_PENALTY,
+            faults=faults,
+            retry_policy=retry_policy,
+        )
+        result = IterationLoop(
+            backend, criteria=crit, observers=observers, faults=faults
+        ).run()
 
     assignment = sharded.assignment
     dist = rows_to_centroids(x, sharded.centroids, assignment)

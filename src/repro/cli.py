@@ -123,6 +123,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "assignments, ULP-equivalent distances; kmeans and minibatch "
         "algorithms only)",
     )
+    _add_mem_flags(parser)
+
+
+def _add_mem_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mem", choices=["numpy", "arena", "budget"], default="numpy",
+        help="memory manager for workspace/cache/staging buffers: "
+        "numpy (default behavior), arena (pooled reuse across "
+        "iterations), or budget (hard byte cap with simulated-SSD "
+        "spill; needs --mem-budget-mb). Results are bit-identical "
+        "across managers",
+    )
+    parser.add_argument(
+        "--mem-budget-mb", type=float, default=None, metavar="MB",
+        help="byte cap for --mem budget, in MiB; exceeding it spills "
+        "cold buffers to simulated SSD (charged simulated time) or "
+        "fails with a MemoryBudgetError rather than growing silently",
+    )
 
 
 def _pruning(value: str) -> str | None:
@@ -154,6 +172,42 @@ def _fault_plan(args: argparse.Namespace):
         else None
     )
     return plan, policy
+
+
+def _memory_manager(args: argparse.Namespace):
+    """Build the manager selected by ``--mem`` (None = driver default).
+
+    The CLI builds the instance itself (rather than passing the spec
+    string through) so it can print the counters after the run.
+    """
+    from repro.mem import build_manager
+
+    budget = (
+        int(args.mem_budget_mb * 2**20)
+        if args.mem_budget_mb is not None
+        else None
+    )
+    if args.mem == "numpy" and budget is None:
+        return None
+    return build_manager(args.mem, budget_bytes=budget)
+
+
+def _print_mem(manager) -> None:
+    """One ``[mem]`` counters line on stderr (never in RunResult)."""
+    if manager is None:
+        return
+    c = manager.counters()
+    line = (
+        f"[mem] {c.manager}: peak={c.peak_bytes / 1e6:.2f} MB "
+        f"live={c.live_bytes / 1e6:.2f} MB allocs={c.n_allocs} "
+        f"reuse={c.reuse_rate:.0%} backing={c.backing_allocs}"
+    )
+    if c.spill_count:
+        line += (
+            f" spills={c.spill_count} ({c.spill_bytes / 1e6:.1f} MB, "
+            f"{c.spill_ns / 1e6:.2f} ms simulated)"
+        )
+    print(line, file=sys.stderr)
 
 
 def _finish(
@@ -267,13 +321,16 @@ def _run_mm(args: argparse.Namespace, backend: str,
 def cmd_knori(args: argparse.Namespace) -> int:
     """Run in-memory clustering on a .knor matrix."""
     plan, _ = _fault_plan(args)
+    manager = _memory_manager(args)
     if args.algorithm != "kmeans":
         result = _run_mm(
             args, "inmemory",
             n_threads=args.threads, scheduler=args.scheduler,
             faults=plan,
+            mem=manager,
         )
         _finish(result, args.out, json_path=args.json)
+        _print_mem(manager)
         return 0
     x = MatrixFile(args.matrix).read_rows(None)
     result = knori(
@@ -287,16 +344,19 @@ def cmd_knori(args: argparse.Namespace) -> int:
         faults=plan,
         empty_cluster=args.empty_cluster,
         kernel=args.kernel,
+        mem=manager,
     )
     _finish(result, args.out,
             quality_data=x if args.quality else None,
             json_path=args.json)
+    _print_mem(manager)
     return 0
 
 
 def cmd_knors(args: argparse.Namespace) -> int:
     """Run semi-external clustering on a .knor matrix."""
     plan, policy = _fault_plan(args)
+    manager = _memory_manager(args)
     if args.algorithm != "kmeans":
         result = _run_mm(
             args, "sem",
@@ -310,8 +370,10 @@ def cmd_knors(args: argparse.Namespace) -> int:
             resume=args.resume,
             faults=plan,
             retry_policy=policy,
+            mem=manager,
         )
         _finish(result, args.out, json_path=args.json)
+        _print_mem(manager)
         print(
             f"I/O: requested {result.total_bytes_requested / 1e6:.1f} "
             f"MB, read {result.total_bytes_read / 1e6:.1f} MB from SSD"
@@ -335,11 +397,13 @@ def cmd_knors(args: argparse.Namespace) -> int:
         retry_policy=policy,
         empty_cluster=args.empty_cluster,
         kernel=args.kernel,
+        mem=manager,
     )
     qd = (
         MatrixFile(args.matrix).read_rows(None) if args.quality else None
     )
     _finish(result, args.out, quality_data=qd, json_path=args.json)
+    _print_mem(manager)
     print(
         f"I/O: requested {result.total_bytes_requested / 1e6:.1f} MB, "
         f"read {result.total_bytes_read / 1e6:.1f} MB from SSD"
@@ -350,6 +414,7 @@ def cmd_knors(args: argparse.Namespace) -> int:
 def cmd_knord(args: argparse.Namespace) -> int:
     """Run distributed clustering on a .knor matrix."""
     plan, policy = _fault_plan(args)
+    manager = _memory_manager(args)
     if args.algorithm != "kmeans":
         result = _run_mm(
             args, "distributed",
@@ -357,8 +422,10 @@ def cmd_knord(args: argparse.Namespace) -> int:
             allreduce=args.allreduce,
             faults=plan,
             retry_policy=policy,
+            mem=manager,
         )
         _finish(result, args.out, json_path=args.json)
+        _print_mem(manager)
         return 0
     if args.pruning == "elkan":
         raise KnorError("knord supports --pruning mti|none")
@@ -375,10 +442,12 @@ def cmd_knord(args: argparse.Namespace) -> int:
         empty_cluster=args.empty_cluster,
         kernel=args.kernel,
         allreduce=args.allreduce,
+        mem=manager,
     )
     _finish(result, args.out,
             quality_data=x if args.quality else None,
             json_path=args.json)
+    _print_mem(manager)
     return 0
 
 
@@ -391,17 +460,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import MiniBatchMM, ServePlane
     from repro.simhw import ArrivalProcess
 
+    from repro.mem import use_manager
+
     plan, policy = _fault_plan(args)
+    manager = _memory_manager(args)
     x = MatrixFile(args.matrix).read_rows(None)
-    algorithm = MiniBatchMM(
-        x, args.k,
-        batch_size=args.batch_size,
-        n_steps=args.train_steps,
-        init=args.init,
-        seed=args.seed,
-        kernel=args.kernel,
+    with use_manager(manager):
+        # Construct under the manager so the training workspace binds
+        # to it (run_mm_inmemory re-pushes it for the run itself).
+        algorithm = MiniBatchMM(
+            x, args.k,
+            batch_size=args.batch_size,
+            n_steps=args.train_steps,
+            init=args.init,
+            seed=args.seed,
+            kernel=args.kernel,
+        )
+    fit = run_mm_inmemory(
+        algorithm, observers=_observers(args), mem=manager
     )
-    fit = run_mm_inmemory(algorithm, observers=_observers(args))
     print(fit.summary())
 
     plane = ServePlane(
@@ -415,6 +492,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         faults=plan,
         retry_policy=policy,
         kernel=args.kernel,
+        mem=manager,
     )
     result = plane.serve(ArrivalProcess(
         n_arrivals=args.queries,
@@ -452,6 +530,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             latency_ns=result.latency_ns,
         )
         print(f"wrote {args.out}")
+    _print_mem(manager)
     return 0
 
 
@@ -610,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seeded fault spec (see the batch commands)")
     srv.add_argument("--fault-seed", type=int, default=0)
     srv.add_argument("--retry-policy", default=None, metavar="SPEC")
+    _add_mem_flags(srv)
     srv.set_defaults(func=cmd_serve)
 
     return parser

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import DatasetError
+from repro.mem import MemoryManager, current_manager
 
 
 class AccumScratch:
@@ -34,24 +35,35 @@ class AccumScratch:
     ``(n, d)`` int64 temporary per call; hot loops (MTI's incremental
     update runs every iteration) route through one of these to reuse
     that memory. Results are identical with or without scratch.
+
+    Buffers are owned by a :class:`~repro.mem.MemoryManager` and grown
+    through its ``ensure_capacity`` guard, so an arena recycles them
+    across scratches and a budgeted manager counts them against its
+    cap.
     """
 
-    def __init__(self) -> None:
-        self._base = np.empty(0, dtype=np.int64)
-        self._flat = np.empty(0, dtype=np.int64)
-        self._dims = np.empty(0, dtype=np.int64)
+    def __init__(self, *, mem: MemoryManager | None = None) -> None:
+        self.mem = mem if mem is not None else current_manager()
+        self._base: np.ndarray | None = None
+        self._flat: np.ndarray | None = None
+        self._dims: np.ndarray | None = None
 
     def flat_indices(self, assign: np.ndarray, d: int) -> np.ndarray:
         """``assign[i] * d + j`` flattened row-major, without fresh
         allocations once the buffers have grown to size."""
         m = assign.shape[0]
         need = m * d
-        if self._dims.size < d:
-            self._dims = np.arange(d, dtype=np.int64)
-        if self._base.size < m:
-            self._base = np.empty(m, dtype=np.int64)
-        if self._flat.size < need:
-            self._flat = np.empty(need, dtype=np.int64)
+        if self._dims is None or self._dims.size < d:
+            self._dims = self.mem.ensure_capacity(
+                self._dims, (d,), np.int64, tag="accum/dims"
+            )
+            self._dims[:d] = np.arange(d, dtype=np.int64)
+        self._base = self.mem.ensure_capacity(
+            self._base, (m,), np.int64, tag="accum/base"
+        )
+        self._flat = self.mem.ensure_capacity(
+            self._flat, (need,), np.int64, tag="accum/flat"
+        )
         base = self._base[:m]
         np.multiply(assign, d, out=base, dtype=np.int64)
         np.add(
@@ -60,6 +72,14 @@ class AccumScratch:
             out=self._flat[:need].reshape(m, d),
         )
         return self._flat[:need]
+
+    def release(self) -> None:
+        """Return the index buffers to the owning manager."""
+        for arr in (self._base, self._flat, self._dims):
+            self.mem.free(arr)
+        self._base = None
+        self._flat = None
+        self._dims = None
 
 
 def _flat_indices(assign: np.ndarray, d: int) -> np.ndarray:
@@ -103,11 +123,36 @@ class PartialCentroids:
     counts: np.ndarray  # (k,) int64 membership counts
 
     @classmethod
-    def zeros(cls, k: int, d: int) -> "PartialCentroids":
+    def zeros(
+        cls, k: int, d: int, *, mem: MemoryManager | None = None
+    ) -> "PartialCentroids":
+        """Fresh zeroed accumulator; with ``mem``, its blocks come from
+        (and should be returned to, via :meth:`release`) that manager.
+        Without, plain numpy arrays -- callers that let partials escape
+        (payloads, results) keep that default."""
+        if mem is None:
+            return cls(
+                sums=np.zeros((k, d), dtype=np.float64),
+                counts=np.zeros(k, dtype=np.int64),
+            )
         return cls(
-            sums=np.zeros((k, d), dtype=np.float64),
-            counts=np.zeros(k, dtype=np.int64),
+            sums=mem.alloc(
+                (k, d), np.float64, tag="partials/sums", zero=True
+            ),
+            counts=mem.alloc(
+                (k,), np.int64, tag="partials/counts", zero=True
+            ),
         )
+
+    def release(self, mem: MemoryManager) -> None:
+        """Return manager-owned blocks after the funnel merge.
+
+        Only valid for partials built with ``zeros(..., mem=...)``
+        whose arrays did not escape: :func:`funnel_merge` never aliases
+        its inputs into the merged result, so per-thread partials are
+        safely releasable right after the merge."""
+        mem.free(self.sums)
+        mem.free(self.counts)
 
     def copy(self) -> "PartialCentroids":
         return PartialCentroids(

@@ -28,6 +28,7 @@ from repro.core.empty import (
     reseed_empty_clusters,
 )
 from repro.errors import DatasetError, EmptyClusterError
+from repro.mem import current_manager
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.workspace import DistanceWorkspace
@@ -93,15 +94,20 @@ def full_iteration(
     # Per-thread accumulation, partitioned exactly as Figure 1 carves
     # the dataset, then the funnel merge of MERGEPTSTRUCTS.
     scratch = None if workspace is None else workspace.accum
+    mem = workspace.mem if workspace is not None else current_manager()
     bounds = np.linspace(0, n, n_partitions + 1, dtype=int)
     partials = []
     for t in range(n_partitions):
         lo, hi = bounds[t], bounds[t + 1]
-        p = PartialCentroids.zeros(k, d)
+        p = PartialCentroids.zeros(k, d, mem=mem)
         if hi > lo:
             p.accumulate(x[lo:hi], assign[lo:hi], scratch=scratch)
         partials.append(p)
     merged = funnel_merge(partials)
+    # funnel_merge never aliases its inputs into the merged result, so
+    # the per-thread blocks go straight back to the pool.
+    for p in partials:
+        p.release(mem)
     new_centroids = merged.finalize(centroids)
 
     reseeded: list[int] = []

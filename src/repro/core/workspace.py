@@ -32,9 +32,19 @@ The workspace also carries the selected **kernel strategy**
 centroid set and the squared row norms ``|x|^2`` per data array
 (:meth:`x_sq`), so a shard's norms are computed once for the whole
 run rather than once per assignment pass.
+
+Every buffer is owned by a :class:`~repro.mem.MemoryManager` (the
+current manager at construction unless one is passed), so arenas can
+reuse the blocks across workspaces and the budgeted manager can cap
+and spill them. The ``|x|^2`` cache holds **weak** references to the
+data arrays it has seen: an entry dies with its array (freeing the
+manager-owned norms) instead of pinning live data the way the old
+strong-ref FIFO did.
 """
 
 from __future__ import annotations
+
+import weakref
 
 import numpy as np
 
@@ -47,6 +57,7 @@ from repro.core.distance import (
     row_norms,
 )
 from repro.errors import DatasetError
+from repro.mem import MemoryManager, current_manager
 
 #: Data arrays whose row norms one workspace keeps alive at once. One
 #: slot serves the batch drivers (one shard per loop); a few extra
@@ -65,6 +76,7 @@ class DistanceWorkspace:
         *,
         block_rows: int = BLOCK_ROWS,
         kernel: str = "blocked",
+        mem: MemoryManager | None = None,
     ) -> None:
         if k < 1 or d < 1:
             raise DatasetError(
@@ -74,18 +86,32 @@ class DistanceWorkspace:
         self.d = d
         self.block_rows = block_rows
         self.kernel = check_kernel(kernel)
-        self.accum = AccumScratch()
+        self.mem = mem if mem is not None else current_manager()
+        self.accum = AccumScratch(mem=self.mem)
         self._centroids: np.ndarray | None = None
-        self._c_sq = np.empty(k, dtype=np.float64)
-        self._cc = np.empty((k, k), dtype=np.float64)
-        self._cc_scratch = np.empty((k, k), dtype=np.float64)
-        self._s = np.empty(k, dtype=np.float64)
+        self._c_sq = self.mem.alloc(
+            (k,), np.float64, tag="workspace/c_sq"
+        )
+        self._cc = self.mem.alloc(
+            (k, k), np.float64, tag="workspace/cc"
+        )
+        self._cc_scratch = self.mem.alloc(
+            (k, k), np.float64, tag="workspace/cc_scratch"
+        )
+        self._s = self.mem.alloc((k,), np.float64, tag="workspace/s")
         self._have_cc = False
         self._have_s = False
         self._neg2ct: np.ndarray | None = None
-        self._dist_buf = np.empty((0, k), dtype=np.float64)
-        # id(x) -> (x, |x|^2); the strong ref pins the id against reuse.
-        self._x_sq_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._neg2ct_base: np.ndarray | None = None
+        self._dist_buf: np.ndarray | None = None
+        # id(x) -> (weakref(x), |x|^2). The weak reference keeps the id
+        # valid while the entry lives *without* pinning the data array:
+        # when x dies, the finalizer drops the entry and frees its
+        # manager-owned norms (the old strong-ref FIFO pinned every
+        # array it had seen until eviction).
+        self._x_sq_cache: dict[
+            int, tuple[weakref.ref, np.ndarray]
+        ] = {}
 
     # -- centroid-set cache ------------------------------------------
 
@@ -109,6 +135,9 @@ class DistanceWorkspace:
         self._centroids = c
         self._have_cc = False
         self._have_s = False
+        if self._neg2ct_base is not None:
+            self.mem.free(self._neg2ct_base)
+            self._neg2ct_base = None
         self._neg2ct = None
         return c
 
@@ -154,29 +183,58 @@ class DistanceWorkspace:
         """
         c = self._require_centroids()
         if self._neg2ct is None:
-            self._neg2ct = (c * -2.0).T
+            base = self.mem.alloc(
+                (self.k, self.d), np.float64, tag="workspace/neg2ct"
+            )
+            np.multiply(c, -2.0, out=base)
+            self._neg2ct_base = base
+            self._neg2ct = base.T
         return self._neg2ct
 
     # -- per-data-array cache -----------------------------------------
+
+    def _drop_x_sq(self, key: int) -> None:
+        hit = self._x_sq_cache.pop(key, None)
+        if hit is not None:
+            self.mem.free(hit[1])
+
+    def invalidate_x_sq(self) -> None:
+        """Drop every cached ``|x|^2`` entry, freeing the norms."""
+        for key in list(self._x_sq_cache):
+            self._drop_x_sq(key)
 
     def x_sq(self, x: np.ndarray) -> np.ndarray:
         """Cached squared row norms ``|x|^2``, keyed by array identity.
 
         A batch driver calls this with the same shard array every
-        iteration, so the norms are computed once per run. The cache
-        holds strong references (an id stays valid while its entry
-        lives) and is capped at :data:`X_SQ_CACHE_SLOTS` entries,
-        evicting oldest-first, so the serve plane's fresh per-batch
-        gather arrays cannot grow it without bound.
+        iteration, so the norms are computed once per run. Entries hold
+        weak references: a dead data array's entry is reclaimed by its
+        finalizer (its id can then be safely reused), and the cache is
+        additionally capped at :data:`X_SQ_CACHE_SLOTS` entries,
+        evicting oldest-first, so the serve plane's per-batch gather
+        arrays can never grow it without bound.
         """
         key = id(x)
         hit = self._x_sq_cache.get(key)
-        if hit is not None and hit[0] is x:
-            return hit[1]
-        norms = row_norms(x)
+        if hit is not None:
+            if hit[0]() is x:
+                self.mem.touch(hit[1])
+                return hit[1]
+            self._drop_x_sq(key)
+        norms = self.mem.alloc(
+            (x.shape[0],), np.float64, tag="workspace/x_sq"
+        )
+        row_norms(x, out=norms)
         if len(self._x_sq_cache) >= X_SQ_CACHE_SLOTS:
-            self._x_sq_cache.pop(next(iter(self._x_sq_cache)))
-        self._x_sq_cache[key] = (x, norms)
+            self._drop_x_sq(next(iter(self._x_sq_cache)))
+        wself = weakref.ref(self)
+
+        def _finalize(_ref, _key=key, _wself=wself):
+            ws = _wself()
+            if ws is not None:
+                ws._drop_x_sq(_key)
+
+        self._x_sq_cache[key] = (weakref.ref(x, _finalize), norms)
         return norms
 
     # -- block buffers ------------------------------------------------
@@ -188,6 +246,27 @@ class DistanceWorkspace:
         view aliases previous calls' views, so consume each block's
         distances before requesting the next buffer.
         """
-        if self._dist_buf.shape[0] < m:
-            self._dist_buf = np.empty((m, self.k), dtype=np.float64)
+        self._dist_buf = self.mem.ensure_capacity(
+            self._dist_buf, (m, self.k), np.float64,
+            tag="workspace/dist_buf",
+        )
         return self._dist_buf[:m]
+
+    # -- teardown ------------------------------------------------------
+
+    def release(self) -> None:
+        """Return every manager-owned buffer. The workspace is unusable
+        afterwards; build a new one to continue."""
+        self.invalidate_x_sq()
+        for arr in (
+            self._c_sq, self._cc, self._cc_scratch, self._s,
+            self._neg2ct_base, self._dist_buf,
+        ):
+            self.mem.free(arr)
+        self._neg2ct = None
+        self._neg2ct_base = None
+        self._dist_buf = None
+        self._centroids = None
+        self._have_cc = False
+        self._have_s = False
+        self.accum.release()

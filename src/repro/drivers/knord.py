@@ -33,8 +33,10 @@ from repro.drivers.common import (
     default_criteria,
     make_scheduler,
     resolve_init,
+    resolve_memory_manager,
 )
 from repro.errors import ConfigError, DatasetError
+from repro.mem import MemoryManager, use_manager
 from repro.metrics import RunResult
 from repro.runtime import (
     DistributedBackend,
@@ -69,6 +71,8 @@ def knord(
     empty_cluster: str = "drop",
     kernel: str = "blocked",
     allreduce: str = "tree",
+    mem: str | MemoryManager | None = None,
+    mem_budget_bytes: int | None = None,
 ) -> RunResult:
     """Distributed NUMA-optimized k-means on a simulated cluster.
 
@@ -111,6 +115,11 @@ def knord(
         larger messages; see :mod:`repro.dist.mpi`). Reduced values
         are bit-identical across schedules; only the charged network
         time and wire bytes differ.
+    mem, mem_budget_bytes:
+        Memory manager for the per-shard workspaces and the allreduce
+        staging buffers (``"numpy"`` | ``"arena"`` | ``"budget"`` | a
+        prebuilt manager; see :func:`repro.drivers.knori` and
+        :mod:`repro.mem`). Results are bit-identical across managers.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2:
@@ -143,31 +152,33 @@ def knord(
         raise DatasetError(f"n={n} rows cannot shard over {p} machines")
 
     centroids0 = resolve_init(x, k, init, seed)
-    sharded = ShardedKmeans(
-        x, centroids0, pruning, p, k, empty_cluster=empty_cluster,
-        kernel=kernel, allreduce=allreduce,
-    )
-    schedulers = [make_scheduler(scheduler) for _ in range(p)]
-    # Per-machine memory accounting (machines are identical; report
-    # machine 0, flagged per-machine in params).
-    register_distributed_memory(
-        cluster.machines, sharded.shard_rows(), d, k, pruning
-    )
+    manager = resolve_memory_manager(mem, mem_budget_bytes, observers)
+    with use_manager(manager):
+        sharded = ShardedKmeans(
+            x, centroids0, pruning, p, k, empty_cluster=empty_cluster,
+            kernel=kernel, allreduce=allreduce,
+        )
+        schedulers = [make_scheduler(scheduler) for _ in range(p)]
+        # Per-machine memory accounting (machines are identical;
+        # report machine 0, flagged per-machine in params).
+        register_distributed_memory(
+            cluster.machines, sharded.shard_rows(), d, k, pruning
+        )
 
-    backend = DistributedBackend(
-        cluster,
-        schedulers,
-        sharded,
-        d=d,
-        k=k,
-        task_rows=task_rows,
-        state_bytes=state_bytes_per_row(pruning, k),
-        faults=faults,
-        retry_policy=retry_policy,
-    )
-    result = IterationLoop(
-        backend, criteria=crit, observers=observers, faults=faults
-    ).run()
+        backend = DistributedBackend(
+            cluster,
+            schedulers,
+            sharded,
+            d=d,
+            k=k,
+            task_rows=task_rows,
+            state_bytes=state_bytes_per_row(pruning, k),
+            faults=faults,
+            retry_policy=retry_policy,
+        )
+        result = IterationLoop(
+            backend, criteria=crit, observers=observers, faults=faults
+        ).run()
 
     assignment = sharded.assignment
     dist = rows_to_centroids(x, sharded.centroids, assignment)

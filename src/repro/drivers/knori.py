@@ -36,8 +36,10 @@ from repro.drivers.common import (
     default_criteria,
     make_scheduler,
     resolve_init,
+    resolve_memory_manager,
 )
 from repro.errors import DatasetError
+from repro.mem import MemoryManager, use_manager
 from repro.metrics import RunResult
 from repro.runtime import (
     InMemoryBackend,
@@ -73,6 +75,8 @@ def knori(
     faults: "FaultPlan | None" = None,
     empty_cluster: str = "drop",
     kernel: str = "blocked",
+    mem: str | MemoryManager | None = None,
+    mem_budget_bytes: int | None = None,
 ) -> RunResult:
     """In-memory NUMA-optimized k-means on a simulated machine.
 
@@ -121,6 +125,13 @@ def knori(
         reference) or ``"gemm"`` (norm-caching GEMM expansion;
         identical assignments, ULP-equivalent distances -- see
         :mod:`repro.core.distance`).
+    mem, mem_budget_bytes:
+        Memory manager for the run's workspace and scratch buffers:
+        ``"numpy"`` (default behavior), ``"arena"`` (pooled reuse),
+        ``"budget"`` (hard byte cap with SSD spill;
+        ``mem_budget_bytes`` required), or a prebuilt
+        :class:`~repro.mem.MemoryManager`. Results are bit-identical
+        across managers (see :mod:`repro.mem`).
 
     Returns
     -------
@@ -149,23 +160,25 @@ def knori(
     centroids0 = resolve_init(x, k, init, seed)
     register_inmemory_memory(machine, n, d, k, pruning)
 
-    loop = NumericsLoop(
-        x, centroids0, pruning, n_partitions=machine.n_threads,
-        empty_cluster=empty_cluster, kernel=kernel,
-    )
-    backend = InMemoryBackend(
-        machine,
-        sched,
-        KmeansSource(loop, k),
-        n_rows=n,
-        d=d,
-        reduction_k=k,
-        task_rows=task_rows,
-        faults=faults,
-    )
-    result = IterationLoop(
-        backend, criteria=crit, observers=observers, faults=faults
-    ).run()
+    manager = resolve_memory_manager(mem, mem_budget_bytes, observers)
+    with use_manager(manager):
+        loop = NumericsLoop(
+            x, centroids0, pruning, n_partitions=machine.n_threads,
+            empty_cluster=empty_cluster, kernel=kernel,
+        )
+        backend = InMemoryBackend(
+            machine,
+            sched,
+            KmeansSource(loop, k),
+            n_rows=n,
+            d=d,
+            reduction_k=k,
+            task_rows=task_rows,
+            faults=faults,
+        )
+        result = IterationLoop(
+            backend, criteria=crit, observers=observers, faults=faults
+        ).run()
 
     algo = {"mti": "knori", "elkan": "knori[elkan]", None: "knori-"}[
         pruning

@@ -44,7 +44,9 @@ from repro.drivers.common import (
     default_criteria,
     make_scheduler,
     resolve_init,
+    resolve_memory_manager,
 )
+from repro.mem import MemoryManager, use_manager
 from repro.metrics import RunResult
 from repro.runtime import (
     CheckpointHook,
@@ -97,6 +99,8 @@ def knors(
     retry_policy: "RetryPolicy | None" = None,
     empty_cluster: str = "drop",
     kernel: str = "blocked",
+    mem: str | MemoryManager | None = None,
+    mem_budget_bytes: int | None = None,
 ) -> RunResult:
     """Semi-external-memory k-means over an SSD-resident matrix.
 
@@ -160,6 +164,11 @@ def knors(
         Distance kernel strategy (``"blocked"`` | ``"gemm"``, see
         :func:`repro.drivers.knori`). Clause-1 I/O elision is
         unaffected: both strategies produce identical assignments.
+    mem, mem_budget_bytes:
+        Memory manager for the workspace, cache index and checkpoint
+        staging buffers (``"numpy"`` | ``"arena"`` | ``"budget"`` | a
+        prebuilt manager; see :func:`repro.drivers.knori` and
+        :mod:`repro.mem`). Results are bit-identical across managers.
     """
     x, n, d = resolve_row_data(data)
     if k > n:
@@ -185,95 +194,99 @@ def knors(
     if task_rows is None:
         task_rows = auto_task_rows(n, t)
 
-    io_queue = (
-        AsyncIoQueue(queue_depth=io_queue_depth, channels=io_channels)
-        if io_mode == "async"
-        else None
-    )
-    safs = Safs(
-        ssd,
-        page_cache_bytes=page_cache_bytes,
-        faults=faults,
-        retry_policy=retry_policy,
-        io_queue=io_queue,
-    )
-    row_cache = (
-        RowCache(
-            row_cache_bytes,
-            row_bytes,
-            n,
-            n_partitions=t,
-            update_interval=cache_update_interval,
+    manager = resolve_memory_manager(mem, mem_budget_bytes, observers)
+    with use_manager(manager):
+        io_queue = (
+            AsyncIoQueue(queue_depth=io_queue_depth, channels=io_channels)
+            if io_mode == "async"
+            else None
         )
-        if row_cache_bytes > 0
-        else None
-    )
-    io_engine = RowEngine(safs, row_bytes, n, row_cache=row_cache)
-    register_sem_memory(
-        machine, n, d, k, pruning,
-        row_cache_bytes=row_cache_bytes if row_cache is not None else 0,
-        page_cache_bytes=page_cache_bytes,
-    )
-
-    centroids0 = resolve_init(np.asarray(x), k, init, seed)
-    loop = NumericsLoop(
-        x, centroids0, pruning, n_partitions=t,
-        empty_cluster=empty_cluster, kernel=kernel,
-    )
-
-    start_it = 0
-    if resume and checkpoint_dir is not None and has_checkpoint(
-        checkpoint_dir
-    ):
-        ckpt = load_checkpoint(checkpoint_dir)
-        loop.restore_state(
-            {
-                "iteration": ckpt.iteration,
-                "centroids": ckpt.centroids,
-                "prev_centroids": ckpt.prev_centroids,
-                "assignment": ckpt.assignment,
-                "ub": ckpt.ub,
-                "sums": ckpt.sums,
-                "counts": ckpt.counts,
-            }
+        safs = Safs(
+            ssd,
+            page_cache_bytes=page_cache_bytes,
+            faults=faults,
+            retry_policy=retry_policy,
+            io_queue=io_queue,
         )
-        start_it = ckpt.iteration
-        if row_cache is not None:
-            # The cache restarts cold; re-engage at the next scheduled
-            # refresh after the resume point.
-            row_cache.fast_forward(start_it - 1)
+        row_cache = (
+            RowCache(
+                row_cache_bytes,
+                row_bytes,
+                n,
+                n_partitions=t,
+                update_interval=cache_update_interval,
+            )
+            if row_cache_bytes > 0
+            else None
+        )
+        io_engine = RowEngine(safs, row_bytes, n, row_cache=row_cache)
+        register_sem_memory(
+            machine, n, d, k, pruning,
+            row_cache_bytes=(
+                row_cache_bytes if row_cache is not None else 0
+            ),
+            page_cache_bytes=page_cache_bytes,
+        )
 
-    checkpoint = (
-        CheckpointHook(
-            directory=checkpoint_dir,
-            interval=checkpoint_interval,
-            loop=loop,
-            params={"n": n, "d": d, "k": k, "pruning": pruning},
+        centroids0 = resolve_init(np.asarray(x), k, init, seed)
+        loop = NumericsLoop(
+            x, centroids0, pruning, n_partitions=t,
+            empty_cluster=empty_cluster, kernel=kernel,
+        )
+
+        start_it = 0
+        if resume and checkpoint_dir is not None and has_checkpoint(
+            checkpoint_dir
+        ):
+            ckpt = load_checkpoint(checkpoint_dir)
+            loop.restore_state(
+                {
+                    "iteration": ckpt.iteration,
+                    "centroids": ckpt.centroids,
+                    "prev_centroids": ckpt.prev_centroids,
+                    "assignment": ckpt.assignment,
+                    "ub": ckpt.ub,
+                    "sums": ckpt.sums,
+                    "counts": ckpt.counts,
+                }
+            )
+            start_it = ckpt.iteration
+            if row_cache is not None:
+                # The cache restarts cold; re-engage at the next
+                # scheduled refresh after the resume point.
+                row_cache.fast_forward(start_it - 1)
+
+        checkpoint = (
+            CheckpointHook(
+                directory=checkpoint_dir,
+                interval=checkpoint_interval,
+                loop=loop,
+                params={"n": n, "d": d, "k": k, "pruning": pruning},
+                faults=faults,
+            )
+            if checkpoint_dir is not None
+            else None
+        )
+        backend = SemBackend(
+            machine,
+            sched,
+            KmeansSource(loop, k),
+            io_engine,
+            n_rows=n,
+            d=d,
+            reduction_k=k,
+            task_rows=task_rows,
+            checkpoint=checkpoint,
+            io_mode=io_mode,
             faults=faults,
         )
-        if checkpoint_dir is not None
-        else None
-    )
-    backend = SemBackend(
-        machine,
-        sched,
-        KmeansSource(loop, k),
-        io_engine,
-        n_rows=n,
-        d=d,
-        reduction_k=k,
-        task_rows=task_rows,
-        checkpoint=checkpoint,
-        io_mode=io_mode,
-        faults=faults,
-    )
-    result = IterationLoop(
-        backend,
-        criteria=crit,
-        observers=observers,
-        start_iteration=start_it,
-        faults=faults,
-    ).run()
+        result = IterationLoop(
+            backend,
+            criteria=crit,
+            observers=observers,
+            start_iteration=start_it,
+            faults=faults,
+        ).run()
 
     if pruning == "mti":
         algo = "knors"

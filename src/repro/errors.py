@@ -23,6 +23,13 @@ class AllocationError(KnorError):
     """The simulated memory manager could not satisfy a request."""
 
 
+class MemoryBudgetError(AllocationError):
+    """A :class:`~repro.mem.budget.BudgetedManager` could not satisfy
+    an allocation within its byte cap: the request exceeds the whole
+    budget, or nothing spillable remains. The manager refuses rather
+    than silently growing past the cap."""
+
+
 class SchedulerError(KnorError):
     """A task scheduler was driven outside its contract."""
 

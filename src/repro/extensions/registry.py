@@ -86,8 +86,21 @@ def run_algorithm(
     **backend_kwargs: Any,
 ) -> RunResult:
     """One-call dispatch: build the named algorithm, run it on the
-    named backend (``inmemory`` | ``sem`` | ``distributed``)."""
-    algorithm = make_mm_algorithm(
-        name, x, k, labels=labels, **(algorithm_kwargs or {})
+    named backend (``inmemory`` | ``sem`` | ``distributed``).
+
+    ``mem``/``mem_budget_bytes`` in the backend kwargs are resolved
+    *before* construction so the algorithm's internal workspaces bind
+    to the same manager the backend runs under.
+    """
+    from repro.drivers.common import resolve_memory_manager
+    from repro.mem import use_manager
+
+    manager = resolve_memory_manager(
+        backend_kwargs.pop("mem", None),
+        backend_kwargs.pop("mem_budget_bytes", None),
     )
-    return run_mm(algorithm, backend, **backend_kwargs)
+    with use_manager(manager):
+        algorithm = make_mm_algorithm(
+            name, x, k, labels=labels, **(algorithm_kwargs or {})
+        )
+    return run_mm(algorithm, backend, mem=manager, **backend_kwargs)

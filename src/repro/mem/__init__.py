@@ -1,0 +1,35 @@
+"""repro.mem: the pluggable memory-manager plane.
+
+See :mod:`repro.mem.manager` for the protocol and the arena, and
+:mod:`repro.mem.budget` for the byte-capped spilling manager.
+"""
+
+from repro.mem.budget import BudgetedManager
+from repro.mem.manager import (
+    DEFAULT_MANAGER,
+    MANAGER_NAMES,
+    ArenaManager,
+    MemoryCounters,
+    MemoryManager,
+    MemoryPoolStats,
+    NumpyManager,
+    build_manager,
+    check_manager,
+    current_manager,
+    use_manager,
+)
+
+__all__ = [
+    "ArenaManager",
+    "BudgetedManager",
+    "DEFAULT_MANAGER",
+    "MANAGER_NAMES",
+    "MemoryCounters",
+    "MemoryManager",
+    "MemoryPoolStats",
+    "NumpyManager",
+    "build_manager",
+    "check_manager",
+    "current_manager",
+    "use_manager",
+]

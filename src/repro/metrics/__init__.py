@@ -8,6 +8,7 @@ breakdowns (Figures 5, 8), I/O bytes requested vs. read and cache hits
 
 from repro.metrics.results import IterationRecord, RunResult
 from repro.metrics.memory import (
+    MemoryCounters,
     table1_bytes,
     ROUTINE_MEMORY_FORMULAS,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "read_records_csv",
     "IterationRecord",
     "RunResult",
+    "MemoryCounters",
     "table1_bytes",
     "ROUTINE_MEMORY_FORMULAS",
     "render_table",

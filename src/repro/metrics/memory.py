@@ -26,6 +26,11 @@ from __future__ import annotations
 
 from repro.errors import ConfigError
 
+# The per-run measured counterpart of the predictions below lives with
+# the managers themselves; re-exported here so callers find both the
+# formula (predicted) and the rollup (measured) in one place.
+from repro.mem.manager import MemoryCounters  # noqa: F401
+
 F64 = 8
 I32 = 4
 

@@ -511,11 +511,16 @@ def run_mm_inmemory(
     machine: Any = None,
     observers: Sequence[RunObserver] = (),
     faults: Any = None,
+    mem: Any = None,
+    mem_budget_bytes: int | None = None,
 ) -> RunResult:
     """Run an MM algorithm on one simulated NUMA machine (knori's
     substrate: scheduler + engine replay, barrier + funnel
-    reduction)."""
-    from repro.drivers.common import make_scheduler
+    reduction). ``mem``/``mem_budget_bytes`` select the interpreter-
+    side memory manager (see :mod:`repro.mem`); results are
+    bit-identical across managers."""
+    from repro.drivers.common import make_scheduler, resolve_memory_manager
+    from repro.mem import use_manager
     from repro.runtime.memory import register_mm_memory
     from repro.sched.blocks import auto_task_rows
     from repro.simhw import BindPolicy, FOUR_SOCKET_XEON, SimMachine
@@ -534,23 +539,25 @@ def run_mm_inmemory(
         state_bytes_per_row=algorithm.state_bytes_per_row,
         model_slots=algorithm.reduction_slots,
     )
-    backend = InMemoryBackend(
-        machine,
-        sched,
-        MMSource(algorithm),
-        n_rows=algorithm.n_rows,
-        d=algorithm.d,
-        reduction_k=algorithm.reduction_slots,
-        task_rows=task_rows,
-        faults=faults,
-    )
-    result = IterationLoop(
-        backend,
-        should_stop=lambda out: algorithm.converged(),
-        max_iters=algorithm.max_iters,
-        observers=observers,
-        faults=faults,
-    ).run()
+    manager = resolve_memory_manager(mem, mem_budget_bytes, observers)
+    with use_manager(manager):
+        backend = InMemoryBackend(
+            machine,
+            sched,
+            MMSource(algorithm),
+            n_rows=algorithm.n_rows,
+            d=algorithm.d,
+            reduction_k=algorithm.reduction_slots,
+            task_rows=task_rows,
+            faults=faults,
+        )
+        result = IterationLoop(
+            backend,
+            should_stop=lambda out: algorithm.converged(),
+            max_iters=algorithm.max_iters,
+            observers=observers,
+            faults=faults,
+        ).run()
     return algorithm.result(
         result,
         memory_breakdown=machine.memory.component_breakdown(),
@@ -583,14 +590,19 @@ def run_mm_sem(
     observers: Sequence[RunObserver] = (),
     faults: Any = None,
     retry_policy: Any = None,
+    mem: Any = None,
+    mem_budget_bytes: int | None = None,
 ) -> RunResult:
     """Run an MM algorithm semi-external-memory (knors' substrate:
     SAFS + row cache + async I/O pipeline, v4 checkpoints).
 
     The algorithm's ``needs_data`` mask drives real I/O savings: rows
     a pruned iteration never touches issue no SSD requests.
+    ``mem``/``mem_budget_bytes`` select the interpreter-side memory
+    manager (see :mod:`repro.mem`).
     """
-    from repro.drivers.common import make_scheduler
+    from repro.drivers.common import make_scheduler, resolve_memory_manager
+    from repro.mem import use_manager
     from repro.sched.blocks import auto_task_rows
     from repro.sem import RowCache, RowEngine, Safs
     from repro.sem.checkpoint import has_checkpoint, load_mm_checkpoint
@@ -617,91 +629,94 @@ def run_mm_sem(
     if task_rows is None:
         task_rows = auto_task_rows(n, t)
 
-    io_queue = (
-        AsyncIoQueue(queue_depth=io_queue_depth, channels=io_channels)
-        if io_mode == "async"
-        else None
-    )
-    safs = Safs(
-        ssd,
-        page_cache_bytes=page_cache_bytes,
-        faults=faults,
-        retry_policy=retry_policy,
-        io_queue=io_queue,
-    )
-    row_cache = (
-        RowCache(
-            row_cache_bytes,
-            row_bytes,
-            n,
-            n_partitions=t,
-            update_interval=cache_update_interval,
+    manager = resolve_memory_manager(mem, mem_budget_bytes, observers)
+    with use_manager(manager):
+        io_queue = (
+            AsyncIoQueue(queue_depth=io_queue_depth, channels=io_channels)
+            if io_mode == "async"
+            else None
         )
-        if row_cache_bytes > 0
-        else None
-    )
-    io_engine = RowEngine(safs, row_bytes, n, row_cache=row_cache)
-    from repro.runtime.memory import register_mm_memory
-
-    register_mm_memory(
-        machine, n, d,
-        state_bytes_per_row=algorithm.state_bytes_per_row,
-        model_slots=algorithm.reduction_slots,
-        resident_rows=False,
-        row_cache_bytes=row_cache_bytes,
-        page_cache_bytes=page_cache_bytes,
-    )
-
-    start_it = 0
-    if resume and checkpoint_dir is not None and has_checkpoint(
-        checkpoint_dir
-    ):
-        ckpt = load_mm_checkpoint(checkpoint_dir)
-        if ckpt.algorithm != algorithm.name:
-            raise IoSubsystemError(
-                f"checkpoint in {checkpoint_dir} belongs to algorithm "
-                f"{ckpt.algorithm!r}, not {algorithm.name!r}"
+        safs = Safs(
+            ssd,
+            page_cache_bytes=page_cache_bytes,
+            faults=faults,
+            retry_policy=retry_policy,
+            io_queue=io_queue,
+        )
+        row_cache = (
+            RowCache(
+                row_cache_bytes,
+                row_bytes,
+                n,
+                n_partitions=t,
+                update_interval=cache_update_interval,
             )
-        snap = {"iteration": ckpt.iteration}
-        snap.update(ckpt.arrays)
-        snap.update(ckpt.scalars)
-        algorithm.restore_state(snap)
-        start_it = ckpt.iteration
-        if row_cache is not None:
-            row_cache.fast_forward(start_it - 1)
+            if row_cache_bytes > 0
+            else None
+        )
+        io_engine = RowEngine(safs, row_bytes, n, row_cache=row_cache)
+        from repro.runtime.memory import register_mm_memory
 
-    checkpoint = (
-        MMCheckpointHook(
-            directory=checkpoint_dir,
-            interval=checkpoint_interval,
-            algorithm=algorithm,
-            params={"n": n, "d": d, "algorithm": algorithm.name},
+        register_mm_memory(
+            machine, n, d,
+            state_bytes_per_row=algorithm.state_bytes_per_row,
+            model_slots=algorithm.reduction_slots,
+            resident_rows=False,
+            row_cache_bytes=row_cache_bytes,
+            page_cache_bytes=page_cache_bytes,
+        )
+
+        start_it = 0
+        if resume and checkpoint_dir is not None and has_checkpoint(
+            checkpoint_dir
+        ):
+            ckpt = load_mm_checkpoint(checkpoint_dir)
+            if ckpt.algorithm != algorithm.name:
+                raise IoSubsystemError(
+                    f"checkpoint in {checkpoint_dir} belongs to "
+                    f"algorithm {ckpt.algorithm!r}, not "
+                    f"{algorithm.name!r}"
+                )
+            snap = {"iteration": ckpt.iteration}
+            snap.update(ckpt.arrays)
+            snap.update(ckpt.scalars)
+            algorithm.restore_state(snap)
+            start_it = ckpt.iteration
+            if row_cache is not None:
+                row_cache.fast_forward(start_it - 1)
+
+        checkpoint = (
+            MMCheckpointHook(
+                directory=checkpoint_dir,
+                interval=checkpoint_interval,
+                algorithm=algorithm,
+                params={"n": n, "d": d, "algorithm": algorithm.name},
+                faults=faults,
+            )
+            if checkpoint_dir is not None
+            else None
+        )
+        backend = SemBackend(
+            machine,
+            sched,
+            MMSource(algorithm),
+            io_engine,
+            n_rows=n,
+            d=d,
+            reduction_k=algorithm.reduction_slots,
+            task_rows=task_rows,
+            checkpoint=checkpoint,
+            io_mode=io_mode,
             faults=faults,
         )
-        if checkpoint_dir is not None
-        else None
-    )
-    backend = SemBackend(
-        machine,
-        sched,
-        MMSource(algorithm),
-        io_engine,
-        n_rows=n,
-        d=d,
-        reduction_k=algorithm.reduction_slots,
-        task_rows=task_rows,
-        checkpoint=checkpoint,
-        io_mode=io_mode,
-        faults=faults,
-    )
-    result = IterationLoop(
-        backend,
-        should_stop=lambda out: algorithm.converged(),
-        max_iters=algorithm.max_iters,
-        observers=observers,
-        start_iteration=start_it,
-        faults=faults,
-    ).run()
+        result = IterationLoop(
+            backend,
+            should_stop=lambda out: algorithm.converged(),
+            max_iters=algorithm.max_iters,
+            observers=observers,
+            start_iteration=start_it,
+            faults=faults,
+        ).run()
     return algorithm.result(
         result,
         memory_breakdown=machine.memory.component_breakdown(),
@@ -730,13 +745,18 @@ def run_mm_distributed(
     faults: Any = None,
     retry_policy: Any = None,
     allreduce: str = "tree",
+    mem: Any = None,
+    mem_budget_bytes: int | None = None,
 ) -> RunResult:
     """Run an MM algorithm on a simulated cluster (knord's substrate:
     per-shard machine replay + allreduce of the algorithm's
     accumulator payload; ``allreduce`` picks the charged schedule,
-    ``"tree"`` or ``"rect"``, see :mod:`repro.dist.mpi`)."""
+    ``"tree"`` or ``"rect"``, see :mod:`repro.dist.mpi`).
+    ``mem``/``mem_budget_bytes`` select the interpreter-side memory
+    manager (see :mod:`repro.mem`)."""
     from repro.dist import Cluster, TEN_GBE
-    from repro.drivers.common import make_scheduler
+    from repro.drivers.common import make_scheduler, resolve_memory_manager
+    from repro.mem import use_manager
     from repro.runtime.backends import DistributedBackend
     from repro.simhw import BindPolicy, EC2_C4_8XLARGE
 
@@ -749,35 +769,37 @@ def run_mm_distributed(
             network=network or TEN_GBE,
         )
     p = cluster.n_machines
-    program = MMShardedProgram(algorithm, p, allreduce=allreduce)
-    from repro.runtime.memory import register_mm_memory
+    manager = resolve_memory_manager(mem, mem_budget_bytes, observers)
+    with use_manager(manager):
+        program = MMShardedProgram(algorithm, p, allreduce=allreduce)
+        from repro.runtime.memory import register_mm_memory
 
-    for machine, shard_n in zip(cluster.machines,
-                                program.shard_rows()):
-        register_mm_memory(
-            machine, shard_n, algorithm.d,
-            state_bytes_per_row=algorithm.state_bytes_per_row,
-            model_slots=algorithm.reduction_slots,
+        for machine, shard_n in zip(cluster.machines,
+                                    program.shard_rows()):
+            register_mm_memory(
+                machine, shard_n, algorithm.d,
+                state_bytes_per_row=algorithm.state_bytes_per_row,
+                model_slots=algorithm.reduction_slots,
+            )
+        schedulers = [make_scheduler(scheduler) for _ in range(p)]
+        backend = DistributedBackend(
+            cluster,
+            schedulers,
+            program,
+            d=algorithm.d,
+            k=algorithm.reduction_slots,
+            task_rows=task_rows,
+            state_bytes=algorithm.state_bytes_per_row,
+            faults=faults,
+            retry_policy=retry_policy,
         )
-    schedulers = [make_scheduler(scheduler) for _ in range(p)]
-    backend = DistributedBackend(
-        cluster,
-        schedulers,
-        program,
-        d=algorithm.d,
-        k=algorithm.reduction_slots,
-        task_rows=task_rows,
-        state_bytes=algorithm.state_bytes_per_row,
-        faults=faults,
-        retry_policy=retry_policy,
-    )
-    result = IterationLoop(
-        backend,
-        should_stop=lambda out: algorithm.converged(),
-        max_iters=algorithm.max_iters,
-        observers=observers,
-        faults=faults,
-    ).run()
+        result = IterationLoop(
+            backend,
+            should_stop=lambda out: algorithm.converged(),
+            max_iters=algorithm.max_iters,
+            observers=observers,
+            faults=faults,
+        ).run()
     return algorithm.result(
         result,
         memory_breakdown=cluster.machines[0].memory.component_breakdown(),

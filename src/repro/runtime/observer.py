@@ -137,6 +137,21 @@ class RunObserver:
         """The serving plane folded ``rows`` streamed arrivals into
         the model via the mini-batch update."""
 
+    def on_alloc(self, tag: str, nbytes: int, reused: bool) -> None:
+        """The memory manager handed out a buffer (``reused`` when it
+        came from an arena free list instead of fresh backing memory).
+        Unlike the iteration events, memory events carry no iteration
+        number -- allocations outlive and straddle iterations."""
+
+    def on_free(self, tag: str, nbytes: int) -> None:
+        """A manager-owned buffer was returned (pooled or released)."""
+
+    def on_spill(self, tag: str, nbytes: int, ns: float,
+                 direction: str) -> None:
+        """The budgeted manager moved a cold buffer to (``"out"``) or
+        back from (``"in"``) the simulated SSD, charging ``ns``
+        simulated I/O time to its spill ledger."""
+
     def on_run_end(self, iterations: int, converged: bool) -> None:
         """The loop finished (converged or hit the iteration cap)."""
 
@@ -218,6 +233,18 @@ class ObserverChain(RunObserver):
     def on_ingest(self, batch, rows, detail=None):
         for o in self.observers:
             o.on_ingest(batch, rows, detail)
+
+    def on_alloc(self, tag, nbytes, reused):
+        for o in self.observers:
+            o.on_alloc(tag, nbytes, reused)
+
+    def on_free(self, tag, nbytes):
+        for o in self.observers:
+            o.on_free(tag, nbytes)
+
+    def on_spill(self, tag, nbytes, ns, direction):
+        for o in self.observers:
+            o.on_spill(tag, nbytes, ns, direction)
 
     def on_run_end(self, iterations, converged):
         for o in self.observers:
@@ -318,6 +345,16 @@ class RecordingObserver(RunObserver):
 
     def on_ingest(self, batch, rows, detail=None):
         self._rec("ingest", batch, rows=rows, detail=detail or {})
+
+    def on_alloc(self, tag, nbytes, reused):
+        self._rec("alloc", None, tag=tag, nbytes=nbytes, reused=reused)
+
+    def on_free(self, tag, nbytes):
+        self._rec("free", None, tag=tag, nbytes=nbytes)
+
+    def on_spill(self, tag, nbytes, ns, direction):
+        self._rec("spill", None, tag=tag, nbytes=nbytes, ns=ns,
+                  direction=direction)
 
     def on_run_end(self, iterations, converged):
         self._rec("run_end", None, iterations=iterations,
@@ -448,6 +485,15 @@ class PrintObserver(RunObserver):
     def on_ingest(self, batch, rows, detail=None):
         self._emit(
             f"[serve] batch={batch} ingested {rows} rows"
+        )
+
+    # on_alloc/on_free stay silent under --trace: a run performs
+    # thousands of allocations and the firehose would drown the
+    # iteration trace. Spills are rare and load-bearing, so they print.
+    def on_spill(self, tag, nbytes, ns, direction):
+        self._emit(
+            f"[mem] spill {direction}: {tag or '<untagged>'} "
+            f"{nbytes}B (+{ns / 1e6:.3f}ms)"
         )
 
     def on_run_end(self, iterations, converged):

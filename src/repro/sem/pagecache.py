@@ -15,6 +15,13 @@ resident set is always the ``capacity`` most-recently-stamped distinct
 pages, and stamps are assigned in probe/admit argument order exactly as
 sequential operations would, so hit/miss tallies, contents and eviction
 order all match element-for-element.
+
+Storage is **double-buffered** on a :class:`~repro.mem.MemoryManager`:
+the key/stamp vectors live in an active backing pair, and inserts and
+compactions write into a spare pair which is then swapped in -- the
+``np.insert``/boolean-mask reallocations of the original implementation
+become scatter/``np.compress`` writes into pooled blocks, so a
+steady-state iteration admits and evicts with zero fresh allocations.
 """
 
 from __future__ import annotations
@@ -22,37 +29,84 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import IoSubsystemError
+from repro.mem import MemoryManager, current_manager
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 class PageCache:
     """Batch LRU page cache keyed by page index."""
 
-    def __init__(self, capacity_bytes: int, page_bytes: int) -> None:
+    def __init__(
+        self,
+        capacity_bytes: int,
+        page_bytes: int,
+        *,
+        mem: MemoryManager | None = None,
+    ) -> None:
         if page_bytes <= 0:
             raise IoSubsystemError(f"page_bytes must be > 0, got {page_bytes}")
         if capacity_bytes < 0:
             raise IoSubsystemError("capacity_bytes must be >= 0")
         self.page_bytes = page_bytes
         self.capacity_pages = capacity_bytes // page_bytes
-        self._keys = np.empty(0, dtype=np.int64)  # sorted resident pages
-        self._stamps = np.empty(0, dtype=np.int64)  # parallel last-touch
+        self.mem = mem if mem is not None else current_manager()
+        self._size = 0  # resident pages; prefix of the active pair
+        self._kbuf: np.ndarray | None = None  # active keys backing
+        self._sbuf: np.ndarray | None = None  # active stamps backing
+        self._kspare: np.ndarray | None = None
+        self._sspare: np.ndarray | None = None
         self._clock = 0
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return int(self._keys.size)
+        return self._size
 
     @property
     def capacity_bytes(self) -> int:
         return self.capacity_pages * self.page_bytes
 
+    @property
+    def _keys(self) -> np.ndarray:
+        """Sorted resident pages (prefix view of the active backing)."""
+        if self._kbuf is None:
+            return _EMPTY_I64
+        return self._kbuf[: self._size]
+
+    @property
+    def _stamps(self) -> np.ndarray:
+        """Parallel last-touch stamps for :attr:`_keys`."""
+        if self._sbuf is None:
+            return _EMPTY_I64
+        return self._sbuf[: self._size]
+
+    def _spare_pair(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Length-``n`` views of the spare backing pair, grown to fit.
+
+        The backing may exceed ``n`` (capacity is kept across swaps);
+        the returned views are exactly ``n`` entries."""
+        self._kspare = self.mem.ensure_capacity(
+            self._kspare, (n,), np.int64, tag="pagecache/keys"
+        )
+        self._sspare = self.mem.ensure_capacity(
+            self._sspare, (n,), np.int64, tag="pagecache/stamps"
+        )
+        return self._kspare[:n], self._sspare[:n]
+
+    def _swap(self, n: int) -> None:
+        """Promote the spare pair to active with ``n`` live entries."""
+        self._kbuf, self._kspare = self._kspare, self._kbuf
+        self._sbuf, self._sspare = self._sspare, self._sbuf
+        self._size = n
+
     def _find(self, pages: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """(insertion positions, hit mask) for ``pages`` in ``_keys``."""
-        pos = np.searchsorted(self._keys, pages)
-        inb = pos < self._keys.size
+        keys = self._keys
+        pos = np.searchsorted(keys, pages)
+        inb = pos < keys.size
         hit = np.zeros(pages.size, dtype=bool)
-        hit[inb] = self._keys[pos[inb]] == pages[inb]
+        hit[inb] = keys[pos[inb]] == pages[inb]
         return pos, hit
 
     def lookup_batch(self, pages: np.ndarray) -> np.ndarray:
@@ -105,17 +159,36 @@ class PageCache:
         self._stamps[pos[present]] = new_stamps[present]
         absent = ~present
         if absent.any():
-            self._keys = np.insert(self._keys, pos[absent], uniq[absent])
-            self._stamps = np.insert(
-                self._stamps, pos[absent], new_stamps[absent]
-            )
-        excess = int(self._keys.size) - self.capacity_pages
+            # Merge the absent (sorted, distinct) keys by scattering
+            # into the spare pair: an element inserted before original
+            # position p lands at p + (number of insertions before it),
+            # exactly where np.insert would put it.
+            n_ins = int(np.count_nonzero(absent))
+            old_n = self._size
+            new_n = old_n + n_ins
+            nk, ns = self._spare_pair(new_n)
+            ins_at = pos[absent] + np.arange(n_ins)
+            taken = np.zeros(new_n, dtype=bool)
+            taken[ins_at] = True
+            nk[ins_at] = uniq[absent]
+            ns[ins_at] = new_stamps[absent]
+            nk[~taken] = self._keys
+            ns[~taken] = self._stamps
+            self._swap(new_n)
+        excess = self._size - self.capacity_pages
         if excess > 0:
             evict = np.argpartition(self._stamps, excess - 1)[:excess]
-            keep = np.ones(self._keys.size, dtype=bool)
+            keep = np.ones(self._size, dtype=bool)
             keep[evict] = False
-            self._keys = self._keys[keep]
-            self._stamps = self._stamps[keep]
+            self._compact(keep)
+
+    def _compact(self, keep: np.ndarray) -> None:
+        """Drop entries where ``keep`` is False, preserving order."""
+        n_keep = int(np.count_nonzero(keep))
+        nk, ns = self._spare_pair(max(n_keep, 1))
+        np.compress(keep, self._keys, out=nk[:n_keep])
+        np.compress(keep, self._stamps, out=ns[:n_keep])
+        self._swap(n_keep)
 
     def lookup(self, page: int) -> bool:
         """Probe one page; a hit refreshes its recency."""
@@ -127,9 +200,17 @@ class PageCache:
 
     def clear(self) -> None:
         """Drop everything (the benches do this between runs, matching
-        the paper's "we drop all caches between runs")."""
-        self._keys = np.empty(0, dtype=np.int64)
-        self._stamps = np.empty(0, dtype=np.int64)
+        the paper's "we drop all caches between runs"). The backing
+        blocks stay pooled for the next run."""
+        self._size = 0
+
+    def release(self) -> None:
+        """Return both backing pairs to the owning manager."""
+        for arr in (self._kbuf, self._sbuf, self._kspare, self._sspare):
+            self.mem.free(arr)
+        self._kbuf = self._sbuf = None
+        self._kspare = self._sspare = None
+        self._size = 0
 
     def discard_batch(self, pages: np.ndarray) -> int:
         """Quarantine: evict ``pages`` without touching hit/miss tallies.
@@ -140,21 +221,21 @@ class PageCache:
         requested pages were actually resident.
         """
         pages = np.asarray(pages, dtype=np.int64)
-        if pages.size == 0 or self._keys.size == 0:
+        if pages.size == 0 or self._size == 0:
             return 0
         pos, hit = self._find(np.unique(pages))
         if not hit.any():
             return 0
-        keep = np.ones(self._keys.size, dtype=bool)
+        keep = np.ones(self._size, dtype=bool)
         keep[pos[hit]] = False
-        self._keys = self._keys[keep]
-        self._stamps = self._stamps[keep]
+        self._compact(keep)
         return int(np.count_nonzero(hit))
 
     def contains(self, page: int) -> bool:
         """Non-mutating membership probe (for tests)."""
-        pos = int(np.searchsorted(self._keys, page))
-        return pos < self._keys.size and int(self._keys[pos]) == page
+        keys = self._keys
+        pos = int(np.searchsorted(keys, page))
+        return pos < keys.size and int(keys[pos]) == page
 
     def pages_lru_order(self) -> list[int]:
         """Resident pages, least-recently-used first (for conformance)."""

@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import IoSubsystemError
+from repro.mem import MemoryManager, current_manager
 
 
 class RowCache:
@@ -44,6 +45,7 @@ class RowCache:
         *,
         n_partitions: int = 1,
         update_interval: int = 5,
+        mem: MemoryManager | None = None,
     ) -> None:
         if row_bytes <= 0:
             raise IoSubsystemError(f"row_bytes must be > 0, got {row_bytes}")
@@ -58,7 +60,10 @@ class RowCache:
         self.n_rows = n_rows
         self.n_partitions = n_partitions
         self.update_interval = update_interval
-        self._cached = np.zeros(n_rows, dtype=bool)
+        self.mem = mem if mem is not None else current_manager()
+        self._cached = self.mem.alloc(
+            (n_rows,), np.bool_, tag="rowcache/resident", zero=True
+        )
         self._next_refresh = update_interval
         self._gap = update_interval
         self.hits = 0
@@ -172,3 +177,10 @@ class RowCache:
         self._gap = self.update_interval
         self._next_refresh = self.update_interval
         self.populated = False
+
+    def release(self) -> None:
+        """Return the residency bitmap to the owning manager. The cache
+        is unusable afterwards."""
+        if self._cached is not None:
+            self.mem.free(self._cached)
+            self._cached = None

@@ -84,10 +84,13 @@ class Safs:
         faults: Any = None,
         retry_policy: Any = None,
         io_queue: AsyncIoQueue | None = None,
+        mem: Any = None,
     ) -> None:
         self.ssd = ssd
         self.page_bytes = ssd.page_bytes
-        self.page_cache = PageCache(page_cache_bytes, self.page_bytes)
+        self.page_cache = PageCache(
+            page_cache_bytes, self.page_bytes, mem=mem
+        )
         self.data_offset = data_offset
         self.faults = faults
         self.io_queue = io_queue

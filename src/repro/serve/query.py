@@ -44,6 +44,7 @@ from repro.baselines.minibatch import minibatch_update
 from repro.core.distance import nearest_centroid
 from repro.core.workspace import DistanceWorkspace
 from repro.errors import ConfigError, DatasetError
+from repro.mem import use_manager
 from repro.metrics.latency import latency_percentiles
 from repro.runtime.observer import RunObserver, chain_observers
 from repro.simhw.serving import (
@@ -127,8 +128,13 @@ class ServePlane:
         faults: Any = None,
         retry_policy: Any = None,
         kernel: str = "blocked",
+        mem: Any = None,
+        mem_budget_bytes: int | None = None,
     ) -> None:
-        from repro.drivers.common import make_scheduler
+        from repro.drivers.common import (
+            make_scheduler,
+            resolve_memory_manager,
+        )
         from repro.runtime.memory import register_mm_memory
         from repro.sem import RowCache, RowEngine, Safs
         from repro.simhw import BindPolicy, FOUR_SOCKET_XEON, SimMachine
@@ -182,36 +188,42 @@ class ServePlane:
             ssd=ssd,
         )
         self._sched = make_scheduler(scheduler)
-        safs = Safs(
-            ssd,
-            page_cache_bytes=page_cache_bytes,
-            faults=faults,
-            retry_policy=retry_policy,
-            io_queue=AsyncIoQueue(queue_depth=io_queue_depth),
+        # The serving plane's manager outlives __init__: serve() pushes
+        # it again so streaming-path allocations stay pooled/capped.
+        self.mem_manager = resolve_memory_manager(
+            mem, mem_budget_bytes, observers
         )
-        self.row_cache = (
-            RowCache(
-                row_cache_bytes,
-                row_bytes,
-                n,
-                n_partitions=self.machine.n_threads,
-                update_interval=cache_update_interval,
+        with use_manager(self.mem_manager):
+            safs = Safs(
+                ssd,
+                page_cache_bytes=page_cache_bytes,
+                faults=faults,
+                retry_policy=retry_policy,
+                io_queue=AsyncIoQueue(queue_depth=io_queue_depth),
             )
-            if row_cache_bytes > 0
-            else None
-        )
-        self.io = RowEngine(
-            safs, row_bytes, n, row_cache=self.row_cache
-        )
-        register_mm_memory(
-            self.machine, n, d,
-            state_bytes_per_row=4,
-            model_slots=k,
-            resident_rows=False,
-            row_cache_bytes=row_cache_bytes,
-            page_cache_bytes=page_cache_bytes,
-        )
-        self.workspace = DistanceWorkspace(k, d, kernel=kernel)
+            self.row_cache = (
+                RowCache(
+                    row_cache_bytes,
+                    row_bytes,
+                    n,
+                    n_partitions=self.machine.n_threads,
+                    update_interval=cache_update_interval,
+                )
+                if row_cache_bytes > 0
+                else None
+            )
+            self.io = RowEngine(
+                safs, row_bytes, n, row_cache=self.row_cache
+            )
+            register_mm_memory(
+                self.machine, n, d,
+                state_bytes_per_row=4,
+                model_slots=k,
+                resident_rows=False,
+                row_cache_bytes=row_cache_bytes,
+                page_cache_bytes=page_cache_bytes,
+            )
+            self.workspace = DistanceWorkspace(k, d, kernel=kernel)
         self.kernel = self.workspace.kernel
         self.observer = chain_observers(tuple(observers))
         self.batch_index = 0
@@ -264,54 +276,58 @@ class ServePlane:
         bytes_read = 0
         n_ingested = 0
 
-        while (b := batcher.next_batch()) is not None:
-            lo, hi, _dispatch = b
-            rows = trace.row[lo:hi]
-            ingest_mask = trace.is_ingest[lo:hi]
-            needs = np.zeros(self.n_rows, dtype=bool)
-            needs[rows] = True
-            io = self.io.run_iteration(
-                self.batch_index, needs, self.observer
-            )
-            self.observer.on_io(self.batch_index, io)
-            io_service_ns += io.service_ns
-            row_cache_hits += io.row_cache_hits
-            rows_requested += io.rows_requested
-            pages_from_ssd += io.pages_from_ssd
-            bytes_read += io.bytes_read
+        with use_manager(self.mem_manager):
+            while (b := batcher.next_batch()) is not None:
+                lo, hi, _dispatch = b
+                rows = trace.row[lo:hi]
+                ingest_mask = trace.is_ingest[lo:hi]
+                needs = np.zeros(self.n_rows, dtype=bool)
+                needs[rows] = True
+                io = self.io.run_iteration(
+                    self.batch_index, needs, self.observer
+                )
+                self.observer.on_io(self.batch_index, io)
+                io_service_ns += io.service_ns
+                row_cache_hits += io.row_cache_hits
+                rows_requested += io.rows_requested
+                pages_from_ssd += io.pages_from_ssd
+                bytes_read += io.bytes_read
 
-            assign, _ = nearest_centroid(
-                self.x[rows], self.centroids,
-                workspace=self.workspace,
-            )
-            assignments[lo:hi] = assign
-            batch_compute_ns = self._price_compute(hi - lo)
-            compute_ns += batch_compute_ns
-            done = batcher.complete(io.service_ns + batch_compute_ns)
+                assign, _ = nearest_centroid(
+                    self.x[rows], self.centroids,
+                    workspace=self.workspace,
+                )
+                assignments[lo:hi] = assign
+                batch_compute_ns = self._price_compute(hi - lo)
+                compute_ns += batch_compute_ns
+                done = batcher.complete(
+                    io.service_ns + batch_compute_ns
+                )
 
-            n_ing = int(np.count_nonzero(ingest_mask))
-            if n_ing:
-                # Fresh array: the workspace caches ||c||^2 by identity.
-                folded = self.centroids.copy()
-                minibatch_update(
-                    folded, self.counts,
-                    self.x[rows[ingest_mask]], assign[ingest_mask],
-                )
-                self.centroids = folded
-                n_ingested += n_ing
-                self.observer.on_ingest(
-                    self.batch_index, n_ing,
-                    {"counts_total": int(self.counts.sum())},
-                )
-            n_q = (hi - lo) - n_ing
-            if n_q:
-                worst = float(done - trace.time_ns[lo])
-                self.observer.on_query(
-                    self.batch_index, n_q, worst,
-                    {"io_ns": io.service_ns,
-                     "compute_ns": batch_compute_ns},
-                )
-            self.batch_index += 1
+                n_ing = int(np.count_nonzero(ingest_mask))
+                if n_ing:
+                    # Fresh array: the workspace caches ||c||^2 by
+                    # identity.
+                    folded = self.centroids.copy()
+                    minibatch_update(
+                        folded, self.counts,
+                        self.x[rows[ingest_mask]], assign[ingest_mask],
+                    )
+                    self.centroids = folded
+                    n_ingested += n_ing
+                    self.observer.on_ingest(
+                        self.batch_index, n_ing,
+                        {"counts_total": int(self.counts.sum())},
+                    )
+                n_q = (hi - lo) - n_ing
+                if n_q:
+                    worst = float(done - trace.time_ns[lo])
+                    self.observer.on_query(
+                        self.batch_index, n_q, worst,
+                        {"io_ns": io.service_ns,
+                         "compute_ns": batch_compute_ns},
+                    )
+                self.batch_index += 1
 
         query_lat = batcher.latency_ns[~trace.is_ingest]
         sample = query_lat if query_lat.size else batcher.latency_ns

@@ -1,0 +1,243 @@
+"""End-to-end guarantees of the memory-manager plane.
+
+Two invariants, checked across every backend:
+
+1. **Bit-identity** -- ``--mem`` must never change a number. numpy,
+   arena, and budget (even while actively spilling) produce identical
+   centroids, assignments, and inertia; only simulated time and the
+   memory counters differ.
+
+2. **Steady-state allocation freedom** -- under the arena manager, the
+   hot iteration loops stop allocating backing memory after the first
+   iteration: 8 iterations hit the OS exactly as often as 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConvergenceCriteria
+from repro.drivers.knord import knord
+from repro.drivers.knori import knori
+from repro.drivers.knors import knors
+from repro.mem import (
+    ArenaManager,
+    BudgetedManager,
+    DEFAULT_MANAGER,
+    NumpyManager,
+    current_manager,
+)
+
+MANAGERS = ["numpy", "arena", "budget"]
+
+
+def _mk(spec):
+    """A fresh manager instance per run (never share across runs)."""
+    if spec == "budget":
+        # Just above the largest single block (256 KiB) so every
+        # allocation fits but the working set forces real spills.
+        return BudgetedManager(288 * 1024)
+    return ArenaManager() if spec == "arena" else NumpyManager()
+
+
+def _same(a, b):
+    np.testing.assert_array_equal(a.centroids, b.centroids)
+    np.testing.assert_array_equal(a.assignment, b.assignment)
+    assert a.inertia == b.inertia
+
+
+class TestBitIdentityKnori:
+    @pytest.mark.parametrize("pruning", ["mti", "elkan", None])
+    def test_all_managers(self, overlapping, pruning):
+        crit = ConvergenceCriteria(max_iters=6)
+        base = knori(overlapping, 10, pruning=pruning, seed=1,
+                     criteria=crit)
+        for spec in ("arena", "budget"):
+            m = _mk(spec)
+            got = knori(overlapping, 10, pruning=pruning, seed=1,
+                        criteria=crit, mem=m)
+            _same(base, got)
+            if spec == "budget":
+                assert m.counters().spill_count > 0, (
+                    "budget run must actually exercise spill"
+                )
+
+    @pytest.mark.parametrize("kernel", ["blocked", "gemm"])
+    def test_kernels(self, overlapping, kernel):
+        crit = ConvergenceCriteria(max_iters=6)
+        base = knori(overlapping, 10, pruning=None, seed=1,
+                     criteria=crit, kernel=kernel)
+        got = knori(overlapping, 10, pruning=None, seed=1,
+                    criteria=crit, kernel=kernel, mem=_mk("arena"))
+        _same(base, got)
+
+    def test_seeds_and_dtype_robustness(self, blobs):
+        crit = ConvergenceCriteria(max_iters=5)
+        x32 = blobs.astype(np.float32).astype(np.float64)
+        for seed in (0, 7):
+            base = knori(x32, 4, seed=seed, criteria=crit)
+            got = knori(x32, 4, seed=seed, criteria=crit,
+                        mem=_mk("arena"))
+            _same(base, got)
+
+
+class TestBitIdentityKnors:
+    def test_all_managers(self, matrix_path):
+        crit = ConvergenceCriteria(max_iters=5)
+        base = knors(matrix_path, 10, seed=1, criteria=crit)
+        for spec in ("arena", "budget"):
+            got = knors(matrix_path, 10, seed=1, criteria=crit,
+                        mem=_mk(spec))
+            _same(base, got)
+            # Simulated I/O accounting is manager-independent too.
+            assert got.total_bytes_read == base.total_bytes_read
+
+    def test_under_faults(self, matrix_path):
+        from repro.faults import (
+            FaultPlan,
+            parse_fault_spec,
+            parse_retry_policy,
+        )
+
+        crit = ConvergenceCriteria(max_iters=5)
+
+        def run(mem):
+            return knors(
+                matrix_path, 10, seed=1, criteria=crit,
+                faults=FaultPlan(
+                    parse_fault_spec("ssd_error=0.05"), seed=3
+                ),
+                retry_policy=parse_retry_policy("retries=3"),
+                mem=mem,
+            )
+
+        base = run(None)
+        for spec in ("arena", "budget"):
+            _same(base, run(_mk(spec)))
+
+
+class TestBitIdentityDistributed:
+    def test_knord(self, overlapping):
+        crit = ConvergenceCriteria(max_iters=5)
+        base = knord(overlapping, 10, n_machines=2, seed=1,
+                     criteria=crit)
+        for spec in ("arena", "budget"):
+            got = knord(overlapping, 10, n_machines=2, seed=1,
+                        criteria=crit, mem=_mk(spec))
+            _same(base, got)
+
+    def test_mpi_lloyd(self, blobs):
+        from repro.baselines.mpi_pure import mpi_lloyd
+
+        crit = ConvergenceCriteria(max_iters=4)
+        base = mpi_lloyd(blobs, 4, n_machines=2, ranks_per_machine=4,
+                         seed=1, criteria=crit)
+        got = mpi_lloyd(blobs, 4, n_machines=2, ranks_per_machine=4,
+                        seed=1, criteria=crit, mem=_mk("arena"))
+        _same(base, got)
+
+
+class TestBitIdentityMMAndServe:
+    @pytest.mark.parametrize("algo", ["kmeans", "minibatch"])
+    def test_mm_inmemory(self, blobs, algo):
+        from repro.extensions import run_algorithm
+
+        kwargs = {"seed": 2}
+        if algo == "minibatch":
+            kwargs["batch_size"] = 128
+        else:
+            kwargs["criteria"] = ConvergenceCriteria(max_iters=5)
+        base = run_algorithm("kmeans" if algo == "kmeans" else algo,
+                             blobs, 4, algorithm_kwargs=dict(kwargs))
+        got = run_algorithm("kmeans" if algo == "kmeans" else algo,
+                            blobs, 4, algorithm_kwargs=dict(kwargs),
+                            mem=_mk("arena"))
+        np.testing.assert_array_equal(base.centroids, got.centroids)
+        assert base.inertia == got.inertia
+
+    def test_serve_plane(self, blobs):
+        from repro.serve import ServePlane
+        from repro.simhw import ArrivalProcess
+
+        rng = np.random.default_rng(0)
+        c0 = blobs[rng.choice(len(blobs), 4, replace=False)]
+
+        def run(mem):
+            plane = ServePlane(blobs, c0.copy(),
+                               max_batch=64, mem=mem)
+            return plane.serve(ArrivalProcess(
+                n_arrivals=2000, rate_qps=20_000.0, seed=5,
+                ingest_fraction=0.1,
+            ))
+
+        base = run(None)
+        for spec in ("arena", "budget"):
+            got = run(_mk(spec))
+            np.testing.assert_array_equal(
+                base.assignments, got.assignments
+            )
+            np.testing.assert_array_equal(
+                base.centroids, got.centroids
+            )
+            np.testing.assert_array_equal(
+                base.latency_ns, got.latency_ns
+            )
+
+
+class TestSteadyStateAllocations:
+    """Satellite 3: zero new arena backing allocations after the
+    first iteration of every hot loop."""
+
+    @pytest.mark.parametrize("pruning", [None, "mti", "elkan"])
+    def test_knori_hot_loop(self, overlapping, pruning):
+        def backing(iters):
+            m = ArenaManager()
+            knori(overlapping, 10, pruning=pruning, seed=1,
+                  criteria=ConvergenceCriteria(max_iters=iters),
+                  mem=m)
+            return m.counters().backing_allocs
+
+        assert backing(8) == backing(2), (
+            f"knori[{pruning}] allocates backing memory after "
+            f"iteration 1"
+        )
+
+    def test_knors_fetch_loop(self, matrix_path):
+        # pruning=None fetches every row each iteration, so the fetch
+        # batches repeat and the cache arrays stabilize immediately.
+        def backing(iters):
+            m = ArenaManager()
+            knors(matrix_path, 10, pruning=None, seed=1,
+                  criteria=ConvergenceCriteria(max_iters=iters),
+                  mem=m)
+            return m.counters().backing_allocs
+
+        assert backing(8) == backing(2), (
+            "knors fetch loop allocates backing memory after "
+            "iteration 1"
+        )
+
+    def test_knori_holds_not_churns(self, overlapping):
+        # knori's workspace allocates once and keeps its buffers: no
+        # frees mid-run, so live == peak and nothing recycles.
+        m = ArenaManager()
+        knori(overlapping, 10, seed=1,
+              criteria=ConvergenceCriteria(max_iters=8), mem=m)
+        c = m.counters()
+        assert c.n_frees == 0
+        assert c.live_bytes == c.peak_bytes
+
+    def test_knord_partials_recycle(self, overlapping):
+        # knord allocates per-iteration partials and allreduce staging
+        # then frees them; from iteration 2 on they come from the pool.
+        m = ArenaManager()
+        knord(overlapping, 10, n_machines=2, seed=1,
+              criteria=ConvergenceCriteria(max_iters=8), mem=m)
+        c = m.counters()
+        assert c.n_allocs > c.backing_allocs
+        assert c.reuse_rate > 0.3
+
+
+def test_stack_clean_after_suite():
+    assert current_manager() is DEFAULT_MANAGER
