@@ -20,7 +20,7 @@ while the cost side differs (:class:`~repro.runtime.PureMpiBackend`):
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -66,6 +66,8 @@ def mpi_lloyd(
     retry_policy: "RetryPolicy | None" = None,
     kernel: str = "blocked",
     allreduce: str = "tree",
+    membership: Any = None,
+    autoscaler: Any = None,
     mem: str | MemoryManager | None = None,
     mem_budget_bytes: int | None = None,
 ) -> RunResult:
@@ -110,6 +112,8 @@ def mpi_lloyd(
             numa_penalty=MPI_NUMA_PENALTY,
             faults=faults,
             retry_policy=retry_policy,
+            membership=membership,
+            autoscaler=autoscaler,
         )
         result = IterationLoop(
             backend, criteria=crit, observers=observers, faults=faults

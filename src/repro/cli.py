@@ -76,15 +76,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "previous centroid (drop, default), reseed from the farthest "
         "point (unpruned only), or abort (error)",
     )
+    # Key lists come from the parsers themselves so the help text can
+    # never drift from what --faults/--retry-policy actually accept.
+    from repro.elastic import MEMBERSHIP_SPEC_KEYS
+    from repro.faults import FAULT_SPEC_KEYS, RETRY_POLICY_KEYS
+
     parser.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="inject seeded faults, e.g. "
         "'ssd_error=0.1,worker_crash=0.05,corrupt_page=0.05' "
-        "(keys: ssd_error, ssd_slow, ssd_slow_factor, ssd_retry_fail, "
-        "worker_crash, max_worker_crashes, node_fail, "
-        "max_node_failures, msg_drop, max_msg_drops, corrupt_page, "
-        "corrupt_cache, corrupt_msg, corrupt_repair_fail, "
-        "max_corruptions, straggler, straggler_factor, max_stragglers)",
+        f"(keys: {', '.join(FAULT_SPEC_KEYS)})",
     )
     parser.add_argument(
         "--fault-seed", type=int, default=0,
@@ -94,8 +95,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--retry-policy", default=None, metavar="SPEC",
         help="recovery tuning, e.g. "
-        "'retries=5,backoff_ms=4,node_failure=abort' (keys: retries, "
-        "backoff_ms, multiplier, timeout_ms, node_failure)",
+        "'retries=5,backoff_ms=4,node_failure=abort' "
+        f"(keys: {', '.join(RETRY_POLICY_KEYS)})",
+    )
+    parser.add_argument(
+        "--elastic-plan", default=None, metavar="SPEC",
+        help="seeded membership churn, e.g. "
+        "'join=0.1,leave=0.05,preempt=0.1,preempt_notice=2' "
+        f"(keys: {', '.join(MEMBERSHIP_SPEC_KEYS)}). knord honors "
+        "every event; knori/knors are single-machine, so only "
+        "preemptions apply (notice flushes a checkpoint when the "
+        "backend has one). Results stay bit-identical to the fixed "
+        "run",
+    )
+    parser.add_argument(
+        "--elastic-seed", type=int, default=0,
+        help="membership-stream seed; the same seed reproduces the "
+        "same churn trace byte-for-byte (default: 0)",
     )
     parser.add_argument(
         "--algorithm",
@@ -148,9 +164,40 @@ def _pruning(value: str) -> str | None:
 
 
 def _observers(args: argparse.Namespace):
+    """Trace observers for one run (empty without ``--trace``).
+
+    Stashes the :class:`ResilienceObserver` on ``args`` so
+    :func:`_print_resilience` can summarize the fault/elastic tallies
+    after the run.
+    """
+    if not args.trace:
+        return ()
+    from repro.metrics import ResilienceObserver
     from repro.runtime import PrintObserver
 
-    return (PrintObserver(),) if args.trace else ()
+    resilience = ResilienceObserver()
+    args.resilience_observer = resilience
+    return (PrintObserver(), resilience)
+
+
+def _print_resilience(args: argparse.Namespace) -> None:
+    """One ``[resilience]`` line on stderr under ``--trace``."""
+    obs = getattr(args, "resilience_observer", None)
+    if obs is None:
+        return
+    c = obs.counters
+    line = (
+        f"[resilience] faults={c.faults_injected} "
+        f"recoveries={c.recoveries} retries={c.retries} "
+        f"corruption_recall={c.detection_recall:.0%}"
+    )
+    if c.preempt_notices or c.scale_ups or c.scale_downs or c.reshards:
+        line += (
+            f" preempt_notices={c.preempt_notices} "
+            f"scale_ups={c.scale_ups} scale_downs={c.scale_downs} "
+            f"reshards={c.reshards}"
+        )
+    print(line, file=sys.stderr)
 
 
 def _fault_plan(args: argparse.Namespace):
@@ -172,6 +219,30 @@ def _fault_plan(args: argparse.Namespace):
         else None
     )
     return plan, policy
+
+
+def _elastic_plan(args: argparse.Namespace):
+    """Fresh ``MembershipPlan | None`` from the CLI flags.
+
+    Plans are stateful (scheduled events are consumed), so every run
+    -- and every tenant -- gets its own instance.
+    """
+    if getattr(args, "elastic_plan", None) is None:
+        return None
+    from repro.elastic import MembershipPlan, parse_membership_spec
+
+    return MembershipPlan(
+        parse_membership_spec(args.elastic_plan), seed=args.elastic_seed
+    )
+
+
+def _autoscaler(args: argparse.Namespace):
+    """Fresh ``Autoscaler | None`` from ``--autoscale``."""
+    if getattr(args, "autoscale", None) is None:
+        return None
+    from repro.elastic import Autoscaler, parse_autoscaler
+
+    return Autoscaler(parse_autoscaler(args.autoscale))
 
 
 def _memory_manager(args: argparse.Namespace):
@@ -327,10 +398,12 @@ def cmd_knori(args: argparse.Namespace) -> int:
             args, "inmemory",
             n_threads=args.threads, scheduler=args.scheduler,
             faults=plan,
+            membership=_elastic_plan(args),
             mem=manager,
         )
         _finish(result, args.out, json_path=args.json)
         _print_mem(manager)
+        _print_resilience(args)
         return 0
     x = MatrixFile(args.matrix).read_rows(None)
     result = knori(
@@ -342,6 +415,7 @@ def cmd_knori(args: argparse.Namespace) -> int:
         criteria=ConvergenceCriteria(max_iters=args.max_iters),
         observers=_observers(args),
         faults=plan,
+        membership=_elastic_plan(args),
         empty_cluster=args.empty_cluster,
         kernel=args.kernel,
         mem=manager,
@@ -350,6 +424,7 @@ def cmd_knori(args: argparse.Namespace) -> int:
             quality_data=x if args.quality else None,
             json_path=args.json)
     _print_mem(manager)
+    _print_resilience(args)
     return 0
 
 
@@ -370,10 +445,12 @@ def cmd_knors(args: argparse.Namespace) -> int:
             resume=args.resume,
             faults=plan,
             retry_policy=policy,
+            membership=_elastic_plan(args),
             mem=manager,
         )
         _finish(result, args.out, json_path=args.json)
         _print_mem(manager)
+        _print_resilience(args)
         print(
             f"I/O: requested {result.total_bytes_requested / 1e6:.1f} "
             f"MB, read {result.total_bytes_read / 1e6:.1f} MB from SSD"
@@ -395,6 +472,7 @@ def cmd_knors(args: argparse.Namespace) -> int:
         observers=_observers(args),
         faults=plan,
         retry_policy=policy,
+        membership=_elastic_plan(args),
         empty_cluster=args.empty_cluster,
         kernel=args.kernel,
         mem=manager,
@@ -404,6 +482,7 @@ def cmd_knors(args: argparse.Namespace) -> int:
     )
     _finish(result, args.out, quality_data=qd, json_path=args.json)
     _print_mem(manager)
+    _print_resilience(args)
     print(
         f"I/O: requested {result.total_bytes_requested / 1e6:.1f} MB, "
         f"read {result.total_bytes_read / 1e6:.1f} MB from SSD"
@@ -414,6 +493,8 @@ def cmd_knors(args: argparse.Namespace) -> int:
 def cmd_knord(args: argparse.Namespace) -> int:
     """Run distributed clustering on a .knor matrix."""
     plan, policy = _fault_plan(args)
+    if args.tenants is not None:
+        return _run_tenants(args, plan, policy)
     manager = _memory_manager(args)
     if args.algorithm != "kmeans":
         result = _run_mm(
@@ -422,10 +503,13 @@ def cmd_knord(args: argparse.Namespace) -> int:
             allreduce=args.allreduce,
             faults=plan,
             retry_policy=policy,
+            membership=_elastic_plan(args),
+            autoscaler=_autoscaler(args),
             mem=manager,
         )
         _finish(result, args.out, json_path=args.json)
         _print_mem(manager)
+        _print_resilience(args)
         return 0
     if args.pruning == "elkan":
         raise KnorError("knord supports --pruning mti|none")
@@ -439,6 +523,8 @@ def cmd_knord(args: argparse.Namespace) -> int:
         observers=_observers(args),
         faults=plan,
         retry_policy=policy,
+        membership=_elastic_plan(args),
+        autoscaler=_autoscaler(args),
         empty_cluster=args.empty_cluster,
         kernel=args.kernel,
         allreduce=args.allreduce,
@@ -448,7 +534,86 @@ def cmd_knord(args: argparse.Namespace) -> int:
             quality_data=x if args.quality else None,
             json_path=args.json)
     _print_mem(manager)
+    _print_resilience(args)
     return 0
+
+
+def _run_tenants(args: argparse.Namespace, plan, policy) -> int:
+    """``knord --tenants``: fair-share several jobs over one cluster.
+
+    Every tenant clusters the same matrix on its own time-slice of the
+    simulated fleet; weights set the fair-share rate, ``@budget_mb``
+    caps a tenant's resident bytes (overflow spills to simulated SSD).
+    Fault and elastic plans are instantiated per tenant so each job
+    sees the same deterministic trace it would see running alone.
+    """
+    from repro.drivers.knord import knord_loop
+    from repro.elastic import FairShareScheduler, TenantJob, parse_tenants
+    from repro.faults import FaultPlan, parse_fault_spec
+    from repro.mem import build_manager, use_manager
+
+    if args.algorithm != "kmeans":
+        raise KnorError("--tenants supports --algorithm kmeans")
+    if args.pruning == "elkan":
+        raise KnorError("knord supports --pruning mti|none")
+    specs = parse_tenants(args.tenants)
+    x = MatrixFile(args.matrix).read_rows(None)
+    jobs: list = []
+    finalizers: dict = {}
+    for spec in specs:
+        tenant_mgr = (
+            build_manager(
+                "budget", budget_bytes=int(spec.budget_mb * 2**20)
+            )
+            if spec.budget_mb is not None
+            else _memory_manager(args)
+        )
+        # Stateful per tenant: fault plans consume RNG streams and
+        # membership plans consume scheduled events.
+        tenant_plan = (
+            FaultPlan(parse_fault_spec(args.faults), seed=args.fault_seed)
+            if args.faults is not None
+            else None
+        )
+        with use_manager(tenant_mgr):
+            loop, finalize = knord_loop(
+                x, args.k,
+                n_machines=args.machines,
+                pruning=_pruning(args.pruning),
+                init=args.init, seed=args.seed,
+                criteria=ConvergenceCriteria(max_iters=args.max_iters),
+                observers=_observers(args),
+                faults=tenant_plan,
+                retry_policy=policy,
+                membership=_elastic_plan(args),
+                autoscaler=_autoscaler(args),
+                empty_cluster=args.empty_cluster,
+                kernel=args.kernel,
+                allreduce=args.allreduce,
+            )
+        jobs.append(TenantJob(spec, loop, manager=tenant_mgr))
+        finalizers[spec.name] = (finalize, tenant_mgr)
+    scheduler = FairShareScheduler(jobs)
+    outcomes = scheduler.run()
+    code = 0
+    for spec in specs:
+        outcome = outcomes[spec.name]
+        finalize, tenant_mgr = finalizers[spec.name]
+        if outcome.error is not None:
+            print(f"[{spec.name}] aborted: {outcome.error}",
+                  file=sys.stderr)
+            code = 2
+            continue
+        result = finalize(outcome.result)
+        print(f"[{spec.name}] {result.summary()}")
+        print(
+            f"[{spec.name}] fair-share: weight={spec.weight:g} "
+            f"boundaries={outcome.boundaries} "
+            f"sim={outcome.sim_ns / 1e9:.4f}s"
+        )
+        _print_mem(tenant_mgr)
+    _print_resilience(args)
+    return code
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -613,6 +778,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(communication-avoiding rectangular schedule -- fewer, "
         "larger messages; wins when latency dominates). Results are "
         "bit-identical; only the modeled time/wire bytes differ",
+    )
+    from repro.elastic import AUTOSCALER_KEYS
+
+    dist.add_argument(
+        "--autoscale", default=None, metavar="SPEC",
+        help="feedback autoscaler, e.g. "
+        "'target_s=0.02,provision_s=30,max=8' "
+        f"(keys: {', '.join(AUTOSCALER_KEYS)}). Watches the "
+        "iteration-time EWMA, straggler flags and memory pressure; "
+        "requested capacity joins only after provision_s simulated "
+        "seconds. Results stay bit-identical to the fixed run",
+    )
+    dist.add_argument(
+        "--tenants", default=None, metavar="SPEC",
+        help="multi-tenant fair-share run: 'name=weight[@budget_mb]' "
+        "pairs, e.g. 'prod=3,batch=1@512'. Each tenant clusters the "
+        "matrix on its own time-slice; weights set the fair-share "
+        "rate, @budget_mb caps resident bytes (overflow spills to "
+        "simulated SSD)",
     )
     dist.set_defaults(func=cmd_knord)
 

@@ -21,6 +21,11 @@ class Cluster:
     machines: list[SimMachine]
     comm: SimComm
     network: NetworkModel = TEN_GBE
+    #: Build parameters, kept so an elastic run can provision identical
+    #: machines later (``None`` for hand-assembled clusters).
+    cost_model: CostModel | None = None
+    threads_per_machine: int | None = None
+    bind_policy: BindPolicy | None = None
 
     @property
     def n_machines(self) -> int:
@@ -62,4 +67,31 @@ class Cluster:
             machines=machines,
             comm=SimComm(n_machines, network),
             network=network,
+            cost_model=cost_model,
+            threads_per_machine=threads_per_machine,
+            bind_policy=bind_policy,
         )
+
+    def add_machines(self, count: int) -> list[int]:
+        """Provision ``count`` more machines identical to the originals.
+
+        Returns the new machine indices. Only ``Cluster.build`` clusters
+        remember their recipe; hand-assembled ones cannot grow.
+        """
+        if count < 1:
+            raise ConfigError(f"count must be >= 1, got {count}")
+        if self.cost_model is None or self.bind_policy is None:
+            raise ConfigError(
+                "cluster cannot grow: built without a stored recipe "
+                "(use Cluster.build for elastic runs)"
+            )
+        start = len(self.machines)
+        for _ in range(count):
+            self.machines.append(
+                SimMachine.build(
+                    self.cost_model,
+                    n_threads=self.threads_per_machine,
+                    bind_policy=self.bind_policy,
+                )
+            )
+        return list(range(start, len(self.machines)))

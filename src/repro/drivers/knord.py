@@ -21,7 +21,7 @@ in the shared :class:`~repro.runtime.IterationLoop`.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -49,6 +49,130 @@ from repro.runtime import (
 from repro.simhw import BindPolicy, CostModel, EC2_C4_8XLARGE
 
 
+def knord_loop(
+    x: np.ndarray,
+    k: int,
+    *,
+    n_machines: int = 4,
+    pruning: str | None = "mti",
+    cost_model: CostModel = EC2_C4_8XLARGE,
+    threads_per_machine: int | None = None,
+    bind_policy: BindPolicy = BindPolicy.NUMA_BIND,
+    scheduler: str = "numa_aware",
+    network: NetworkModel = TEN_GBE,
+    init: str | np.ndarray = "random",
+    seed: int = 0,
+    criteria: ConvergenceCriteria | None = None,
+    task_rows: int | None = None,
+    cluster: Cluster | None = None,
+    observers: Sequence[RunObserver] = (),
+    faults: "FaultPlan | None" = None,
+    retry_policy: "RetryPolicy | None" = None,
+    empty_cluster: str = "drop",
+    kernel: str = "blocked",
+    allreduce: str = "tree",
+    membership: Any = None,
+    autoscaler: Any = None,
+):
+    """Assemble a knord run without running it.
+
+    Returns ``(loop, finalize)``: the un-started
+    :class:`~repro.runtime.IterationLoop` plus a closure turning its
+    :class:`~repro.runtime.LoopResult` into the driver's
+    :class:`~repro.metrics.RunResult`. The multi-tenant fair-share
+    scheduler (:class:`~repro.elastic.FairShareScheduler`) uses this to
+    interleave several jobs' iterations; :func:`knord` is exactly
+    ``loop.run()`` between the two. The caller owns the memory-manager
+    context -- assemble under :func:`repro.mem.use_manager` when the
+    job should account against a specific manager.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
+    pruning = check_pruning(pruning)
+    if pruning == "elkan":
+        raise ConfigError("knord supports pruning='mti' or None")
+    if empty_cluster == "reseed":
+        raise ConfigError(
+            "knord supports empty_cluster='drop' or 'error'; reseeding "
+            "needs a second collective to pick a global farthest point"
+        )
+    crit = default_criteria(criteria)
+    n, d = x.shape
+    if k > n:
+        raise DatasetError(
+            f"k={k} clusters cannot exceed the n={n} data rows"
+        )
+
+    if cluster is None:
+        cluster = Cluster.build(
+            n_machines,
+            cost_model=cost_model,
+            threads_per_machine=threads_per_machine,
+            bind_policy=bind_policy,
+            network=network,
+        )
+    p = cluster.n_machines
+    if n < p:
+        raise DatasetError(f"n={n} rows cannot shard over {p} machines")
+
+    centroids0 = resolve_init(x, k, init, seed)
+    sharded = ShardedKmeans(
+        x, centroids0, pruning, p, k, empty_cluster=empty_cluster,
+        kernel=kernel, allreduce=allreduce,
+    )
+    schedulers = [make_scheduler(scheduler) for _ in range(p)]
+    # Per-machine memory accounting (machines are identical;
+    # report machine 0, flagged per-machine in params).
+    register_distributed_memory(
+        cluster.machines, sharded.shard_rows(), d, k, pruning
+    )
+
+    backend = DistributedBackend(
+        cluster,
+        schedulers,
+        sharded,
+        d=d,
+        k=k,
+        task_rows=task_rows,
+        state_bytes=state_bytes_per_row(pruning, k),
+        faults=faults,
+        retry_policy=retry_policy,
+        membership=membership,
+        autoscaler=autoscaler,
+    )
+    loop = IterationLoop(
+        backend, criteria=crit, observers=observers, faults=faults
+    )
+
+    def finalize(result) -> RunResult:
+        assignment = sharded.assignment
+        dist = rows_to_centroids(x, sharded.centroids, assignment)
+        return result.as_run_result(
+            algorithm="knord" if pruning == "mti" else "knord-",
+            centroids=sharded.centroids,
+            assignment=assignment,
+            inertia=float((dist**2).sum()),
+            memory_breakdown=(
+                cluster.machines[0].memory.component_breakdown()
+            ),
+            params={
+                "n": n,
+                "d": d,
+                "k": k,
+                "n_machines": p,
+                "threads_per_machine": cluster.machines[0].n_threads,
+                "pruning": pruning,
+                "scheduler": scheduler,
+                "memory_scope": "per_machine",
+                "kernel": sharded.kernel,
+                "allreduce": sharded.allreduce,
+            },
+        )
+
+    return loop, finalize
+
+
 def knord(
     x: np.ndarray,
     k: int,
@@ -71,6 +195,8 @@ def knord(
     empty_cluster: str = "drop",
     kernel: str = "blocked",
     allreduce: str = "tree",
+    membership: Any = None,
+    autoscaler: Any = None,
     mem: str | MemoryManager | None = None,
     mem_budget_bytes: int | None = None,
 ) -> RunResult:
@@ -115,89 +241,48 @@ def knord(
         larger messages; see :mod:`repro.dist.mpi`). Reduced values
         are bit-identical across schedules; only the charged network
         time and wire bytes differ.
+    membership, autoscaler:
+        Optional :class:`~repro.elastic.MembershipPlan` and
+        :class:`~repro.elastic.Autoscaler` -- the elastic plane.
+        Joins reshard onto the new machines, planned leaves and
+        noticed preemptions drain their shards to survivors first
+        (zero-notice preemption degrades to the node-failure path),
+        and the autoscaler turns iteration-time / straggler / memory
+        pressure into capacity requests that land only after the
+        policy's simulated provisioning latency. Shard count never
+        changes, so clustering results are bit-identical to the
+        fixed-cluster run for zero-event plans and whenever the final
+        membership equals the initial one.
     mem, mem_budget_bytes:
         Memory manager for the per-shard workspaces and the allreduce
         staging buffers (``"numpy"`` | ``"arena"`` | ``"budget"`` | a
         prebuilt manager; see :func:`repro.drivers.knori` and
         :mod:`repro.mem`). Results are bit-identical across managers.
     """
-    x = np.asarray(x, dtype=np.float64)
-    if x.ndim != 2:
-        raise DatasetError(f"x must be 2-D, got shape {x.shape}")
-    pruning = check_pruning(pruning)
-    if pruning == "elkan":
-        raise ConfigError("knord supports pruning='mti' or None")
-    if empty_cluster == "reseed":
-        raise ConfigError(
-            "knord supports empty_cluster='drop' or 'error'; reseeding "
-            "needs a second collective to pick a global farthest point"
-        )
-    crit = default_criteria(criteria)
-    n, d = x.shape
-    if k > n:
-        raise DatasetError(
-            f"k={k} clusters cannot exceed the n={n} data rows"
-        )
-
-    if cluster is None:
-        cluster = Cluster.build(
-            n_machines,
+    manager = resolve_memory_manager(mem, mem_budget_bytes, observers)
+    with use_manager(manager):
+        loop, finalize = knord_loop(
+            x, k,
+            n_machines=n_machines,
+            pruning=pruning,
             cost_model=cost_model,
             threads_per_machine=threads_per_machine,
             bind_policy=bind_policy,
+            scheduler=scheduler,
             network=network,
-        )
-    p = cluster.n_machines
-    if n < p:
-        raise DatasetError(f"n={n} rows cannot shard over {p} machines")
-
-    centroids0 = resolve_init(x, k, init, seed)
-    manager = resolve_memory_manager(mem, mem_budget_bytes, observers)
-    with use_manager(manager):
-        sharded = ShardedKmeans(
-            x, centroids0, pruning, p, k, empty_cluster=empty_cluster,
-            kernel=kernel, allreduce=allreduce,
-        )
-        schedulers = [make_scheduler(scheduler) for _ in range(p)]
-        # Per-machine memory accounting (machines are identical;
-        # report machine 0, flagged per-machine in params).
-        register_distributed_memory(
-            cluster.machines, sharded.shard_rows(), d, k, pruning
-        )
-
-        backend = DistributedBackend(
-            cluster,
-            schedulers,
-            sharded,
-            d=d,
-            k=k,
+            init=init,
+            seed=seed,
+            criteria=criteria,
             task_rows=task_rows,
-            state_bytes=state_bytes_per_row(pruning, k),
+            cluster=cluster,
+            observers=observers,
             faults=faults,
             retry_policy=retry_policy,
+            empty_cluster=empty_cluster,
+            kernel=kernel,
+            allreduce=allreduce,
+            membership=membership,
+            autoscaler=autoscaler,
         )
-        result = IterationLoop(
-            backend, criteria=crit, observers=observers, faults=faults
-        ).run()
-
-    assignment = sharded.assignment
-    dist = rows_to_centroids(x, sharded.centroids, assignment)
-    return result.as_run_result(
-        algorithm="knord" if pruning == "mti" else "knord-",
-        centroids=sharded.centroids,
-        assignment=assignment,
-        inertia=float((dist**2).sum()),
-        memory_breakdown=cluster.machines[0].memory.component_breakdown(),
-        params={
-            "n": n,
-            "d": d,
-            "k": k,
-            "n_machines": p,
-            "threads_per_machine": cluster.machines[0].n_threads,
-            "pruning": pruning,
-            "scheduler": scheduler,
-            "memory_scope": "per_machine",
-            "kernel": sharded.kernel,
-            "allreduce": sharded.allreduce,
-        },
-    )
+        result = loop.run()
+    return finalize(result)

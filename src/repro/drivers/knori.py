@@ -25,7 +25,7 @@ skeleton to the shared :class:`~repro.runtime.IterationLoop`.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -73,6 +73,7 @@ def knori(
     machine: SimMachine | None = None,
     observers: Sequence[RunObserver] = (),
     faults: "FaultPlan | None" = None,
+    membership: Any = None,
     empty_cluster: str = "drop",
     kernel: str = "blocked",
     mem: str | MemoryManager | None = None,
@@ -177,7 +178,8 @@ def knori(
             faults=faults,
         )
         result = IterationLoop(
-            backend, criteria=crit, observers=observers, faults=faults
+            backend, criteria=crit, observers=observers, faults=faults,
+            membership=membership,
         ).run()
 
     algo = {"mti": "knori", "elkan": "knori[elkan]", None: "knori-"}[

@@ -32,7 +32,7 @@ skeleton to the shared :class:`~repro.runtime.IterationLoop`.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -97,6 +97,7 @@ def knors(
     observers: Sequence[RunObserver] = (),
     faults: "FaultPlan | None" = None,
     retry_policy: "RetryPolicy | None" = None,
+    membership: Any = None,
     empty_cluster: str = "drop",
     kernel: str = "blocked",
     mem: str | MemoryManager | None = None,
@@ -286,6 +287,7 @@ def knors(
             observers=observers,
             start_iteration=start_it,
             faults=faults,
+            membership=membership,
         ).run()
 
     if pruning == "mti":

@@ -1,0 +1,70 @@
+"""The elastic cluster plane: membership churn, spot preemption,
+autoscaling and multi-tenant fair share.
+
+Everything here follows the fault plane's two-plane invariant
+(:mod:`repro.faults`): elastic events change **which simulated
+machines run the shards and how long iterations take**, never the
+clustering numerics. A run under a zero-event plan takes the exact
+pre-elastic code paths; a run whose membership returns to the initial
+fleet produces bit-identical clustering results to a fixed-cluster
+run; and every elastic trace is a pure function of the plan seed (and
+the fault seed it composes with -- the RNG stream namespaces are
+disjoint).
+
+Three pieces:
+
+* :class:`MembershipPlan` -- a seeded, deterministic schedule of
+  ``join`` / ``leave`` / ``preempt`` events at iteration boundaries
+  (the sibling of :class:`~repro.faults.FaultPlan`). Preemption
+  carries a notice window; zero notice degrades to the node-failure
+  path.
+* :class:`Autoscaler` -- a policy watching iteration-time EWMA,
+  straggler pressure and memory-budget pressure, requesting capacity
+  that arrives only after an honest simulated provisioning latency
+  (:class:`~repro.simhw.ProvisionTimeline`).
+* :class:`FairShareScheduler` -- several tenant jobs over one
+  simulated cluster under deterministic weighted fair share with
+  per-tenant memory budgets and observer streams.
+"""
+
+from repro.elastic.plan import (
+    MEMBERSHIP_KINDS,
+    MEMBERSHIP_SPEC_KEYS,
+    MembershipEvent,
+    MembershipPlan,
+    MembershipSpec,
+    format_membership_spec,
+    parse_membership_spec,
+)
+from repro.elastic.autoscaler import (
+    AUTOSCALER_KEYS,
+    Autoscaler,
+    AutoscalerPolicy,
+    parse_autoscaler,
+)
+from repro.elastic.tenants import (
+    FairShareScheduler,
+    TenantJob,
+    TenantOutcome,
+    TenantSpec,
+    parse_tenants,
+)
+
+__all__ = [
+    "MEMBERSHIP_KINDS",
+    "MEMBERSHIP_SPEC_KEYS",
+    "MembershipEvent",
+    "MembershipPlan",
+    "MembershipSpec",
+    "format_membership_spec",
+    "parse_membership_spec",
+    "AUTOSCALER_KEYS",
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "parse_autoscaler",
+    "FairShareScheduler",
+    "TenantJob",
+    "TenantOutcome",
+    "TenantSpec",
+    "parse_tenants",
+]

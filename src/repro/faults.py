@@ -679,3 +679,41 @@ def parse_retry_policy(text: str) -> RetryPolicy:
         name, conv = _POLICY_KEYS[key]
         kwargs[name] = conv(value)
     return RetryPolicy(**kwargs)
+
+
+#: Public key lists -- the CLI generates its ``--faults`` /
+#: ``--retry-policy`` help from these so the text can never drift from
+#: the parser.
+FAULT_SPEC_KEYS = tuple(sorted(_SPEC_KEYS))
+RETRY_POLICY_KEYS = tuple(sorted(_POLICY_KEYS))
+
+
+def format_fault_spec(spec: FaultSpec) -> str:
+    """Inverse of :func:`parse_fault_spec`: only non-default keys, so
+    ``parse_fault_spec(format_fault_spec(s)) == s``."""
+    default = FaultSpec()
+    parts = []
+    for key in FAULT_SPEC_KEYS:
+        name = _SPEC_KEYS[key]
+        value = getattr(spec, name)
+        if value != getattr(default, name):
+            parts.append(f"{key}={value:g}")
+    return ",".join(parts)
+
+
+def format_retry_policy(policy: RetryPolicy) -> str:
+    """Inverse of :func:`parse_retry_policy` (non-default keys only)."""
+    default = RetryPolicy()
+    parts = []
+    for key in RETRY_POLICY_KEYS:
+        name, _conv = _POLICY_KEYS[key]
+        value = getattr(policy, name)
+        if value == getattr(default, name):
+            continue
+        if name in ("backoff_ns", "timeout_ns"):
+            parts.append(f"{key}={value / 1e6:g}")
+        elif isinstance(value, str):
+            parts.append(f"{key}={value}")
+        else:
+            parts.append(f"{key}={value:g}")
+    return ",".join(parts)

@@ -103,6 +103,18 @@ class MemoryCounters:
     def reuse_rate(self) -> float:
         return self.n_reuses / self.n_allocs if self.n_allocs else 0.0
 
+    @property
+    def budget_utilization(self) -> float:
+        """Resident bytes as a fraction of the budget (0.0 unbudgeted).
+
+        The elastic autoscaler's memory-pressure signal: a manager
+        running hot against its byte cap is about to spill, and a
+        spilling machine wants a peer more than a bigger EWMA.
+        """
+        if not self.budget_bytes:
+            return 0.0
+        return self.live_bytes / self.budget_bytes
+
     def to_dict(self) -> dict:
         """JSON-safe rollup for benches and the CLI footprint line."""
         return {

@@ -26,6 +26,14 @@ class ResilienceCounters:
     recoveries: int = 0
     stragglers_detected: int = 0
     rebalances: int = 0
+    #: Elastic-plane tallies (membership churn; see
+    #: :mod:`repro.elastic`). ``reshards`` counts every shard-ownership
+    #: reassignment recovery -- node-failure survivors, straggler
+    #: demotions, joins and drains alike.
+    preempt_notices: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    reshards: int = 0
     #: Injection counts by ``(site, kind)``.
     by_site: dict = field(default_factory=dict)
     #: Detection counts by location (``ssd-page``, ``cache-line``,
@@ -51,6 +59,10 @@ class ResilienceCounters:
             "recoveries": self.recoveries,
             "stragglers_detected": self.stragglers_detected,
             "rebalances": self.rebalances,
+            "preempt_notices": self.preempt_notices,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "reshards": self.reshards,
             "by_site": dict(self.by_site),
             "detected_by_where": dict(self.detected_by_where),
         }
@@ -84,9 +96,20 @@ class ResilienceObserver(RunObserver):
 
     def on_recovery(self, iteration, site, action, detail=None):
         self.counters.recoveries += 1
+        if "reshard" in action:
+            self.counters.reshards += 1
 
     def on_straggler(self, iteration, scope, worker, detail=None):
         self.counters.stragglers_detected += 1
 
     def on_rebalance(self, iteration, scope, detail=None):
         self.counters.rebalances += 1
+
+    def on_preempt_notice(self, iteration, machine, deadline, detail=None):
+        self.counters.preempt_notices += 1
+
+    def on_scale_up(self, iteration, machine, detail=None):
+        self.counters.scale_ups += 1
+
+    def on_scale_down(self, iteration, machine, detail=None):
+        self.counters.scale_downs += 1

@@ -39,6 +39,9 @@ class IterationRecord:
     # --- distributed-only observables --------------------------------
     network_bytes: int = 0
     allreduce_ns: float = 0.0
+    #: Machines alive when the iteration committed (0 = non-elastic
+    #: backend; membership churn makes this vary across a run).
+    machines_alive: int = 0
 
 
 @dataclass

@@ -156,6 +156,23 @@ class StragglerDetector:
         self.flagged.update(fresh)
         return fresh
 
+    def grow(self, n_workers: int) -> None:
+        """Widen to ``n_workers`` (elastic scale-up): new workers start
+        unobserved -- zero EWMA, infinite best -- and earn a baseline
+        like any fresh worker. Shrinking history is never allowed;
+        departed workers simply stop posting samples."""
+        if n_workers < self.n_workers:
+            raise ConfigError(
+                f"cannot shrink detector from {self.n_workers} to "
+                f"{n_workers} workers"
+            )
+        extra = n_workers - self.n_workers
+        if extra == 0:
+            return
+        self.ewma = np.concatenate([self.ewma, np.zeros(extra)])
+        self.best = np.concatenate([self.best, np.full(extra, np.inf)])
+        self.n_workers = n_workers
+
     def reset(self) -> None:
         """Forget all history (e.g. after a crash-recovery restart)."""
         self.ewma[:] = 0.0

@@ -242,6 +242,14 @@ class InMemoryBackend:
     def after_record(self, iteration, outcome, observer) -> None:
         """In-memory runs have no post-record side effects."""
 
+    def flush_checkpoint(
+        self, iteration: int, n_changed: int, observer: RunObserver
+    ) -> bool:
+        """Answer a preemption notice: persist resumable state if the
+        substrate can. In-memory runs keep no checkpoints -- return
+        ``False`` so the notice degrades to the plain crash path."""
+        return False
+
     def recover(self, iteration: int, observer: RunObserver) -> int:
         """In-memory recovery is a deterministic from-scratch rerun
         (the paper offers no in-memory checkpointing)."""
@@ -278,6 +286,21 @@ class CheckpointHook:
     ) -> None:
         if (iteration + 1) % self.interval != 0:
             return
+        self._save(iteration, n_changed, observer)
+
+    def force_save(
+        self, iteration: int, n_changed: int, observer: RunObserver
+    ) -> None:
+        """Flush a checkpoint now regardless of the interval -- the
+        preemption-notice grace window uses this so a planned loss
+        never discards a committed iteration. The save runs the same
+        single-atomic-commit protocol (and the same fault sites) as an
+        interval save."""
+        self._save(iteration, n_changed, observer)
+
+    def _save(
+        self, iteration: int, n_changed: int, observer: RunObserver
+    ) -> None:
         from repro.sem.checkpoint import CheckpointState, save_checkpoint
 
         crash_point = (
@@ -479,6 +502,15 @@ class SemBackend(InMemoryBackend):
                 iteration, outcome.n_changed, observer
             )
 
+    def flush_checkpoint(
+        self, iteration: int, n_changed: int, observer: RunObserver
+    ) -> bool:
+        """Answer a preemption notice with an out-of-interval save."""
+        if self.checkpoint is None:
+            return False
+        self.checkpoint.force_save(iteration, n_changed, observer)
+        return True
+
     def recover(self, iteration: int, observer: RunObserver) -> int:
         """Resume from the newest checkpoint (the paper's lightweight
         recovery); fall back to a from-scratch rerun without one.
@@ -539,11 +571,21 @@ class ShardedProgram:
     allreduce = "tree"
 
     def reduce_and_broadcast(
-        self, comm: Any, payloads: list[dict[str, np.ndarray]]
+        self,
+        comm: Any,
+        payloads: list[dict[str, np.ndarray]],
+        timing_comm: Any = None,
     ) -> tuple[int, int, float]:
         """Allreduce every named accumulator and update the model.
 
         Returns ``(payload_bytes, wire_bytes, allreduce_ns)``.
+
+        ``timing_comm``, when given, prices the collective's latency
+        over a different rank count than the arithmetic ran on. The
+        elastic backend uses it after membership churn: the summation
+        stays over all ``n_shards`` contributions forever (bit-identity
+        of the reduced values), while the charged time follows the
+        machines actually alive.
         """
         mode = getattr(self, "allreduce", "tree")
         reduced: dict[str, np.ndarray] = {}
@@ -555,7 +597,8 @@ class ShardedProgram:
             reduced[key] = red.value
             wire += red.bytes_on_wire
             payload_bytes += red.value.nbytes
-        allreduce_ns = comm.allreduce_ns(payload_bytes, mode=mode)
+        clock = comm if timing_comm is None else timing_comm
+        allreduce_ns = clock.allreduce_ns(payload_bytes, mode=mode)
         self.minimize(reduced)
         return payload_bytes, wire, allreduce_ns
 
@@ -717,6 +760,8 @@ class DistributedBackend:
         state_bytes: int,
         faults: Any = None,
         retry_policy: Any = None,
+        membership: Any = None,
+        autoscaler: Any = None,
     ) -> None:
         self.cluster = cluster
         self.schedulers = schedulers
@@ -735,6 +780,28 @@ class DistributedBackend:
         #: Which machine executes each shard (reassigned on failure).
         self.shard_owner = list(range(sharded.n_shards))
         self.failed: set[int] = set()
+        # -- elastic plane (membership churn / autoscaling) ------------
+        self.membership = membership
+        self.autoscaler = autoscaler
+        #: The backend consumes the membership plan itself; the
+        #: iteration loop must not double-draw the same streams.
+        self.handles_membership = (
+            membership is not None or autoscaler is not None
+        )
+        #: Machines that left by plan (drain/preempt/scale-down) --
+        #: distinct from ``failed`` so counters tell churn from crashes.
+        self.departed: set[int] = set()
+        #: Preempt-with-notice victims: machine -> last iteration it
+        #: completes before the planned loss.
+        self._preempt_deadlines: dict[int, int] = {}
+        #: Set on the FIRST actual membership change. Until then the
+        #: allreduce is priced by the original ``cluster.comm`` on the
+        #: exact pre-elastic code path (zero-event plans stay
+        #: bit-identical, timing included).
+        self._timing_comm: Any = None
+        #: Simulated drain/reshard transfer time charged to the next
+        #: committing iteration.
+        self._boundary_ns = 0.0
         #: Machines running slow (machine -> factor), and the EWMA
         #: detector that flags them for re-sharding.
         self.slowed: dict[int, float] = {}
@@ -753,20 +820,28 @@ class DistributedBackend:
     def _alive(self) -> list[int]:
         return [
             m for m in range(self.cluster.n_machines)
-            if m not in self.failed
+            if m not in self.failed and m not in self.departed
         ]
 
     def _maybe_fail_node(
         self, iteration: int, observer: RunObserver
     ) -> None:
         """Consult the plan for a machine loss at this boundary."""
-        alive = self._alive()
-        victim = self.faults.node_failure(iteration, alive)
+        victim = self.faults.node_failure(iteration, self._alive())
         if victim is None:
             return
         observer.on_fault(
             iteration, "node", "fail", {"machine": victim}
         )
+        self._fail_machine(iteration, victim, observer)
+
+    def _fail_machine(
+        self, iteration: int, victim: int, observer: RunObserver
+    ) -> None:
+        """Unplanned loss: the machine is gone NOW, its shards reshard
+        round-robin onto survivors (or the run aborts cleanly). Both
+        node failures and zero-notice preemptions land here."""
+        alive = self._alive()
         survivors = [m for m in alive if m != victim]
         if self.retry_policy.node_failure_mode == "abort" or not survivors:
             raise NodeFailureError(
@@ -774,6 +849,7 @@ class DistributedBackend:
                 + ("" if survivors else " (no survivors)")
             )
         self.failed.add(victim)
+        self._preempt_deadlines.pop(victim, None)
         if self._machine_detector is not None:
             # A dead machine must not dilute the healthy-median
             # baseline the straggler detector compares against.
@@ -784,10 +860,206 @@ class DistributedBackend:
         ]
         for j, s in enumerate(moved):
             self.shard_owner[s] = survivors[j % len(survivors)]
+        if self.handles_membership:
+            self._refresh_timing()
         observer.on_recovery(
             iteration, "node", "reshard",
             {"machine": victim, "shards": moved,
              "survivors": len(survivors)},
+        )
+
+    # -- elastic plane -------------------------------------------------
+
+    def _refresh_timing(self) -> None:
+        """Reprice the collective over the machines actually alive.
+
+        Only called once membership really changed; the arithmetic
+        communicator (``cluster.comm``) keeps its original rank count
+        forever so reduced values never move."""
+        from repro.dist.mpi import SimComm
+
+        self._timing_comm = SimComm(
+            max(1, len(self._alive())), self.cluster.network
+        )
+
+    def _transfer_ns(self, shards: list[int]) -> float:
+        """Simulated time to move ``shards`` over the interconnect
+        (rows + per-row resumable state, one bulk message)."""
+        if not shards:
+            return 0.0
+        rows = self.sharded.shard_rows()
+        nbytes = sum(
+            rows[s] * (self.d * 8 + self.state_bytes) for s in shards
+        )
+        return self.cluster.network.message_ns(nbytes)
+
+    def _drain_machine(
+        self, iteration: int, victim: int, observer: RunObserver,
+        *, kind: str,
+    ) -> float:
+        """Planned loss: move the victim's shards to survivors BEFORE
+        it goes away, paying honest transfer time. Nothing is lost --
+        every machine holds the full model (decentralized, Section 7),
+        so a drain is pure ownership movement."""
+        alive = self._alive()
+        if victim not in alive or len(alive) <= 1:
+            return 0.0
+        survivors = [m for m in alive if m != victim]
+        moved = [
+            s for s, owner in enumerate(self.shard_owner)
+            if owner == victim
+        ]
+        for j, s in enumerate(moved):
+            self.shard_owner[s] = survivors[j % len(survivors)]
+        self.departed.add(victim)
+        self._preempt_deadlines.pop(victim, None)
+        if self._machine_detector is not None:
+            self._machine_detector.flagged.add(victim)
+        self._refresh_timing()
+        drain_ns = self._transfer_ns(moved)
+        observer.on_scale_down(
+            iteration, victim,
+            {"kind": kind, "shards": moved, "drain_ns": drain_ns},
+        )
+        if moved:
+            observer.on_recovery(
+                iteration, "membership", "reshard-drain",
+                {"machine": victim, "shards": moved, "kind": kind},
+            )
+        return drain_ns
+
+    def _join_machines(
+        self, iteration: int, count: int, observer: RunObserver,
+        *, why: str,
+    ) -> float:
+        """Scale-up: provision identical machines and reshard onto the
+        joiners (the inverse of the survivor path) until shard load is
+        balanced, paying honest transfer time for every moved shard."""
+        new = self.cluster.add_machines(count)
+        if self._machine_detector is not None:
+            self._machine_detector.grow(self.cluster.n_machines)
+        self._refresh_timing()
+        moves = self._rebalance_onto_joiners()
+        join_ns = self._transfer_ns([s for s, _src, _dst in moves])
+        for m in new:
+            observer.on_scale_up(
+                iteration, m, {"why": why, "n_machines": len(self._alive())},
+            )
+        if moves:
+            observer.on_recovery(
+                iteration, "membership", "reshard-join",
+                {"machines": new, "moves": moves},
+            )
+        return join_ns
+
+    def _rebalance_onto_joiners(self) -> list[tuple[int, int, int]]:
+        """Greedy deterministic balance: repeatedly move the highest-
+        index shard off the most-loaded machine onto the least-loaded
+        until the spread is <= 1 shard. Ownership is pure timing; the
+        shard-ordered numerics and the allreduce are untouched."""
+        alive = self._alive()
+        load = {m: 0 for m in alive}
+        for owner in self.shard_owner:
+            if owner in load:
+                load[owner] += 1
+        moves: list[tuple[int, int, int]] = []
+        while True:
+            src = max(alive, key=lambda m: (load[m], -m))
+            dst = min(alive, key=lambda m: (load[m], m))
+            if load[src] - load[dst] <= 1:
+                break
+            shard = max(
+                s for s, owner in enumerate(self.shard_owner)
+                if owner == src
+            )
+            self.shard_owner[shard] = dst
+            load[src] -= 1
+            load[dst] += 1
+            moves.append((int(shard), int(src), int(dst)))
+        return moves
+
+    def _pick_drain_victim(self) -> int | None:
+        """Scale-down victim: the least-loaded alive machine (ties to
+        the highest index -- prefer releasing the newest capacity)."""
+        alive = self._alive()
+        if len(alive) <= 1:
+            return None
+        load = {m: 0 for m in alive}
+        for owner in self.shard_owner:
+            if owner in load:
+                load[owner] += 1
+        return min(alive, key=lambda m: (load[m], -m))
+
+    def _apply_membership(
+        self, iteration: int, observer: RunObserver
+    ) -> None:
+        """Process every elastic event due at this iteration boundary.
+
+        Order is fixed (expired preempt notices, autoscaler grants and
+        releases, then plan events) so the whole trace is a pure
+        function of the plan and policy state."""
+        ns = 0.0
+        for victim in sorted(self._preempt_deadlines):
+            if iteration > self._preempt_deadlines[victim]:
+                ns += self._drain_machine(
+                    iteration, victim, observer, kind="preempt"
+                )
+        if self.autoscaler is not None:
+            grants = self.autoscaler.take_grants()
+            if grants:
+                ns += self._join_machines(
+                    iteration, grants, observer, why="autoscale"
+                )
+            if self.autoscaler.take_scale_down():
+                victim = self._pick_drain_victim()
+                if victim is not None:
+                    ns += self._drain_machine(
+                        iteration, victim, observer, kind="scale-down"
+                    )
+        if self.membership is not None:
+            for ev in self.membership.poll(iteration, self._alive()):
+                if ev.kind == "join":
+                    ns += self._join_machines(
+                        iteration, ev.count, observer, why="plan"
+                    )
+                elif ev.kind == "leave":
+                    ns += self._drain_machine(
+                        iteration, ev.machine, observer, kind="leave"
+                    )
+                elif ev.notice <= 0:
+                    # Zero-notice preemption degrades to the unplanned
+                    # node-failure path: the machine is simply gone.
+                    observer.on_fault(
+                        iteration, "node", "preempt",
+                        {"machine": ev.machine},
+                    )
+                    self._fail_machine(iteration, ev.machine, observer)
+                elif ev.machine not in self._preempt_deadlines:
+                    deadline = iteration + ev.notice - 1
+                    self._preempt_deadlines[ev.machine] = deadline
+                    observer.on_preempt_notice(
+                        iteration, ev.machine, deadline,
+                        {"notice": ev.notice},
+                    )
+        self._boundary_ns += ns
+
+    def _observe_autoscaler(
+        self, iteration: int, sim_ns: float
+    ) -> None:
+        """Feed the finished iteration to the autoscaler policy."""
+        from repro.mem import current_manager
+
+        alive = self._alive()
+        stragglers = 0
+        if self._machine_detector is not None:
+            stragglers = sum(
+                1 for m in self._machine_detector.flagged if m in alive
+            )
+        self.autoscaler.observe(
+            iteration, sim_ns,
+            n_machines=len(alive),
+            stragglers=stragglers,
+            mem=current_manager().counters(),
         )
 
     def _maybe_straggle_node(
@@ -871,6 +1143,8 @@ class DistributedBackend:
     def run_iteration(
         self, iteration: int, observer: RunObserver
     ) -> IterationOutcome:
+        if self.handles_membership:
+            self._apply_membership(iteration, observer)
         if self.faults is not None:
             self._maybe_fail_node(iteration, observer)
             if self._machine_detector is not None:
@@ -927,7 +1201,8 @@ class DistributedBackend:
 
         payload, wire, allreduce_ns = (
             self.sharded.reduce_and_broadcast(
-                self.cluster.comm, payloads
+                self.cluster.comm, payloads,
+                timing_comm=self._timing_comm,
             )
         )
         if self.faults is not None:
@@ -940,9 +1215,11 @@ class DistributedBackend:
             )
         observer.on_collective(iteration, payload, wire, allreduce_ns)
 
+        boundary_ns, self._boundary_ns = self._boundary_ns, 0.0
+        sim_ns = max(machine_ns.values()) + allreduce_ns + boundary_ns
         record = IterationRecord(
             iteration=iteration,
-            sim_ns=max(machine_ns.values()) + allreduce_ns,
+            sim_ns=sim_ns,
             n_changed=n_changed,
             dist_computations=dist_total,
             clause1_rows=clause1,
@@ -952,7 +1229,10 @@ class DistributedBackend:
             steals=steals,
             network_bytes=wire,
             allreduce_ns=allreduce_ns,
+            machines_alive=len(self._alive()),
         )
+        if self.autoscaler is not None:
+            self._observe_autoscaler(iteration, sim_ns)
         return IterationOutcome(record, n_changed, motion)
 
     def after_record(self, iteration, outcome, observer) -> None:
@@ -981,6 +1261,8 @@ class PureMpiBackend:
         numa_penalty: float,
         faults: Any = None,
         retry_policy: Any = None,
+        membership: Any = None,
+        autoscaler: Any = None,
     ) -> None:
         if getattr(sharded, "allreduce", "tree") != "tree":
             from repro.errors import ConfigError
@@ -989,6 +1271,15 @@ class PureMpiBackend:
                 "the pure-MPI baseline supports allreduce='tree' only: "
                 "its flat one-rank-per-core space has no "
                 "one-rank-per-machine grid for the rectangular schedule"
+            )
+        if membership is not None or autoscaler is not None:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                "the pure-MPI baseline is a fixed-rank world: MPI "
+                "communicators cannot grow or shrink mid-run, so "
+                "elastic membership plans and autoscaling are not "
+                "supported (use the knord backend)"
             )
         self.comm = comm
         self.sharded = sharded

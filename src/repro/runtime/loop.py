@@ -91,6 +91,18 @@ class IterationLoop:
         (or restarts from scratch) and reports the iteration to
         replay from. Replayed iterations overwrite their crashed
         records, so a recovered run's record stream is continuous.
+    membership:
+        Optional :class:`~repro.elastic.MembershipPlan` for
+        single-machine substrates, where the only elastic event is a
+        **spot preemption of the whole worker**. With notice, the loop
+        finishes the grace window's iterations, asks the backend to
+        flush a checkpoint (``flush_checkpoint``), and only then takes
+        the planned loss -- so no committed iteration is ever lost;
+        zero notice degrades to the plain worker-crash path. The plan
+        must be wired to exactly one consumer: passing one here while
+        the backend also holds one (``handles_membership``) is a
+        configuration error, because both would draw the same RNG
+        streams.
     """
 
     def __init__(
@@ -103,6 +115,7 @@ class IterationLoop:
         observers: Sequence[RunObserver] = (),
         start_iteration: int = 0,
         faults: Any = None,
+        membership: Any = None,
     ) -> None:
         if (criteria is None) == (should_stop is None):
             raise ConfigError(
@@ -110,6 +123,14 @@ class IterationLoop:
             )
         if should_stop is not None and max_iters is None:
             raise ConfigError("should_stop requires max_iters")
+        if membership is not None and getattr(
+            backend, "handles_membership", False
+        ):
+            raise ConfigError(
+                "the backend already consumes this run's membership "
+                "plan; wire the plan to exactly one consumer or both "
+                "would draw the same event streams"
+            )
         self.backend = backend
         self.criteria = criteria
         self.should_stop = should_stop
@@ -119,6 +140,11 @@ class IterationLoop:
         self.observer = chain_observers(observers)
         self.start_iteration = start_iteration
         self.faults = faults
+        self.membership = membership
+        self._preempt_deadline: int | None = None
+        self._result: LoopResult | None = None
+        self._it = start_iteration
+        self._done = False
 
     def _stopped(self, outcome: IterationOutcome) -> bool:
         if self.criteria is not None:
@@ -144,29 +170,119 @@ class IterationLoop:
         ]
         return resume_at
 
+    def _poll_membership(self, it: int, obs: RunObserver) -> None:
+        """Draw this boundary's preemption event, if any.
+
+        Zero notice means the worker is gone before the iteration
+        runs -- the plain crash path answers it. Otherwise the
+        deadline is armed and the loop keeps computing through the
+        grace window.
+        """
+        if self.membership is None or self._preempt_deadline is not None:
+            return
+        ev = self.membership.worker_preemption(it)
+        if ev is None:
+            return
+        if ev.notice <= 0:
+            obs.on_fault(it, "worker", "preempt", {"notice": 0})
+            raise WorkerCrashError(
+                f"zero-notice preemption at iteration {it}"
+            )
+        deadline = it + ev.notice - 1
+        self._preempt_deadline = deadline
+        obs.on_preempt_notice(
+            it, ev.machine if ev.machine is not None else 0,
+            deadline, {"notice": ev.notice},
+        )
+
+    def _maybe_preempt(
+        self, it: int, outcome: IterationOutcome, obs: RunObserver
+    ) -> None:
+        """Honor an armed preemption deadline after its last committed
+        iteration: flush a checkpoint if the substrate keeps one, then
+        take the loss. With a flushed checkpoint, recovery resumes at
+        ``it + 1`` and no committed record is dropped."""
+        if self._preempt_deadline is None or it < self._preempt_deadline:
+            return
+        self._preempt_deadline = None
+        flush = getattr(self.backend, "flush_checkpoint", None)
+        flushed = (
+            flush(it, outcome.n_changed, obs) if flush is not None
+            else False
+        )
+        obs.on_fault(it, "worker", "preempt", {"flushed": flushed})
+        raise WorkerCrashError(
+            f"preempted after iteration {it} (notice honored; "
+            f"checkpoint {'flushed' if flushed else 'unavailable'})"
+        )
+
+    def start(self) -> None:
+        """Open the run (multi-tenant schedulers interleave ``step``)."""
+        self._result = LoopResult()
+        self._it = self.start_iteration
+        self._done = False
+        self._preempt_deadline = None
+        self.observer.on_run_start(self.backend.n_rows, self.max_iters)
+
+    @property
+    def finished(self) -> bool:
+        return self._done or self._it >= self.max_iters
+
+    @property
+    def consumed_sim_ns(self) -> float:
+        """Simulated time of the records committed so far (what a
+        fair-share scheduler charges a tenant for)."""
+        if self._result is None:
+            return 0.0
+        return sum(r.sim_ns for r in self._result.records)
+
+    def step(self) -> bool:
+        """Run ONE iteration boundary; ``False`` when nothing is left.
+
+        A boundary that crashes and recovers still counts as work done
+        (it consumed simulated time), so it returns ``True``.
+        """
+        if self._result is None:
+            raise ConfigError("call start() before step()")
+        if self.finished:
+            self._done = True
+            return False
+        it = self._it
+        obs = self.observer
+        result = self._result
+        obs.on_iteration_start(it)
+        try:
+            self._poll_membership(it, obs)
+            outcome = self.backend.run_iteration(it, obs)
+            result.records.append(outcome.record)
+            obs.on_iteration_end(it, outcome.record)
+            self.backend.after_record(it, outcome, obs)
+            if self.faults is not None and self.faults.worker_crash(it):
+                raise WorkerCrashError(
+                    f"injected worker crash after iteration {it}"
+                )
+            self._maybe_preempt(it, outcome, obs)
+        except WorkerCrashError as exc:
+            self._it = self._recover(it, exc, result)
+            return True
+        if self._stopped(outcome):
+            result.converged = True
+            self._done = True
+        else:
+            self._it += 1
+        return True
+
+    def finish(self) -> LoopResult:
+        """Close the run and hand back its records."""
+        if self._result is None:
+            raise ConfigError("call start() before finish()")
+        result = self._result
+        self.observer.on_run_end(result.iterations, result.converged)
+        return result
+
     def run(self) -> LoopResult:
         """Execute iterations until convergence or the cap."""
-        obs = self.observer
-        result = LoopResult()
-        obs.on_run_start(self.backend.n_rows, self.max_iters)
-        it = self.start_iteration
-        while it < self.max_iters:
-            obs.on_iteration_start(it)
-            try:
-                outcome = self.backend.run_iteration(it, obs)
-                result.records.append(outcome.record)
-                obs.on_iteration_end(it, outcome.record)
-                self.backend.after_record(it, outcome, obs)
-                if self.faults is not None and self.faults.worker_crash(it):
-                    raise WorkerCrashError(
-                        f"injected worker crash after iteration {it}"
-                    )
-            except WorkerCrashError as exc:
-                it = self._recover(it, exc, result)
-                continue
-            if self._stopped(outcome):
-                result.converged = True
-                break
-            it += 1
-        obs.on_run_end(result.iterations, result.converged)
-        return result
+        self.start()
+        while self.step():
+            pass
+        return self.finish()

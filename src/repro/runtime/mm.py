@@ -287,6 +287,18 @@ class MMCheckpointHook:
     ) -> None:
         if (iteration + 1) % self.interval != 0:
             return
+        self._save(iteration, n_changed, observer)
+
+    def force_save(
+        self, iteration: int, n_changed: int, observer: RunObserver
+    ) -> None:
+        """Out-of-interval flush for a preemption-notice grace window
+        (same protocol and fault sites as an interval save)."""
+        self._save(iteration, n_changed, observer)
+
+    def _save(
+        self, iteration: int, n_changed: int, observer: RunObserver
+    ) -> None:
         from repro.sem.checkpoint import (
             MMCheckpointState,
             save_mm_checkpoint,
@@ -511,6 +523,7 @@ def run_mm_inmemory(
     machine: Any = None,
     observers: Sequence[RunObserver] = (),
     faults: Any = None,
+    membership: Any = None,
     mem: Any = None,
     mem_budget_bytes: int | None = None,
 ) -> RunResult:
@@ -557,6 +570,7 @@ def run_mm_inmemory(
             max_iters=algorithm.max_iters,
             observers=observers,
             faults=faults,
+            membership=membership,
         ).run()
     return algorithm.result(
         result,
@@ -590,6 +604,7 @@ def run_mm_sem(
     observers: Sequence[RunObserver] = (),
     faults: Any = None,
     retry_policy: Any = None,
+    membership: Any = None,
     mem: Any = None,
     mem_budget_bytes: int | None = None,
 ) -> RunResult:
@@ -716,6 +731,7 @@ def run_mm_sem(
             observers=observers,
             start_iteration=start_it,
             faults=faults,
+            membership=membership,
         ).run()
     return algorithm.result(
         result,
@@ -745,6 +761,8 @@ def run_mm_distributed(
     faults: Any = None,
     retry_policy: Any = None,
     allreduce: str = "tree",
+    membership: Any = None,
+    autoscaler: Any = None,
     mem: Any = None,
     mem_budget_bytes: int | None = None,
 ) -> RunResult:
@@ -792,6 +810,8 @@ def run_mm_distributed(
             state_bytes=algorithm.state_bytes_per_row,
             faults=faults,
             retry_policy=retry_policy,
+            membership=membership,
+            autoscaler=autoscaler,
         )
         result = IterationLoop(
             backend,

@@ -125,6 +125,24 @@ class RunObserver:
                      detail: dict | None = None) -> None:
         """Work was re-partitioned away from degraded workers."""
 
+    def on_preempt_notice(self, iteration: int, machine: int,
+                          deadline: int,
+                          detail: dict | None = None) -> None:
+        """A spot preemption was announced: ``machine`` is lost after
+        completing iteration ``deadline``; the grace window is spent
+        draining shards / flushing a checkpoint so the planned loss
+        commits nothing to replay (see :mod:`repro.elastic`)."""
+
+    def on_scale_up(self, iteration: int, machine: int,
+                    detail: dict | None = None) -> None:
+        """A machine joined the fleet (planned scale-up or an
+        autoscaler grant) and shards re-sharded onto it."""
+
+    def on_scale_down(self, iteration: int, machine: int,
+                      detail: dict | None = None) -> None:
+        """A machine left the fleet after draining its shards
+        (planned scale-in, or a preemption deadline elapsing)."""
+
     def on_query(self, batch: int, queries: int, latency_ns: float,
                  detail: dict | None = None) -> None:
         """The serving plane answered a batch of assignment queries;
@@ -225,6 +243,18 @@ class ObserverChain(RunObserver):
     def on_rebalance(self, iteration, scope, detail=None):
         for o in self.observers:
             o.on_rebalance(iteration, scope, detail)
+
+    def on_preempt_notice(self, iteration, machine, deadline, detail=None):
+        for o in self.observers:
+            o.on_preempt_notice(iteration, machine, deadline, detail)
+
+    def on_scale_up(self, iteration, machine, detail=None):
+        for o in self.observers:
+            o.on_scale_up(iteration, machine, detail)
+
+    def on_scale_down(self, iteration, machine, detail=None):
+        for o in self.observers:
+            o.on_scale_down(iteration, machine, detail)
 
     def on_query(self, batch, queries, latency_ns, detail=None):
         for o in self.observers:
@@ -339,6 +369,18 @@ class RecordingObserver(RunObserver):
         self._rec("rebalance", iteration, scope=scope,
                   detail=detail or {})
 
+    def on_preempt_notice(self, iteration, machine, deadline, detail=None):
+        self._rec("preempt_notice", iteration, machine=machine,
+                  deadline=deadline, detail=detail or {})
+
+    def on_scale_up(self, iteration, machine, detail=None):
+        self._rec("scale_up", iteration, machine=machine,
+                  detail=detail or {})
+
+    def on_scale_down(self, iteration, machine, detail=None):
+        self._rec("scale_down", iteration, machine=machine,
+                  detail=detail or {})
+
     def on_query(self, batch, queries, latency_ns, detail=None):
         self._rec("query", batch, queries=queries,
                   latency_ns=latency_ns, detail=detail or {})
@@ -374,6 +416,18 @@ class RecordingObserver(RunObserver):
             e for e in self.events
             if e.name in ("fault", "retry", "recovery", "corruption",
                           "quarantine", "straggler", "rebalance")
+        ]
+
+    def elastic_events(self) -> list[TraceEvent]:
+        """The membership subset, in order -- a run's elastic trace.
+
+        Pure function of (plan seed, fault seed): two runs with the
+        same seeds produce equal lists (pinned by the elastic suite).
+        Empty for zero-event plans and plan-free runs.
+        """
+        return [
+            e for e in self.events
+            if e.name in ("preempt_notice", "scale_up", "scale_down")
         ]
 
 
@@ -474,6 +528,27 @@ class PrintObserver(RunObserver):
         extra = f" {detail}" if detail else ""
         self._emit(
             f"[fault] it={iteration} rebalanced {scope} work{extra}"
+        )
+
+    def on_preempt_notice(self, iteration, machine, deadline, detail=None):
+        extra = f" {detail}" if detail else ""
+        self._emit(
+            f"[elastic] it={iteration} preempt notice: machine "
+            f"{machine} lost after it={deadline}{extra}"
+        )
+
+    def on_scale_up(self, iteration, machine, detail=None):
+        extra = f" {detail}" if detail else ""
+        self._emit(
+            f"[elastic] it={iteration} scale up: machine {machine} "
+            f"joined{extra}"
+        )
+
+    def on_scale_down(self, iteration, machine, detail=None):
+        extra = f" {detail}" if detail else ""
+        self._emit(
+            f"[elastic] it={iteration} scale down: machine {machine} "
+            f"left{extra}"
         )
 
     def on_query(self, batch, queries, latency_ns, detail=None):

@@ -128,6 +128,7 @@ class ServePlane:
         faults: Any = None,
         retry_policy: Any = None,
         kernel: str = "blocked",
+        tenant: str | None = None,
         mem: Any = None,
         mem_budget_bytes: int | None = None,
     ) -> None:
@@ -171,6 +172,10 @@ class ServePlane:
             )
         self.max_batch = max_batch
         self.batch_window_ns = float(batch_window_ns)
+        #: Owning tenant in a multi-tenant deployment; stamped into
+        #: every ``on_query`` / ``on_ingest`` event detail so a shared
+        #: observer can attribute load per tenant.
+        self.tenant = tenant
 
         ssd = ssd or OCZ_INTREPID_ARRAY
         row_bytes = d * 8
@@ -315,17 +320,21 @@ class ServePlane:
                     )
                     self.centroids = folded
                     n_ingested += n_ing
+                    detail = {"counts_total": int(self.counts.sum())}
+                    if self.tenant is not None:
+                        detail["tenant"] = self.tenant
                     self.observer.on_ingest(
-                        self.batch_index, n_ing,
-                        {"counts_total": int(self.counts.sum())},
+                        self.batch_index, n_ing, detail,
                     )
                 n_q = (hi - lo) - n_ing
                 if n_q:
                     worst = float(done - trace.time_ns[lo])
+                    detail = {"io_ns": io.service_ns,
+                              "compute_ns": batch_compute_ns}
+                    if self.tenant is not None:
+                        detail["tenant"] = self.tenant
                     self.observer.on_query(
-                        self.batch_index, n_q, worst,
-                        {"io_ns": io.service_ns,
-                         "compute_ns": batch_compute_ns},
+                        self.batch_index, n_q, worst, detail,
                     )
                 self.batch_index += 1
 

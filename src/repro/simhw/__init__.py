@@ -18,6 +18,10 @@ from repro.simhw.costmodel import (
     FOUR_SOCKET_XEON,
     EC2_C4_8XLARGE,
     EC2_I3_16XLARGE,
+    EC2_C4_8XLARGE_USD_HOUR,
+    EC2_I3_16XLARGE_USD_HOUR,
+    SPOT_DISCOUNT,
+    run_cost_usd,
 )
 from repro.simhw.memory import (
     AllocPolicy,
@@ -30,6 +34,8 @@ from repro.simhw.engine import (
     IoPlacement,
     IterationEngine,
     IterationTrace,
+    ProvisionRequest,
+    ProvisionTimeline,
     ScheduleDecision,
     TaskExecution,
     TaskWork,
@@ -49,6 +55,10 @@ __all__ = [
     "FOUR_SOCKET_XEON",
     "EC2_C4_8XLARGE",
     "EC2_I3_16XLARGE",
+    "EC2_C4_8XLARGE_USD_HOUR",
+    "EC2_I3_16XLARGE_USD_HOUR",
+    "SPOT_DISCOUNT",
+    "run_cost_usd",
     "AllocPolicy",
     "Allocation",
     "MemoryManager",
@@ -58,6 +68,8 @@ __all__ = [
     "IoPlacement",
     "IterationEngine",
     "IterationTrace",
+    "ProvisionRequest",
+    "ProvisionTimeline",
     "ScheduleDecision",
     "TaskExecution",
     "TaskWork",

@@ -225,3 +225,33 @@ EC2_I3_16XLARGE = CostModel(
     bank_bw=34.0 * _GB,
     interconnect_bw=14.0 * _GB,
 )
+
+
+# -- dollar pricing (the cost-vs-SLO benchmarks) -------------------------
+
+#: On-demand US-East hourly prices (USD) for the paper-era instance
+#: types, and the typical spot-market discount the elastic benchmarks
+#: assume. Prices feed :func:`run_cost_usd`; they shape *dollars only*,
+#: never simulated time or numerics.
+EC2_C4_8XLARGE_USD_HOUR = 1.591
+EC2_I3_16XLARGE_USD_HOUR = 4.992
+SPOT_DISCOUNT = 0.30  # spot price as a fraction of on-demand
+
+
+def run_cost_usd(
+    sim_seconds: float,
+    n_machines: float,
+    *,
+    usd_per_hour: float = EC2_C4_8XLARGE_USD_HOUR,
+    spot: bool = False,
+) -> float:
+    """Dollar cost of ``n_machines`` running for ``sim_seconds``.
+
+    ``n_machines`` may be a fractional machine-count average (elastic
+    runs integrate machines-alive over iterations). Per-second
+    granularity, as modern EC2 bills.
+    """
+    if sim_seconds < 0 or n_machines < 0:
+        raise ConfigError("sim_seconds and n_machines must be >= 0")
+    rate = usd_per_hour * (SPOT_DISCOUNT if spot else 1.0)
+    return sim_seconds / 3600.0 * n_machines * rate

@@ -621,3 +621,75 @@ class AsyncIoTimeline:
         self.hidden_total_ns += placement.hidden_ns
         self.blocked_total_ns += placement.blocked_ns
         return wall
+
+
+@dataclass
+class ProvisionRequest:
+    """One outstanding capacity request on the provisioning timeline."""
+
+    requested_at_ns: float
+    ready_at_ns: float
+    count: int
+
+
+class ProvisionTimeline:
+    """Request→grant latency ledger for elastic capacity.
+
+    Cloud capacity is not instant: a machine requested at simulated
+    time ``T`` boots, joins the placement group and becomes usable
+    only at ``T + provision_ns``. This timeline models that honestly
+    on the simulated clock the iteration records already carry --
+    callers ``advance()`` it by each iteration's wall time, ``request``
+    capacity against the current clock, and ``take_ready()`` machines
+    whose provisioning latency has fully elapsed.
+
+    Pure timing plane, fully deterministic: no randomness, no real
+    clock, so an autoscaler's grant schedule is a pure function of the
+    iteration times that drove it.
+    """
+
+    def __init__(self, provision_ns: float) -> None:
+        if provision_ns < 0:
+            raise SchedulerError(
+                f"provision_ns must be >= 0, got {provision_ns}"
+            )
+        self.provision_ns = provision_ns
+        self.now_ns = 0.0
+        self.pending: list[ProvisionRequest] = []
+        self.granted = 0
+
+    def advance(self, delta_ns: float) -> None:
+        """Move the simulated clock forward (one iteration's wall)."""
+        if delta_ns < 0:
+            raise SchedulerError(f"negative time advance {delta_ns}")
+        self.now_ns += delta_ns
+
+    def request(self, count: int = 1) -> ProvisionRequest:
+        """Ask for ``count`` machines; they ready at now + latency."""
+        if count < 1:
+            raise SchedulerError(f"count must be >= 1, got {count}")
+        req = ProvisionRequest(
+            requested_at_ns=self.now_ns,
+            ready_at_ns=self.now_ns + self.provision_ns,
+            count=count,
+        )
+        self.pending.append(req)
+        return req
+
+    @property
+    def outstanding(self) -> int:
+        """Machines requested but not yet granted."""
+        return sum(r.count for r in self.pending)
+
+    def take_ready(self) -> int:
+        """Grant every request whose latency has elapsed; returns the
+        machine count granted now (requests are consumed in order)."""
+        ready = [r for r in self.pending if r.ready_at_ns <= self.now_ns]
+        if not ready:
+            return 0
+        self.pending = [
+            r for r in self.pending if r.ready_at_ns > self.now_ns
+        ]
+        count = sum(r.count for r in ready)
+        self.granted += count
+        return count

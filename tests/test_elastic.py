@@ -1,0 +1,765 @@
+"""Elastic-plane tests: membership churn, preemption, autoscaling,
+fair share, and the CLI spec round-trips.
+
+The plane's contract is the same as the fault plane's: elastic events
+move simulated time and shard ownership, **never** the clustering. So
+every churned run here is compared bit-for-bit against its fixed
+twin, and the elastic trace is pinned as a pure function of the plan
+seed.
+
+Run with ``pytest -m elastic`` (CI uses ``-p no:randomly``). The
+20-plan soak additionally carries the ``chaos`` marker.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConvergenceCriteria, FaultPlan, knord, knori, knors
+from repro.baselines.mpi_pure import mpi_lloyd
+from repro.drivers.knord import knord_loop
+from repro.elastic import (
+    Autoscaler,
+    AutoscalerPolicy,
+    FairShareScheduler,
+    MembershipEvent,
+    MembershipPlan,
+    MembershipSpec,
+    TenantJob,
+    TenantSpec,
+    parse_autoscaler,
+    parse_membership_spec,
+    parse_tenants,
+)
+from repro.elastic.plan import MEMBERSHIP_SPEC_KEYS, format_membership_spec
+from repro.errors import ConfigError, KnorError, NodeFailureError
+from repro.faults import (
+    FAULT_SPEC_KEYS,
+    RETRY_POLICY_KEYS,
+    FaultEvent,
+    FaultSpec,
+    RetryPolicy,
+    format_fault_spec,
+    format_retry_policy,
+    parse_fault_spec,
+    parse_retry_policy,
+)
+from repro.runtime import IterationLoop, RecordingObserver
+
+pytestmark = pytest.mark.elastic
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """Overlapping clusters: enough iterations for mid-run events."""
+    rng = np.random.default_rng(23)
+    centers = rng.normal(scale=2.5, size=(5, 5))
+    x = np.vstack(
+        [rng.normal(loc=c, scale=1.6, size=(120, 5)) for c in centers]
+    )
+    rng.shuffle(x)
+    return x
+
+
+CRIT = ConvergenceCriteria(max_iters=10)
+K = 5
+
+
+def trace_tuples(rec):
+    """Hashable view of a run's elastic trace (order-sensitive)."""
+    return [
+        (e.name, e.iteration, sorted(e.payload.items(), key=str))
+        for e in rec.elastic_events()
+    ]
+
+
+# -- spec parsing round-trips (the generated-help satellite) -----------
+
+
+class TestSpecRoundTrips:
+    def test_membership_spec_round_trips(self):
+        spec = MembershipSpec(
+            join_rate=0.1, leave_rate=0.05, preempt_rate=0.2,
+            preempt_notice=3, max_joins=2, max_leaves=1,
+            max_preempts=3, min_machines=2, max_machines=8,
+        )
+        assert parse_membership_spec(format_membership_spec(spec)) == spec
+
+    def test_membership_format_names_every_key(self):
+        text = format_membership_spec(MembershipSpec())
+        for key in MEMBERSHIP_SPEC_KEYS:
+            assert f"{key}=" in text
+
+    def test_membership_unknown_key(self):
+        with pytest.raises(ConfigError, match="unknown membership key"):
+            parse_membership_spec("join=0.1,banana=2")
+
+    def test_membership_event_validation(self):
+        with pytest.raises(ConfigError, match="unknown membership kind"):
+            MembershipEvent("reboot", 0)
+        with pytest.raises(ConfigError, match="count"):
+            MembershipEvent("join", 0, count=0)
+        with pytest.raises(ConfigError, match="notice"):
+            MembershipEvent("preempt", 0, notice=-1)
+        with pytest.raises(ConfigError, match="count=1"):
+            MembershipEvent("leave", 0, count=2)
+
+    def test_membership_spec_validation(self):
+        with pytest.raises(ConfigError, match="join_rate"):
+            MembershipSpec(join_rate=1.5)
+        with pytest.raises(ConfigError, match="min_machines"):
+            MembershipSpec(min_machines=0)
+        with pytest.raises(ConfigError, match="max_machines"):
+            MembershipSpec(min_machines=4, max_machines=2)
+
+    def test_autoscaler_spec_parses_every_key(self):
+        pol = parse_autoscaler(
+            "target_s=0.5,down_s=0.1,alpha=0.5,provision_s=30,"
+            "cooldown=4,min=2,max=8,step=2,mem_util=0.8,warmup=1"
+        )
+        assert pol == AutoscalerPolicy(
+            target_iter_s=0.5, scale_down_iter_s=0.1, alpha=0.5,
+            provision_s=30.0, cooldown_iters=4, min_machines=2,
+            max_machines=8, step=2, mem_utilization=0.8, warmup_iters=1,
+        )
+
+    def test_autoscaler_requires_target(self):
+        with pytest.raises(ConfigError, match="target_s"):
+            parse_autoscaler("max=8")
+        with pytest.raises(ConfigError, match="unknown autoscaler key"):
+            parse_autoscaler("target_s=1,velocity=9")
+
+    def test_tenants_spec(self):
+        specs = parse_tenants("prod=3,batch=1@512")
+        assert specs == [
+            TenantSpec("prod", weight=3.0),
+            TenantSpec("batch", weight=1.0, budget_mb=512.0),
+        ]
+        with pytest.raises(ConfigError, match="duplicate"):
+            parse_tenants("a=1,a=2")
+        with pytest.raises(ConfigError, match="malformed"):
+            parse_tenants("just-a-name")
+
+    def test_fault_spec_round_trips(self):
+        spec = FaultSpec(
+            ssd_error_rate=0.05, worker_crash_rate=0.1,
+            max_worker_crashes=3, corruption_msg_rate=0.02,
+            straggler_factor=6.0,
+        )
+        assert parse_fault_spec(format_fault_spec(spec)) == spec
+        assert parse_fault_spec(format_fault_spec(FaultSpec())) == FaultSpec()
+
+    def test_retry_policy_round_trips(self):
+        policy = RetryPolicy(
+            max_retries=5, backoff_ns=2e6, timeout_ns=50e6,
+            node_failure_mode="abort",
+        )
+        assert parse_retry_policy(format_retry_policy(policy)) == policy
+
+    def test_key_tuples_are_sorted_and_public(self):
+        for keys in (FAULT_SPEC_KEYS, RETRY_POLICY_KEYS,
+                     MEMBERSHIP_SPEC_KEYS):
+            assert list(keys) == sorted(keys)
+
+
+# -- plan determinism --------------------------------------------------
+
+
+def _simulate_poll(plan, iterations=60, start_machines=4):
+    """Drive poll() with a locally maintained alive set."""
+    alive = list(range(start_machines))
+    next_id = start_machines
+    fired = []
+    for it in range(iterations):
+        for ev in plan.poll(it, list(alive)):
+            fired.append((ev.kind, it, ev.machine, ev.count, ev.notice))
+            if ev.kind == "join":
+                for _ in range(ev.count):
+                    alive.append(next_id)
+                    next_id += 1
+            elif ev.machine in alive:
+                alive.remove(ev.machine)
+    return fired
+
+
+class TestPlanDeterminism:
+    SPEC = MembershipSpec(
+        join_rate=0.1, leave_rate=0.1, preempt_rate=0.1,
+        max_joins=4, max_leaves=4, max_preempts=4, max_machines=10,
+    )
+
+    def test_same_seed_same_events(self):
+        a = _simulate_poll(MembershipPlan(self.SPEC, seed=7))
+        b = _simulate_poll(MembershipPlan(self.SPEC, seed=7))
+        assert a == b
+        assert a, "rates this high should fire at least one event"
+
+    def test_different_seed_different_events(self):
+        a = _simulate_poll(MembershipPlan(self.SPEC, seed=0))
+        b = _simulate_poll(MembershipPlan(self.SPEC, seed=1))
+        assert a != b
+
+    def test_worker_preemption_stream_deterministic(self):
+        spec = MembershipSpec(preempt_rate=0.2, max_preempts=3)
+
+        def stream(seed):
+            plan = MembershipPlan(spec, seed=seed)
+            return [
+                (it, ev.notice)
+                for it in range(50)
+                if (ev := plan.worker_preemption(it)) is not None
+            ]
+
+        assert stream(5) == stream(5)
+        assert stream(5), "preempt_rate=0.2 over 50 draws should fire"
+
+    def test_schedule_is_consumed_once(self):
+        plan = MembershipPlan.from_schedule(
+            [MembershipEvent("leave", 2, machine=1)]
+        )
+        assert [e.kind for e in plan.poll(2, [0, 1, 2])] == ["leave"]
+        assert plan.poll(2, [0, 2]) == []
+
+    def test_zero_event_plan_reports_disabled(self):
+        assert not MembershipPlan.from_schedule([]).any_enabled
+        assert MembershipPlan(self.SPEC).any_enabled
+
+
+# -- zero-event and return-to-initial equivalence ----------------------
+
+
+class TestZeroEventEquivalence:
+    """An event-free plan must leave every backend byte-identical --
+    records (simulated time included), centroids, assignment."""
+
+    def assert_identical(self, clean, churned):
+        np.testing.assert_array_equal(clean.centroids, churned.centroids)
+        np.testing.assert_array_equal(clean.assignment, churned.assignment)
+        assert clean.iterations == churned.iterations
+        assert [r.sim_ns for r in clean.records] == [
+            r.sim_ns for r in churned.records
+        ]
+
+    def test_knori(self, dataset):
+        clean = knori(dataset, K, seed=3, criteria=CRIT)
+        churned = knori(
+            dataset, K, seed=3, criteria=CRIT,
+            membership=MembershipPlan.from_schedule([]),
+        )
+        self.assert_identical(clean, churned)
+
+    def test_knors(self, dataset):
+        clean = knors(dataset, K, seed=3, criteria=CRIT)
+        churned = knors(
+            dataset, K, seed=3, criteria=CRIT,
+            membership=MembershipPlan.from_schedule([]),
+        )
+        self.assert_identical(clean, churned)
+
+    def test_knord(self, dataset):
+        clean = knord(dataset, K, n_machines=4, seed=3, criteria=CRIT)
+        churned = knord(
+            dataset, K, n_machines=4, seed=3, criteria=CRIT,
+            membership=MembershipPlan.from_schedule([]),
+        )
+        self.assert_identical(clean, churned)
+        assert all(r.machines_alive == 4 for r in churned.records)
+
+    def test_return_to_initial_membership(self, dataset):
+        """Leave then join back to the starting fleet size: results
+        stay bit-identical (they always do; the point is the fleet
+        trace really dipped and recovered)."""
+        clean = knord(dataset, K, n_machines=4, seed=3, criteria=CRIT)
+        plan = MembershipPlan.from_schedule([
+            MembershipEvent("leave", 1, machine=3),
+            MembershipEvent("join", 3),
+        ])
+        churned = knord(
+            dataset, K, n_machines=4, seed=3, criteria=CRIT,
+            membership=plan,
+        )
+        np.testing.assert_array_equal(clean.centroids, churned.centroids)
+        np.testing.assert_array_equal(clean.assignment, churned.assignment)
+        alive = [r.machines_alive for r in churned.records]
+        assert min(alive) == 3 and alive[-1] == 4
+
+
+# -- single-machine preemption (knors / knori) -------------------------
+
+
+class TestWorkerPreemption:
+    def test_noticed_preemption_loses_no_committed_iteration(
+        self, dataset, tmp_path
+    ):
+        """Notice n at iteration t: the loop computes through the
+        grace window, flushes a checkpoint after iteration t+n-1, and
+        recovery resumes at t+n -- zero replayed boundaries."""
+        clean = knors(dataset, K, seed=3, criteria=CRIT)
+        rec = RecordingObserver()
+        plan = MembershipPlan.from_schedule(
+            [MembershipEvent("preempt", 2, notice=2)]
+        )
+        faulty = knors(
+            dataset, K, seed=3, criteria=CRIT,
+            checkpoint_dir=tmp_path / "ck", checkpoint_interval=100,
+            membership=plan, observers=(rec,),
+        )
+        np.testing.assert_array_equal(clean.centroids, faulty.centroids)
+        np.testing.assert_array_equal(clean.assignment, faulty.assignment)
+        # deadline = 2 + 2 - 1 = 3; recovery resumes at 4.
+        notices = [e for e in rec.events if e.name == "preempt_notice"]
+        assert [e.payload["deadline"] for e in notices] == [3]
+        resumes = [
+            e for e in rec.events
+            if e.name == "recovery" and e.payload["action"] == "resume"
+        ]
+        assert [e.payload["detail"]["resume_at"] for e in resumes] == [4]
+        # One executed boundary per committed record: nothing replayed.
+        executed = sum(1 for e in rec.events if e.name == "iteration_end")
+        assert executed == faulty.iterations
+        assert [r.iteration for r in faulty.records] == list(
+            range(faulty.iterations)
+        )
+
+    def test_zero_notice_replays_from_checkpoint(self, dataset, tmp_path):
+        clean = knors(dataset, K, seed=3, criteria=CRIT)
+        rec = RecordingObserver()
+        plan = MembershipPlan.from_schedule(
+            [MembershipEvent("preempt", 5, notice=0)]
+        )
+        faulty = knors(
+            dataset, K, seed=3, criteria=CRIT,
+            checkpoint_dir=tmp_path / "ck", checkpoint_interval=2,
+            membership=plan, observers=(rec,),
+        )
+        np.testing.assert_array_equal(clean.centroids, faulty.centroids)
+        np.testing.assert_array_equal(clean.assignment, faulty.assignment)
+        preempts = [
+            e for e in rec.events
+            if e.name == "fault" and e.payload["kind"] == "preempt"
+        ]
+        assert preempts and preempts[0].payload["detail"]["notice"] == 0
+        # Replayed the boundaries after the last periodic checkpoint.
+        executed = sum(1 for e in rec.events if e.name == "iteration_end")
+        assert executed > faulty.iterations
+
+    def test_knori_preemption_replays_from_scratch(self, dataset):
+        """knori keeps no checkpoints: even a noticed preemption has
+        nothing to flush, so recovery restarts at iteration 0 -- and
+        still lands on the identical clustering."""
+        clean = knori(dataset, K, seed=3, criteria=CRIT)
+        rec = RecordingObserver()
+        plan = MembershipPlan.from_schedule(
+            [MembershipEvent("preempt", 2, notice=2)]
+        )
+        faulty = knori(
+            dataset, K, seed=3, criteria=CRIT,
+            membership=plan, observers=(rec,),
+        )
+        np.testing.assert_array_equal(clean.centroids, faulty.centroids)
+        resumes = [
+            e for e in rec.events
+            if e.name == "recovery" and e.payload["action"] == "resume"
+        ]
+        assert [e.payload["detail"]["resume_at"] for e in resumes] == [0]
+
+
+# -- distributed membership (knord) ------------------------------------
+
+
+class TestDistributedMembership:
+    @pytest.fixture(scope="class")
+    def clean(self, dataset):
+        return knord(dataset, K, n_machines=4, seed=3, criteria=CRIT)
+
+    def run_plan(self, dataset, schedule, **kwargs):
+        rec = RecordingObserver()
+        result = knord(
+            dataset, K, n_machines=4, seed=3, criteria=CRIT,
+            membership=MembershipPlan.from_schedule(schedule),
+            observers=(rec,), **kwargs,
+        )
+        return result, rec
+
+    def test_join_reshards_onto_new_machine(self, dataset, clean):
+        result, rec = self.run_plan(
+            dataset, [MembershipEvent("join", 2, count=2)]
+        )
+        np.testing.assert_array_equal(clean.centroids, result.centroids)
+        ups = [e for e in rec.events if e.name == "scale_up"]
+        assert [e.payload["machine"] for e in ups] == [4, 5]
+        assert [r.machines_alive for r in result.records][-1] == 6
+
+    def test_leave_drains_before_departing(self, dataset, clean):
+        result, rec = self.run_plan(
+            dataset, [MembershipEvent("leave", 2, machine=1)]
+        )
+        np.testing.assert_array_equal(clean.centroids, result.centroids)
+        downs = [e for e in rec.events if e.name == "scale_down"]
+        assert len(downs) == 1 and downs[0].payload["machine"] == 1
+        assert downs[0].payload["detail"]["kind"] == "leave"
+        assert downs[0].payload["detail"]["drain_ns"] > 0.0
+        assert result.records[-1].machines_alive == 3
+
+    def test_noticed_preemption_drains_at_deadline(self, dataset, clean):
+        result, rec = self.run_plan(
+            dataset, [MembershipEvent("preempt", 2, machine=3, notice=2)]
+        )
+        np.testing.assert_array_equal(clean.centroids, result.centroids)
+        trace = rec.elastic_events()
+        assert [e.name for e in trace] == ["preempt_notice", "scale_down"]
+        notice, down = trace
+        assert notice.iteration == 2 and notice.payload["deadline"] == 3
+        # The victim computes through its grace window and drains at
+        # the first boundary past the deadline.
+        assert down.iteration == 4
+        assert down.payload["detail"]["kind"] == "preempt"
+        alive = [r.machines_alive for r in result.records]
+        assert alive[3] == 4 and alive[4] == 3
+
+    def test_zero_notice_preemption_is_a_node_failure(self, dataset, clean):
+        result, rec = self.run_plan(
+            dataset, [MembershipEvent("preempt", 2, machine=3, notice=0)]
+        )
+        np.testing.assert_array_equal(clean.centroids, result.centroids)
+        faults = [
+            e for e in rec.events
+            if e.name == "fault" and e.payload["site"] == "node"
+        ]
+        assert faults and faults[0].payload["kind"] == "preempt"
+
+    def test_zero_notice_aborts_under_strict_sla(self, dataset):
+        strict = parse_retry_policy("node_failure=abort")
+        with pytest.raises(NodeFailureError):
+            self.run_plan(
+                dataset,
+                [MembershipEvent("preempt", 2, machine=3, notice=0)],
+                retry_policy=strict,
+            )
+
+    def test_noticed_preemption_survives_strict_sla(self, dataset, clean):
+        strict = parse_retry_policy("node_failure=abort")
+        result, _ = self.run_plan(
+            dataset,
+            [MembershipEvent("preempt", 2, machine=3, notice=2)],
+            retry_policy=strict,
+        )
+        np.testing.assert_array_equal(clean.centroids, result.centroids)
+
+    def test_elastic_trace_is_deterministic(self, dataset):
+        spec = MembershipSpec(
+            join_rate=0.15, leave_rate=0.15, preempt_rate=0.15,
+            max_machines=8,
+        )
+
+        def run(seed):
+            rec = RecordingObserver()
+            result = knord(
+                dataset, K, n_machines=4, seed=3, criteria=CRIT,
+                membership=MembershipPlan(spec, seed=seed),
+                observers=(rec,),
+            )
+            return result, trace_tuples(rec)
+
+        r1, t1 = run(11)
+        r2, t2 = run(11)
+        assert t1 == t2
+        assert [r.sim_ns for r in r1.records] == [
+            r.sim_ns for r in r2.records
+        ]
+
+
+# -- autoscaler unit behavior ------------------------------------------
+
+
+class TestAutoscaler:
+    def test_grants_land_after_provisioning_latency(self):
+        pol = AutoscalerPolicy(
+            target_iter_s=1.0, provision_s=2.5, cooldown_iters=10,
+            warmup_iters=0, step=2, max_machines=8,
+        )
+        sc = Autoscaler(pol)
+        sc.observe(0, 2e9, n_machines=4)   # clock 2s; ready at 4.5s
+        assert len(sc.decisions) == 1
+        assert sc.decisions[0]["action"] == "request"
+        assert sc.decisions[0]["count"] == 2
+        assert sc.take_grants() == 0
+        sc.observe(1, 2e9, n_machines=4)   # clock 4s: still baking
+        assert sc.take_grants() == 0
+        sc.observe(2, 2e9, n_machines=4)   # clock 6s: granted
+        assert sc.take_grants() == 2
+        assert sc.take_grants() == 0
+        assert len(sc.decisions) == 1      # cooldown held
+
+    def test_warmup_suppresses_early_decisions(self):
+        pol = AutoscalerPolicy(
+            target_iter_s=1.0, warmup_iters=3, cooldown_iters=0,
+        )
+        sc = Autoscaler(pol)
+        for it in range(3):
+            sc.observe(it, 5e9, n_machines=2)
+        assert sc.decisions == []
+        sc.observe(3, 5e9, n_machines=2)
+        assert len(sc.decisions) == 1
+
+    def test_scale_down_fires_once_per_decision(self):
+        pol = AutoscalerPolicy(
+            target_iter_s=10.0, scale_down_iter_s=1.0,
+            warmup_iters=0, cooldown_iters=5, min_machines=1,
+        )
+        sc = Autoscaler(pol)
+        sc.observe(0, 0.5e9, n_machines=4)
+        assert sc.decisions[0]["action"] == "release"
+        assert sc.take_scale_down() is True
+        assert sc.take_scale_down() is False
+
+    def test_respects_max_machines(self):
+        pol = AutoscalerPolicy(
+            target_iter_s=1.0, warmup_iters=0, cooldown_iters=0,
+            step=4, max_machines=5, provision_s=0.0,
+        )
+        sc = Autoscaler(pol)
+        sc.observe(0, 9e9, n_machines=4)
+        assert sc.decisions[0]["count"] == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError, match="target_iter_s"):
+            AutoscalerPolicy(target_iter_s=0.0)
+        with pytest.raises(ConfigError, match="scale_down_iter_s"):
+            AutoscalerPolicy(target_iter_s=1.0, scale_down_iter_s=2.0)
+        with pytest.raises(ConfigError, match="alpha"):
+            AutoscalerPolicy(target_iter_s=1.0, alpha=0.0)
+        with pytest.raises(ConfigError, match="step"):
+            AutoscalerPolicy(target_iter_s=1.0, step=0)
+
+    def test_autoscaled_run_backfills_churn(self):
+        """End to end on the distributed backend: after two leaves the
+        autoscaler requests capacity, and the grant lands only after
+        its simulated provisioning latency.
+
+        Needs its own compute-dominated workload: on the module's tiny
+        dataset the allreduce latency dominates, so *losing* ranks
+        makes iterations faster and nothing ever trips the target.
+        """
+        dataset = np.random.default_rng(5).normal(size=(6000, 32))
+        clean = knord(dataset, K, n_machines=4, seed=3, criteria=CRIT)
+        balanced = float(np.mean([r.sim_ns for r in clean.records])) / 1e9
+
+        def churn():
+            return MembershipPlan.from_schedule([
+                MembershipEvent("leave", 1, machine=3),
+                MembershipEvent("leave", 1, machine=2),
+            ])
+
+        sc = Autoscaler(AutoscalerPolicy(
+            target_iter_s=1.05 * balanced,
+            provision_s=2.0 * balanced,
+            cooldown_iters=2, warmup_iters=2, step=2, max_machines=4,
+        ))
+        rec = RecordingObserver()
+        scaled = knord(
+            dataset, K, n_machines=4, seed=3, criteria=CRIT,
+            membership=churn(), autoscaler=sc, observers=(rec,),
+        )
+        np.testing.assert_array_equal(clean.centroids, scaled.centroids)
+        requests = [
+            d for d in sc.decisions if d["action"] == "request"
+        ]
+        assert requests, "halving the fleet must trip the target"
+        ups = [e for e in rec.events if e.name == "scale_up"]
+        assert ups and all(
+            e.iteration > requests[0]["iteration"] for e in ups
+        ), "grants cannot land before the request that bought them"
+
+
+# -- fair share --------------------------------------------------------
+
+
+def _tenant_jobs(dataset, specs, **kwargs):
+    jobs = []
+    for spec in specs:
+        loop, _ = knord_loop(
+            dataset, K, n_machines=2, seed=3, criteria=CRIT, **kwargs
+        )
+        jobs.append(TenantJob(spec, loop))
+    return jobs
+
+
+class TestFairShare:
+    def test_interleave_is_deterministic_and_weighted(self, dataset):
+        specs = [TenantSpec("prod", 3.0), TenantSpec("batch", 1.0)]
+
+        def run():
+            sched = FairShareScheduler(_tenant_jobs(dataset, specs))
+            outcomes = sched.run()
+            return sched.grants, outcomes
+
+        grants1, outcomes = run()
+        grants2, _ = run()
+        assert grants1 == grants2
+        assert all(o.error is None for o in outcomes.values())
+        # In the window where both tenants contend, the 3:1 weights
+        # bind; identical jobs make the share exact.
+        last = {
+            name: max(i for i, (g, _) in enumerate(grants1) if g == name)
+            for name in ("prod", "batch")
+        }
+        window = grants1[: min(last.values()) + 1]
+        prod = sum(1 for g, _ in window if g == "prod")
+        assert prod / len(window) == pytest.approx(0.75, abs=0.05)
+
+    def test_solo_equivalence(self, dataset):
+        """A tenant's record stream under interleaving is exactly its
+        standalone run's -- the scheduler adds no simulated time."""
+        solo_loop, _ = knord_loop(
+            dataset, K, n_machines=2, seed=3, criteria=CRIT
+        )
+        solo = solo_loop.run()
+        sched = FairShareScheduler(_tenant_jobs(
+            dataset, [TenantSpec("a", 2.0), TenantSpec("b", 1.0)]
+        ))
+        outcomes = sched.run()
+        for out in outcomes.values():
+            assert out.result.converged == solo.converged
+            assert [r.sim_ns for r in out.result.records] == [
+                r.sim_ns for r in solo.records
+            ]
+
+    def test_abort_isolation(self, dataset):
+        """A tenant whose strict policy aborts on node failure is
+        removed from the rotation; the neighbour finishes untouched."""
+        flaky_jobs = _tenant_jobs(
+            dataset, [TenantSpec("flaky", 1.0)],
+            faults=FaultPlan.from_schedule(
+                [FaultEvent(site="node", iteration=1, kind="fail")]
+            ),
+            retry_policy=parse_retry_policy("node_failure=abort"),
+        )
+        steady_jobs = _tenant_jobs(dataset, [TenantSpec("steady", 1.0)])
+        sched = FairShareScheduler(flaky_jobs + steady_jobs)
+        outcomes = sched.run()
+        assert outcomes["flaky"].error is not None
+        assert "NodeFailureError" in outcomes["flaky"].error
+        assert outcomes["steady"].error is None
+        assert outcomes["steady"].result is not None
+        assert outcomes["steady"].result.iterations == CRIT.max_iters
+
+    def test_scheduler_validation(self, dataset):
+        with pytest.raises(ConfigError, match=">= 1 tenant"):
+            FairShareScheduler([])
+        jobs = _tenant_jobs(
+            dataset, [TenantSpec("a", 1.0)]
+        ) + _tenant_jobs(dataset, [TenantSpec("a", 1.0)])
+        with pytest.raises(ConfigError, match="duplicate"):
+            FairShareScheduler(jobs)
+
+
+# -- wiring guards -----------------------------------------------------
+
+
+class TestWiring:
+    def test_loop_refuses_double_wired_plan(self, dataset):
+        loop, _ = knord_loop(
+            dataset, K, n_machines=2, seed=3, criteria=CRIT,
+            membership=MembershipPlan.from_schedule([]),
+        )
+        with pytest.raises(ConfigError, match="exactly one consumer"):
+            IterationLoop(
+                loop.backend, criteria=CRIT,
+                membership=MembershipPlan.from_schedule([]),
+            )
+
+    def test_pure_mpi_rejects_elastic(self, dataset):
+        with pytest.raises(ConfigError, match="fixed-rank"):
+            mpi_lloyd(
+                dataset, K, n_machines=2, seed=3, criteria=CRIT,
+                membership=MembershipPlan.from_schedule([]),
+            )
+
+
+# -- CLI help is generated from the parsers' own key lists -------------
+
+
+class TestCliHelp:
+    def _help(self, capsys, *argv):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main([*argv, "--help"])
+        return capsys.readouterr().out
+
+    def test_knord_help_names_every_spec_key(self, capsys):
+        from repro.elastic.autoscaler import AUTOSCALER_KEYS
+
+        text = self._help(capsys, "knord")
+        for key in (*FAULT_SPEC_KEYS, *RETRY_POLICY_KEYS,
+                    *MEMBERSHIP_SPEC_KEYS, *AUTOSCALER_KEYS):
+            assert key in text, f"help omits spec key {key!r}"
+        assert "--tenants" in text and "--elastic-plan" in text
+
+    def test_single_machine_help_has_elastic_plan(self, capsys):
+        for cmd in ("knori", "knors"):
+            text = self._help(capsys, cmd)
+            assert "--elastic-plan" in text
+            assert "--elastic-seed" in text
+
+
+# -- 20-plan chaos soak ------------------------------------------------
+
+
+@pytest.mark.chaos
+class TestElasticChaosSoak:
+    """Seeded membership specs over knord: every plan either lands on
+    the bit-identical clustering or aborts with a typed KnorError."""
+
+    MASTER_SEED = 77
+    N_PLANS = 20
+
+    def test_soak(self, dataset):
+        clean = knord(dataset, K, n_machines=4, seed=3, criteria=CRIT)
+        aborted = 0
+        for i in range(self.N_PLANS):
+            rng = np.random.default_rng([self.MASTER_SEED, i])
+            spec = MembershipSpec(
+                join_rate=float(rng.uniform(0.0, 0.3)),
+                leave_rate=float(rng.uniform(0.0, 0.3)),
+                preempt_rate=float(rng.uniform(0.0, 0.3)),
+                preempt_notice=int(rng.integers(0, 3)),
+                max_joins=int(rng.integers(1, 4)),
+                max_leaves=int(rng.integers(1, 3)),
+                max_preempts=int(rng.integers(1, 3)),
+                max_machines=8,
+            )
+            strict = bool(rng.integers(0, 2))
+            policy = (
+                parse_retry_policy("node_failure=abort") if strict
+                else None
+            )
+            try:
+                rec = RecordingObserver()
+                result = knord(
+                    dataset, K, n_machines=4, seed=3, criteria=CRIT,
+                    membership=MembershipPlan(spec, seed=i),
+                    retry_policy=policy, observers=(rec,),
+                )
+            except KnorError:
+                aborted += 1
+                continue
+            np.testing.assert_array_equal(
+                clean.centroids, result.centroids,
+                err_msg=f"plan {i} changed the clustering",
+            )
+            np.testing.assert_array_equal(
+                clean.assignment, result.assignment
+            )
+            if i % 5 == 0:
+                rec2 = RecordingObserver()
+                knord(
+                    dataset, K, n_machines=4, seed=3, criteria=CRIT,
+                    membership=MembershipPlan(spec, seed=i),
+                    retry_policy=policy, observers=(rec2,),
+                )
+                assert trace_tuples(rec) == trace_tuples(rec2), (
+                    f"plan {i}'s elastic trace is not deterministic"
+                )
+        # With these rates a good fraction of plans must actually churn.
+        assert aborted < self.N_PLANS

@@ -1,0 +1,160 @@
+"""Crash-matrix rows where the elastic plane and the fault plane
+collide: the fault fires exactly at an elastic transition.
+
+Three rows, each asserted bit-identical to the fault-free fixed-fleet
+run (the same contract as ``test_faults_crash_matrix.py``):
+
+* a checkpoint save **crashes mid-flush** while it is the one a
+  preemption notice is flushing inside its grace window;
+* a **worker crash** lands on the same boundary a joiner is being
+  reshard-ed onto;
+* the **first allreduce a freshly joined machine participates in**
+  carries a corrupted payload.
+
+Run with ``pytest -m faults``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConvergenceCriteria, FaultPlan, knord, knors
+from repro.elastic import MembershipEvent, MembershipPlan
+from repro.faults import CHECKPOINT_CRASH_POINTS, FaultEvent
+from repro.runtime import RecordingObserver
+
+pytestmark = pytest.mark.faults
+
+CRIT = ConvergenceCriteria(max_iters=10)
+K = 5
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(31)
+    centers = rng.normal(scale=2.5, size=(5, 5))
+    x = np.vstack(
+        [rng.normal(loc=c, scale=1.6, size=(120, 5)) for c in centers]
+    )
+    rng.shuffle(x)
+    return x
+
+
+def assert_matches(baseline, faulty):
+    np.testing.assert_array_equal(baseline.centroids, faulty.centroids)
+    np.testing.assert_array_equal(baseline.assignment, faulty.assignment)
+    assert faulty.iterations == baseline.iterations
+    assert faulty.converged == baseline.converged
+
+
+class TestPreemptionNoticeCheckpointCrash:
+    """The grace-window flush is itself a checkpoint save; crashing it
+    at any durability point must not lose a committed iteration: the
+    recovery falls back to the newest *intact* checkpoint and replays
+    forward to the identical clustering."""
+
+    PREEMPT_AT, NOTICE = 2, 2  # deadline = 3, flush fires there
+
+    @pytest.mark.parametrize("crash_point", CHECKPOINT_CRASH_POINTS)
+    def test_cell(self, dataset, tmp_path, crash_point):
+        baseline = knors(dataset, K, seed=3, criteria=CRIT)
+        deadline = self.PREEMPT_AT + self.NOTICE - 1
+        plan = MembershipPlan.from_schedule([
+            MembershipEvent("preempt", self.PREEMPT_AT,
+                            notice=self.NOTICE),
+        ])
+        faults = FaultPlan.from_schedule([
+            FaultEvent(site="checkpoint", iteration=deadline,
+                       kind=crash_point),
+        ])
+        rec = RecordingObserver()
+        faulty = knors(
+            dataset, K, seed=3, criteria=CRIT,
+            checkpoint_dir=tmp_path / "ck", checkpoint_interval=2,
+            membership=plan, faults=faults, observers=(rec,),
+        )
+        assert_matches(baseline, faulty)
+        # The notice was announced, and the crashed flush was answered
+        # by a worker-site recovery (the mid-save crash surfaces as a
+        # worker crash).
+        assert any(e.name == "preempt_notice" for e in rec.events)
+        assert any(
+            e.name == "recovery" and e.payload["site"] == "worker"
+            for e in rec.events
+        )
+        # The record stream is continuous: no committed index missing.
+        assert [r.iteration for r in faulty.records] == list(
+            range(faulty.iterations)
+        )
+
+
+class TestWorkerCrashMidReshardOntoJoiner:
+    """A join reshard-s shards onto the new machine at the boundary,
+    then the whole fleet's driver crashes on that same boundary. knord
+    keeps no checkpoints, so recovery is a from-scratch replay on the
+    *post-join* fleet -- and must land on the identical clustering."""
+
+    JOIN_AT = 2
+
+    def test_cell(self, dataset):
+        baseline = knord(dataset, K, n_machines=4, seed=3, criteria=CRIT)
+        plan = MembershipPlan.from_schedule([
+            MembershipEvent("join", self.JOIN_AT),
+        ])
+        faults = FaultPlan.from_schedule([
+            FaultEvent(site="worker", iteration=self.JOIN_AT,
+                       kind="crash"),
+        ])
+        rec = RecordingObserver()
+        faulty = knord(
+            dataset, K, n_machines=4, seed=3, criteria=CRIT,
+            membership=plan, faults=faults, observers=(rec,),
+        )
+        assert_matches(baseline, faulty)
+        names = [e.name for e in rec.events]
+        up = names.index("scale_up")
+        crash = next(
+            i for i, e in enumerate(rec.events)
+            if e.name == "fault" and e.payload["site"] == "worker"
+        )
+        assert up < crash, "the reshard must precede the crash it eats"
+        assert any(
+            e.name == "recovery" and e.payload["site"] == "worker"
+            for e in rec.events
+        )
+        # The joiner survives the crash: the replay runs on 5 machines.
+        assert faulty.records[-1].machines_alive == 5
+
+
+class TestCorruptionOnJoinersFirstAllreduce:
+    """The first collective after a join carries a flipped payload.
+    CRC detection must catch it, charge the retransmission, and keep
+    the reduced values -- and therefore the clustering -- untouched."""
+
+    JOIN_AT = 2
+
+    def test_cell(self, dataset):
+        baseline = knord(dataset, K, n_machines=4, seed=3, criteria=CRIT)
+        plan = MembershipPlan.from_schedule([
+            MembershipEvent("join", self.JOIN_AT),
+        ])
+        faults = FaultPlan.from_schedule([
+            FaultEvent(site="corruption", iteration=self.JOIN_AT,
+                       kind="message"),
+        ])
+        rec = RecordingObserver()
+        faulty = knord(
+            dataset, K, n_machines=4, seed=3, criteria=CRIT,
+            membership=plan, faults=faults, observers=(rec,),
+        )
+        assert_matches(baseline, faulty)
+        corrupt = [
+            e for e in rec.events
+            if e.name == "corruption" and e.iteration == self.JOIN_AT
+        ]
+        assert corrupt, "the corrupted collective was never detected"
+        assert any(e.name == "scale_up" for e in rec.events)
+        # Detection costs simulated retransmission time on that
+        # iteration, never numerics: sim time grew, results did not.
+        clean_rec = baseline.records[self.JOIN_AT]
+        faulty_rec = faulty.records[self.JOIN_AT]
+        assert faulty_rec.sim_ns > clean_rec.sim_ns
